@@ -1,0 +1,75 @@
+"""Shared, cached link-prediction runs for Figures 4-7.
+
+Figures 4/5 (and 6/7) plot the same protocol run two ways, so the run
+is computed once per dataset and cached at module level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines import TwitterRank
+from repro.config import EvaluationParams, ScoreParams
+from repro.core.recommender import Recommender
+from repro.eval import (
+    LinkPredictionProtocol,
+    MethodCurve,
+    katz_scorer,
+    tr_scorer,
+    twitterrank_scorer,
+)
+
+_cache: Dict[str, Dict[str, MethodCurve]] = {}
+
+
+def five_method_curves(name: str, graph, similarity,
+                       params: ScoreParams,
+                       eval_params: EvaluationParams,
+                       seed: int = 2016) -> Dict[str, MethodCurve]:
+    """Run Tr, its two ablations, Katz and TwitterRank once per dataset.
+
+    This is the experiment behind Figure 4 (Twitter) and Figure 6
+    (DBLP); Figures 5 and 7 re-plot the same curves as
+    precision-vs-recall.
+    """
+    cached = _cache.get(name)
+    if cached is not None:
+        return cached
+    protocol = LinkPredictionProtocol(graph, eval_params, seed=seed)
+    working = protocol.graph
+    scorers = {
+        "Tr": tr_scorer(Recommender(working, similarity, params)),
+        "Tr-auth": tr_scorer(Recommender(working, similarity, params,
+                                         use_authority=False)),
+        "Tr-sim": tr_scorer(Recommender(working, similarity, params,
+                                        use_similarity=False)),
+        "Katz": katz_scorer(working, params),
+        "TwitterRank": twitterrank_scorer(TwitterRank(working)),
+    }
+    curves = protocol.run(scorers)
+    _cache[name] = curves
+    return curves
+
+
+def recall_table(curves: Dict[str, MethodCurve], max_rank: int = 20) -> str:
+    names = list(curves)
+    lines = ["N     " + "".join(f"{name:>13s}" for name in names)]
+    for n in range(1, max_rank + 1):
+        row = f"{n:<6d}" + "".join(
+            f"{curves[name].recall_at(n):13.3f}" for name in names)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def precision_recall_table(curves: Dict[str, MethodCurve],
+                           max_rank: int = 20) -> str:
+    lines = []
+    for name, curve in curves.items():
+        lines.append(f"[{name}]")
+        lines.append("  N    recall   precision")
+        for n in (1, 2, 3, 5, 7, 10, 15, 20):
+            if n > max_rank:
+                break
+            lines.append(f"  {n:<4d} {curve.recall_at(n):7.3f}   "
+                         f"{curve.precision_at(n):9.4f}")
+    return "\n".join(lines)

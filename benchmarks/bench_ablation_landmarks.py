@@ -1,0 +1,119 @@
+"""Ablations (beyond the paper) — landmark count and BFS depth.
+
+Two design choices DESIGN.md flags in the landmark machinery:
+
+- the number of landmarks |L| (paper fixes 100): more landmarks mean
+  more paths recovered, so the approximation improves monotonically;
+- the query-time BFS depth (paper fixes 2): deeper exploration finds
+  more landmarks but costs more.
+"""
+
+from conftest import write_result
+
+from repro.config import LandmarkParams
+from repro.core.exact import single_source_scores
+from repro.eval.metrics import kendall_tau_distance
+from repro.landmarks import (
+    ApproximateRecommender,
+    LandmarkIndex,
+    select_landmarks,
+)
+from repro.utils.timers import Stopwatch
+
+COUNTS = (10, 25, 50, 100)
+DEPTHS = (1, 2, 3)
+TOPIC = "technology"
+NUM_QUERIES = 8
+
+
+def _exact_top(graph, web_sim, paper_params, query, k=50):
+    state = single_source_scores(graph, query, [TOPIC], web_sim,
+                                 params=paper_params)
+    return [n for n, _ in state.ranked(TOPIC, top_n=k, exclude=(query,))]
+
+
+def test_ablation_landmark_count(benchmark, twitter_graph, web_sim,
+                                 paper_params):
+    queries = [n for n in twitter_graph.nodes()
+               if twitter_graph.out_degree(n) >= 3][:NUM_QUERIES]
+    exact_tops = {q: _exact_top(twitter_graph, web_sim, paper_params, q)
+                  for q in queries}
+
+    def run():
+        rows = {}
+        for count in COUNTS:
+            landmarks = select_landmarks(twitter_graph, "In-Deg", count,
+                                         rng=15)
+            index = LandmarkIndex.build(
+                twitter_graph, landmarks, [TOPIC], web_sim,
+                params=paper_params,
+                landmark_params=LandmarkParams(num_landmarks=count,
+                                               top_n=500))
+            recommender = ApproximateRecommender(twitter_graph, web_sim,
+                                                 index)
+            taus, encounters = [], []
+            for query in queries:
+                result = recommender.query(query, TOPIC)
+                approx_top = [n for n, _ in result.ranked(
+                    top_n=50, exclude=(query,))]
+                taus.append(kendall_tau_distance(approx_top,
+                                                 exact_tops[query]))
+                encounters.append(len(result.landmarks_encountered))
+            rows[count] = (sum(taus) / len(taus),
+                           sum(encounters) / len(encounters))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Ablation — landmark count vs approximation quality",
+             f"  {'|L|':>5s} {'mean tau':>9s} {'#lnd':>6s}"]
+    for count in COUNTS:
+        tau, encountered = rows[count]
+        lines.append(f"  {count:>5d} {tau:9.3f} {encountered:6.1f}")
+    write_result("ablation_landmark_count", "\n".join(lines) + "\n")
+
+    # More landmarks → more encounters, and no worse approximation.
+    assert rows[COUNTS[-1]][1] >= rows[COUNTS[0]][1]
+    assert rows[COUNTS[-1]][0] <= rows[COUNTS[0]][0] + 0.05
+
+
+def test_ablation_query_depth(benchmark, twitter_graph, web_sim,
+                              paper_params):
+    landmarks = select_landmarks(twitter_graph, "In-Deg", 50, rng=15)
+    index = LandmarkIndex.build(
+        twitter_graph, landmarks, [TOPIC], web_sim, params=paper_params,
+        landmark_params=LandmarkParams(num_landmarks=50, top_n=500))
+    recommender = ApproximateRecommender(twitter_graph, web_sim, index)
+    queries = [n for n in twitter_graph.nodes()
+               if twitter_graph.out_degree(n) >= 3][:NUM_QUERIES]
+    exact_tops = {q: _exact_top(twitter_graph, web_sim, paper_params, q)
+                  for q in queries}
+
+    def run():
+        rows = {}
+        for depth in DEPTHS:
+            watch = Stopwatch()
+            taus = []
+            for query in queries:
+                with watch:
+                    result = recommender.query(query, TOPIC, depth=depth)
+                approx_top = [n for n, _ in result.ranked(
+                    top_n=50, exclude=(query,))]
+                taus.append(kendall_tau_distance(approx_top,
+                                                 exact_tops[query]))
+            rows[depth] = (sum(taus) / len(taus), watch.mean_lap)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Ablation — query BFS depth vs quality and time",
+             f"  {'depth':>6s} {'mean tau':>9s} {'time (s)':>9s}"]
+    for depth in DEPTHS:
+        tau, seconds = rows[depth]
+        lines.append(f"  {depth:>6d} {tau:9.3f} {seconds:9.4f}")
+    write_result("ablation_query_depth", "\n".join(lines) + "\n")
+
+    # Depth 3 explores at least as well as depth 1.
+    assert rows[3][0] <= rows[1][0] + 0.05
+    # Deeper exploration costs more time.
+    assert rows[3][1] >= rows[1][1]

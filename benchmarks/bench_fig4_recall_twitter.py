@@ -1,0 +1,33 @@
+"""Figure 4 — recall@N on Twitter: Tr vs Katz vs TwitterRank vs the
+Tr−auth / Tr−sim ablations.
+
+Paper shape to reproduce (2.2M-node crawl):
+
+- Tr best at every N (top-1: 34% vs Katz 29% vs TwitterRank 4%);
+- Katz clearly second;
+- TwitterRank an order of magnitude behind at small N;
+- both ablations sit between Katz and full Tr.
+"""
+
+from _linkpred_runs import five_method_curves, recall_table
+from conftest import write_result
+
+
+def test_fig4_recall_at_n_twitter(benchmark, twitter_graph, web_sim,
+                                  paper_params, eval_params):
+    curves = benchmark.pedantic(
+        five_method_curves,
+        args=("twitter", twitter_graph, web_sim, paper_params, eval_params),
+        rounds=1, iterations=1)
+
+    text = ("Figure 4 — recall@N (Twitter)\n"
+            + recall_table(curves) + "\n")
+    write_result("fig4_recall_twitter", text)
+
+    # Who-wins shape (paper: Tr > Katz >> TwitterRank at top-10)
+    assert curves["Tr"].recall_at(10) >= curves["Katz"].recall_at(10)
+    assert curves["Tr"].recall_at(10) > curves["TwitterRank"].recall_at(10)
+    assert curves["Katz"].recall_at(20) > curves["TwitterRank"].recall_at(20)
+    # Ablations: full Tr at least matches each single-ingredient variant
+    assert curves["Tr"].recall_at(20) >= curves["Tr-auth"].recall_at(20) - 0.05
+    assert curves["Tr"].recall_at(20) >= curves["Tr-sim"].recall_at(20) - 0.05

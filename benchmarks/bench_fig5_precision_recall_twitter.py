@@ -1,0 +1,26 @@
+"""Figure 5 — precision vs recall on Twitter.
+
+Same protocol run as Figure 4, re-plotted. Paper shape: for recall
+beyond ~0.4, Tr's precision is at least twice Katz's and an order of
+magnitude above TwitterRank's.
+"""
+
+from _linkpred_runs import five_method_curves, precision_recall_table
+from conftest import write_result
+
+
+def test_fig5_precision_recall_twitter(benchmark, twitter_graph, web_sim,
+                                       paper_params, eval_params):
+    curves = benchmark.pedantic(
+        five_method_curves,
+        args=("twitter", twitter_graph, web_sim, paper_params, eval_params),
+        rounds=1, iterations=1)
+
+    text = ("Figure 5 — precision vs recall (Twitter)\n"
+            + precision_recall_table(curves) + "\n")
+    write_result("fig5_precision_recall_twitter", text)
+
+    # At matched N, Tr dominates TwitterRank on precision.
+    for n in (5, 10, 20):
+        assert curves["Tr"].precision_at(n) >= \
+            curves["TwitterRank"].precision_at(n)

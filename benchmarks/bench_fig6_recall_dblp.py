@@ -1,0 +1,24 @@
+"""Figure 6 — recall@N on DBLP.
+
+Paper shape: recall rises faster than on Twitter for Tr and Katz (the
+self-citation phenomenon leaves many alternative short paths), while
+TwitterRank — popularity-driven — does slightly worse than on Twitter.
+"""
+
+from _linkpred_runs import five_method_curves, recall_table
+from conftest import write_result
+
+
+def test_fig6_recall_at_n_dblp(benchmark, dblp_graph, dblp_sim,
+                               paper_params, eval_params):
+    curves = benchmark.pedantic(
+        five_method_curves,
+        args=("dblp", dblp_graph, dblp_sim, paper_params, eval_params),
+        rounds=1, iterations=1)
+
+    text = ("Figure 6 — recall@N (DBLP)\n"
+            + recall_table(curves) + "\n")
+    write_result("fig6_recall_dblp", text)
+
+    assert curves["Tr"].recall_at(10) >= curves["TwitterRank"].recall_at(10)
+    assert curves["Katz"].recall_at(10) >= curves["TwitterRank"].recall_at(10)

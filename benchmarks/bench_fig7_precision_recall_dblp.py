@@ -1,0 +1,20 @@
+"""Figure 7 — precision vs recall on DBLP (same run as Figure 6)."""
+
+from _linkpred_runs import five_method_curves, precision_recall_table
+from conftest import write_result
+
+
+def test_fig7_precision_recall_dblp(benchmark, dblp_graph, dblp_sim,
+                                    paper_params, eval_params):
+    curves = benchmark.pedantic(
+        five_method_curves,
+        args=("dblp", dblp_graph, dblp_sim, paper_params, eval_params),
+        rounds=1, iterations=1)
+
+    text = ("Figure 7 — precision vs recall (DBLP)\n"
+            + precision_recall_table(curves) + "\n")
+    write_result("fig7_precision_recall_dblp", text)
+
+    for n in (5, 10, 20):
+        assert curves["Tr"].precision_at(n) >= \
+            curves["TwitterRank"].precision_at(n)

@@ -1,0 +1,43 @@
+"""Table 2 — topological properties of the two datasets.
+
+Paper values (2.2M-user Twitter crawl / 525k-author DBLP projection):
+
+    Property            Twitter       DBLP
+    nodes               2,182,867     525,567
+    edges               125,451,980   20,526,843
+    avg out-degree      57.8          47.3
+    avg in-degree       69.4          53.6
+    max in-degree       348,595       9,897
+    max out-degree      185,401       5,052
+
+The synthetic generators run at laptop scale; the *shape* to reproduce
+is: heavy in-degree tail (max ≫ avg), out-degree tail much lighter,
+and a denser DBLP graph relative to its size.
+"""
+
+from conftest import write_result
+
+from repro.graph.stats import compute_stats
+
+
+def _format(stats, name):
+    lines = [f"[{name}]"]
+    for key, value in stats.as_rows():
+        lines.append(f"  {key:28s} {value}")
+    return "\n".join(lines)
+
+
+def test_table2_dataset_properties(benchmark, twitter_graph, dblp_graph):
+    twitter_stats = benchmark.pedantic(
+        lambda: compute_stats(twitter_graph), rounds=3, iterations=1)
+    dblp_stats = compute_stats(dblp_graph)
+
+    text = "Table 2 — dataset topological properties\n"
+    text += _format(twitter_stats, "Twitter (synthetic)") + "\n"
+    text += _format(dblp_stats, "DBLP (synthetic)") + "\n"
+    write_result("table2_datasets", text)
+
+    # Shape assertions mirroring the paper's crawl
+    assert twitter_stats.max_in_degree > 5 * twitter_stats.avg_in_degree
+    assert twitter_stats.max_out_degree < twitter_stats.max_in_degree
+    assert dblp_stats.avg_out_degree > 10

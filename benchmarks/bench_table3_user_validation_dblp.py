@@ -1,0 +1,67 @@
+"""Table 3 — simulated user validation on DBLP.
+
+Paper values (47 researcher-judges, ≤100-citation filter):
+
+    row                Katz    Tr     TWR
+    average mark       2.38    2.47   1.51
+    # 4 and 5-mark     46      47     11
+    best answer (%)    0.38    0.50   0.12
+
+Shape to reproduce: Katz ≈ Tr (topically-closed citation communities),
+both clearly ahead of popularity-driven TwitterRank.
+"""
+
+from conftest import write_result
+
+from repro.baselines import TwitterRank
+from repro.core.katz import katz_rank
+from repro.core.recommender import Recommender
+from repro.eval.userstudy import run_dblp_study
+
+
+def test_table3_user_validation_dblp(benchmark, dblp_graph, dblp_sim,
+                                     paper_params):
+    recommender = Recommender(dblp_graph, dblp_sim, paper_params)
+    twitterrank = TwitterRank(dblp_graph)
+
+    def tr_method(user, topic, k):
+        return [r.node for r in recommender.recommend(user, topic, top_n=k)]
+
+    def katz_method(user, topic, k):
+        return [n for n, _ in katz_rank(dblp_graph, user, paper_params,
+                                        top_n=k)]
+
+    def twr_method(user, topic, k):
+        return [n for n, _ in twitterrank.recommend(user, topic, top_n=k)]
+
+    methods = {"Katz": katz_method, "Tr": tr_method, "TWR": twr_method}
+
+    # citation cap scaled to the synthetic graph: exclude the top-decile
+    # most-cited authors, the role the paper's "100 citations" plays.
+    degrees = sorted(dblp_graph.in_degree(n) for n in dblp_graph.nodes())
+    cap = degrees[int(0.9 * len(degrees))]
+
+    result = benchmark.pedantic(
+        run_dblp_study,
+        args=(dblp_graph, dblp_sim, methods),
+        kwargs={"panel_size": 47, "citation_cap": cap, "seed": 11},
+        rounds=1, iterations=1)
+
+    lines = ["Table 3 — user validation (DBLP, simulated 47 researchers)",
+             f"  {'row':18s} {'Katz':>7s} {'Tr':>7s} {'TWR':>7s}"]
+    for row_name, values in result.as_rows():
+        lines.append(f"  {row_name:18s} {values['Katz']:7.2f} "
+                     f"{values['Tr']:7.2f} {values['TWR']:7.2f}")
+    write_result("table3_user_validation_dblp", "\n".join(lines) + "\n")
+
+    # Path-based methods collect far more 4/5-marks than TwitterRank
+    # (paper: 46 / 47 vs 11) — the popularity-driven method simply has
+    # fewer defensible proposals.
+    assert result.high_marks["Tr"] > result.high_marks["TWR"]
+    assert result.high_marks["Katz"] > result.high_marks["TWR"]
+    # Tr wins the best-answer vote (paper: 50% vs 38% vs 12%).
+    assert result.best_answer["Tr"] >= result.best_answer["TWR"]
+    assert result.best_answer["Tr"] >= result.best_answer["Katz"]
+    assert result.average_mark["Tr"] >= result.average_mark["TWR"] - 0.1
+    # Katz and Tr are close on DBLP (topically-closed communities).
+    assert abs(result.average_mark["Tr"] - result.average_mark["Katz"]) < 1.0

@@ -1,0 +1,100 @@
+"""Shared benchmark infrastructure.
+
+Every bench reproduces one table or figure of the paper. The computed
+rows are written to ``benchmarks/results/<experiment>.txt`` and echoed
+in the terminal summary, so ``pytest benchmarks/ --benchmark-only``
+leaves both a timing table (pytest-benchmark) and the reproduced
+numbers behind.
+
+Scale knobs (environment variables):
+
+- ``REPRO_BENCH_TWITTER_NODES`` (default 4000)
+- ``REPRO_BENCH_DBLP_AUTHORS``  (default 1000)
+- ``REPRO_BENCH_TEST_EDGES``    (default 60)
+
+The paper ran on 2.2M users; the defaults here keep the full suite in
+minutes while preserving the comparative shapes (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import ScoreParams, SimilarityMatrix, dblp_taxonomy, web_taxonomy
+from repro.config import EvaluationParams
+from repro.datasets import generate_dblp_dataset, generate_twitter_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+TWITTER_NODES = int(os.environ.get("REPRO_BENCH_TWITTER_NODES", "4000"))
+DBLP_AUTHORS = int(os.environ.get("REPRO_BENCH_DBLP_AUTHORS", "1000"))
+TEST_EDGES = int(os.environ.get("REPRO_BENCH_TEST_EDGES", "60"))
+
+#: The paper's decay factors (Section 5.2).
+PAPER_PARAMS = ScoreParams(beta=0.0005, alpha=0.85)
+
+_written: list[Path] = []
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist one experiment's rows and register them for the summary."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text, encoding="utf-8")
+    _written.append(path)
+    return path
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Echo every result file produced during this run."""
+    if not _written:
+        return
+    terminalreporter.section("reproduced tables & figures")
+    for path in _written:
+        terminalreporter.write_line(f"--- {path.name} " + "-" * 40)
+        for line in path.read_text(encoding="utf-8").splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def twitter_dataset():
+    return generate_twitter_dataset(TWITTER_NODES, seed=2016,
+                                    with_tweets=False)
+
+
+@pytest.fixture(scope="session")
+def twitter_graph(twitter_dataset):
+    return twitter_dataset.graph
+
+
+@pytest.fixture(scope="session")
+def dblp_dataset():
+    return generate_dblp_dataset(DBLP_AUTHORS, seed=2016)
+
+
+@pytest.fixture(scope="session")
+def dblp_graph(dblp_dataset):
+    return dblp_dataset.graph
+
+
+@pytest.fixture(scope="session")
+def web_sim():
+    return SimilarityMatrix.from_taxonomy(web_taxonomy())
+
+
+@pytest.fixture(scope="session")
+def dblp_sim():
+    return SimilarityMatrix.from_taxonomy(dblp_taxonomy())
+
+
+@pytest.fixture(scope="session")
+def paper_params():
+    return PAPER_PARAMS
+
+
+@pytest.fixture(scope="session")
+def eval_params():
+    return EvaluationParams(test_size=TEST_EDGES, num_negatives=1000)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Author recommendation on a DBLP-like citation graph.
+
+The paper's second dataset: a citation graph projected to authors,
+labeled with research areas via venue-label propagation. This example
+
+1. generates the synthetic DBLP world (venues → papers → citations);
+2. shows the venue-label propagation at work (seed venues labeled
+   "manually", the rest by author overlap);
+3. recommends authors a researcher "could have cited", filtered away
+   from the obvious mega-cited names like the paper's user study
+   (≤ 100 citations).
+
+Run:
+    python examples/dblp_citations.py
+"""
+
+from repro import Recommender, ScoreParams, SimilarityMatrix, dblp_taxonomy
+from repro.datasets import generate_dblp_dataset
+
+NUM_AUTHORS = 3000
+PARAMS = ScoreParams(beta=0.0005, alpha=0.85)
+
+
+def main():
+    print(f"generating a DBLP-like world ({NUM_AUTHORS} authors)...")
+    dataset = generate_dblp_dataset(NUM_AUTHORS, seed=11)
+    graph = dataset.graph
+    print(f"  {len(dataset.papers):,} papers, "
+          f"{graph.num_edges:,} author-citation edges, "
+          f"{graph.num_nodes:,} cited authors kept")
+
+    propagated = len(dataset.venue_areas) - len(dataset.seed_venues)
+    print(f"  venues: {len(dataset.seed_venues)} seed-labeled, "
+          f"{propagated} labeled by author overlap\n")
+
+    similarity = SimilarityMatrix.from_taxonomy(dblp_taxonomy())
+    recommender = Recommender(graph, similarity, PARAMS)
+
+    # a mid-career researcher: cites plenty, moderately cited
+    researcher = max(
+        (n for n in graph.nodes() if graph.in_degree(n) < 50),
+        key=graph.out_degree)
+    area = sorted(graph.node_topics(researcher))[0]
+    print(f"researcher {researcher}: profile "
+          f"{sorted(graph.node_topics(researcher))}, "
+          f"cites {graph.out_degree(researcher)} authors, "
+          f"cited by {graph.in_degree(researcher)}")
+    print(f"recommending authors for area '{area}', "
+          "excluding mega-cited names (>100 citations)\n")
+
+    citation_cap = 100
+    suggestions = [
+        r for r in recommender.recommend(researcher, area, top_n=30)
+        if graph.in_degree(r.node) <= citation_cap
+    ][:5]
+    print(f"  {'rank':4s} {'author':>8s} {'citations':>10s}  profile")
+    for position, item in enumerate(suggestions, start=1):
+        profile = ", ".join(sorted(graph.node_topics(item.node)))
+        print(f"  {position:<4d} {item.node:>8d} "
+              f"{graph.in_degree(item.node):>10d}  [{profile}]")
+
+    # how the self-citation phenomenon shows up (Figure 6's discussion)
+    from repro.graph.stats import reciprocity
+
+    print(f"\nco-citation reciprocity of the projected graph: "
+          f"{reciprocity(graph):.3f}")
+    print("  (self-citations inside author teams leave mutual edges — "
+          "the effect the paper credits for DBLP's fast recall growth)")
+
+
+if __name__ == "__main__":
+    main()

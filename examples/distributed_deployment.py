@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Simulating a distributed deployment of the recommender.
+
+The paper's future-work sketch (§6): split the social graph across
+servers, place landmarks, and answer queries while minimising network
+transfer. This example partitions a synthetic network three ways, runs
+identical queries on each deployment, and reports what each partitioner
+pays — while demonstrating that the *answers* never change.
+
+Run:
+    python examples/distributed_deployment.py
+"""
+
+from repro import ScoreParams, SimilarityMatrix, web_taxonomy
+from repro.config import LandmarkParams
+from repro.datasets import generate_twitter_graph
+from repro.distributed import (
+    DistributedLandmarkService,
+    greedy_partition,
+    hash_partition,
+    partition_metrics,
+    topic_partition,
+)
+from repro.landmarks import LandmarkIndex, select_landmarks
+
+TOPIC = "technology"
+NUM_PARTS = 4
+PARAMS = ScoreParams(beta=0.0005, alpha=0.85)
+
+
+def main():
+    graph = generate_twitter_graph(3000, seed=13)
+    similarity = SimilarityMatrix.from_taxonomy(web_taxonomy())
+    landmarks = select_landmarks(graph, "In-Deg", 40, rng=13)
+    index = LandmarkIndex.build(
+        graph, landmarks, [TOPIC], similarity, params=PARAMS,
+        landmark_params=LandmarkParams(num_landmarks=40, top_n=100))
+
+    partitioners = {
+        "hash": hash_partition(graph, NUM_PARTS),
+        "greedy": greedy_partition(graph, NUM_PARTS, seed=13),
+        "topic": topic_partition(graph, NUM_PARTS),
+    }
+    queries = [n for n in graph.nodes()
+               if graph.out_degree(n) >= 3 and n not in set(landmarks)][:20]
+
+    print(f"{NUM_PARTS}-server deployment, {len(queries)} identical queries\n")
+    print(f"{'partitioner':12s} {'edge cut':>9s} {'balance':>8s} "
+          f"{'msgs/query':>11s} {'entries/query':>14s}")
+    reference = None
+    for name, assignment in partitioners.items():
+        metrics = partition_metrics(graph, assignment)
+        service = DistributedLandmarkService(graph, assignment, similarity,
+                                             index)
+        messages = entries = 0
+        answers = []
+        for query in queries:
+            top, cost = service.recommend(query, TOPIC, top_n=10)
+            messages += cost.propagation.remote_values
+            entries += cost.entries_transferred
+            answers.append(tuple(node for node, _ in top))
+        if reference is None:
+            reference = answers
+        else:
+            assert answers == reference, "answers must be partition-invariant"
+        print(f"{name:12s} {metrics.edge_cut:9.3f} {metrics.balance:8.2f} "
+              f"{messages / len(queries):11.1f} "
+              f"{entries / len(queries):14.1f}")
+
+    print("\nanswers were identical under every partitioning — only the")
+    print("network traffic differs, which is the quantity the paper says")
+    print("a distributed design must minimise.")
+
+
+if __name__ == "__main__":
+    main()

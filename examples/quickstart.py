@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: build a labeled follow graph and get recommendations.
+
+Walks the paper's running example (Figure 1 / Examples 1-2): a small
+labeled social graph where user A should be recommended D over E for
+the topic ``technology``, because the path through the specialised
+publisher B carries more semantic weight than the one through the
+generalist C.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import Recommender, ScoreParams, SimilarityMatrix, web_taxonomy
+from repro.core.scores import AuthorityIndex
+from repro.graph import graph_from_edges
+
+NAMES = {0: "A", 1: "B", 2: "C", 3: "D", 4: "E",
+         5: "F", 6: "G", 7: "H", 8: "I", 9: "J"}
+
+
+def build_figure1_graph():
+    """The labeled social graph of the paper's Figure 1."""
+    return graph_from_edges(
+        [
+            (0, 1, ["bigdata", "technology"]),   # A follows B
+            (0, 2, ["bigdata"]),                 # A follows C
+            (1, 3, ["technology"]),              # B follows D
+            (2, 4, ["technology"]),              # C follows E
+            # B's other followers: 2 on technology, 1 on bigdata
+            (5, 1, ["technology"]),
+            (6, 1, ["leisure"]),
+            # C's other followers: 2 on technology, 2 on bigdata, misc
+            (5, 2, ["technology"]),
+            (7, 2, ["technology"]),
+            (6, 2, ["bigdata"]),
+            (8, 2, ["social"]),
+            (9, 2, ["food"]),
+        ],
+        node_topics={
+            0: ["technology"],
+            1: ["technology", "bigdata"],          # B: specialised
+            2: ["technology", "bigdata", "social"],  # C: generalist
+            3: ["technology"], 4: ["technology"],
+        },
+    )
+
+
+def main():
+    graph = build_figure1_graph()
+    similarity = SimilarityMatrix.from_taxonomy(web_taxonomy())
+
+    # --- Example 1: local vs global authority --------------------------
+    authority = AuthorityIndex(graph)
+    print("Example 1 — topical authority")
+    for node, name in ((1, "B"), (2, "C")):
+        for topic in ("technology", "bigdata"):
+            print(f"  auth({name}, {topic:10s}) = "
+                  f"{authority.auth(node, topic):.4f}")
+    print("  -> B beats C on technology; C beats B on bigdata\n")
+
+    # --- Example 2: recommending users for 'technology' ----------------
+    # β is raised from the paper's 0.0005 so the printed numbers are
+    # legible; the ranking is the same.
+    recommender = Recommender(graph, similarity,
+                              ScoreParams(beta=0.1, alpha=0.85))
+    print("Example 2 — who should A follow for 'technology'?")
+    for position, item in enumerate(
+            recommender.recommend(0, "technology", top_n=3), start=1):
+        print(f"  {position}. {NAMES[item.node]}  "
+              f"(score {item.score:.6f})")
+    print("  -> D (through specialised B) outranks E (through C)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Who-to-follow on a synthetic Twitter-like network.
+
+The scenario the paper's introduction motivates: an average user buried
+in content wants quality publishers for a precise interest. This
+example
+
+1. generates a Twitter-like labeled follow graph (5,000 accounts);
+2. runs the full topic-labeling pipeline on raw synthetic posts,
+   reporting the seed-tagger coverage and classifier precision the
+   paper quotes (10% / 0.90);
+3. compares the Tr recommendations for one user against the Katz and
+   TwitterRank baselines side by side.
+
+Run:
+    python examples/who_to_follow.py
+"""
+
+from repro import Recommender, ScoreParams, SimilarityMatrix, web_taxonomy
+from repro.baselines import TwitterRank
+from repro.core.katz import katz_rank
+from repro.datasets import generate_twitter_dataset
+from repro.topics import LabelingPipeline
+
+NUM_ACCOUNTS = 5000
+TOPIC = "technology"
+PARAMS = ScoreParams(beta=0.0005, alpha=0.85)  # the paper's values
+
+
+def main():
+    print(f"generating a {NUM_ACCOUNTS}-account follow network...")
+    dataset = generate_twitter_dataset(NUM_ACCOUNTS, seed=7)
+
+    print("labeling it from raw posts (OpenCalais + SVM stand-ins)...")
+    graph = dataset.unlabeled_graph()
+    graph, report = LabelingPipeline().run(graph, dataset.tweets, seed=7)
+    print(f"  seed tagger covered {report.seed_coverage:.1%} of accounts "
+          "(paper: 10%)")
+    print(f"  classifier precision {report.classifier_precision:.2f} "
+          "(paper: 0.90)")
+    print(f"  {report.labeled_edges:,}/{report.total_edges:,} edges labeled\n")
+
+    similarity = SimilarityMatrix.from_taxonomy(web_taxonomy())
+    user = max(graph.nodes(), key=graph.out_degree)
+    print(f"recommending '{TOPIC}' publishers to account {user} "
+          f"(follows {graph.out_degree(user)} accounts)\n")
+
+    tr = Recommender(graph, similarity, PARAMS)
+    twitterrank = TwitterRank(graph)
+
+    tr_top = [r.node for r in tr.recommend(user, TOPIC, top_n=5)]
+    katz_top = [n for n, _ in katz_rank(graph, user, PARAMS, top_n=5)]
+    twr_top = [n for n, _ in twitterrank.recommend(user, TOPIC, top_n=5)]
+
+    print(f"  {'rank':4s} {'Tr':>8s} {'Katz':>8s} {'TwitterRank':>12s}")
+    for position in range(5):
+        print(f"  {position + 1:<4d} {tr_top[position]:>8d} "
+              f"{katz_top[position]:>8d} {twr_top[position]:>12d}")
+
+    print("\nwhy the Tr picks fit (publisher profile | followers on topic):")
+    for node in tr_top:
+        profile = ", ".join(sorted(graph.node_topics(node)))
+        followers = graph.follower_count_on(node, TOPIC)
+        print(f"  account {node}: [{profile}] | {followers} followers on "
+              f"{TOPIC}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — reproduction of *Finding Users of Interest in Micro-blogging
+Systems* (Constantin, Dahimene, Grossetti, du Mouza; EDBT 2016).
+
+The package implements the paper's Tr recommendation score (topology +
+edge semantics + topical authority), its exact power-iteration
+computation, the landmark-based approximate computation that makes it
+scale, the Katz and TwitterRank baselines, synthetic Twitter-like and
+DBLP-like dataset generators, the topic-extraction pipeline, and the
+full evaluation harness behind every table and figure of the paper.
+
+Quickstart::
+
+    from repro import Recommender, SimilarityMatrix, web_taxonomy
+    from repro.datasets import generate_twitter_graph
+
+    graph = generate_twitter_graph(num_nodes=2000, seed=7)
+    rec = Recommender(graph, SimilarityMatrix.from_taxonomy(web_taxonomy()))
+    for suggestion in rec.recommend(user=0, query="technology", top_n=5):
+        print(suggestion.node, suggestion.score)
+"""
+
+from .config import (
+    EvaluationParams,
+    LandmarkParams,
+    PAPER_ALPHA,
+    PAPER_BETA,
+    ScoreParams,
+)
+from .core import (
+    AuthorityIndex,
+    Recommendation,
+    Recommender,
+    katz_scores,
+    matrix_scores,
+    single_source_scores,
+)
+from .errors import ReproError
+from .graph import LabeledSocialGraph, graph_from_edges
+from .semantics import (
+    SimilarityMatrix,
+    Taxonomy,
+    dblp_taxonomy,
+    web_taxonomy,
+    wu_palmer_similarity,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScoreParams",
+    "LandmarkParams",
+    "EvaluationParams",
+    "PAPER_ALPHA",
+    "PAPER_BETA",
+    "Recommender",
+    "Recommendation",
+    "AuthorityIndex",
+    "single_source_scores",
+    "matrix_scores",
+    "katz_scores",
+    "LabeledSocialGraph",
+    "graph_from_edges",
+    "SimilarityMatrix",
+    "Taxonomy",
+    "web_taxonomy",
+    "dblp_taxonomy",
+    "wu_palmer_similarity",
+    "ReproError",
+    "__version__",
+]

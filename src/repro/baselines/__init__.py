@@ -1,0 +1,7 @@
+"""Baseline recommenders: the paper's comparators (Section 5.2) and
+the WTF/SALSA system its related work describes (Section 2)."""
+
+from .twitterrank import TwitterRank
+from .salsa import SalsaRecommender
+
+__all__ = ["TwitterRank", "SalsaRecommender"]

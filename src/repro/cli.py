@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate --dataset twitter --nodes 5000 --seed 7 out.jsonl
+    repro stats graph.jsonl
+    repro recommend graph.jsonl --user 42 --topic technology --top 10
+    repro evaluate graph.jsonl --methods Tr,Katz,TwitterRank
+    repro landmarks graph.jsonl --strategy In-Deg --count 50 --out index.rplm
+    repro partition graph.jsonl --parts 4 --strategy greedy
+    repro churn graph.jsonl --events 500 --seed 3 --out churned.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .baselines import SalsaRecommender, TwitterRank
+from .config import EvaluationParams, LandmarkParams, ScoreParams
+from .core.recommender import Recommender
+from .datasets import generate_dblp_graph, generate_twitter_graph
+from .eval import (
+    LinkPredictionProtocol,
+    katz_scorer,
+    tr_scorer,
+    twitterrank_scorer,
+)
+from .graph.io import read_jsonl, write_jsonl
+from .graph.stats import compute_stats
+from .landmarks import LandmarkIndex, save_index, select_landmarks
+from .semantics import SimilarityMatrix, dblp_taxonomy, web_taxonomy
+
+
+def _similarity_for(graph_kind: str) -> SimilarityMatrix:
+    taxonomy = dblp_taxonomy() if graph_kind == "dblp" else web_taxonomy()
+    return SimilarityMatrix.from_taxonomy(taxonomy)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "twitter":
+        graph = generate_twitter_graph(args.nodes, seed=args.seed)
+    else:
+        graph = generate_dblp_graph(args.nodes, seed=args.seed)
+    write_jsonl(graph, args.output)
+    stats = compute_stats(graph)
+    print(f"wrote {args.output}: {stats.num_nodes} nodes, "
+          f"{stats.num_edges} edges")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = read_jsonl(args.graph)
+    for name, value in compute_stats(graph).as_rows():
+        print(f"{name:28s} {value}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    graph = read_jsonl(args.graph)
+    similarity = _similarity_for(args.taxonomy)
+    recommender = Recommender(graph, similarity,
+                              ScoreParams(beta=args.beta, alpha=args.alpha))
+    results = recommender.recommend(args.user, args.topic, top_n=args.top)
+    if not results:
+        print("no recommendation found")
+        return 1
+    for position, item in enumerate(results, start=1):
+        print(f"{position:3d}. account {item.node:8d} score={item.score:.6g}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    graph = read_jsonl(args.graph)
+    similarity = _similarity_for(args.taxonomy)
+    protocol = LinkPredictionProtocol(
+        graph,
+        EvaluationParams(test_size=args.test_size,
+                         num_negatives=args.negatives),
+        seed=args.seed)
+    scorers = {}
+    wanted = [m.strip() for m in args.methods.split(",") if m.strip()]
+    for method in wanted:
+        if method == "Tr":
+            scorers[method] = tr_scorer(Recommender(protocol.graph, similarity))
+        elif method == "Katz":
+            scorers[method] = katz_scorer(protocol.graph)
+        elif method == "TwitterRank":
+            scorers[method] = twitterrank_scorer(TwitterRank(protocol.graph))
+        elif method == "SALSA":
+            salsa = SalsaRecommender(protocol.graph, circle_size=30)
+
+            def salsa_score(source, candidates, topic, _salsa=salsa):
+                scores = _salsa.scores(source)
+                return {c: scores.get(c, 0.0) for c in candidates}
+
+            scorers[method] = salsa_score
+        else:
+            print(f"unknown method {method!r}", file=sys.stderr)
+            return 2
+    curves = protocol.run(scorers)
+    header = "N    " + "".join(f"{name:>14s}" for name in curves)
+    print(header)
+    for n in (1, 5, 10, 20):
+        row = f"{n:<5d}" + "".join(
+            f"{curve.recall_at(n):14.3f}" for curve in curves.values())
+        print(row)
+    return 0
+
+
+def _cmd_landmarks(args: argparse.Namespace) -> int:
+    graph = read_jsonl(args.graph)
+    similarity = _similarity_for(args.taxonomy)
+    landmarks = select_landmarks(graph, args.strategy, args.count,
+                                 rng=args.seed)
+    topics = sorted(graph.topics())
+    index = LandmarkIndex.build(
+        graph, landmarks, topics, similarity,
+        landmark_params=LandmarkParams(num_landmarks=args.count,
+                                       top_n=args.top))
+    written = save_index(index, args.out)
+    print(f"built index for {len(landmarks)} landmarks "
+          f"({written} bytes) -> {args.out}")
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from .distributed import (
+        greedy_partition,
+        hash_partition,
+        partition_metrics,
+        topic_partition,
+    )
+
+    graph = read_jsonl(args.graph)
+    partitioners = {
+        "hash": lambda: hash_partition(graph, args.parts),
+        "greedy": lambda: greedy_partition(graph, args.parts,
+                                           seed=args.seed),
+        "topic": lambda: topic_partition(graph, args.parts),
+    }
+    factory = partitioners.get(args.strategy)
+    if factory is None:
+        print(f"unknown partitioner {args.strategy!r}", file=sys.stderr)
+        return 2
+    assignment = factory()
+    metrics = partition_metrics(graph, assignment)
+    print(f"strategy={args.strategy} parts={metrics.num_parts} "
+          f"edge_cut={metrics.edge_cut:.3f} balance={metrics.balance:.3f}")
+    return 0
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    from .dynamics import GraphStream, simulate_churn
+
+    graph = read_jsonl(args.graph)
+    stream = GraphStream(graph)
+    applied = stream.apply_all(
+        simulate_churn(graph, args.events, seed=args.seed))
+    write_jsonl(graph, args.out)
+    stats = compute_stats(graph)
+    print(f"applied {applied} events "
+          f"(skipped {stream.skipped}); wrote {args.out}: "
+          f"{stats.num_nodes} nodes, {stats.num_edges} edges")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tr user recommendation (EDBT 2016 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("output")
+    generate.add_argument("--dataset", choices=("twitter", "dblp"),
+                          default="twitter")
+    generate.add_argument("--nodes", type=int, default=2000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="Table-2 style graph statistics")
+    stats.add_argument("graph")
+    stats.set_defaults(handler=_cmd_stats)
+
+    recommend = sub.add_parser("recommend", help="top-n recommendation")
+    recommend.add_argument("graph")
+    recommend.add_argument("--user", type=int, required=True)
+    recommend.add_argument("--topic", required=True)
+    recommend.add_argument("--top", type=int, default=10)
+    recommend.add_argument("--beta", type=float, default=ScoreParams().beta)
+    recommend.add_argument("--alpha", type=float, default=ScoreParams().alpha)
+    recommend.add_argument("--taxonomy", choices=("web", "dblp"),
+                           default="web")
+    recommend.set_defaults(handler=_cmd_recommend)
+
+    evaluate = sub.add_parser("evaluate", help="link-prediction protocol")
+    evaluate.add_argument("graph")
+    evaluate.add_argument("--methods", default="Tr,Katz,TwitterRank")
+    evaluate.add_argument("--test-size", type=int, default=50)
+    evaluate.add_argument("--negatives", type=int, default=1000)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--taxonomy", choices=("web", "dblp"),
+                          default="web")
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    landmarks = sub.add_parser("landmarks", help="build a landmark index")
+    landmarks.add_argument("graph")
+    landmarks.add_argument("--strategy", default="In-Deg")
+    landmarks.add_argument("--count", type=int, default=50)
+    landmarks.add_argument("--top", type=int, default=100)
+    landmarks.add_argument("--seed", type=int, default=0)
+    landmarks.add_argument("--out", default="landmarks.rplm")
+    landmarks.add_argument("--taxonomy", choices=("web", "dblp"),
+                           default="web")
+    landmarks.set_defaults(handler=_cmd_landmarks)
+
+    partition = sub.add_parser("partition",
+                               help="partition the graph and report quality")
+    partition.add_argument("graph")
+    partition.add_argument("--parts", type=int, default=4)
+    partition.add_argument("--strategy",
+                           choices=("hash", "greedy", "topic"),
+                           default="greedy")
+    partition.add_argument("--seed", type=int, default=0)
+    partition.set_defaults(handler=_cmd_partition)
+
+    churn = sub.add_parser("churn",
+                           help="apply follow/unfollow churn to a graph")
+    churn.add_argument("graph")
+    churn.add_argument("--events", type=int, default=500)
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("--out", default="churned.jsonl")
+    churn.set_defaults(handler=_cmd_churn)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

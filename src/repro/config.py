@@ -1,0 +1,143 @@
+"""Parameter objects shared across the library.
+
+The paper fixes two decay factors (Section 5.2): ``beta = 0.0005`` (path
+decay, the Katz damping) and ``alpha = 0.85`` (edge-distance decay).
+These are collected in a frozen dataclass so every component — exact
+power iteration, landmark preprocessing, query-time approximation,
+baselines — agrees on one validated set of knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from .errors import ConfigurationError
+
+#: Decay values used throughout the paper's experiments (Section 5.2).
+PAPER_BETA = 0.0005
+PAPER_ALPHA = 0.85
+
+
+@dataclass(frozen=True)
+class ScoreParams:
+    """Parameters of the Tr recommendation score (Definition 1).
+
+    Attributes:
+        beta: Path-length decay factor ``β ∈ (0, 1)``. Longer paths
+            contribute ``β^|p|`` of their topical weight.
+        alpha: Edge-distance decay factor ``α ∈ (0, 1]``. An edge at
+            distance ``d`` from the query node contributes ``α^d``.
+        tolerance: Convergence threshold for the iterative computation;
+            iteration stops when the average score increment over the
+            frontier falls below this value (Algorithm 1, line 15).
+        max_iter: Safety cap on power-iteration steps.
+    """
+
+    beta: float = PAPER_BETA
+    alpha: float = PAPER_ALPHA
+    tolerance: float = 1e-9
+    max_iter: int = 50
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.beta < 1.0:
+            raise ConfigurationError(f"beta must be in (0, 1), got {self.beta}")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.tolerance <= 0.0:
+            raise ConfigurationError(
+                f"tolerance must be positive, got {self.tolerance}")
+        if self.max_iter < 1:
+            raise ConfigurationError(
+                f"max_iter must be at least 1, got {self.max_iter}")
+
+    @property
+    def edge_decay(self) -> float:
+        """Combined per-hop decay ``α·β`` used for the topo_{αβ} vector."""
+        return self.alpha * self.beta
+
+    def with_(self, **changes: float) -> "ScoreParams":
+        """Return a copy with the given fields replaced (validated)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class LandmarkParams:
+    """Parameters of the landmark index (Section 4).
+
+    Attributes:
+        num_landmarks: Size of the landmark set ``|L|`` (paper uses 100).
+        top_n: How many recommendations each landmark stores per topic
+            (paper studies 10 / 100 / 1000).
+        query_depth: BFS exploration depth at query time (paper uses 2).
+        precompute_depth: Exploration cap during preprocessing; set high
+            so Algorithm 1 runs to convergence.
+    """
+
+    num_landmarks: int = 100
+    top_n: int = 100
+    query_depth: int = 2
+    precompute_depth: int = 20
+
+    def __post_init__(self) -> None:
+        if self.num_landmarks < 1:
+            raise ConfigurationError(
+                f"num_landmarks must be >= 1, got {self.num_landmarks}")
+        if self.top_n < 1:
+            raise ConfigurationError(f"top_n must be >= 1, got {self.top_n}")
+        if self.query_depth < 1:
+            raise ConfigurationError(
+                f"query_depth must be >= 1, got {self.query_depth}")
+        if self.precompute_depth < self.query_depth:
+            raise ConfigurationError(
+                "precompute_depth must be >= query_depth "
+                f"({self.precompute_depth} < {self.query_depth})")
+
+
+@dataclass(frozen=True)
+class EvaluationParams:
+    """Parameters of the Section 5.3 link-prediction protocol.
+
+    Attributes:
+        test_size: Number of removed edges per trial (paper: T = 100).
+        num_negatives: Random candidate accounts mixed with the true
+            target (paper: 1000).
+        k_in: Minimum in-degree of a test edge's target.
+        k_out: Minimum out-degree of a test edge's source.
+        trials: Number of independent trials averaged (paper: 100).
+        max_rank: Largest N for recall@N curves (paper plots up to 20).
+    """
+
+    test_size: int = 100
+    num_negatives: int = 1000
+    k_in: int = 3
+    k_out: int = 3
+    trials: int = 10
+    max_rank: int = 20
+
+    def __post_init__(self) -> None:
+        for name in ("test_size", "num_negatives", "trials", "max_rank"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigurationError(f"{name} must be >= 1, got {value}")
+        if self.k_in < 0 or self.k_out < 0:
+            raise ConfigurationError("k_in and k_out must be non-negative")
+
+
+#: Default query-topic weights: uniform. Kept as a helper so callers can
+#: express Section 3.2's "weighted linear combination" explicitly.
+def normalize_weights(weights: Mapping[str, float]) -> dict[str, float]:
+    """Normalise topic weights to sum to one.
+
+    Raises:
+        ConfigurationError: if the mapping is empty, has a negative
+            weight, or sums to zero.
+    """
+    if not weights:
+        raise ConfigurationError("query must contain at least one topic")
+    if any(w < 0 for w in weights.values()):
+        raise ConfigurationError("topic weights must be non-negative")
+    total = float(sum(weights.values()))
+    if total <= 0.0:
+        raise ConfigurationError("topic weights must not all be zero")
+    return {topic: w / total for topic, w in weights.items()}

@@ -1,0 +1,42 @@
+"""The Tr recommendation score (Section 3) and its exact computation."""
+
+from .scores import (
+    AuthorityIndex,
+    PathScore,
+    compose_path_scores,
+    edge_relevance,
+    path_score,
+)
+from .exact import (
+    ScoreState,
+    matrix_scores,
+    single_source_scores,
+    spectral_radius,
+    verify_convergence_condition,
+)
+from .katz import katz_scores
+from .fast import SparseEngine, scipy_available
+from .recommender import Recommendation, Recommender
+from .aggregation import AGGREGATORS, comb_mnz, comb_sum, weighted_sum
+
+__all__ = [
+    "AuthorityIndex",
+    "PathScore",
+    "edge_relevance",
+    "path_score",
+    "compose_path_scores",
+    "ScoreState",
+    "single_source_scores",
+    "matrix_scores",
+    "spectral_radius",
+    "verify_convergence_condition",
+    "katz_scores",
+    "SparseEngine",
+    "scipy_available",
+    "Recommender",
+    "Recommendation",
+    "AGGREGATORS",
+    "weighted_sum",
+    "comb_sum",
+    "comb_mnz",
+]

@@ -1,0 +1,133 @@
+"""Rank/score aggregation for multi-topic queries.
+
+Section 3.2 combines per-topic scores with "a weighted linear
+combination (some are proposed in [1])" — the reference is Aslam &
+Montague's *Models for Metasearch*. This module implements that default
+plus the classical alternatives from the same literature, so the
+combination choice can be ablated:
+
+- :func:`weighted_sum` — the paper's default;
+- :func:`comb_sum` / :func:`comb_mnz` — Fox & Shaw combination rules
+  (CombMNZ multiplies by the number of lists that scored the item);
+- :func:`borda` — positional (rank-based) aggregation;
+- :func:`reciprocal_rank_fusion` — the robust rank-based default of
+  modern IR systems.
+
+All functions take ``{list_name: {item: score}}`` and return one fused
+``{item: score}``; score-based rules optionally min-max normalise each
+input list first, which Aslam & Montague show matters when the lists
+have different scales (per-topic Tr scores do).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..errors import ConfigurationError
+
+ScoreLists = Mapping[str, Mapping[int, float]]
+
+
+def _normalise(scores: Mapping[int, float]) -> Dict[int, float]:
+    """Max-normalise one list to [0, 1].
+
+    Max-norm rather than min-max: Tr scores are non-negative and
+    min-max would zero the weakest item of every list, which degrades
+    CombSUM/CombMNZ badly on short lists.
+    """
+    if not scores:
+        return {}
+    high = max(scores.values())
+    if high <= 0.0:
+        return {item: 0.0 for item in scores}
+    return {item: value / high for item, value in scores.items()}
+
+
+def weighted_sum(lists: ScoreLists,
+                 weights: Optional[Mapping[str, float]] = None,
+                 normalise: bool = False) -> Dict[int, float]:
+    """The paper's weighted linear combination.
+
+    Args:
+        lists: Per-topic score dictionaries.
+        weights: Per-list weights (default: uniform). Missing lists
+            get weight 0.
+        normalise: Min-max normalise each list first.
+
+    Raises:
+        ConfigurationError: on an empty *lists* mapping.
+    """
+    if not lists:
+        raise ConfigurationError("nothing to aggregate")
+    fused: Dict[int, float] = {}
+    for name, scores in lists.items():
+        weight = 1.0 if weights is None else weights.get(name, 0.0)
+        if weight == 0.0:
+            continue
+        source = _normalise(scores) if normalise else scores
+        for item, value in source.items():
+            fused[item] = fused.get(item, 0.0) + weight * value
+    return fused
+
+
+def comb_sum(lists: ScoreLists) -> Dict[int, float]:
+    """CombSUM: sum of min-max-normalised scores."""
+    return weighted_sum(lists, normalise=True)
+
+
+def comb_mnz(lists: ScoreLists) -> Dict[int, float]:
+    """CombMNZ: CombSUM times the number of lists scoring the item."""
+    if not lists:
+        raise ConfigurationError("nothing to aggregate")
+    summed = comb_sum(lists)
+    support: Dict[int, int] = {}
+    for scores in lists.values():
+        for item, value in scores.items():
+            if value > 0.0:
+                support[item] = support.get(item, 0) + 1
+    return {item: value * support.get(item, 0)
+            for item, value in summed.items()}
+
+
+def borda(lists: ScoreLists) -> Dict[int, float]:
+    """Borda count: an item earns ``pool_size − rank`` points per list.
+
+    Items absent from a list earn nothing from it; ``pool_size`` is the
+    size of the union, so deep lists dominate shallow ones no more than
+    their coverage justifies.
+    """
+    if not lists:
+        raise ConfigurationError("nothing to aggregate")
+    universe = {item for scores in lists.values() for item in scores}
+    pool_size = len(universe)
+    fused: Dict[int, float] = {}
+    for scores in lists.values():
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        for position, (item, _) in enumerate(ranked):
+            fused[item] = fused.get(item, 0.0) + (pool_size - position)
+    return fused
+
+
+def reciprocal_rank_fusion(lists: ScoreLists, k: float = 60.0,
+                           ) -> Dict[int, float]:
+    """RRF: ``Σ 1 / (k + rank)`` over the lists containing the item."""
+    if not lists:
+        raise ConfigurationError("nothing to aggregate")
+    if k <= 0:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    fused: Dict[int, float] = {}
+    for scores in lists.values():
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        for position, (item, _) in enumerate(ranked, start=1):
+            fused[item] = fused.get(item, 0.0) + 1.0 / (k + position)
+    return fused
+
+
+#: Registry for CLI/ablation use.
+AGGREGATORS = {
+    "weighted": weighted_sum,
+    "combsum": comb_sum,
+    "combmnz": comb_mnz,
+    "borda": borda,
+    "rrf": reciprocal_rank_fusion,
+}

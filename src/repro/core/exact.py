@@ -1,0 +1,366 @@
+"""Exact Tr score computation (Section 3.3).
+
+Two interchangeable engines:
+
+- :func:`single_source_scores` — the sparse frontier propagation of
+  Proposition 1, which is also the inner loop of Algorithm 1 (landmark
+  preprocessing) and, depth-limited, of Algorithm 2 (query-time
+  exploration). Iteration ``k`` adds the contribution of all walks of
+  length exactly ``k``, so the cumulative state after ``k`` rounds
+  covers every walk of length ``≤ k``.
+- :func:`matrix_scores` — the closed-form linear-system solution of
+  Equation 6 (numpy dense), used as ground truth in tests and for small
+  graphs.
+
+Plus the Proposition 3 machinery: spectral-radius estimation and the
+``β < 1/σ_max(A)`` convergence check.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import ScoreParams
+from ..errors import ConvergenceError
+from ..graph.labeled_graph import LabeledSocialGraph
+from ..semantics.matrix import SimilarityMatrix
+from .scores import AuthorityIndex
+
+TopicScores = Dict[str, Dict[int, float]]
+
+
+@dataclass
+class ScoreState:
+    """Cumulative result of a propagation from one source node.
+
+    Attributes:
+        source: The query node the propagation started from.
+        scores: Per topic, the recommendation vector ``σ(source, ·, t)``
+            over every reached node.
+        topo_beta: Katz topological scores ``topo_β(source, ·)``
+            (Eq. 2). The source's own entry includes the empty path
+            (value ≥ 1), matching the matrix form ``(I − βA)^{-1}``.
+        topo_alphabeta: Same with combined decay ``α·β`` — the
+            ``topo_{αβ}`` vector Prop. 1 and Prop. 4 need.
+        iterations: Number of propagation rounds executed.
+        converged: Whether the frontier mass fell below tolerance
+            (always ``False`` for depth-capped query explorations that
+            hit the cap first).
+    """
+
+    source: int
+    scores: TopicScores
+    topo_beta: Dict[int, float]
+    topo_alphabeta: Dict[int, float]
+    iterations: int = 0
+    converged: bool = False
+
+    def score(self, node: int, topic: str) -> float:
+        """``σ(source, node, topic)`` (0.0 for unreached nodes)."""
+        return self.scores.get(topic, {}).get(node, 0.0)
+
+    def ranked(self, topic: str, top_n: Optional[int] = None,
+               exclude: Iterable[int] = ()) -> list[Tuple[int, float]]:
+        """Nodes ranked by descending score on *topic*.
+
+        Args:
+            topic: Topic to rank on.
+            top_n: Truncate to the best ``n`` entries (``None`` = all).
+            exclude: Nodes to omit (typically the source and the
+                accounts it already follows).
+        """
+        excluded = set(exclude)
+        entries = [
+            (node, value)
+            for node, value in self.scores.get(topic, {}).items()
+            if node not in excluded and value > 0.0
+        ]
+        entries.sort(key=lambda kv: (-kv[1], kv[0]))
+        if top_n is not None:
+            return entries[:top_n]
+        return entries
+
+
+class _MaxSimCache:
+    """Memoises ``max_{t'∈label} sim(t', t)`` per (label, topic) pair.
+
+    Edge labels are shared frozensets, so the cache hit rate is high:
+    the labeling pipeline produces far fewer distinct label sets than
+    edges.
+    """
+
+    def __init__(self, similarity: SimilarityMatrix) -> None:
+        self._similarity = similarity
+        self._cache: Dict[Tuple[frozenset, str], float] = {}
+
+    def max_similarity(self, label: frozenset, topic: str) -> float:
+        key = (label, topic)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._similarity.max_similarity(label, topic)
+            self._cache[key] = cached
+        return cached
+
+
+def single_source_scores(
+    graph: LabeledSocialGraph,
+    source: int,
+    topics: Sequence[str],
+    similarity: SimilarityMatrix,
+    authority: Optional[AuthorityIndex] = None,
+    params: ScoreParams = ScoreParams(),
+    max_depth: Optional[int] = None,
+    sim_cache: Optional[_MaxSimCache] = None,
+    absorbing: Optional[frozenset] = None,
+) -> ScoreState:
+    """Propagate Tr scores from *source* (Prop. 1 / Algorithm 1).
+
+    Args:
+        graph: The labeled follow graph.
+        source: Query node ``u``.
+        topics: Topics to score; may be empty for a pure topological
+            (Katz) propagation.
+        similarity: Topic-similarity matrix.
+        authority: Authority index; constructed on the fly if omitted
+            (pass a shared one when scoring many sources).
+        params: Decay factors and convergence knobs.
+        max_depth: Cap on walk length. ``None`` runs to convergence
+            (preprocessing mode); small values (2–3) give the
+            query-time exploration of Algorithm 2.
+        sim_cache: Optional shared max-similarity cache.
+        absorbing: Nodes whose mass is *not* propagated further (the
+            source always propagates). Algorithm 2 passes the landmark
+            set here: the BFS is pruned at landmarks so that paths
+            through them are counted once, by Prop. 4 composition —
+            the pruning Section 5.4 credits for the flat query times.
+
+    Returns:
+        The cumulative :class:`ScoreState`.
+
+    Raises:
+        ConvergenceError: if ``max_depth`` is ``None`` and the frontier
+            mass has not fallen below tolerance after
+            ``params.max_iter`` rounds (a symptom of ``β`` violating
+            Prop. 3 on this graph).
+    """
+    if authority is None:
+        authority = AuthorityIndex(graph)
+    cache = sim_cache or _MaxSimCache(similarity)
+    beta = params.beta
+    alphabeta = params.edge_decay
+    edge_factor = params.beta * params.alpha
+
+    cumulative_scores: TopicScores = {topic: {} for topic in topics}
+    cumulative_tb: Dict[int, float] = {source: 1.0}
+    cumulative_tab: Dict[int, float] = {source: 1.0}
+
+    frontier_r: Dict[str, Dict[int, float]] = {topic: {} for topic in topics}
+    frontier_tb: Dict[int, float] = {source: 1.0}
+    frontier_tab: Dict[int, float] = {source: 1.0}
+
+    limit = params.max_iter if max_depth is None else max_depth
+    iterations = 0
+    converged = False
+
+    for _ in range(limit):
+        next_r: Dict[str, Dict[int, float]] = {topic: {} for topic in topics}
+        next_tb: Dict[int, float] = {}
+        next_tab: Dict[int, float] = {}
+        touched = set(frontier_tb)
+        for topic in topics:
+            touched.update(frontier_r[topic])
+        if absorbing:
+            touched = {
+                walker for walker in touched
+                if walker == source or walker not in absorbing
+            }
+        if not touched:
+            converged = True
+            break
+        for walker in touched:
+            tb_mass = frontier_tb.get(walker, 0.0)
+            tab_mass = frontier_tab.get(walker, 0.0)
+            r_masses = [frontier_r[topic].get(walker, 0.0) for topic in topics]
+            for neighbor, label in graph.out_neighbors(walker).items():
+                if tb_mass:
+                    next_tb[neighbor] = next_tb.get(neighbor, 0.0) + beta * tb_mass
+                if tab_mass:
+                    next_tab[neighbor] = (
+                        next_tab.get(neighbor, 0.0) + alphabeta * tab_mass)
+                for topic, r_mass in zip(topics, r_masses):
+                    increment = beta * r_mass
+                    if tab_mass and label:
+                        best = cache.max_similarity(label, topic)
+                        if best:
+                            auth_value = authority.auth(neighbor, topic)
+                            if auth_value:
+                                increment += (tab_mass * edge_factor
+                                              * best * auth_value)
+                    if increment:
+                        bucket = next_r[topic]
+                        bucket[neighbor] = bucket.get(neighbor, 0.0) + increment
+        iterations += 1
+        new_mass = sum(sum(bucket.values()) for bucket in next_r.values())
+        new_mass += sum(next_tb.values())
+        for node, value in next_tb.items():
+            cumulative_tb[node] = cumulative_tb.get(node, 0.0) + value
+        for node, value in next_tab.items():
+            cumulative_tab[node] = cumulative_tab.get(node, 0.0) + value
+        for topic in topics:
+            bucket = cumulative_scores[topic]
+            for node, value in next_r[topic].items():
+                bucket[node] = bucket.get(node, 0.0) + value
+        frontier_r, frontier_tb, frontier_tab = next_r, next_tb, next_tab
+        if new_mass < params.tolerance:
+            converged = True
+            break
+
+    if max_depth is None and not converged:
+        remaining = sum(sum(b.values()) for b in frontier_r.values())
+        raise ConvergenceError(
+            f"propagation from node {source} did not converge within "
+            f"{params.max_iter} iterations (check β against Prop. 3)",
+            iterations=iterations, residual=remaining)
+
+    return ScoreState(
+        source=source,
+        scores=cumulative_scores,
+        topo_beta=cumulative_tb,
+        topo_alphabeta=cumulative_tab,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+# ----------------------------------------------------------------------
+# Matrix form (Equation 6) — ground truth on small graphs
+# ----------------------------------------------------------------------
+
+def _node_index(graph: LabeledSocialGraph) -> Tuple[list, Dict[int, int]]:
+    nodes = sorted(graph.nodes())
+    return nodes, {node: i for i, node in enumerate(nodes)}
+
+
+def adjacency_matrix(graph: LabeledSocialGraph) -> np.ndarray:
+    """Dense adjacency with ``A[v][u] = 1`` iff u follows v (paper's A)."""
+    nodes, index = _node_index(graph)
+    matrix = np.zeros((len(nodes), len(nodes)))
+    for source, target, _ in graph.edges():
+        matrix[index[target], index[source]] = 1.0
+    return matrix
+
+
+def matrix_scores(
+    graph: LabeledSocialGraph,
+    source: int,
+    topic: str,
+    similarity: SimilarityMatrix,
+    authority: Optional[AuthorityIndex] = None,
+    params: ScoreParams = ScoreParams(),
+) -> ScoreState:
+    """Solve Equation 6 exactly with dense linear algebra.
+
+    ``T_{αβ} = (I − αβA)^{-1} e_u`` and
+    ``R_t = (I − βA)^{-1} · βα · S_t · T_{αβ}``
+    where ``S_t[v][w] = maxsim(label(w→v), t) · auth(v, t)`` on edges.
+
+    Intended for validation and small graphs — O(n³).
+
+    Raises:
+        ConvergenceError: if either system matrix is singular, i.e. the
+            decay factor sits outside Prop. 3's region.
+    """
+    if authority is None:
+        authority = AuthorityIndex(graph)
+    nodes, index = _node_index(graph)
+    n = len(nodes)
+    adjacency = adjacency_matrix(graph)
+    semantic = np.zeros((n, n))
+    for walker, neighbor, label in graph.edges():
+        best = similarity.max_similarity(label, topic)
+        if best:
+            semantic[index[neighbor], index[walker]] = (
+                best * authority.auth(neighbor, topic))
+
+    unit = np.zeros(n)
+    unit[index[source]] = 1.0
+    identity = np.eye(n)
+    try:
+        topo_ab = np.linalg.solve(identity - params.edge_decay * adjacency, unit)
+        topo_b = np.linalg.solve(identity - params.beta * adjacency, unit)
+        rhs = params.beta * params.alpha * (semantic @ topo_ab)
+        recommendation = np.linalg.solve(identity - params.beta * adjacency, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise ConvergenceError(
+            f"Eq. 6 system is singular for beta={params.beta}: {exc}") from exc
+
+    def to_dict(vector: np.ndarray, keep_zero_source: bool = False) -> Dict[int, float]:
+        result = {}
+        for node, position in index.items():
+            value = float(vector[position])
+            if value != 0.0 or (keep_zero_source and node == source):
+                result[node] = value
+        return result
+
+    return ScoreState(
+        source=source,
+        scores={topic: to_dict(recommendation)},
+        topo_beta=to_dict(topo_b, keep_zero_source=True),
+        topo_alphabeta=to_dict(topo_ab, keep_zero_source=True),
+        iterations=0,
+        converged=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Proposition 3 — convergence condition
+# ----------------------------------------------------------------------
+
+def spectral_radius(graph: LabeledSocialGraph, iterations: int = 100,
+                    seed: int = 0) -> float:
+    """Estimate ``σ_max(A)`` with the power method on the adjacency.
+
+    Works on the sparse adjacency directly (no dense matrix), so it is
+    usable on the benchmark-scale graphs. Deterministic for a given
+    seed; accuracy improves with *iterations*.
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    position = {node: i for i, node in enumerate(nodes)}
+    vector = rng.random(len(nodes)) + 0.1
+    vector /= np.linalg.norm(vector)
+    estimate = 0.0
+    for _ in range(iterations):
+        output = np.zeros(len(nodes))
+        for walker, neighbor, _ in graph.edges():
+            output[position[neighbor]] += vector[position[walker]]
+        norm = float(np.linalg.norm(output))
+        if norm == 0.0:
+            return 0.0  # nilpotent adjacency (DAG): radius 0
+        estimate = norm
+        vector = output / norm
+    return estimate
+
+
+def verify_convergence_condition(graph: LabeledSocialGraph,
+                                 params: ScoreParams,
+                                 iterations: int = 100) -> bool:
+    """Check Prop. 3: ``β < 1 / σ_max(A)`` (sufficient for convergence)."""
+    radius = spectral_radius(graph, iterations=iterations)
+    if radius == 0.0:
+        return True
+    return params.beta < 1.0 / radius
+
+
+def max_beta(graph: LabeledSocialGraph, iterations: int = 100) -> float:
+    """Largest admissible β on this graph per Prop. 3 (∞ → returns inf)."""
+    radius = spectral_radius(graph, iterations=iterations)
+    if radius == 0.0:
+        return math.inf
+    return 1.0 / radius

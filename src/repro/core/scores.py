@@ -1,0 +1,169 @@
+"""Building blocks of the Tr score (Section 3.2).
+
+This module implements, directly from their defining equations:
+
+- the per-node topical authority ``auth(u, t)`` (local × global);
+- the per-edge semantic relevance ``ε_e(t) = α^d · max sim`` (Eq. 3);
+- the topical path relevance ``ω̄_p(t) = Σ_e ε_e(t)·auth(end(e), t)``
+  (Eq. 4) and the total path score ``ω_p(t) = β^|p| · ω̄_p(t)``;
+- the composition property of Proposition 2, which the landmark
+  machinery of Section 4 relies on.
+
+The functions that take explicit paths are reference implementations:
+they are what the property-based tests compare the fast iterative and
+landmark computations against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..config import ScoreParams
+from ..graph.labeled_graph import LabeledSocialGraph
+from ..semantics.matrix import SimilarityMatrix
+
+
+class AuthorityIndex:
+    """Cached per-(node, topic) authority scores.
+
+    ``auth(u, t) = (|Γu(t)| / |Γu|) · log(1 + |Γu(t)|) / log(1 + max_v |Γv(t)|)``
+
+    The local factor rewards specialisation; the global factor rewards
+    per-topic popularity, log-smoothed. Both are 0 when nobody follows
+    ``u`` on ``t``; local is 1 when ``u`` is followed exclusively on
+    ``t``; global is 1 when ``u`` is the most-followed account on ``t``.
+    """
+
+    def __init__(self, graph: LabeledSocialGraph) -> None:
+        self._graph = graph
+        self._cache: Dict[Tuple[int, str], float] = {}
+        self._log_max: Dict[str, float] = {}
+
+    def _log_max_followers(self, topic: str) -> float:
+        cached = self._log_max.get(topic)
+        if cached is None:
+            cached = math.log1p(self._graph.max_followers_on(topic))
+            self._log_max[topic] = cached
+        return cached
+
+    def auth(self, node: int, topic: str) -> float:
+        """Authority of *node* on *topic*, in ``[0, 1]``."""
+        key = (node, topic)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        followers_on_topic = self._graph.follower_count_on(node, topic)
+        if followers_on_topic == 0:
+            value = 0.0
+        else:
+            total_followers = self._graph.follower_count(node)
+            local = followers_on_topic / total_followers
+            normaliser = self._log_max_followers(topic)
+            # followers_on_topic >= 1 implies the global max >= 1 too,
+            # so the normaliser is strictly positive here.
+            global_popularity = math.log1p(followers_on_topic) / normaliser
+            value = local * global_popularity
+        self._cache[key] = value
+        return value
+
+    def local_authority(self, node: int, topic: str) -> float:
+        """The specialisation factor alone (for ablation studies)."""
+        followers_on_topic = self._graph.follower_count_on(node, topic)
+        if followers_on_topic == 0:
+            return 0.0
+        return followers_on_topic / self._graph.follower_count(node)
+
+    def global_popularity(self, node: int, topic: str) -> float:
+        """The popularity factor alone (for ablation studies)."""
+        followers_on_topic = self._graph.follower_count_on(node, topic)
+        if followers_on_topic == 0:
+            return 0.0
+        return math.log1p(followers_on_topic) / self._log_max_followers(topic)
+
+    def invalidate(self) -> None:
+        """Drop caches after the underlying graph was mutated."""
+        self._cache.clear()
+        self._log_max.clear()
+
+
+def edge_relevance(similarity: SimilarityMatrix, edge_topics, topic: str,
+                   distance: int, params: ScoreParams) -> float:
+    """Equation 3: ``ε_e(t) = α^d · max_{t'∈label(e)} sim(t', t)``.
+
+    Args:
+        similarity: Precomputed topic-similarity matrix.
+        edge_topics: Label set of the edge.
+        topic: Query topic ``t``.
+        distance: 1-based distance of the edge from the query node
+            (the first edge on a path is at distance 1 — see Example 2).
+        params: Supplies ``α``.
+    """
+    if distance < 1:
+        raise ValueError(f"edge distance is 1-based, got {distance}")
+    best = similarity.max_similarity(edge_topics, topic)
+    return (params.alpha ** distance) * best
+
+
+@dataclass(frozen=True)
+class PathScore:
+    """Total score of one path, with the pieces Prop. 2 composes.
+
+    Attributes:
+        length: Number of edges ``|p|``.
+        total: ``ω_p(t) = β^|p| · Σ_e α^d(e)·sim·auth`` — the quantity
+            summed by Definition 1.
+    """
+
+    length: int
+    total: float
+
+    def __add__(self, other: "PathScore") -> "PathScore":
+        raise TypeError("use compose_path_scores; PathScore is not additive")
+
+
+def path_score(graph: LabeledSocialGraph, similarity: SimilarityMatrix,
+               authority: AuthorityIndex, nodes: Sequence[int], topic: str,
+               params: ScoreParams) -> PathScore:
+    """Score one explicit path given as a node sequence (Eq. 1 summand).
+
+    Raises:
+        EdgeNotFoundError: if consecutive nodes are not linked.
+        ValueError: on a path with fewer than two nodes.
+    """
+    if len(nodes) < 2:
+        raise ValueError("a path needs at least one edge")
+    relevance = 0.0
+    for distance, (source, target) in enumerate(zip(nodes, nodes[1:]), start=1):
+        label = graph.edge_topics(source, target)
+        relevance += (edge_relevance(similarity, label, topic, distance, params)
+                      * authority.auth(target, topic))
+    length = len(nodes) - 1
+    return PathScore(length=length, total=(params.beta ** length) * relevance)
+
+
+def compose_path_scores(first: PathScore, second: PathScore,
+                        params: ScoreParams) -> PathScore:
+    """Proposition 2: score of the concatenation ``p1.p2``.
+
+    ``ω_{p1.p2}(t) = β^|p2|·ω_{p1}(t) + (β·α)^|p1|·ω_{p2}(t)``
+    """
+    beta, alpha = params.beta, params.alpha
+    total = ((beta ** second.length) * first.total
+             + ((beta * alpha) ** first.length) * second.total)
+    return PathScore(length=first.length + second.length, total=total)
+
+
+def single_edge_score(similarity: SimilarityMatrix,
+                      authority: AuthorityIndex, edge_topics, target: int,
+                      topic: str, params: ScoreParams) -> float:
+    """``ω_{w→v}(t) = β·α·maxsim(label, t)·auth(v, t)`` (Prop. 1).
+
+    The total score of the length-one path consisting of one edge into
+    *target* — the increment term of the iterative computation.
+    """
+    best = similarity.max_similarity(edge_topics, topic)
+    if best == 0.0:
+        return 0.0
+    return params.beta * params.alpha * best * authority.auth(target, topic)

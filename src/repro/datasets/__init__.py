@@ -1,0 +1,19 @@
+"""Synthetic dataset generators standing in for the paper's crawls."""
+
+from .text import TOPIC_KEYWORDS, generate_tweet, generate_tweets
+from .twitter import TwitterConfig, TwitterDataset, generate_twitter_dataset, generate_twitter_graph
+from .dblp import DblpConfig, DblpDataset, generate_dblp_dataset, generate_dblp_graph
+
+__all__ = [
+    "TOPIC_KEYWORDS",
+    "generate_tweet",
+    "generate_tweets",
+    "TwitterConfig",
+    "TwitterDataset",
+    "generate_twitter_graph",
+    "generate_twitter_dataset",
+    "DblpConfig",
+    "DblpDataset",
+    "generate_dblp_graph",
+    "generate_dblp_dataset",
+]

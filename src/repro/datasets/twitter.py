@@ -1,0 +1,276 @@
+"""Synthetic Twitter-like labeled follow graph.
+
+Stands in for the paper's 2015 crawl (2.2M users / 125M follows). The
+generator reproduces the *statistical shape* that the paper's
+algorithms are sensitive to, at configurable scale:
+
+- heavy-tailed in-degree via preferential attachment (a few celebrity
+  accounts, like Table 2's max in-degree of 348k vs the 69 average);
+- low reciprocity (Twitter's follow graph is an information network,
+  per the Myers et al. study the paper cites);
+- a biased edges-per-topic distribution (Figure 3): topic popularity
+  follows a Zipf law over :data:`TOPIC_POPULARITY_ORDER`, with
+  ``technology`` frequent and ``social`` rare, matching the roles these
+  topics play in Figure 9;
+- topical homophily: follow edges preferentially land on publishers
+  sharing the follower's interests, and edge labels are the
+  interest ∩ publisher-profile intersection exactly as the labeling
+  pipeline of Section 5.1 defines them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..graph.labeled_graph import LabeledSocialGraph
+from ..semantics.vocabularies import WEB_TOPICS
+from ..utils.rng import SeedLike, rng_from_seed
+from .text import generate_tweets
+
+#: Topics ordered by target popularity (Zipf rank 1 = most frequent).
+#: ``technology`` is the popular topic and ``social`` the infrequent
+#: one, the roles Figure 9 assigns them; ``leisure`` sits mid-table.
+TOPIC_POPULARITY_ORDER: Tuple[str, ...] = (
+    "technology", "entertainment", "sports", "politics", "business",
+    "finance", "health", "leisure", "travel", "food", "science",
+    "education", "bigdata", "environment", "weather", "law", "religion",
+    "social",
+)
+
+
+@dataclass(frozen=True)
+class TwitterConfig:
+    """Knobs of the Twitter-like generator.
+
+    Attributes:
+        num_nodes: Number of accounts.
+        avg_out_degree: Target mean number of followees.
+        homophily: Probability a follow targets a publisher sharing one
+            of the follower's interest topics.
+        closure: Probability a follow closes a triangle (targets a
+            followee of a followee). Real follow graphs are heavily
+            triadically closed — it is what leaves alternative short
+            paths behind a removed edge, the signal the Section 5.3
+            protocol measures.
+        preferential: Probability the target is drawn by preferential
+            attachment (vs uniformly) within the chosen pool.
+        topic_skew: Zipf exponent of the topic-popularity law.
+        max_publisher_topics: Cap on topics an account publishes on.
+        max_interest_topics: Cap on topics an account is interested in.
+        reciprocity: Probability a follow is reciprocated.
+        tweets_per_user: Inclusive (min, max) posts per account when
+            generating the text corpus.
+        topics: Topic vocabulary in popularity order.
+    """
+
+    num_nodes: int = 2000
+    avg_out_degree: float = 15.0
+    homophily: float = 0.7
+    closure: float = 0.4
+    preferential: float = 0.75
+    topic_skew: float = 1.1
+    max_publisher_topics: int = 3
+    max_interest_topics: int = 4
+    reciprocity: float = 0.08
+    tweets_per_user: Tuple[int, int] = (3, 8)
+    topics: Tuple[str, ...] = TOPIC_POPULARITY_ORDER
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ConfigurationError(
+                f"num_nodes must be >= 2, got {self.num_nodes}")
+        if self.avg_out_degree <= 0:
+            raise ConfigurationError("avg_out_degree must be positive")
+        for name in ("homophily", "closure", "preferential", "reciprocity"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if set(self.topics) - set(WEB_TOPICS):
+            unknown = sorted(set(self.topics) - set(WEB_TOPICS))
+            raise ConfigurationError(f"unknown topics: {unknown}")
+
+
+@dataclass
+class TwitterDataset:
+    """A generated graph plus the synthetic corpus behind it.
+
+    Attributes:
+        graph: Fully labeled follow graph.
+        interests: Per-account interest profile (follower-side topics) —
+            ground truth the evaluation harness uses.
+        tweets: Per-account posts (only filled by
+            :func:`generate_twitter_dataset`).
+        config: The generator configuration.
+        seed: The seed the dataset was generated from.
+    """
+
+    graph: LabeledSocialGraph
+    interests: Dict[int, Tuple[str, ...]]
+    tweets: Dict[int, List[str]] = field(default_factory=dict)
+    config: TwitterConfig = field(default_factory=TwitterConfig)
+    seed: Optional[int] = None
+
+    def unlabeled_graph(self) -> LabeledSocialGraph:
+        """Copy with all labels stripped — input for the topic pipeline."""
+        bare = LabeledSocialGraph()
+        for node in self.graph.nodes():
+            bare.add_node(node)
+        for source, target, _ in self.graph.edges():
+            bare.add_edge(source, target)
+        return bare
+
+
+def _zipf_weights(count: int, skew: float) -> List[float]:
+    return [1.0 / (rank ** skew) for rank in range(1, count + 1)]
+
+
+def _sample_topics(rng: random.Random, topics: Sequence[str],
+                   weights: Sequence[float], count: int) -> Tuple[str, ...]:
+    """Weighted sample of *count* distinct topics."""
+    chosen: List[str] = []
+    pool = list(zip(topics, weights))
+    for _ in range(min(count, len(pool))):
+        total = sum(weight for _, weight in pool)
+        pick = rng.random() * total
+        cumulative = 0.0
+        for index, (topic, weight) in enumerate(pool):
+            cumulative += weight
+            if pick <= cumulative:
+                chosen.append(topic)
+                del pool[index]
+                break
+    return tuple(chosen)
+
+
+def generate_twitter_graph(num_nodes: int = 2000,
+                           seed: SeedLike = None,
+                           config: Optional[TwitterConfig] = None,
+                           ) -> LabeledSocialGraph:
+    """Generate just the labeled follow graph (most callers' entry point)."""
+    return _generate(num_nodes, seed, config).graph
+
+
+def generate_twitter_dataset(num_nodes: int = 2000,
+                             seed: SeedLike = None,
+                             config: Optional[TwitterConfig] = None,
+                             with_tweets: bool = True) -> TwitterDataset:
+    """Generate the graph plus interest profiles and (optionally) posts."""
+    dataset = _generate(num_nodes, seed, config)
+    if with_tweets:
+        rng = rng_from_seed(dataset.seed)
+        low, high = dataset.config.tweets_per_user
+        for node in dataset.graph.nodes():
+            topics = sorted(dataset.graph.node_topics(node))
+            dataset.tweets[node] = generate_tweets(
+                topics, rng.randint(low, high), seed=rng)
+    return dataset
+
+
+def _generate(num_nodes: int, seed: SeedLike,
+              config: Optional[TwitterConfig]) -> TwitterDataset:
+    cfg = config or TwitterConfig(num_nodes=num_nodes)
+    if cfg.num_nodes != num_nodes:
+        cfg = TwitterConfig(**{**cfg.__dict__, "num_nodes": num_nodes})
+    rng = rng_from_seed(seed)
+    resolved_seed = seed if isinstance(seed, int) else None
+
+    topics = list(cfg.topics)
+    weights = _zipf_weights(len(topics), cfg.topic_skew)
+
+    graph = LabeledSocialGraph()
+    interests: Dict[int, Tuple[str, ...]] = {}
+    # Preferential-attachment pools: nodes repeated once per received
+    # follow (plus one initial entry), globally and per topic.
+    global_pool: List[int] = []
+    topic_pool: Dict[str, List[int]] = {topic: [] for topic in topics}
+    publishers_of: Dict[str, List[int]] = {topic: [] for topic in topics}
+
+    for node in range(cfg.num_nodes):
+        publisher = _sample_topics(
+            rng, topics, weights, rng.randint(1, cfg.max_publisher_topics))
+        graph.add_node(node, publisher)
+        # Interests overlap the publisher profile and add exploration.
+        interest = set(t for t in publisher if rng.random() < 0.7)
+        extra = _sample_topics(rng, topics, weights,
+                               rng.randint(1, cfg.max_interest_topics))
+        for topic in extra:
+            if len(interest) >= cfg.max_interest_topics:
+                break
+            interest.add(topic)
+        interests[node] = tuple(sorted(interest))
+        # Intrinsic fitness (Bianconi–Barabási style): a Pareto-tailed
+        # multiplicity in the attachment pools creates the celebrity
+        # accounts behind Table 2's max in-degree (5000x the average).
+        fitness = min(60, int(rng.paretovariate(1.3)))
+        for _ in range(fitness):
+            global_pool.append(node)
+            for topic in publisher:
+                topic_pool[topic].append(node)
+        for topic in publisher:
+            publishers_of[topic].append(node)
+
+    def pick_target(follower: int) -> Optional[int]:
+        interest = interests[follower]
+        if rng.random() < cfg.closure:
+            followees = list(graph.out_neighbors(follower))
+            if followees:
+                middleman = rng.choice(followees)
+                second_hop = list(graph.out_neighbors(middleman))
+                if second_hop:
+                    return rng.choice(second_hop)
+        if interest and rng.random() < cfg.homophily:
+            topic = rng.choice(interest)
+            pa_pool = topic_pool.get(topic)
+            uniform_pool = publishers_of.get(topic)
+            if pa_pool and rng.random() < cfg.preferential:
+                return rng.choice(pa_pool)
+            if uniform_pool:
+                return rng.choice(uniform_pool)
+        if rng.random() < cfg.preferential:
+            return rng.choice(global_pool)
+        return rng.randrange(cfg.num_nodes)
+
+    def label_edge(follower: int, followee: int) -> Tuple[str, ...]:
+        shared = set(interests[follower]) & set(graph.node_topics(followee))
+        if shared:
+            return tuple(sorted(shared))
+        # sorted: frozenset iteration order is hash-seed dependent
+        profile = sorted(graph.node_topics(followee))
+        return (rng.choice(profile),) if profile else ()
+
+    def add_follow(follower: int, followee: int) -> bool:
+        if follower == followee or graph.has_edge(follower, followee):
+            return False
+        label = label_edge(follower, followee)
+        graph.add_edge(follower, followee, label)
+        global_pool.append(followee)
+        for topic in label:
+            topic_pool[topic].append(followee)
+        return True
+
+    target_edges = int(cfg.num_nodes * cfg.avg_out_degree)
+    attempts = 0
+    created = 0
+    max_attempts = target_edges * 20
+    order = list(range(cfg.num_nodes))
+    cursor = 0
+    while created < target_edges and attempts < max_attempts:
+        attempts += 1
+        if cursor == 0:
+            rng.shuffle(order)
+        follower = order[cursor]
+        cursor = (cursor + 1) % cfg.num_nodes
+        followee = pick_target(follower)
+        if followee is None:
+            continue
+        if add_follow(follower, followee):
+            created += 1
+            if rng.random() < cfg.reciprocity:
+                if add_follow(followee, follower):
+                    created += 1
+
+    return TwitterDataset(graph=graph, interests=interests, config=cfg,
+                          seed=resolved_seed)

@@ -1,0 +1,43 @@
+"""Distributed recommendation over a partitioned social graph.
+
+The paper's conclusion sketches this as future work: "distribution
+implies to split the graph by taking into account connectivity, but
+also to perform landmark selections and distributions that allow a node
+to evaluate the recommendation scores 'locally' minimizing network
+transfer costs." This subpackage implements that simulation:
+
+- graph partitioners — hash, connectivity-aware greedy (LDG), and
+  topic-based — with edge-cut and balance metrics (:mod:`partition`);
+- a Pregel-style superstep engine that computes *bit-identical* Tr
+  scores while accounting for every cross-partition message
+  (:mod:`cluster`);
+- a distributed landmark service where remote landmark lookups cost
+  transfer units, so landmark placement strategies can be compared
+  (:mod:`recommend`).
+"""
+
+from .partition import (
+    PartitionMetrics,
+    balance,
+    edge_cut_fraction,
+    greedy_partition,
+    hash_partition,
+    partition_metrics,
+    topic_partition,
+)
+from .cluster import MessageStats, distributed_single_source_scores
+from .recommend import DistributedLandmarkService, QueryCost
+
+__all__ = [
+    "hash_partition",
+    "greedy_partition",
+    "topic_partition",
+    "edge_cut_fraction",
+    "balance",
+    "partition_metrics",
+    "PartitionMetrics",
+    "distributed_single_source_scores",
+    "MessageStats",
+    "DistributedLandmarkService",
+    "QueryCost",
+]

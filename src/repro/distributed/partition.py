@@ -1,0 +1,185 @@
+"""Graph partitioners and partition-quality metrics.
+
+Three strategies, matching the trade-offs the paper's future-work
+paragraph names ("split the graph by taking into account
+connectivity"):
+
+- :func:`hash_partition` — the baseline every distributed system can
+  do: balanced, connectivity-oblivious;
+- :func:`greedy_partition` — Linear Deterministic Greedy (Stanton &
+  Kliot): stream nodes, place each where it has the most neighbours,
+  damped by a capacity penalty. Connectivity-aware, one pass;
+- :func:`topic_partition` — exploit the labeled graph: co-locate
+  accounts publishing on the same topics, since recommendation paths
+  are topically homophilous.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from ..graph.labeled_graph import LabeledSocialGraph
+from ..graph.traversal import bfs_levels
+from ..utils.rng import SeedLike, rng_from_seed
+
+Assignment = Dict[int, int]
+
+
+def _check_parts(graph: LabeledSocialGraph, num_parts: int) -> None:
+    if num_parts < 1:
+        raise ConfigurationError(f"num_parts must be >= 1, got {num_parts}")
+    if graph.num_nodes == 0:
+        raise ConfigurationError("cannot partition an empty graph")
+
+
+def hash_partition(graph: LabeledSocialGraph, num_parts: int) -> Assignment:
+    """Node id modulo *num_parts* — balanced, cut-oblivious."""
+    _check_parts(graph, num_parts)
+    return {node: node % num_parts for node in graph.nodes()}
+
+
+def greedy_partition(graph: LabeledSocialGraph, num_parts: int,
+                     seed: SeedLike = None) -> Assignment:
+    """Linear Deterministic Greedy streaming partitioner.
+
+    Nodes are streamed in randomized BFS order (so neighbourhoods
+    arrive together); each node goes to the partition maximising
+    ``|neighbours already there| · (1 − size/capacity)``.
+    """
+    _check_parts(graph, num_parts)
+    rng = rng_from_seed(seed)
+    nodes = sorted(graph.nodes())
+    capacity = max(1.0, 1.1 * len(nodes) / num_parts)
+
+    # randomized BFS order over weak connectivity
+    order: List[int] = []
+    visited = set()
+    shuffled = list(nodes)
+    rng.shuffle(shuffled)
+    for start in shuffled:
+        if start in visited:
+            continue
+        for node in bfs_levels(graph, start, direction="out"):
+            if node not in visited:
+                visited.add(node)
+                order.append(node)
+        # also pull in pure-follower neighbourhoods
+        for node in bfs_levels(graph, start, direction="in"):
+            if node not in visited:
+                visited.add(node)
+                order.append(node)
+
+    assignment: Assignment = {}
+    sizes = [0] * num_parts
+    for node in order:
+        neighbour_counts = [0.0] * num_parts
+        for neighbor in graph.out_neighbors(node):
+            part = assignment.get(neighbor)
+            if part is not None:
+                neighbour_counts[part] += 1.0
+        for neighbor in graph.in_neighbors(node):
+            part = assignment.get(neighbor)
+            if part is not None:
+                neighbour_counts[part] += 1.0
+        best_part = 0
+        best_score = float("-inf")
+        for part in range(num_parts):
+            penalty = 1.0 - sizes[part] / capacity
+            score = neighbour_counts[part] * max(0.0, penalty)
+            # tie-break towards the emptiest partition
+            if score > best_score or (
+                    score == best_score and sizes[part] < sizes[best_part]):
+                best_score = score
+                best_part = part
+        assignment[node] = best_part
+        sizes[best_part] += 1
+    return assignment
+
+
+def topic_partition(graph: LabeledSocialGraph, num_parts: int,
+                    slack: float = 1.15) -> Assignment:
+    """Co-locate accounts by dominant publisher topic.
+
+    Topic groups are bin-packed onto partitions largest-first. A group
+    bigger than one partition's capacity (the Zipf head topic usually
+    is) is split across the smallest partitions, so balance stays
+    within *slack* of ideal while same-topic accounts remain as
+    co-located as capacity allows.
+    """
+    _check_parts(graph, num_parts)
+    dominant: Dict[int, str] = {}
+    for node in graph.nodes():
+        profile = sorted(graph.node_topics(node))
+        if profile:
+            # most-followed-on topic first, profile order as tie-break
+            dominant[node] = max(
+                profile,
+                key=lambda t: (graph.follower_count_on(node, t), t))
+
+    groups: Dict[str, List[int]] = {}
+    for node in sorted(graph.nodes()):
+        groups.setdefault(dominant.get(node, ""), []).append(node)
+
+    capacity = max(1.0, slack * graph.num_nodes / num_parts)
+    sizes = [0] * num_parts
+    assignment: Assignment = {}
+    ordered_groups = sorted(groups.items(),
+                            key=lambda kv: (-len(kv[1]), kv[0]))
+    for _, members in ordered_groups:
+        cursor = 0
+        while cursor < len(members):
+            smallest = min(range(num_parts), key=lambda p: sizes[p])
+            room = max(1, int(capacity - sizes[smallest]))
+            chunk = members[cursor:cursor + room]
+            for node in chunk:
+                assignment[node] = smallest
+            sizes[smallest] += len(chunk)
+            cursor += len(chunk)
+    return assignment
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+def edge_cut_fraction(graph: LabeledSocialGraph,
+                      assignment: Assignment) -> float:
+    """Fraction of edges whose endpoints live on different partitions."""
+    if graph.num_edges == 0:
+        return 0.0
+    cut = sum(1 for source, target, _ in graph.edges()
+              if assignment[source] != assignment[target])
+    return cut / graph.num_edges
+
+
+def balance(assignment: Assignment) -> float:
+    """Largest partition size over the ideal size (1.0 = perfect)."""
+    if not assignment:
+        return 1.0
+    sizes = Counter(assignment.values())
+    num_parts = max(assignment.values()) + 1
+    ideal = len(assignment) / num_parts
+    return max(sizes.values()) / ideal
+
+
+@dataclass(frozen=True)
+class PartitionMetrics:
+    """Quality summary of one partitioning."""
+
+    num_parts: int
+    edge_cut: float
+    balance: float
+
+
+def partition_metrics(graph: LabeledSocialGraph,
+                      assignment: Assignment) -> PartitionMetrics:
+    """Compute both quality metrics in one call."""
+    num_parts = max(assignment.values()) + 1 if assignment else 0
+    return PartitionMetrics(
+        num_parts=num_parts,
+        edge_cut=edge_cut_fraction(graph, assignment),
+        balance=balance(assignment),
+    )

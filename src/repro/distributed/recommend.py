@@ -1,0 +1,133 @@
+"""Distributed landmark service with network-transfer accounting.
+
+Ties the pieces together the way the paper's future-work paragraph
+frames the problem: a query node evaluates recommendations "locally",
+paying network transfer only for (a) propagation messages that cross
+partitions and (b) inverted lists fetched from landmarks homed on other
+partitions. Good partitioning + landmark placement should drive both
+towards zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import LandmarkParams, ScoreParams
+from ..core.scores import AuthorityIndex
+from ..graph.labeled_graph import LabeledSocialGraph
+from ..landmarks.index import LandmarkIndex
+from ..semantics.matrix import SimilarityMatrix
+from .cluster import MessageStats, distributed_single_source_scores
+from .partition import Assignment
+
+
+@dataclass(frozen=True)
+class QueryCost:
+    """Network cost of one distributed recommendation query.
+
+    Attributes:
+        propagation: Message stats of the depth-limited exploration.
+        remote_landmarks: Landmarks consulted on other partitions.
+        local_landmarks: Landmarks consulted on the query's partition.
+        entries_transferred: Inverted-list entries shipped from remote
+            landmarks (each entry is a (node, score, topo) triple).
+    """
+
+    propagation: MessageStats
+    remote_landmarks: int
+    local_landmarks: int
+    entries_transferred: int
+
+    @property
+    def total_remote_units(self) -> float:
+        """One comparable scalar: messages + shipped entries."""
+        return self.propagation.remote_messages + self.entries_transferred
+
+
+class DistributedLandmarkService:
+    """Approximate recommendation over a partitioned deployment.
+
+    The ranking returned is identical to the single-machine
+    :class:`~repro.landmarks.ApproximateRecommender` (same index, same
+    composition); only the *cost model* differs, which is the point —
+    partitioning strategy must not change answers, only traffic.
+    """
+
+    def __init__(
+        self,
+        graph: LabeledSocialGraph,
+        assignment: Assignment,
+        similarity: SimilarityMatrix,
+        index: LandmarkIndex,
+        params: Optional[ScoreParams] = None,
+        landmark_params: Optional[LandmarkParams] = None,
+        authority: Optional[AuthorityIndex] = None,
+    ) -> None:
+        self.graph = graph
+        self.assignment = assignment
+        self.index = index
+        self.params = params or index.params
+        self.landmark_params = landmark_params or index.landmark_params
+        self._similarity = similarity
+        self._authority = authority or AuthorityIndex(graph)
+        self._landmark_set = frozenset(index.landmarks)
+
+    def landmark_home(self, landmark: int) -> int:
+        """Partition that stores a landmark's inverted lists."""
+        return self.assignment[landmark]
+
+    def query(self, user: int, topic: str,
+              depth: Optional[int] = None,
+              ) -> Tuple[Dict[int, float], QueryCost]:
+        """Approximate scores plus the network cost of obtaining them."""
+        exploration_depth = depth or self.landmark_params.query_depth
+        state, stats = distributed_single_source_scores(
+            self.graph, self.assignment, user, [topic], self._similarity,
+            authority=self._authority, params=self.params,
+            max_depth=exploration_depth, absorbing=self._landmark_set)
+
+        home = self.assignment[user]
+        combined: Dict[int, float] = dict(state.scores.get(topic, {}))
+        remote = 0
+        local = 0
+        entries_shipped = 0
+        for landmark in self._landmark_set:
+            if landmark == user:
+                continue
+            topo_ab = state.topo_alphabeta.get(landmark, 0.0)
+            if topo_ab <= 0.0:
+                continue
+            entries = self.index.recommendations(landmark, topic)
+            if self.landmark_home(landmark) == home:
+                local += 1
+            else:
+                remote += 1
+                entries_shipped += len(entries)
+            sigma_to_landmark = state.score(landmark, topic)
+            for entry in entries:
+                if entry.node == user:
+                    continue
+                contribution = (sigma_to_landmark * entry.topo
+                                + topo_ab * entry.score)
+                if contribution:
+                    combined[entry.node] = (
+                        combined.get(entry.node, 0.0) + contribution)
+        cost = QueryCost(
+            propagation=stats,
+            remote_landmarks=remote,
+            local_landmarks=local,
+            entries_transferred=entries_shipped,
+        )
+        return combined, cost
+
+    def recommend(self, user: int, topic: str, top_n: int = 10,
+                  depth: Optional[int] = None,
+                  ) -> Tuple[List[Tuple[int, float]], QueryCost]:
+        """Top-n recommendations plus their network cost."""
+        scores, cost = self.query(user, topic, depth=depth)
+        excluded = {user} | set(self.graph.out_neighbors(user))
+        ranked = [(node, value) for node, value in scores.items()
+                  if node not in excluded and value > 0.0]
+        ranked.sort(key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:top_n], cost

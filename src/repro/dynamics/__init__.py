@@ -1,0 +1,39 @@
+"""Graph dynamicity and landmark-index maintenance.
+
+The paper's conclusion flags this as future work: "many following
+links have a short lifespan. This graph dynamicity may impact the
+scores stored by the landmarks." This subpackage implements it:
+
+- a follow/unfollow event model and a churn simulator that mirrors the
+  generator's attachment biases (:mod:`events`);
+- a stream applier with listener hooks (:mod:`stream`);
+- landmark-index maintenance policies — eager, batched-lazy, and
+  TTL-based — plus a staleness probe that quantifies how far stored
+  recommendations drift from fresh ones (:mod:`maintenance`).
+"""
+
+from .events import EdgeEvent, EventKind, simulate_churn
+from .stream import GraphStream
+from .maintenance import (
+    BatchMaintainer,
+    EagerMaintainer,
+    MaintenanceStats,
+    NoOpMaintainer,
+    TTLMaintainer,
+    measure_staleness,
+)
+from .incremental import IncrementalMaintainer
+
+__all__ = [
+    "EdgeEvent",
+    "EventKind",
+    "simulate_churn",
+    "GraphStream",
+    "EagerMaintainer",
+    "BatchMaintainer",
+    "TTLMaintainer",
+    "NoOpMaintainer",
+    "IncrementalMaintainer",
+    "MaintenanceStats",
+    "measure_staleness",
+]

@@ -1,0 +1,138 @@
+"""Follow/unfollow event model and churn simulation.
+
+Churn mirrors the observation the paper cites: a large share of fresh
+follow links are short-lived. :func:`simulate_churn` produces an event
+stream over an existing graph in which
+
+- *unfollows* preferentially remove recently created edges (short
+  lifespans) and low-engagement edges (no shared topics);
+- *follows* are created with the same homophily + popularity biases as
+  the Twitter generator, so the graph's statistical shape is stationary
+  under churn.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..graph.labeled_graph import LabeledSocialGraph
+from ..utils.rng import SeedLike, rng_from_seed
+
+
+class EventKind(enum.Enum):
+    """What happened to a follow edge."""
+
+    FOLLOW = "follow"
+    UNFOLLOW = "unfollow"
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One timestamped follow-graph mutation.
+
+    Attributes:
+        kind: Follow or unfollow.
+        source: The follower.
+        target: The followee.
+        topics: Edge label (empty for unfollows).
+        time: Logical timestamp (event index).
+    """
+
+    kind: EventKind
+    source: int
+    target: int
+    topics: Tuple[str, ...]
+    time: int
+
+    @property
+    def is_follow(self) -> bool:
+        """Whether this event creates an edge."""
+        return self.kind is EventKind.FOLLOW
+
+
+def simulate_churn(
+    graph: LabeledSocialGraph,
+    num_events: int,
+    unfollow_fraction: float = 0.5,
+    recency_bias: float = 0.7,
+    seed: SeedLike = None,
+) -> Iterator[EdgeEvent]:
+    """Yield a churn stream over (a private view of) *graph*.
+
+    The input graph is *not* mutated; the caller applies events through
+    :class:`~repro.dynamics.stream.GraphStream`.
+
+    Args:
+        graph: Starting graph (only read here).
+        num_events: Total events to emit.
+        unfollow_fraction: Share of events that remove an edge.
+        recency_bias: Probability an unfollow targets one of the edges
+            created earlier *in this stream* (short-lifespan links)
+            rather than an arbitrary existing edge.
+        seed: RNG seed.
+
+    Raises:
+        ConfigurationError: on an out-of-range fraction or an empty
+            graph.
+    """
+    if not 0.0 <= unfollow_fraction <= 1.0:
+        raise ConfigurationError(
+            f"unfollow_fraction must be in [0, 1], got {unfollow_fraction}")
+    if graph.num_edges == 0 or graph.num_nodes < 2:
+        raise ConfigurationError("churn needs a non-trivial graph")
+    rng = rng_from_seed(seed)
+
+    nodes = sorted(graph.nodes())
+    # Preferential-attachment pool seeded from current in-degrees.
+    popularity_pool: List[int] = []
+    for node in nodes:
+        popularity_pool.extend([node] * (1 + graph.in_degree(node) // 2))
+    existing = {(s, t) for s, t, _ in graph.edges()}
+    removed: set = set()
+    fresh: List[Tuple[int, int, Tuple[str, ...]]] = []
+    edge_list = [(s, t) for s, t, _ in graph.edges()]
+
+    def pick_new_edge() -> Optional[Tuple[int, int, Tuple[str, ...]]]:
+        for _ in range(20):
+            source = rng.choice(nodes)
+            target = rng.choice(popularity_pool)
+            if source == target:
+                continue
+            if (source, target) in existing and (source, target) not in removed:
+                continue
+            profile = sorted(graph.node_topics(target))
+            topics = (rng.choice(profile),) if profile else ()
+            return source, target, tuple(topics)
+        return None
+
+    def pick_unfollow() -> Optional[Tuple[int, int]]:
+        if fresh and rng.random() < recency_bias:
+            index = rng.randrange(len(fresh))
+            source, target, _ = fresh.pop(index)
+            return source, target
+        for _ in range(20):
+            source, target = rng.choice(edge_list)
+            if (source, target) not in removed:
+                return source, target
+        return None
+
+    for time in range(num_events):
+        if rng.random() < unfollow_fraction:
+            choice = pick_unfollow()
+            if choice is None:
+                continue
+            source, target = choice
+            removed.add((source, target))
+            yield EdgeEvent(EventKind.UNFOLLOW, source, target, (), time)
+        else:
+            created = pick_new_edge()
+            if created is None:
+                continue
+            source, target, topics = created
+            existing.add((source, target))
+            removed.discard((source, target))
+            fresh.append((source, target, topics))
+            yield EdgeEvent(EventKind.FOLLOW, source, target, topics, time)

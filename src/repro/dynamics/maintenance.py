@@ -1,0 +1,229 @@
+"""Landmark-index maintenance under graph churn.
+
+Three policies trade freshness against rebuild cost, the dimension the
+paper's future-work section opens:
+
+- :class:`EagerMaintainer` — rebuild a landmark the moment an event
+  touches its stored neighbourhood (an endpoint appears in its lists,
+  or is the landmark itself);
+- :class:`BatchMaintainer` — mark such landmarks dirty, rebuild them
+  together once the dirty fraction crosses a threshold (amortises the
+  Algorithm-1 runs);
+- :class:`TTLMaintainer` — ignore events entirely, rebuild every
+  landmark whose lists are older than a fixed event count;
+- :class:`NoOpMaintainer` — the do-nothing baseline, quantifying how
+  stale an unmaintained index becomes.
+
+:func:`measure_staleness` probes an index against fresh Algorithm-1
+runs and reports the mean Kendall tau drift — the quantity that decides
+whether a policy is good enough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..config import ScoreParams
+from ..core.exact import single_source_scores
+from ..core.scores import AuthorityIndex
+from ..errors import ConfigurationError
+from ..eval.metrics import kendall_tau_distance
+from ..graph.labeled_graph import LabeledSocialGraph
+from ..landmarks.index import LandmarkEntry, LandmarkIndex
+from .events import EdgeEvent
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters every maintainer keeps.
+
+    Attributes:
+        events_seen: Events observed.
+        landmarks_rebuilt: Total landmark rebuilds (Algorithm-1 runs).
+        rebuild_rounds: Distinct maintenance rounds that rebuilt
+            something.
+    """
+
+    events_seen: int = 0
+    landmarks_rebuilt: int = 0
+    rebuild_rounds: int = 0
+
+    @property
+    def rebuilds_per_event(self) -> float:
+        """Amortised rebuild cost per observed event."""
+        if self.events_seen == 0:
+            return 0.0
+        return self.landmarks_rebuilt / self.events_seen
+
+
+class _BaseMaintainer:
+    """Shared rebuild machinery; subclasses decide *when* to rebuild."""
+
+    def __init__(self, graph: LabeledSocialGraph, index: LandmarkIndex,
+                 topics: Sequence[str], similarity,
+                 params: Optional[ScoreParams] = None) -> None:
+        self.graph = graph
+        self.index = index
+        self.topics = list(topics)
+        self.similarity = similarity
+        self.params = params or index.params
+        self.stats = MaintenanceStats()
+        #: Landmarks rebuilt at least once over this maintainer's life.
+        self.rebuilt_ever: Set[int] = set()
+        self._watched: Dict[int, Set[int]] = {}
+        self._rebuild_watch_index()
+
+    def _rebuild_watch_index(self) -> None:
+        """node → landmarks whose stored lists mention it."""
+        watched: Dict[int, Set[int]] = {}
+        for landmark in self.index.landmarks:
+            watched.setdefault(landmark, set()).add(landmark)
+            for topic in self.index.topics_of(landmark):
+                for entry in self.index.recommendations(landmark, topic):
+                    watched.setdefault(entry.node, set()).add(landmark)
+        self._watched = watched
+
+    def _touched_landmarks(self, event: EdgeEvent) -> Set[int]:
+        touched: Set[int] = set()
+        touched |= self._watched.get(event.source, set())
+        touched |= self._watched.get(event.target, set())
+        return touched
+
+    def rebuild(self, landmarks: Sequence[int]) -> None:
+        """Re-run Algorithm 1 for *landmarks* and refresh the lists."""
+        if not landmarks:
+            return
+        authority = AuthorityIndex(self.graph)
+        for landmark in landmarks:
+            state = single_source_scores(
+                self.graph, landmark, self.topics, self.similarity,
+                authority=authority, params=self.params)
+            for topic in self.topics:
+                ranked = state.ranked(
+                    topic, top_n=self.index.landmark_params.top_n,
+                    exclude=(landmark,))
+                self.index.set_recommendations(landmark, topic, [
+                    LandmarkEntry(node=node, score=score,
+                                  topo=state.topo_beta.get(node, 0.0),
+                                  topo_ab=state.topo_alphabeta.get(node, 0.0))
+                    for node, score in ranked
+                ])
+            self.stats.landmarks_rebuilt += 1
+            self.rebuilt_ever.add(landmark)
+        self.stats.rebuild_rounds += 1
+        self._rebuild_watch_index()
+
+    def on_event(self, event: EdgeEvent) -> None:
+        raise NotImplementedError
+
+
+class NoOpMaintainer(_BaseMaintainer):
+    """Never rebuilds — the staleness baseline."""
+
+    def on_event(self, event: EdgeEvent) -> None:  # noqa: D102
+        self.stats.events_seen += 1
+
+
+class EagerMaintainer(_BaseMaintainer):
+    """Rebuild immediately whenever an event touches a stored list."""
+
+    def on_event(self, event: EdgeEvent) -> None:  # noqa: D102
+        self.stats.events_seen += 1
+        touched = self._touched_landmarks(event)
+        if touched:
+            self.rebuild(sorted(touched))
+
+
+class BatchMaintainer(_BaseMaintainer):
+    """Accumulate dirty landmarks; rebuild when enough have piled up.
+
+    Args:
+        dirty_threshold: Rebuild once this fraction of the landmark set
+            is dirty.
+        max_pending_events: Hard cap — rebuild after this many events
+            even if the dirty fraction stays low.
+    """
+
+    def __init__(self, graph, index, topics, similarity,
+                 params: Optional[ScoreParams] = None,
+                 dirty_threshold: float = 0.25,
+                 max_pending_events: int = 500) -> None:
+        if not 0.0 < dirty_threshold <= 1.0:
+            raise ConfigurationError(
+                f"dirty_threshold must be in (0, 1], got {dirty_threshold}")
+        super().__init__(graph, index, topics, similarity, params)
+        self.dirty_threshold = dirty_threshold
+        self.max_pending_events = max_pending_events
+        self._dirty: Set[int] = set()
+        self._pending = 0
+
+    def on_event(self, event: EdgeEvent) -> None:  # noqa: D102
+        self.stats.events_seen += 1
+        self._pending += 1
+        self._dirty |= self._touched_landmarks(event)
+        landmark_count = max(1, len(self.index))
+        if (len(self._dirty) / landmark_count >= self.dirty_threshold
+                or self._pending >= self.max_pending_events):
+            self.flush()
+
+    def flush(self) -> None:
+        """Rebuild everything currently dirty."""
+        if self._dirty:
+            self.rebuild(sorted(self._dirty))
+            self._dirty.clear()
+        self._pending = 0
+
+    @property
+    def dirty_count(self) -> int:
+        """Landmarks currently awaiting a rebuild."""
+        return len(self._dirty)
+
+
+class TTLMaintainer(_BaseMaintainer):
+    """Rebuild every landmark each *ttl_events* events, round-robin."""
+
+    def __init__(self, graph, index, topics, similarity,
+                 params: Optional[ScoreParams] = None,
+                 ttl_events: int = 200) -> None:
+        if ttl_events < 1:
+            raise ConfigurationError(
+                f"ttl_events must be >= 1, got {ttl_events}")
+        super().__init__(graph, index, topics, similarity, params)
+        self.ttl_events = ttl_events
+
+    def on_event(self, event: EdgeEvent) -> None:  # noqa: D102
+        self.stats.events_seen += 1
+        if self.stats.events_seen % self.ttl_events == 0:
+            self.rebuild(sorted(self.index.landmarks))
+
+
+def measure_staleness(
+    graph: LabeledSocialGraph,
+    index: LandmarkIndex,
+    topic: str,
+    similarity,
+    params: Optional[ScoreParams] = None,
+    sample: Optional[Sequence[int]] = None,
+    top_k: int = 50,
+) -> float:
+    """Mean Kendall tau between stored and freshly recomputed lists.
+
+    0 means the index still matches the current graph exactly; values
+    grow as churn invalidates the precomputation.
+    """
+    params = params or index.params
+    landmarks = list(sample) if sample is not None else list(index.landmarks)
+    authority = AuthorityIndex(graph)
+    distances: List[float] = []
+    for landmark in landmarks:
+        stored = [entry.node
+                  for entry in index.recommendations(landmark, topic)][:top_k]
+        state = single_source_scores(graph, landmark, [topic], similarity,
+                                     authority=authority, params=params)
+        fresh = [node for node, _ in state.ranked(topic, top_n=top_k,
+                                                  exclude=(landmark,))]
+        distances.append(kendall_tau_distance(stored, fresh))
+    if not distances:
+        return 0.0
+    return sum(distances) / len(distances)

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries while tests can assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the graph substrate."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node id was referenced that does not exist in the graph."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge (source, target) was referenced that does not exist."""
+
+    def __init__(self, source: int, target: int) -> None:
+        super().__init__(f"edge ({source!r} -> {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """A node id was added twice."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"node {node!r} already exists")
+        self.node = node
+
+
+class TaxonomyError(ReproError):
+    """Base class for topic-taxonomy errors."""
+
+
+class UnknownTopicError(TaxonomyError, KeyError):
+    """A topic was referenced that is not part of the vocabulary."""
+
+    def __init__(self, topic: str) -> None:
+        super().__init__(f"unknown topic {topic!r}")
+        self.topic = topic
+
+
+class ConvergenceError(ReproError):
+    """Iterative score computation failed to converge.
+
+    Raised when the decay factor violates the spectral-radius bound of
+    Proposition 3, or when ``max_iter`` is exhausted while the residual
+    is still above tolerance.
+    """
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid parameter combination passed to a public constructor."""
+
+
+class StorageError(ReproError):
+    """Base class for the landmark inverted-list store errors."""
+
+
+class CorruptRecordError(StorageError):
+    """A stored posting list failed checksum or bounds validation."""
+
+
+class EvaluationError(ReproError):
+    """Base class for evaluation-harness errors."""
+
+
+class ProtocolError(EvaluationError, ValueError):
+    """The link-prediction protocol could not be instantiated.
+
+    For example: the graph has no edge satisfying the ``k_in``/``k_out``
+    degree constraints of Section 5.3.
+    """

@@ -1,0 +1,56 @@
+"""Evaluation harness behind every table and figure of Section 5."""
+
+from .metrics import (
+    kendall_tau_distance,
+    precision_at,
+    rank_of_target,
+    recall_at,
+)
+from .linkpred import (
+    LinkPredictionProtocol,
+    MethodCurve,
+    TestEdge,
+    katz_scorer,
+    landmark_scorer,
+    tr_scorer,
+    twitterrank_scorer,
+)
+from .slices import popularity_slice_filter, topic_slice_filter
+from .userstudy import (
+    DblpStudyResult,
+    JudgePanel,
+    TwitterStudyResult,
+    run_dblp_study,
+    run_twitter_study,
+)
+from .landmarks_eval import (
+    SelectionTiming,
+    StrategyQuality,
+    evaluate_strategy_quality,
+    time_selection_strategies,
+)
+
+__all__ = [
+    "recall_at",
+    "precision_at",
+    "rank_of_target",
+    "kendall_tau_distance",
+    "LinkPredictionProtocol",
+    "TestEdge",
+    "MethodCurve",
+    "tr_scorer",
+    "katz_scorer",
+    "twitterrank_scorer",
+    "landmark_scorer",
+    "popularity_slice_filter",
+    "topic_slice_filter",
+    "JudgePanel",
+    "TwitterStudyResult",
+    "DblpStudyResult",
+    "run_twitter_study",
+    "run_dblp_study",
+    "SelectionTiming",
+    "StrategyQuality",
+    "time_selection_strategies",
+    "evaluate_strategy_quality",
+]

@@ -1,0 +1,145 @@
+"""Beyond-accuracy recommendation metrics.
+
+Section 5.3's user-study discussion claims that "while TwitterRank
+generally recommends accounts with a large number of followers, Tr can
+also recommend smaller but more-specialized accounts". These metrics
+quantify that claim (and are standard recommender-system diagnostics):
+
+- :func:`mean_popularity` — average follower count of recommended
+  accounts (lower = less popularity-biased);
+- :func:`novelty` — mean self-information ``−log2(followers/|N|)`` of
+  the recommendations (higher = more of the long tail surfaced);
+- :func:`catalog_coverage` — fraction of recommendable accounts that
+  appear in at least one user's top-n (higher = less winner-take-all);
+- :func:`specialisation` — mean local authority of the recommendations
+  on the query topic (higher = more dedicated publishers);
+- :func:`intra_list_diversity` — mean pairwise topical distance inside
+  one recommendation list.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..core.scores import AuthorityIndex
+from ..errors import EvaluationError
+from ..graph.labeled_graph import LabeledSocialGraph
+from ..semantics.matrix import SimilarityMatrix
+
+
+def _require_lists(lists: Sequence[Sequence[int]]) -> None:
+    if not lists or all(not entries for entries in lists):
+        raise EvaluationError("no recommendation lists to evaluate")
+
+
+def mean_popularity(graph: LabeledSocialGraph,
+                    lists: Sequence[Sequence[int]]) -> float:
+    """Average follower count over every recommended account."""
+    _require_lists(lists)
+    degrees = [graph.in_degree(node)
+               for entries in lists for node in entries]
+    return sum(degrees) / len(degrees)
+
+
+def novelty(graph: LabeledSocialGraph,
+            lists: Sequence[Sequence[int]]) -> float:
+    """Mean self-information of the recommendations.
+
+    ``−log2(max(followers, 1) / |N|)`` per recommended account, so
+    recommending only celebrities scores near 0 and long-tail accounts
+    score high.
+    """
+    _require_lists(lists)
+    population = max(1, graph.num_nodes)
+    values = []
+    for entries in lists:
+        for node in entries:
+            share = max(1, graph.in_degree(node)) / population
+            values.append(-math.log2(share))
+    return sum(values) / len(values)
+
+
+def catalog_coverage(graph: LabeledSocialGraph,
+                     lists: Sequence[Sequence[int]],
+                     eligible: Iterable[int] | None = None) -> float:
+    """Fraction of the catalog appearing in at least one list."""
+    _require_lists(lists)
+    catalog = set(eligible) if eligible is not None else set(graph.nodes())
+    if not catalog:
+        raise EvaluationError("empty catalog")
+    recommended = {node for entries in lists for node in entries}
+    return len(recommended & catalog) / len(catalog)
+
+
+def specialisation(graph: LabeledSocialGraph,
+                   lists: Sequence[Sequence[int]], topic: str,
+                   authority: AuthorityIndex | None = None) -> float:
+    """Mean local authority on *topic* of the recommended accounts.
+
+    1.0 means every suggestion is followed exclusively for the query
+    topic — the "smaller but more-specialized" profile the paper
+    attributes to Tr's picks.
+    """
+    _require_lists(lists)
+    authority = authority or AuthorityIndex(graph)
+    values = [authority.local_authority(node, topic)
+              for entries in lists for node in entries]
+    return sum(values) / len(values)
+
+
+def _profile_similarity(similarity: SimilarityMatrix,
+                        first: frozenset, second: frozenset) -> float:
+    """Symmetrised best-match similarity between two topic profiles."""
+    if not first or not second:
+        return 0.0
+    forward = sum(similarity.max_similarity(second, topic)
+                  for topic in first) / len(first)
+    backward = sum(similarity.max_similarity(first, topic)
+                   for topic in second) / len(second)
+    return (forward + backward) / 2.0
+
+
+def intra_list_diversity(graph: LabeledSocialGraph,
+                         similarity: SimilarityMatrix,
+                         entries: Sequence[int]) -> float:
+    """Mean pairwise topical distance within one list (0 = clones).
+
+    Distance between two accounts is ``1 − profile similarity``; lists
+    with fewer than two entries are perfectly undiverse by convention.
+    """
+    if len(entries) < 2:
+        return 0.0
+    profiles = [graph.node_topics(node) for node in entries]
+    total = 0.0
+    pairs = 0
+    for i in range(len(profiles)):
+        for j in range(i + 1, len(profiles)):
+            total += 1.0 - _profile_similarity(similarity, profiles[i],
+                                               profiles[j])
+            pairs += 1
+    return total / pairs
+
+
+def mean_intra_list_diversity(graph: LabeledSocialGraph,
+                              similarity: SimilarityMatrix,
+                              lists: Sequence[Sequence[int]]) -> float:
+    """Average :func:`intra_list_diversity` over the lists."""
+    _require_lists(lists)
+    values = [intra_list_diversity(graph, similarity, entries)
+              for entries in lists if entries]
+    return sum(values) / len(values)
+
+
+def beyond_accuracy_report(graph: LabeledSocialGraph,
+                           similarity: SimilarityMatrix,
+                           lists: Sequence[Sequence[int]],
+                           topic: str) -> Dict[str, float]:
+    """All metrics in one dictionary (benchmark convenience)."""
+    return {
+        "mean_popularity": mean_popularity(graph, lists),
+        "novelty": novelty(graph, lists),
+        "catalog_coverage": catalog_coverage(graph, lists),
+        "specialisation": specialisation(graph, lists, topic),
+        "diversity": mean_intra_list_diversity(graph, similarity, lists),
+    }

@@ -1,0 +1,200 @@
+"""Landmark-strategy evaluation harness (Tables 5 and 6).
+
+Table 5 reports, per selection strategy, the time to *select* a
+landmark and the time to run Algorithm 1 for it. Table 6 reports, per
+strategy, the number of landmarks a depth-2 BFS encounters, the
+approximate query time and its gain over the exact computation, and the
+Kendall tau distance between the approximate and exact top-100 when
+landmarks store their top-10 / top-100 / top-1000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import LandmarkParams, ScoreParams
+from ..core.exact import single_source_scores
+from ..core.scores import AuthorityIndex
+from ..graph.labeled_graph import LabeledSocialGraph
+from ..landmarks.approximate import ApproximateRecommender
+from ..landmarks.index import LandmarkIndex
+from ..landmarks.selection import STRATEGIES, select_landmarks
+from ..semantics.matrix import SimilarityMatrix
+from ..utils.rng import SeedLike, rng_from_seed, spawn_rng
+from ..utils.timers import Stopwatch
+from .metrics import kendall_tau_distance
+
+
+@dataclass(frozen=True)
+class SelectionTiming:
+    """One Table-5 row.
+
+    Attributes:
+        strategy: Table-4 strategy name.
+        select_ms_per_landmark: Selection wall-clock divided by the
+            number of landmarks, in milliseconds.
+        precompute_s_per_landmark: Mean Algorithm-1 wall-clock per
+            landmark, in seconds.
+    """
+
+    strategy: str
+    select_ms_per_landmark: float
+    precompute_s_per_landmark: float
+
+
+def time_selection_strategies(
+    graph: LabeledSocialGraph,
+    topics: Sequence[str],
+    similarity: SimilarityMatrix,
+    num_landmarks: int = 20,
+    strategies: Optional[Sequence[str]] = None,
+    params: ScoreParams = ScoreParams(),
+    landmark_params: LandmarkParams = LandmarkParams(),
+    precompute_sample: int = 5,
+    seed: SeedLike = None,
+) -> List[SelectionTiming]:
+    """Produce Table 5: selection + per-landmark precompute timings.
+
+    Args:
+        precompute_sample: Algorithm 1 is timed on this many of the
+            selected landmarks (it is strategy-independent, as the
+            paper observes, so a sample suffices).
+    """
+    rng = rng_from_seed(seed)
+    names = list(strategies) if strategies is not None else list(STRATEGIES)
+    authority = AuthorityIndex(graph)
+    rows: List[SelectionTiming] = []
+    for name in names:
+        select_watch = Stopwatch()
+        with select_watch:
+            landmarks = select_landmarks(
+                graph, name, num_landmarks, rng=spawn_rng(rng, name))
+        sample = landmarks[:precompute_sample]
+        build_watch = Stopwatch()
+        for landmark in sample:
+            with build_watch:
+                single_source_scores(
+                    graph, landmark, list(topics), similarity,
+                    authority=authority, params=params)
+        rows.append(SelectionTiming(
+            strategy=name,
+            select_ms_per_landmark=(
+                select_watch.elapsed * 1000.0 / num_landmarks),
+            precompute_s_per_landmark=build_watch.mean_lap,
+        ))
+    return rows
+
+
+@dataclass
+class StrategyQuality:
+    """One Table-6 row.
+
+    Attributes:
+        strategy: Table-4 strategy name.
+        mean_landmarks_encountered: Landmarks met by the depth-2 BFS,
+            averaged over query nodes (``#lnd``).
+        approx_seconds: Mean approximate query time.
+        exact_seconds: Mean exact (run-to-convergence) query time.
+        kendall_by_topn: ``top_n stored at landmarks → mean Kendall tau``
+            between approximate and exact top-100 (L10/L100/L1000).
+    """
+
+    strategy: str
+    mean_landmarks_encountered: float
+    approx_seconds: float
+    exact_seconds: float
+    kendall_by_topn: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def gain(self) -> float:
+        """Speed-up factor of the approximation over exact."""
+        if self.approx_seconds <= 0.0:
+            return float("inf")
+        return self.exact_seconds / self.approx_seconds
+
+
+def evaluate_strategy_quality(
+    graph: LabeledSocialGraph,
+    topics: Sequence[str],
+    similarity: SimilarityMatrix,
+    strategy: str,
+    num_landmarks: int = 100,
+    stored_topns: Sequence[int] = (10, 100, 1000),
+    evaluation_topic: Optional[str] = None,
+    query_nodes: Optional[Sequence[int]] = None,
+    num_queries: int = 20,
+    comparison_depth: int = 100,
+    top_k_compare: int = 100,
+    params: ScoreParams = ScoreParams(),
+    query_depth: int = 2,
+    seed: SeedLike = None,
+) -> StrategyQuality:
+    """Produce one Table-6 row for *strategy*.
+
+    Builds one index per stored top-n (sharing the landmark set),
+    measures query time and landmark encounters with the largest
+    index, and compares approximate vs exact top-``top_k_compare``
+    rankings with Kendall tau for each stored top-n.
+    """
+    rng = rng_from_seed(seed)
+    topic = evaluation_topic or topics[0]
+    landmarks = select_landmarks(graph, strategy, num_landmarks,
+                                 rng=spawn_rng(rng, strategy))
+    authority = AuthorityIndex(graph)
+    indexes: Dict[int, LandmarkIndex] = {}
+    for top_n in stored_topns:
+        indexes[top_n] = LandmarkIndex.build(
+            graph, landmarks, [topic], similarity, params=params,
+            landmark_params=LandmarkParams(
+                num_landmarks=num_landmarks, top_n=top_n,
+                query_depth=query_depth),
+            authority=authority)
+
+    if query_nodes is None:
+        eligible = sorted(
+            node for node in graph.nodes()
+            if graph.out_degree(node) >= 2 and node not in set(landmarks))
+        query_nodes = rng.sample(eligible, min(num_queries, len(eligible)))
+
+    recommenders = {
+        top_n: ApproximateRecommender(graph, similarity, index,
+                                      authority=authority)
+        for top_n, index in indexes.items()
+    }
+    largest = max(stored_topns)
+
+    encounter_counts: List[int] = []
+    approx_watch = Stopwatch()
+    exact_watch = Stopwatch()
+    tau_sums: Dict[int, float] = {top_n: 0.0 for top_n in stored_topns}
+
+    for query in query_nodes:
+        with exact_watch:
+            exact_state = single_source_scores(
+                graph, query, [topic], similarity, authority=authority,
+                params=params.with_(max_iter=comparison_depth))
+        exact_top = [node for node, _ in exact_state.ranked(
+            topic, top_n=top_k_compare, exclude=(query,))]
+        for top_n, recommender in recommenders.items():
+            if top_n == largest:
+                with approx_watch:
+                    result = recommender.query(query, topic)
+                encounter_counts.append(len(result.landmarks_encountered))
+            else:
+                result = recommender.query(query, topic)
+            approx_top = [node for node, _ in result.ranked(
+                top_n=top_k_compare, exclude=(query,))]
+            tau_sums[top_n] += kendall_tau_distance(approx_top, exact_top)
+
+    count = max(1, len(query_nodes))
+    return StrategyQuality(
+        strategy=strategy,
+        mean_landmarks_encountered=(
+            sum(encounter_counts) / len(encounter_counts)
+            if encounter_counts else 0.0),
+        approx_seconds=approx_watch.mean_lap,
+        exact_seconds=exact_watch.mean_lap,
+        kendall_by_topn={
+            top_n: tau_sums[top_n] / count for top_n in stored_topns},
+    )

@@ -1,0 +1,239 @@
+"""The edge-removal link-prediction protocol of Section 5.3.
+
+Protocol, verbatim from the paper:
+
+1. sample a test set of ``T`` edges whose target has in-degree ≥ k_in
+   and whose source has out-degree ≥ k_out (both 3), together with
+   their topics — the ground truth;
+2. remove every test edge from the graph;
+3. for each removed edge ``u → v``, draw 1000 random candidate
+   accounts, score the 1001 accounts (candidates + v) with respect to
+   ``u`` on the edge's topic, and rank them;
+4. a *hit* is ``v`` landing in the top-N; ``recall@N = #hits/T`` and
+   ``precision@N = #hits/(N·T)`` (Cremonesi et al.).
+
+Scorers are plain callables ``(source, candidates, topic) -> scores``
+so Tr, its ablations, Katz, TwitterRank and the landmark approximation
+all run under the identical protocol; adapters for each live at the
+bottom of this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..config import EvaluationParams, ScoreParams
+from ..core.katz import katz_scores
+from ..core.recommender import Recommender
+from ..errors import ProtocolError
+from ..graph.labeled_graph import LabeledSocialGraph
+from ..landmarks.approximate import ApproximateRecommender
+from ..utils.rng import SeedLike, rng_from_seed, sample_without_replacement
+from .metrics import precision_at, rank_of_target, recall_at
+
+#: ``scorer(source, candidates, topic) -> {candidate: score}``
+Scorer = Callable[[int, Sequence[int], str], Mapping[int, float]]
+
+#: Optional predicate limiting which edges may enter the test set.
+EdgeFilter = Callable[[LabeledSocialGraph, int, int, frozenset], bool]
+
+
+@dataclass(frozen=True)
+class TestEdge:
+    """One removed ground-truth edge.
+
+    Attributes:
+        source: The follower ``u``.
+        target: The followee ``v`` the methods must re-discover.
+        topic: The topic the ranking is performed on (one of the
+            edge's labels).
+    """
+
+    source: int
+    target: int
+    topic: str
+
+
+@dataclass
+class MethodCurve:
+    """Recall/precision curve of one method over the protocol.
+
+    Attributes:
+        name: Method label (``Tr``, ``Katz``, ``TwitterRank``, ...).
+        ranks: Mid-rank of the true target in each test list.
+        num_lists: Number of test lists (``T``).
+    """
+
+    name: str
+    ranks: List[float] = field(default_factory=list)
+
+    @property
+    def num_lists(self) -> int:
+        """Number of ranked test lists (the protocol's T)."""
+        return len(self.ranks)
+
+    def hits_at(self, n: int) -> int:
+        """Test lists whose target landed in the top-n."""
+        return sum(1 for rank in self.ranks if rank <= n)
+
+    def recall_at(self, n: int) -> float:
+        """``hits@n / T`` for this method."""
+        return recall_at(self.hits_at(n), self.num_lists)
+
+    def precision_at(self, n: int) -> float:
+        """``hits@n / (n·T)`` for this method."""
+        return precision_at(self.hits_at(n), self.num_lists, n)
+
+    def curve(self, max_rank: int) -> List[Tuple[int, float, float]]:
+        """``(N, recall@N, precision@N)`` rows for N = 1..max_rank."""
+        return [(n, self.recall_at(n), self.precision_at(n))
+                for n in range(1, max_rank + 1)]
+
+
+class LinkPredictionProtocol:
+    """Reusable protocol instance bound to one graph.
+
+    The constructor *copies* the graph; test edges are removed from the
+    copy, never from the caller's object.
+
+    Example::
+
+        protocol = LinkPredictionProtocol(graph, seed=1)
+        curves = protocol.run({"Tr": tr_scorer(recommender)})
+        curves["Tr"].recall_at(10)
+    """
+
+    def __init__(self, graph: LabeledSocialGraph,
+                 params: EvaluationParams = EvaluationParams(),
+                 seed: SeedLike = None,
+                 edge_filter: Optional[EdgeFilter] = None,
+                 forced_topic: Optional[str] = None) -> None:
+        """Args:
+            graph: Source graph (copied, not mutated).
+            params: T, negatives, degree constraints.
+            seed: RNG seed for edge/candidate sampling.
+            edge_filter: Optional eligibility predicate (Figures 8–9).
+            forced_topic: Rank on this topic instead of a random label
+                of each test edge (used with topic slices).
+        """
+        self.params = params
+        self._rng = rng_from_seed(seed)
+        self.graph = graph.copy()
+        self._forced_topic = forced_topic
+        self.test_edges = self._sample_test_edges(edge_filter)
+        for edge in self.test_edges:
+            self.graph.remove_edge(edge.source, edge.target)
+        self._candidates = self._draw_candidates()
+
+    # ------------------------------------------------------------------
+    def _sample_test_edges(self,
+                           edge_filter: Optional[EdgeFilter]) -> List[TestEdge]:
+        eligible: List[Tuple[int, int, frozenset]] = []
+        for source, target, label in self.graph.edges():
+            if not label:
+                continue
+            if self.graph.in_degree(target) < self.params.k_in:
+                continue
+            if self.graph.out_degree(source) < self.params.k_out:
+                continue
+            if edge_filter is not None and not edge_filter(
+                    self.graph, source, target, label):
+                continue
+            eligible.append((source, target, label))
+        if not eligible:
+            raise ProtocolError(
+                "no edge satisfies the protocol constraints "
+                f"(k_in={self.params.k_in}, k_out={self.params.k_out})")
+        eligible.sort()
+        count = min(self.params.test_size, len(eligible))
+        chosen = self._rng.sample(eligible, count)
+        return [
+            TestEdge(source=source, target=target,
+                     topic=(self._forced_topic if self._forced_topic
+                            else self._rng.choice(sorted(label))))
+            for source, target, label in chosen
+        ]
+
+    def _draw_candidates(self) -> Dict[TestEdge, List[int]]:
+        """1000 random accounts + the true target per test edge."""
+        population = sorted(self.graph.nodes())
+        candidates: Dict[TestEdge, List[int]] = {}
+        for edge in self.test_edges:
+            exclude = {edge.source, edge.target}
+            exclude.update(self.graph.out_neighbors(edge.source))
+            negatives = sample_without_replacement(
+                self._rng, population, self.params.num_negatives,
+                exclude=exclude)
+            candidates[edge] = negatives + [edge.target]
+        return candidates
+
+    # ------------------------------------------------------------------
+    def run(self, scorers: Mapping[str, Scorer]) -> Dict[str, MethodCurve]:
+        """Score every test list with every method.
+
+        Returns:
+            method name → :class:`MethodCurve`.
+        """
+        curves = {name: MethodCurve(name=name) for name in scorers}
+        for edge in self.test_edges:
+            pool = self._candidates[edge]
+            for name, scorer in scorers.items():
+                scores = scorer(edge.source, pool, edge.topic)
+                rank = rank_of_target(scores, edge.target, pool)
+                curves[name].ranks.append(rank)
+        return curves
+
+
+# ----------------------------------------------------------------------
+# Scorer adapters
+# ----------------------------------------------------------------------
+
+def tr_scorer(recommender: Recommender,
+              max_depth: Optional[int] = None) -> Scorer:
+    """Adapter for :class:`Recommender` (Tr and its ablations)."""
+
+    def score(source: int, candidates: Sequence[int],
+              topic: str) -> Dict[int, float]:
+        state = recommender.state_for(source, [topic], max_depth=max_depth)
+        bucket = state.scores.get(topic, {})
+        return {c: bucket.get(c, 0.0) for c in candidates}
+
+    return score
+
+
+def katz_scorer(graph: LabeledSocialGraph,
+                params: ScoreParams = ScoreParams(),
+                max_depth: Optional[int] = None) -> Scorer:
+    """Adapter for the Katz baseline (Eq. 2)."""
+
+    def score(source: int, candidates: Sequence[int],
+              topic: str) -> Dict[int, float]:
+        scores = katz_scores(graph, source, params=params,
+                             max_depth=max_depth)
+        return {c: scores.get(c, 0.0) for c in candidates}
+
+    return score
+
+
+def twitterrank_scorer(twitterrank) -> Scorer:
+    """Adapter for :class:`~repro.baselines.TwitterRank`."""
+
+    def score(source: int, candidates: Sequence[int],
+              topic: str) -> Dict[int, float]:
+        ranking = twitterrank.rank(topic)
+        return {c: ranking.get(c, 0.0) for c in candidates}
+
+    return score
+
+
+def landmark_scorer(approximate: ApproximateRecommender,
+                    depth: Optional[int] = None) -> Scorer:
+    """Adapter for the landmark-based approximate recommender."""
+
+    def score(source: int, candidates: Sequence[int],
+              topic: str) -> Dict[int, float]:
+        result = approximate.query(source, topic, depth=depth)
+        return {c: result.scores.get(c, 0.0) for c in candidates}
+
+    return score

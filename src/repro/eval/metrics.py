@@ -1,0 +1,125 @@
+"""Ranking metrics: recall@N / precision@N and top-k Kendall tau.
+
+Recall and precision follow Cremonesi et al. (the paper's reference
+[6]): over T ranked candidate lists, ``recall@N = #hits / T`` and
+``precision@N = #hits / (N·T)``.
+
+The Kendall tau distance on *top-k lists* (which generally contain
+different items) follows Fagin, Kumar & Sivakumar's ``K^(0)`` measure,
+normalised to [0, 1] — the quantity reported in Table 6's L10/L100/
+L1000 columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def recall_at(hits: int, num_lists: int) -> float:
+    """``#hits / T`` — fraction of test targets retrieved in the top-N."""
+    if num_lists <= 0:
+        raise ValueError(f"num_lists must be positive, got {num_lists}")
+    return hits / num_lists
+
+
+def precision_at(hits: int, num_lists: int, n: int) -> float:
+    """``#hits / (N·T)`` — the Cremonesi top-N precision."""
+    if num_lists <= 0 or n <= 0:
+        raise ValueError("num_lists and n must be positive")
+    return hits / (n * num_lists)
+
+
+def rank_of_target(scores: Mapping[int, float], target: int,
+                   candidates: Sequence[int]) -> float:
+    """Mid-rank of *target* among *candidates* under *scores*.
+
+    Missing entries score 0. Ties are resolved at the middle of the tie
+    group (``1 + #better + #ties/2``), the unbiased convention when
+    many unreachable candidates tie at score zero.
+    """
+    target_score = scores.get(target, 0.0)
+    better = 0
+    ties = 0
+    for candidate in candidates:
+        if candidate == target:
+            continue
+        value = scores.get(candidate, 0.0)
+        if value > target_score:
+            better += 1
+        elif value == target_score:
+            ties += 1
+    return 1.0 + better + ties / 2.0
+
+
+def kendall_tau_distance(first: Sequence[int], second: Sequence[int]) -> float:
+    """Normalised Kendall tau distance between two top-k lists.
+
+    Implements Fagin et al.'s ``K^(0)``: over every unordered pair of
+    items appearing in either list,
+
+    - both items in both lists: penalty 1 if the lists order them
+      differently;
+    - both items in one list only: penalty 0 (we cannot know the other
+      list's order — the optimistic ``p = 0`` choice);
+    - one item shared, the other in a single list: penalty 1 when the
+      single list ranks its exclusive item above the shared one (the
+      other list implicitly ranks it below);
+    - items exclusive to different lists: penalty 1.
+
+    Normalised by the number of pairs over the union: 0 for identical
+    lists, 1 for reversed lists over the same items, and
+    ``k / (2k − 1)`` (≈ 0.5) for fully disjoint lists.
+
+    Raises:
+        ValueError: if either list contains duplicates.
+    """
+    rank_first = {item: index for index, item in enumerate(first)}
+    rank_second = {item: index for index, item in enumerate(second)}
+    if len(rank_first) != len(first) or len(rank_second) != len(second):
+        raise ValueError("top-k lists must not contain duplicates")
+    union = list(dict.fromkeys(list(first) + list(second)))
+    if len(union) < 2:
+        return 0.0
+    penalty = 0.0
+    for i in range(len(union)):
+        for j in range(i + 1, len(union)):
+            a, b = union[i], union[j]
+            in_first = (a in rank_first, b in rank_first)
+            in_second = (a in rank_second, b in rank_second)
+            if all(in_first) and all(in_second):
+                if ((rank_first[a] - rank_first[b])
+                        * (rank_second[a] - rank_second[b]) < 0):
+                    penalty += 1.0
+            elif all(in_first) and not any(in_second):
+                penalty += 0.0
+            elif all(in_second) and not any(in_first):
+                penalty += 0.0
+            elif all(in_first):
+                # exactly one of a, b in second
+                shared, exclusive = (a, b) if b not in rank_second else (b, a)
+                # first orders both; second implicitly puts the
+                # exclusive item after the shared one.
+                if rank_first[exclusive] < rank_first[shared]:
+                    penalty += 1.0
+            elif all(in_second):
+                shared, exclusive = (a, b) if b not in rank_first else (b, a)
+                if rank_second[exclusive] < rank_second[shared]:
+                    penalty += 1.0
+            else:
+                # each item appears in exactly one, different, list
+                penalty += 1.0
+    total_pairs = len(union) * (len(union) - 1) / 2
+    return penalty / total_pairs
+
+
+def average_rating(ratings: Sequence[float]) -> float:
+    """Mean of a non-empty rating sequence (user-study helper)."""
+    if not ratings:
+        raise ValueError("ratings must not be empty")
+    return sum(ratings) / len(ratings)
+
+
+def hits_in_top_n(scores: Mapping[int, float], target: int,
+                  candidates: Sequence[int], n: int) -> bool:
+    """Whether *target* lands in the top-*n* of the ranked candidates."""
+    return rank_of_target(scores, target, candidates) <= n

@@ -1,0 +1,79 @@
+"""Sliced link-prediction accuracy (Figures 8 and 9).
+
+Figure 8 slices test edges by the *popularity of the removed target*:
+the bottom 10% least-followed accounts (``TW min`` / ``DBLP min``) vs
+the top 10% most-followed (``max``). Figure 9 slices by the *topic* of
+the removed edge (``social`` infrequent, ``leisure`` medium,
+``technology`` popular).
+
+Both are expressed as edge filters plugged into
+:class:`~repro.eval.linkpred.LinkPredictionProtocol`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..graph.labeled_graph import LabeledSocialGraph
+from .linkpred import EdgeFilter
+
+
+def in_degree_percentile_threshold(graph: LabeledSocialGraph,
+                                   fraction: float,
+                                   top: bool) -> int:
+    """In-degree cutoff isolating the top/bottom *fraction* of nodes.
+
+    Args:
+        graph: The graph.
+        fraction: Slice size, e.g. 0.1 for 10%.
+        top: ``True`` → threshold of the most-followed slice (use
+            ``in_degree >= threshold``); ``False`` → of the
+            least-followed slice (use ``in_degree <= threshold``).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    degrees = sorted(graph.in_degree(node) for node in graph.nodes())
+    if top:
+        index = max(0, int(len(degrees) * (1.0 - fraction)))
+    else:
+        index = min(len(degrees) - 1, max(0, int(len(degrees) * fraction) - 1))
+    return degrees[index]
+
+
+def popularity_slice_filter(graph: LabeledSocialGraph,
+                            fraction: float = 0.1,
+                            top: bool = True) -> EdgeFilter:
+    """Accept edges whose target sits in the top/bottom popularity slice.
+
+    The threshold is frozen at construction (against the *full* graph,
+    before test-edge removal slightly perturbs degrees), matching how
+    the paper fixes its 10% slices once.
+    """
+    threshold = in_degree_percentile_threshold(graph, fraction, top)
+
+    def accept(g: LabeledSocialGraph, source: int, target: int,
+               label: FrozenSet[str]) -> bool:
+        degree = g.in_degree(target)
+        return degree >= threshold if top else degree <= threshold
+
+    return accept
+
+
+def topic_slice_filter(topic: str) -> EdgeFilter:
+    """Accept edges labeled with *topic* (Figure 9's per-topic slices)."""
+
+    def accept(g: LabeledSocialGraph, source: int, target: int,
+               label: FrozenSet[str]) -> bool:
+        return topic in label
+
+    return accept
+
+
+def combined_filter(*filters: EdgeFilter) -> EdgeFilter:
+    """Logical AND of several edge filters."""
+
+    def accept(g: LabeledSocialGraph, source: int, target: int,
+               label: FrozenSet[str]) -> bool:
+        return all(f(g, source, target, label) for f in filters)
+
+    return accept

@@ -1,0 +1,281 @@
+"""Simulated user-validation studies (Figure 10 and Table 3).
+
+The paper's panels (54 IT users for Twitter, 47 researchers for DBLP)
+are not reproducible offline, so we simulate them — documented as a
+substitution in DESIGN.md. The judge model encodes the behaviour the
+paper itself describes:
+
+- a judge perceives an account's relevance to a topic through its
+  published content; we ground this in the *true* topical affinity of
+  the account (semantic similarity between the account's profile and
+  the topic, boosted by topical specialisation);
+- "the user during the validation usually mark[s] with the average 2
+  or 3 value ... when he was doubtful": ambiguous affinities collapse
+  to a central 2–3 mark;
+- clear judgements carry per-judge Gaussian noise before rounding to
+  the 1–5 scale.
+
+What the simulation preserves is the *comparative* outcome the panels
+measured — content-aware methods (Tr, TwitterRank) out-rating the
+purely topological Katz on topical relevance, and popularity-driven
+TwitterRank collapsing on DBLP — not the absolute panel means.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.scores import AuthorityIndex
+from ..errors import EvaluationError
+from ..graph.labeled_graph import LabeledSocialGraph
+from ..semantics.matrix import SimilarityMatrix
+from ..utils.rng import SeedLike, rng_from_seed
+
+#: ``method(user, topic, k) -> top-k account ids``
+MethodFn = Callable[[int, str, int], Sequence[int]]
+
+
+class JudgePanel:
+    """A pool of noisy judges with the paper's central-tendency habit.
+
+    Args:
+        size: Number of judges (54 for Twitter, 47 for DBLP).
+        noise: Standard deviation of per-rating Gaussian noise.
+        doubt_band: Affinity interval judged "doubtful" — ratings in it
+            collapse to 2 or 3.
+        seed: Panel seed.
+    """
+
+    def __init__(self, size: int, noise: float = 0.45,
+                 doubt_band: Tuple[float, float] = (0.30, 0.55),
+                 seed: SeedLike = None) -> None:
+        if size < 1:
+            raise EvaluationError("panel needs at least one judge")
+        low, high = doubt_band
+        if not 0.0 <= low < high <= 1.0:
+            raise EvaluationError(f"invalid doubt band {doubt_band}")
+        self.size = size
+        self.noise = noise
+        self.doubt_band = doubt_band
+        self._rng = rng_from_seed(seed)
+        # per-judge leniency offset, fixed for the panel's lifetime
+        self._leniency = [self._rng.gauss(0.0, 0.25) for _ in range(size)]
+
+    def rate(self, judge: int, affinity: float) -> int:
+        """One judge's 1–5 mark for an account of the given affinity."""
+        low, high = self.doubt_band
+        if low <= affinity <= high:
+            return self._rng.choice((2, 3))
+        raw = (1.0 + 4.0 * affinity
+               + self._rng.gauss(0.0, self.noise)
+               + self._leniency[judge % self.size])
+        return max(1, min(5, int(round(raw))))
+
+    def rate_all(self, affinity: float) -> List[int]:
+        """Every judge's mark for one account."""
+        return [self.rate(judge, affinity) for judge in range(self.size)]
+
+
+def topical_affinity(graph: LabeledSocialGraph,
+                     similarity: SimilarityMatrix,
+                     authority: AuthorityIndex,
+                     account: int, topic: str) -> float:
+    """Ground-truth relevance of *account* to *topic*, in [0, 1].
+
+    Combines the best semantic match between the account's publisher
+    profile and the topic with the account's topical specialisation
+    (the local-authority factor): an account publishing only about the
+    topic reads as clearly relevant; a generalist with one matching
+    label reads as ambiguous — which is exactly what pushes simulated
+    judges into the 2–3 doubt band.
+    """
+    profile = graph.node_topics(account)
+    if not profile:
+        return 0.05
+    best = similarity.max_similarity(profile, topic)
+    specialisation = authority.local_authority(account, topic)
+    return max(0.0, min(1.0, best * (0.55 + 0.45 * specialisation)))
+
+
+# ----------------------------------------------------------------------
+# Twitter study (Figure 10)
+# ----------------------------------------------------------------------
+
+@dataclass
+class TwitterStudyResult:
+    """Mean relevance marks per method and topic (Figure 10's bars)."""
+
+    mean_marks: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def mark(self, method: str, topic: str) -> float:
+        """Mean mark of *method* on *topic*."""
+        return self.mean_marks[method][topic]
+
+    def overall(self, method: str) -> float:
+        """Mean mark of *method* across all study topics."""
+        per_topic = self.mean_marks[method]
+        return sum(per_topic.values()) / len(per_topic)
+
+
+def run_twitter_study(
+    graph: LabeledSocialGraph,
+    similarity: SimilarityMatrix,
+    methods: Mapping[str, MethodFn],
+    topics: Sequence[str] = ("technology", "social", "leisure"),
+    panel: Optional[JudgePanel] = None,
+    query_users: Optional[Sequence[int]] = None,
+    num_query_users: int = 10,
+    top_k: int = 3,
+    seed: SeedLike = None,
+) -> TwitterStudyResult:
+    """Blind-test simulation of Section 5.3's Twitter validation.
+
+    Each method contributes its top-3 per (query user, topic); the
+    shuffled union is rated by every judge; marks are averaged per
+    method and topic.
+    """
+    rng = rng_from_seed(seed)
+    panel = panel or JudgePanel(size=54, seed=rng.getrandbits(32))
+    authority = AuthorityIndex(graph)
+    if query_users is None:
+        eligible = sorted(
+            node for node in graph.nodes() if graph.out_degree(node) >= 3)
+        if not eligible:
+            raise EvaluationError("no account with out-degree >= 3")
+        query_users = rng.sample(eligible, min(num_query_users, len(eligible)))
+
+    marks: Dict[str, Dict[str, List[int]]] = {
+        name: {topic: [] for topic in topics} for name in methods
+    }
+    for topic in topics:
+        for user in query_users:
+            batch: List[Tuple[str, int]] = []
+            for name, method in methods.items():
+                for account in method(user, topic, top_k):
+                    batch.append((name, account))
+            rng.shuffle(batch)  # blind, shuffled presentation
+            for name, account in batch:
+                affinity = topical_affinity(
+                    graph, similarity, authority, account, topic)
+                marks[name][topic].extend(panel.rate_all(affinity))
+
+    result = TwitterStudyResult()
+    for name, per_topic in marks.items():
+        result.mean_marks[name] = {
+            topic: (sum(values) / len(values) if values else 0.0)
+            for topic, values in per_topic.items()
+        }
+    return result
+
+
+# ----------------------------------------------------------------------
+# DBLP study (Table 3)
+# ----------------------------------------------------------------------
+
+@dataclass
+class DblpStudyResult:
+    """The three rows of Table 3.
+
+    Attributes:
+        average_mark: method → mean 1–5 mark over all proposals.
+        high_marks: method → number of 4- and 5-marks received.
+        best_answer: method → fraction of judges for whom the method's
+            top-3 totalled the highest marks (ties split).
+    """
+
+    average_mark: Dict[str, float] = field(default_factory=dict)
+    high_marks: Dict[str, int] = field(default_factory=dict)
+    best_answer: Dict[str, float] = field(default_factory=dict)
+
+    def as_rows(self) -> List[Tuple[str, Dict[str, float]]]:
+        """Render the three Table-3 rows in paper order."""
+        return [
+            ("average mark", dict(self.average_mark)),
+            ("# 4 and 5-mark", {k: float(v) for k, v in self.high_marks.items()}),
+            ("best answer (%)", dict(self.best_answer)),
+        ]
+
+
+def run_dblp_study(
+    graph: LabeledSocialGraph,
+    similarity: SimilarityMatrix,
+    methods: Mapping[str, MethodFn],
+    panel_size: int = 47,
+    citation_cap: int = 100,
+    top_k: int = 3,
+    judges: Optional[Sequence[int]] = None,
+    seed: SeedLike = None,
+) -> DblpStudyResult:
+    """Simulation of the DBLP researcher validation (Table 3).
+
+    Each judge is an author node; methods propose top-3 authors for the
+    judge's primary area, restricted to authors with at most
+    *citation_cap* incoming citations (the paper's "limit to 100 the
+    number of citations ... so we avoid very popular and obvious
+    authors"). A proposal's affinity blends semantic profile match
+    with citation-graph proximity ("the proposed author could have
+    been cited regarding the past publications").
+    """
+    rng = rng_from_seed(seed)
+    panel = JudgePanel(size=1, seed=rng.getrandbits(32))
+    authority = AuthorityIndex(graph)
+    if judges is None:
+        eligible = sorted(
+            node for node in graph.nodes()
+            if graph.node_topics(node) and graph.out_degree(node) >= 2)
+        if not eligible:
+            raise EvaluationError("no eligible judge author")
+        judges = rng.sample(eligible, min(panel_size, len(eligible)))
+
+    all_marks: Dict[str, List[int]] = {name: [] for name in methods}
+    best_counts: Dict[str, float] = {name: 0.0 for name in methods}
+
+    for judge in judges:
+        profile = sorted(graph.node_topics(judge))
+        if not profile:
+            continue
+        area = profile[0]
+        references = list(graph.out_neighbors(judge))
+        totals: Dict[str, int] = {}
+        for name, method in methods.items():
+            proposals = [
+                account for account in method(judge, area, top_k * 4)
+                if graph.in_degree(account) <= citation_cap
+                and account != judge
+            ][:top_k]
+            total = 0
+            for account in proposals:
+                semantic = topical_affinity(
+                    graph, similarity, authority, account, area)
+                # "could have been cited regarding the past publications
+                # done by the researcher": the judge checks how much of
+                # their own reference list already cites the proposal —
+                # co-citation evidence relative to *their* neighborhood,
+                # which popularity-driven proposals lack.
+                cociting = sum(
+                    1 for reference in references
+                    if graph.has_edge(reference, account))
+                share = cociting / len(references) if references else 0.0
+                proximity = min(1.0, share / 0.25)
+                affinity = max(0.0, min(1.0,
+                                        0.45 * semantic + 0.55 * proximity))
+                mark = panel.rate(0, affinity)
+                all_marks[name].append(mark)
+                total += mark
+            totals[name] = total
+        if totals:
+            best = max(totals.values())
+            winners = [name for name, value in totals.items() if value == best]
+            for name in winners:
+                best_counts[name] += 1.0 / len(winners)
+
+    result = DblpStudyResult()
+    for name, values in all_marks.items():
+        result.average_mark[name] = (
+            sum(values) / len(values) if values else 0.0)
+        result.high_marks[name] = sum(1 for v in values if v >= 4)
+        result.best_answer[name] = (
+            best_counts[name] / len(judges) if judges else 0.0)
+    return result

@@ -1,0 +1,22 @@
+"""Directed labeled social-graph substrate (Section 3.1 of the paper)."""
+
+from .labeled_graph import LabeledSocialGraph
+from .builders import graph_from_edges, graph_from_records
+from .traversal import bfs_levels, k_vicinity, reachable_set
+from .stats import GraphStats, compute_stats
+from .io import read_edge_list, read_jsonl, write_edge_list, write_jsonl
+
+__all__ = [
+    "LabeledSocialGraph",
+    "graph_from_edges",
+    "graph_from_records",
+    "bfs_levels",
+    "k_vicinity",
+    "reachable_set",
+    "GraphStats",
+    "compute_stats",
+    "read_edge_list",
+    "write_edge_list",
+    "read_jsonl",
+    "write_jsonl",
+]

@@ -1,0 +1,94 @@
+"""Convenience constructors for :class:`LabeledSocialGraph`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Tuple, Union
+
+from .labeled_graph import LabeledSocialGraph
+
+EdgeSpec = Union[
+    Tuple[int, int],
+    Tuple[int, int, Iterable[str]],
+]
+
+
+def graph_from_edges(edges: Iterable[EdgeSpec],
+                     node_topics: Mapping[int, Iterable[str]] | None = None,
+                     ) -> LabeledSocialGraph:
+    """Build a graph from ``(source, target[, topics])`` tuples.
+
+    Args:
+        edges: Edge specs; a missing third element means an unlabeled
+            edge.
+        node_topics: Optional publisher profiles keyed by node id;
+            nodes mentioned here but absent from *edges* are still
+            created.
+
+    Example:
+        >>> g = graph_from_edges([(1, 2, ["tech"]), (2, 3)])
+        >>> sorted(g.nodes())
+        [1, 2, 3]
+    """
+    graph = LabeledSocialGraph()
+    if node_topics:
+        for node, topics in node_topics.items():
+            graph.ensure_node(node, topics)
+    for spec in edges:
+        if len(spec) == 2:
+            source, target = spec  # type: ignore[misc]
+            topics: Iterable[str] = ()
+        else:
+            source, target, topics = spec  # type: ignore[misc]
+        graph.add_edge(source, target, topics)
+    return graph
+
+
+def graph_from_records(records: Iterable[Mapping]) -> LabeledSocialGraph:
+    """Build a graph from dict records, e.g. parsed JSON lines.
+
+    Two record shapes are accepted:
+
+    - node records: ``{"node": id, "topics": [...]}``;
+    - edge records: ``{"source": id, "target": id, "topics": [...]}``.
+
+    Raises:
+        ValueError: on a record that is neither shape.
+    """
+    graph = LabeledSocialGraph()
+    for record in records:
+        if "node" in record:
+            graph.ensure_node(int(record["node"]),
+                              record.get("topics", ()))
+        elif "source" in record and "target" in record:
+            graph.add_edge(int(record["source"]), int(record["target"]),
+                           record.get("topics", ()))
+        else:
+            raise ValueError(f"unrecognised graph record: {record!r}")
+    return graph
+
+
+def complete_graph(n: int, topics: Sequence[str] = ()) -> LabeledSocialGraph:
+    """Fully-connected directed graph on ``n`` nodes (no self-loops).
+
+    Handy for worst-case path-count tests (the ``N^k`` bound mentioned
+    in Section 4) and for convergence-condition tests, where the
+    spectral radius is known to be ``n - 1``.
+    """
+    graph = LabeledSocialGraph()
+    for node in range(n):
+        graph.add_node(node, topics)
+    for source in range(n):
+        for target in range(n):
+            if source != target:
+                graph.add_edge(source, target, topics)
+    return graph
+
+
+def path_graph(n: int, topics: Sequence[str] = ()) -> LabeledSocialGraph:
+    """Directed path ``0 -> 1 -> ... -> n-1``; single-path score tests."""
+    graph = LabeledSocialGraph()
+    for node in range(n):
+        graph.add_node(node, topics)
+    for node in range(n - 1):
+        graph.add_edge(node, node + 1, topics)
+    return graph

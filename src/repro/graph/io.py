@@ -1,0 +1,98 @@
+"""Serialisation of labeled graphs.
+
+Two formats:
+
+- a labeled edge-list text format, one edge per line:
+  ``source<TAB>target<TAB>topic1,topic2`` (topics optional), with node
+  profiles in an optional companion header section ``#node id t1,t2``;
+- JSON-lines with explicit node and edge records, round-tripping every
+  detail (used by the CLI and the dataset cache).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Union
+
+from .builders import graph_from_records
+from .labeled_graph import LabeledSocialGraph
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: LabeledSocialGraph, path: PathLike) -> None:
+    """Write *graph* in the labeled edge-list format."""
+    target_path = Path(path)
+    with target_path.open("w", encoding="utf-8") as handle:
+        for node in sorted(graph.nodes()):
+            topics = graph.node_topics(node)
+            if topics:
+                handle.write(f"#node\t{node}\t{','.join(sorted(topics))}\n")
+        for source, target, label in sorted(graph.edges()):
+            topics_field = ",".join(sorted(label))
+            handle.write(f"{source}\t{target}\t{topics_field}\n")
+
+
+def read_edge_list(path: PathLike) -> LabeledSocialGraph:
+    """Read a graph written by :func:`write_edge_list`.
+
+    Raises:
+        ValueError: on a malformed line (wrong field count).
+    """
+    graph = LabeledSocialGraph()
+    source_path = Path(path)
+    with source_path.open("r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            fields = line.split("\t")
+            if fields[0] == "#node":
+                if len(fields) != 3:
+                    raise ValueError(
+                        f"{source_path}:{line_number}: bad node line {line!r}")
+                topics = _split_topics(fields[2])
+                node = int(fields[1])
+                if node in graph:
+                    graph.set_node_topics(node, topics)
+                else:
+                    graph.add_node(node, topics)
+            else:
+                if len(fields) not in (2, 3):
+                    raise ValueError(
+                        f"{source_path}:{line_number}: bad edge line {line!r}")
+                topics = _split_topics(fields[2]) if len(fields) == 3 else []
+                graph.add_edge(int(fields[0]), int(fields[1]), topics)
+    return graph
+
+
+def _split_topics(field: str) -> list[str]:
+    return [topic for topic in field.split(",") if topic]
+
+
+def write_jsonl(graph: LabeledSocialGraph, path: PathLike) -> None:
+    """Write *graph* as JSON lines (node records then edge records)."""
+    target_path = Path(path)
+    with target_path.open("w", encoding="utf-8") as handle:
+        for node in sorted(graph.nodes()):
+            record = {"node": node,
+                      "topics": sorted(graph.node_topics(node))}
+            handle.write(json.dumps(record) + "\n")
+        for source, target, label in sorted(graph.edges()):
+            record = {"source": source, "target": target,
+                      "topics": sorted(label)}
+            handle.write(json.dumps(record) + "\n")
+
+
+def read_jsonl(path: PathLike) -> LabeledSocialGraph:
+    """Read a graph written by :func:`write_jsonl`."""
+    return graph_from_records(_iter_jsonl(Path(path)))
+
+
+def _iter_jsonl(path: Path) -> Iterator[dict]:
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

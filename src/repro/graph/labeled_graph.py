@@ -1,0 +1,272 @@
+"""The directed labeled social graph of Section 3.1.
+
+Nodes are user accounts (integer ids). A directed edge ``(u, v)`` means
+*u follows v* — u receives v's posts. Node labels are the topics a user
+publishes on (the *publisher profile*); edge labels are the topics on
+which the follower is interested in the followee's posts.
+
+The structure maintains, incrementally, the per-topic follower counts
+``|Γu(t)|`` (how many accounts follow ``u`` on topic ``t``) that the
+authority score of Section 3.2 needs, so authority lookups never require
+a graph exploration — exactly the locality property the paper points out
+for score updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
+
+from ..errors import (
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+)
+
+TopicSet = FrozenSet[str]
+_EMPTY: TopicSet = frozenset()
+
+
+class LabeledSocialGraph:
+    """Directed multigraph-free labeled social graph.
+
+    Example:
+        >>> g = LabeledSocialGraph()
+        >>> g.add_node(1, topics=["technology"])
+        >>> g.add_node(2, topics=["technology", "bigdata"])
+        >>> g.add_edge(1, 2, topics=["technology"])
+        >>> g.follower_count(2)
+        1
+        >>> g.follower_count_on(2, "technology")
+        1
+    """
+
+    def __init__(self) -> None:
+        self._node_topics: Dict[int, TopicSet] = {}
+        # u -> {v: edge topics} for edges u -> v (u follows v)
+        self._out: Dict[int, Dict[int, TopicSet]] = {}
+        # v -> {u: edge topics} for edges u -> v
+        self._in: Dict[int, Dict[int, TopicSet]] = {}
+        # u -> {topic: |Γu(t)|}, maintained incrementally
+        self._followers_on: Dict[int, Dict[str, int]] = {}
+        self._num_edges = 0
+        # topic -> max_v |Γv(t)|; recomputed lazily after mutations
+        self._max_followers_cache: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: int, topics: Iterable[str] = ()) -> None:
+        """Add *node* with publisher-profile *topics*.
+
+        Raises:
+            DuplicateNodeError: if the node already exists.
+        """
+        if node in self._node_topics:
+            raise DuplicateNodeError(node)
+        self._node_topics[node] = frozenset(topics)
+        self._out[node] = {}
+        self._in[node] = {}
+        self._followers_on[node] = {}
+
+    def ensure_node(self, node: int, topics: Iterable[str] = ()) -> None:
+        """Add *node* if absent; otherwise leave it untouched."""
+        if node not in self._node_topics:
+            self.add_node(node, topics)
+
+    def set_node_topics(self, node: int, topics: Iterable[str]) -> None:
+        """Replace the publisher profile of *node*."""
+        self._require_node(node)
+        self._node_topics[node] = frozenset(topics)
+
+    def add_edge(self, source: int, target: int,
+                 topics: Iterable[str] = ()) -> None:
+        """Add the follow edge *source* → *target* labeled with *topics*.
+
+        Endpoints are created implicitly if missing (with empty
+        profiles). Re-adding an existing edge replaces its labels; the
+        per-topic follower counts are kept consistent.
+
+        Raises:
+            ValueError: on self-loops — an account cannot follow itself.
+        """
+        if source == target:
+            raise ValueError(f"self-loop on node {source} is not allowed")
+        self.ensure_node(source)
+        self.ensure_node(target)
+        label = frozenset(topics)
+        previous = self._out[source].get(target)
+        if previous is None:
+            self._num_edges += 1
+        else:
+            self._retract_follower_counts(target, previous)
+        self._out[source][target] = label
+        self._in[target][source] = label
+        counts = self._followers_on[target]
+        for topic in label:
+            counts[topic] = counts.get(topic, 0) + 1
+        self._max_followers_cache = None
+
+    def set_edge_topics(self, source: int, target: int,
+                        topics: Iterable[str]) -> None:
+        """Relabel an existing edge.
+
+        Raises:
+            EdgeNotFoundError: if the edge does not exist.
+        """
+        if target not in self._out.get(source, {}):
+            raise EdgeNotFoundError(source, target)
+        self.add_edge(source, target, topics)
+
+    def remove_edge(self, source: int, target: int) -> TopicSet:
+        """Remove the edge and return its (former) topic labels.
+
+        Raises:
+            EdgeNotFoundError: if the edge does not exist.
+        """
+        out_edges = self._out.get(source)
+        if out_edges is None or target not in out_edges:
+            raise EdgeNotFoundError(source, target)
+        label = out_edges.pop(target)
+        del self._in[target][source]
+        self._retract_follower_counts(target, label)
+        self._num_edges -= 1
+        self._max_followers_cache = None
+        return label
+
+    def _retract_follower_counts(self, target: int, label: TopicSet) -> None:
+        counts = self._followers_on[target]
+        for topic in label:
+            remaining = counts[topic] - 1
+            if remaining:
+                counts[topic] = remaining
+            else:
+                del counts[topic]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of accounts in the graph."""
+        return len(self._node_topics)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of follow edges."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._node_topics)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._node_topics
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether *source* follows *target*."""
+        return target in self._out.get(source, {})
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over every account id."""
+        return iter(self._node_topics)
+
+    def edges(self) -> Iterator[Tuple[int, int, TopicSet]]:
+        """Yield every edge as ``(source, target, topics)``."""
+        for source, targets in self._out.items():
+            for target, label in targets.items():
+                yield source, target, label
+
+    def node_topics(self, node: int) -> TopicSet:
+        """Publisher profile of *node*."""
+        self._require_node(node)
+        return self._node_topics[node]
+
+    def edge_topics(self, source: int, target: int) -> TopicSet:
+        """Topic labels of the edge *source* → *target*."""
+        try:
+            return self._out[source][target]
+        except KeyError:
+            raise EdgeNotFoundError(source, target) from None
+
+    def out_neighbors(self, node: int) -> Mapping[int, TopicSet]:
+        """Accounts *node* follows, mapped to the edge labels."""
+        self._require_node(node)
+        return self._out[node]
+
+    def in_neighbors(self, node: int) -> Mapping[int, TopicSet]:
+        """Followers of *node* (Γ_node), mapped to the edge labels."""
+        self._require_node(node)
+        return self._in[node]
+
+    def followers(self, node: int) -> Mapping[int, TopicSet]:
+        """Alias for :meth:`in_neighbors` matching the paper's Γu."""
+        return self.in_neighbors(node)
+
+    def out_degree(self, node: int) -> int:
+        """Number of accounts *node* follows."""
+        self._require_node(node)
+        return len(self._out[node])
+
+    def in_degree(self, node: int) -> int:
+        """Number of followers of *node*."""
+        self._require_node(node)
+        return len(self._in[node])
+
+    def follower_count(self, node: int) -> int:
+        """``|Γu|`` — total number of followers of *node*."""
+        return self.in_degree(node)
+
+    def follower_count_on(self, node: int, topic: str) -> int:
+        """``|Γu(t)|`` — followers of *node* whose edge carries *topic*."""
+        self._require_node(node)
+        return self._followers_on[node].get(topic, 0)
+
+    def follower_topic_counts(self, node: int) -> Mapping[str, int]:
+        """All per-topic follower counts of *node* (zero counts omitted)."""
+        self._require_node(node)
+        return self._followers_on[node]
+
+    def max_followers_on(self, topic: str) -> int:
+        """``max_v |Γv(t)|`` — global popularity normaliser (Section 3.2).
+
+        Computed once after mutations and cached, mirroring the paper's
+        observation that this value can be stored and refreshed
+        periodically.
+        """
+        if self._max_followers_cache is None:
+            cache: Dict[str, int] = {}
+            for counts in self._followers_on.values():
+                for t, count in counts.items():
+                    if count > cache.get(t, 0):
+                        cache[t] = count
+            self._max_followers_cache = cache
+        return self._max_followers_cache.get(topic, 0)
+
+    def topics(self) -> FrozenSet[str]:
+        """The set of topics appearing on any node or edge."""
+        seen = set()
+        for label in self._node_topics.values():
+            seen |= label
+        for targets in self._out.values():
+            for label in targets.values():
+                seen |= label
+        return frozenset(seen)
+
+    def copy(self) -> "LabeledSocialGraph":
+        """Deep-enough copy: topic sets are immutable and shared."""
+        clone = LabeledSocialGraph()
+        clone._node_topics = dict(self._node_topics)
+        clone._out = {u: dict(vs) for u, vs in self._out.items()}
+        clone._in = {v: dict(us) for v, us in self._in.items()}
+        clone._followers_on = {
+            u: dict(counts) for u, counts in self._followers_on.items()
+        }
+        clone._num_edges = self._num_edges
+        return clone
+
+    def _require_node(self, node: int) -> None:
+        if node not in self._node_topics:
+            raise NodeNotFoundError(node)
+
+    def __repr__(self) -> str:
+        return (f"LabeledSocialGraph(nodes={self.num_nodes}, "
+                f"edges={self.num_edges})")

@@ -1,0 +1,126 @@
+"""Graph exploration primitives: BFS levels, k-vicinity, path iteration.
+
+The paper's Algorithm 1 explores the out-direction of the follow graph
+("u trusts his friends, the friends of his friends..."), so every
+traversal here defaults to out-edges; the evaluation and centrality code
+also needs the reverse direction, selected with ``direction="in"``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from ..errors import ConfigurationError
+from .labeled_graph import LabeledSocialGraph
+
+
+def _neighbor_fn(graph: LabeledSocialGraph, direction: str):
+    if direction == "out":
+        return graph.out_neighbors
+    if direction == "in":
+        return graph.in_neighbors
+    raise ConfigurationError(f"direction must be 'out' or 'in', got {direction!r}")
+
+
+def bfs_levels(graph: LabeledSocialGraph, source: int,
+               max_depth: int | None = None,
+               direction: str = "out") -> Dict[int, int]:
+    """Breadth-first distances from *source*.
+
+    Returns:
+        Mapping node → hop distance, including ``source`` at distance 0.
+        Nodes beyond *max_depth* (when given) are omitted.
+    """
+    neighbors = _neighbor_fn(graph, direction)
+    distances = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        depth = distances[node]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for neighbor in neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                frontier.append(neighbor)
+    return distances
+
+
+def k_vicinity(graph: LabeledSocialGraph, source: int, k: int,
+               direction: str = "out") -> Set[int]:
+    """The k-vicinity Υ_k: nodes reachable within *k* hops, source excluded."""
+    distances = bfs_levels(graph, source, max_depth=k, direction=direction)
+    return {node for node, depth in distances.items() if 0 < depth <= k}
+
+
+def reachable_set(graph: LabeledSocialGraph, source: int,
+                  direction: str = "out") -> Set[int]:
+    """Υ_∞: every node reachable from *source* (source excluded)."""
+    distances = bfs_levels(graph, source, direction=direction)
+    del distances[source]
+    return set(distances)
+
+
+def shortest_path_lengths(graph: LabeledSocialGraph, source: int,
+                          direction: str = "out") -> Dict[int, int]:
+    """Alias of :func:`bfs_levels` without a depth cap, for readability."""
+    return bfs_levels(graph, source, direction=direction)
+
+
+def enumerate_walks(graph: LabeledSocialGraph, source: int, target: int,
+                    max_length: int) -> Iterator[List[int]]:
+    """Yield every walk (paths possibly revisiting nodes) source → target.
+
+    The recommendation score of Definition 1 sums over *all* paths in
+    the walk sense (cycles contribute, damped by β), so the reference
+    brute-force used to validate the power iteration must enumerate
+    walks, not simple paths. Exponential — test-sized graphs only.
+    """
+    if max_length < 1:
+        return
+    stack: List[Tuple[List[int]]] = [[source]]
+    while stack:
+        walk = stack.pop()
+        if len(walk) - 1 >= max_length:
+            continue
+        for neighbor in graph.out_neighbors(walk[-1]):
+            extended = walk + [neighbor]
+            if neighbor == target:
+                yield extended
+            stack.append(extended)
+
+
+def weakly_connected_components(graph: LabeledSocialGraph) -> List[Set[int]]:
+    """Weakly-connected components (direction ignored)."""
+    seen: Set[int] = set()
+    components: List[Set[int]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component = {start}
+        frontier = deque([start])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in graph.out_neighbors(node):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+            for neighbor in graph.in_neighbors(node):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def sample_pairs_within_distance(graph: LabeledSocialGraph,
+                                 sources: Sequence[int], k: int,
+                                 direction: str = "out",
+                                 ) -> Dict[int, Set[int]]:
+    """For each source, its k-vicinity — bulk helper for coverage metrics."""
+    return {
+        source: k_vicinity(graph, source, k, direction=direction)
+        for source in sources
+    }

@@ -1,0 +1,17 @@
+"""Landmark-based approximate recommendation (Section 4)."""
+
+from .selection import STRATEGIES, select_landmarks
+from .index import LandmarkEntry, LandmarkIndex
+from .approximate import ApproximateRecommender, explore_with_landmarks
+from .storage import load_index, save_index
+
+__all__ = [
+    "STRATEGIES",
+    "select_landmarks",
+    "LandmarkIndex",
+    "LandmarkEntry",
+    "ApproximateRecommender",
+    "explore_with_landmarks",
+    "save_index",
+    "load_index",
+]

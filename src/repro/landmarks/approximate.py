@@ -1,0 +1,158 @@
+"""Query-time approximate recommendation — Algorithm 2 / Section 4.2.
+
+The query node explores its k-vicinity (k small, 2 in the paper),
+pruning the propagation at every landmark it meets; the pruned mass is
+reinstated by composing the landmark's precomputed vectors with the
+query-side scores via Proposition 4:
+
+``σ̃_λ(u,v,t) = σ(u,λ,t)·topo_β(λ,v) + topo_{βα}(u,λ)·σ(λ,v,t)``
+
+and ``σ̃_Λ = Σ_λ σ̃_λ`` plus the scores of nodes reached directly
+during the exploration (node ``r2`` of the paper's Figure 2).
+
+Because only paths through landmarks (plus the short directly-explored
+ones) are counted, the approximation is a *lower bound* of the exact
+score — the opposite of classical landmark distance oracles, as the
+paper notes after Proposition 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..config import LandmarkParams, ScoreParams
+from ..core.exact import ScoreState, _MaxSimCache, single_source_scores
+from ..core.scores import AuthorityIndex
+from ..graph.labeled_graph import LabeledSocialGraph
+from ..semantics.matrix import SimilarityMatrix
+from .index import LandmarkIndex
+
+
+def explore_with_landmarks(
+    graph: LabeledSocialGraph,
+    source: int,
+    topics: Sequence[str],
+    similarity: SimilarityMatrix,
+    landmarks: frozenset,
+    params: ScoreParams = ScoreParams(),
+    depth: int = 2,
+    authority: Optional[AuthorityIndex] = None,
+    sim_cache: Optional[_MaxSimCache] = None,
+) -> ScoreState:
+    """Depth-limited exploration from *source*, absorbed at landmarks."""
+    return single_source_scores(
+        graph, source, list(topics), similarity, authority=authority,
+        params=params, max_depth=depth, sim_cache=sim_cache,
+        absorbing=landmarks)
+
+
+@dataclass
+class ApproximateResult:
+    """Outcome of one approximate query.
+
+    Attributes:
+        scores: Node → approximate recommendation score ``σ̃``.
+        landmarks_encountered: Landmarks met during the exploration —
+            the ``#lnd`` column of Table 6.
+        exploration: The raw query-side :class:`ScoreState`.
+    """
+
+    scores: Dict[int, float]
+    landmarks_encountered: Tuple[int, ...]
+    exploration: ScoreState
+
+    def ranked(self, top_n: Optional[int] = None,
+               exclude: Iterable[int] = ()) -> List[Tuple[int, float]]:
+        """Descending-score ranking, ties broken by node id."""
+        excluded = set(exclude)
+        entries = [(node, value) for node, value in self.scores.items()
+                   if node not in excluded and value > 0.0]
+        entries.sort(key=lambda kv: (-kv[1], kv[0]))
+        return entries[:top_n] if top_n is not None else entries
+
+
+class ApproximateRecommender:
+    """Landmark-accelerated Tr recommender (Algorithm 2).
+
+    Example::
+
+        landmarks = select_landmarks(graph, "In-Deg", 100, rng=7)
+        index = LandmarkIndex.build(graph, landmarks, topics, sim)
+        fast = ApproximateRecommender(graph, sim, index)
+        fast.recommend(user, "technology", top_n=10)
+    """
+
+    def __init__(
+        self,
+        graph: LabeledSocialGraph,
+        similarity: SimilarityMatrix,
+        index: LandmarkIndex,
+        params: Optional[ScoreParams] = None,
+        landmark_params: Optional[LandmarkParams] = None,
+        authority: Optional[AuthorityIndex] = None,
+    ) -> None:
+        self.graph = graph
+        self.index = index
+        self.params = params or index.params
+        self.landmark_params = landmark_params or index.landmark_params
+        self._similarity = similarity
+        self._authority = authority or AuthorityIndex(graph)
+        self._sim_cache = _MaxSimCache(similarity)
+        self._landmark_set = frozenset(index.landmarks)
+
+    def query(self, user: int, topic: str,
+              depth: Optional[int] = None) -> ApproximateResult:
+        """Compute approximate scores of every candidate for *user*.
+
+        Args:
+            user: Query node.
+            topic: Single query topic (Algorithm 2 is per-topic; the
+                public :meth:`recommend` also accepts only one topic to
+                mirror the paper).
+            depth: Exploration depth override (default: the index's
+                ``query_depth``).
+        """
+        exploration_depth = depth or self.landmark_params.query_depth
+        state = explore_with_landmarks(
+            self.graph, user, [topic], self._similarity,
+            landmarks=self._landmark_set, params=self.params,
+            depth=exploration_depth, authority=self._authority,
+            sim_cache=self._sim_cache)
+
+        # Directly-reached nodes keep their exploration score.
+        combined: Dict[int, float] = dict(state.scores.get(topic, {}))
+
+        encountered: List[int] = []
+        for landmark in self._landmark_set:
+            if landmark == user:
+                continue
+            topo_ab = state.topo_alphabeta.get(landmark, 0.0)
+            if topo_ab <= 0.0:
+                continue
+            encountered.append(landmark)
+            sigma_to_landmark = state.score(landmark, topic)
+            for entry in self.index.recommendations(landmark, topic):
+                if entry.node == user:
+                    continue
+                contribution = (sigma_to_landmark * entry.topo
+                                + topo_ab * entry.score)
+                if contribution:
+                    combined[entry.node] = (
+                        combined.get(entry.node, 0.0) + contribution)
+        encountered.sort()
+        return ApproximateResult(
+            scores=combined,
+            landmarks_encountered=tuple(encountered),
+            exploration=state,
+        )
+
+    def recommend(self, user: int, topic: str, top_n: int = 10,
+                  depth: Optional[int] = None,
+                  exclude_followed: bool = True) -> List[Tuple[int, float]]:
+        """Top-n approximate recommendations for *user* on *topic*."""
+        result = self.query(user, topic, depth=depth)
+        excluded = {user}
+        if exclude_followed:
+            excluded.update(self.graph.out_neighbors(user))
+        return result.ranked(top_n=top_n, exclude=excluded)

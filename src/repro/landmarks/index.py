@@ -1,0 +1,175 @@
+"""Per-landmark precomputation — Algorithm 1 / Section 4.1.
+
+For each landmark λ the index stores, per topic, the top-n reachable
+accounts ``v`` with both halves of Proposition 4's composition:
+``σ(λ, v, t)`` and ``topo_β(λ, v)``. The lists are the "inverted lists"
+of Section 5.2; their in-memory layout (and the file layout in
+:mod:`repro.landmarks.storage`) follows that description.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..config import LandmarkParams, ScoreParams
+from ..core.exact import _MaxSimCache, single_source_scores
+from ..core.scores import AuthorityIndex
+from ..graph.labeled_graph import LabeledSocialGraph
+from ..semantics.matrix import SimilarityMatrix
+from ..utils.timers import Stopwatch
+
+
+@dataclass(frozen=True)
+class LandmarkEntry:
+    """One stored recommendation of a landmark.
+
+    Attributes:
+        node: The recommended account ``v``.
+        score: ``σ(λ, v, t)`` — the landmark's Tr score for ``v``.
+        topo: ``topo_β(λ, v)`` — the landmark's Katz score for ``v``.
+        topo_ab: ``topo_{αβ}(λ, v)`` — the combined-decay topological
+            score, needed by the incremental (first-order delta) update
+            strategy of :mod:`repro.dynamics.incremental`.
+    """
+
+    node: int
+    score: float
+    topo: float
+    topo_ab: float = 0.0
+
+
+class LandmarkIndex:
+    """Inverted-list store of per-landmark recommendations.
+
+    Build with :meth:`build`; query with :meth:`recommendations`.
+    """
+
+    def __init__(self, params: ScoreParams,
+                 landmark_params: LandmarkParams) -> None:
+        self.params = params
+        self.landmark_params = landmark_params
+        # λ -> topic -> entries sorted by descending score
+        self._lists: Dict[int, Dict[str, List[LandmarkEntry]]] = {}
+        #: Per-landmark wall-clock spent in Algorithm 1, for Table 5.
+        self.build_seconds: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: LabeledSocialGraph,
+        landmarks: Sequence[int],
+        topics: Sequence[str],
+        similarity: SimilarityMatrix,
+        params: ScoreParams = ScoreParams(),
+        landmark_params: LandmarkParams = LandmarkParams(),
+        authority: Optional[AuthorityIndex] = None,
+    ) -> "LandmarkIndex":
+        """Run Algorithm 1 to convergence for every landmark.
+
+        Args:
+            graph: The labeled follow graph.
+            landmarks: Landmark node ids (from a Table-4 strategy).
+            topics: The full topic vocabulary T — preprocessing stores
+                recommendations for *every* topic.
+            similarity: Topic-similarity matrix.
+            params: Score decay/convergence parameters.
+            landmark_params: Supplies ``top_n`` and the precompute
+                depth cap.
+            authority: Shared authority cache (created if omitted).
+        """
+        index = cls(params, landmark_params)
+        shared_authority = authority or AuthorityIndex(graph)
+        sim_cache = _MaxSimCache(similarity)
+        precompute_params = params.with_(
+            max_iter=max(params.max_iter, landmark_params.precompute_depth))
+        for landmark in landmarks:
+            watch = Stopwatch()
+            with watch:
+                state = single_source_scores(
+                    graph, landmark, list(topics), similarity,
+                    authority=shared_authority, params=precompute_params,
+                    sim_cache=sim_cache)
+                per_topic: Dict[str, List[LandmarkEntry]] = {}
+                for topic in topics:
+                    ranked = state.ranked(
+                        topic, top_n=landmark_params.top_n,
+                        exclude=(landmark,))
+                    per_topic[topic] = [
+                        LandmarkEntry(
+                            node=node,
+                            score=score,
+                            topo=state.topo_beta.get(node, 0.0),
+                            topo_ab=state.topo_alphabeta.get(node, 0.0),
+                        )
+                        for node, score in ranked
+                    ]
+            index._lists[landmark] = per_topic
+            index.build_seconds[landmark] = watch.elapsed
+        return index
+
+    # ------------------------------------------------------------------
+    @property
+    def landmarks(self) -> Tuple[int, ...]:
+        """Landmark ids in build order."""
+        return tuple(self._lists)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._lists
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def topics_of(self, landmark: int) -> Tuple[str, ...]:
+        """Topics a landmark stores lists for."""
+        return tuple(self._lists[landmark])
+
+    def recommendations(self, landmark: int,
+                        topic: str) -> List[LandmarkEntry]:
+        """Stored top-n entries of *landmark* for *topic* ([] if none)."""
+        return self._lists.get(landmark, {}).get(topic, [])
+
+    def set_recommendations(self, landmark: int, topic: str,
+                            entries: Iterable[LandmarkEntry]) -> None:
+        """Install entries directly (used by the storage loader)."""
+        self._lists.setdefault(landmark, {})[topic] = list(entries)
+
+    @property
+    def storage_bytes(self) -> int:
+        """Approximate in-memory footprint of the inverted lists.
+
+        Counts 8 bytes per stored number (node, score, topo, topo_ab) —
+        the figure comparable with the paper's "1.4MB per landmark at
+        top-1000 for all topics".
+        """
+        total = 0
+        for per_topic in self._lists.values():
+            for entries in per_topic.values():
+                total += 32 * len(entries)
+        return total
+
+    def stats(self) -> Dict[str, float]:
+        """Summary for benchmark reports."""
+        entry_counts = [
+            len(entries)
+            for per_topic in self._lists.values()
+            for entries in per_topic.values()
+        ]
+        mean_build = (sum(self.build_seconds.values()) / len(self.build_seconds)
+                      if self.build_seconds else 0.0)
+        return {
+            "landmarks": float(len(self._lists)),
+            "mean_entries_per_list": (
+                sum(entry_counts) / len(entry_counts) if entry_counts else 0.0),
+            "storage_bytes": float(self.storage_bytes),
+            "mean_build_seconds": mean_build,
+        }
+
+    def __repr__(self) -> str:
+        return (f"LandmarkIndex(landmarks={len(self._lists)}, "
+                f"top_n={self.landmark_params.top_n})")
+
+    def __sizeof__(self) -> int:
+        return sys.getsizeof(self._lists)

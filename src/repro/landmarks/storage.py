@@ -1,0 +1,144 @@
+"""File-backed landmark inverted-list store.
+
+Binary layout (little-endian):
+
+- header: magic ``RPLM``, format version, ``β``/``α`` as doubles,
+  ``top_n`` and landmark count as varints;
+- one record per landmark: varint record length, CRC32 of the payload,
+  then the payload — landmark id, topic count, and per topic the topic
+  string plus the entries (node id varints, score/topo/topo_ab
+  doubles), in stored rank order.
+
+The per-record CRC turns silent corruption into
+:class:`~repro.errors.CorruptRecordError` at load time instead of
+garbage recommendations at query time.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import Union
+
+from ..config import LandmarkParams, ScoreParams
+from ..errors import CorruptRecordError, StorageError
+from ..utils.varint import decode_uvarint, encode_uvarint
+from .index import LandmarkEntry, LandmarkIndex
+
+PathLike = Union[str, Path]
+
+_MAGIC = b"RPLM"
+_VERSION = 2
+_DOUBLE = struct.Struct("<d")
+_CRC = struct.Struct("<I")
+
+
+def _encode_landmark(index: LandmarkIndex, landmark: int) -> bytes:
+    payload = bytearray()
+    payload += encode_uvarint(landmark)
+    topics = index.topics_of(landmark)
+    payload += encode_uvarint(len(topics))
+    for topic in topics:
+        encoded_topic = topic.encode("utf-8")
+        payload += encode_uvarint(len(encoded_topic))
+        payload += encoded_topic
+        entries = index.recommendations(landmark, topic)
+        payload += encode_uvarint(len(entries))
+        for entry in entries:
+            payload += encode_uvarint(entry.node)
+            payload += _DOUBLE.pack(entry.score)
+            payload += _DOUBLE.pack(entry.topo)
+            payload += _DOUBLE.pack(entry.topo_ab)
+    return bytes(payload)
+
+
+def save_index(index: LandmarkIndex, path: PathLike) -> int:
+    """Write *index* to *path*; returns the number of bytes written."""
+    target = Path(path)
+    blob = bytearray()
+    blob += _MAGIC
+    blob += bytes([_VERSION])
+    blob += _DOUBLE.pack(index.params.beta)
+    blob += _DOUBLE.pack(index.params.alpha)
+    blob += encode_uvarint(index.landmark_params.top_n)
+    blob += encode_uvarint(len(index.landmarks))
+    for landmark in index.landmarks:
+        payload = _encode_landmark(index, landmark)
+        blob += encode_uvarint(len(payload))
+        blob += _CRC.pack(zlib.crc32(payload))
+        blob += payload
+    target.write_bytes(bytes(blob))
+    return len(blob)
+
+
+def load_index(path: PathLike,
+               params: ScoreParams | None = None) -> LandmarkIndex:
+    """Load an index written by :func:`save_index`.
+
+    Args:
+        path: Source file.
+        params: Override for non-persisted :class:`ScoreParams` fields
+            (tolerance, max_iter); ``β``/``α`` always come from the
+            file.
+
+    Raises:
+        StorageError: on a wrong magic/version.
+        CorruptRecordError: on a CRC mismatch or truncated record.
+    """
+    source = Path(path)
+    blob = source.read_bytes()
+    if blob[:4] != _MAGIC:
+        raise StorageError(f"{source} is not a landmark index (bad magic)")
+    if blob[4] != _VERSION:
+        raise StorageError(
+            f"{source}: unsupported index version {blob[4]}")
+    offset = 5
+    beta = _DOUBLE.unpack_from(blob, offset)[0]
+    offset += _DOUBLE.size
+    alpha = _DOUBLE.unpack_from(blob, offset)[0]
+    offset += _DOUBLE.size
+    top_n, offset = decode_uvarint(blob, offset)
+    landmark_count, offset = decode_uvarint(blob, offset)
+
+    base = params or ScoreParams()
+    score_params = base.with_(beta=beta, alpha=alpha)
+    index = LandmarkIndex(
+        score_params,
+        LandmarkParams(num_landmarks=max(1, landmark_count), top_n=top_n))
+
+    for _ in range(landmark_count):
+        length, offset = decode_uvarint(blob, offset)
+        expected_crc = _CRC.unpack_from(blob, offset)[0]
+        offset += _CRC.size
+        payload = blob[offset:offset + length]
+        if len(payload) != length:
+            raise CorruptRecordError(f"{source}: truncated landmark record")
+        if zlib.crc32(payload) != expected_crc:
+            raise CorruptRecordError(f"{source}: CRC mismatch in record")
+        offset += length
+        _decode_landmark(index, payload)
+    return index
+
+
+def _decode_landmark(index: LandmarkIndex, payload: bytes) -> None:
+    cursor = 0
+    landmark, cursor = decode_uvarint(payload, cursor)
+    topic_count, cursor = decode_uvarint(payload, cursor)
+    for _ in range(topic_count):
+        name_length, cursor = decode_uvarint(payload, cursor)
+        topic = payload[cursor:cursor + name_length].decode("utf-8")
+        cursor += name_length
+        entry_count, cursor = decode_uvarint(payload, cursor)
+        entries = []
+        for _ in range(entry_count):
+            node, cursor = decode_uvarint(payload, cursor)
+            score = _DOUBLE.unpack_from(payload, cursor)[0]
+            cursor += _DOUBLE.size
+            topo = _DOUBLE.unpack_from(payload, cursor)[0]
+            cursor += _DOUBLE.size
+            topo_ab = _DOUBLE.unpack_from(payload, cursor)[0]
+            cursor += _DOUBLE.size
+            entries.append(LandmarkEntry(node=node, score=score, topo=topo,
+                                         topo_ab=topo_ab))
+        index.set_recommendations(landmark, topic, entries)

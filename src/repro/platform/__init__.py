@@ -1,0 +1,28 @@
+"""Micro-blogging platform substrate.
+
+The paper's system lives inside a micro-blogging service: accounts
+publish posts, followers receive them in timelines, and a
+"Who-to-Follow"-style service (the paper cites Twitter's WTF) surfaces
+recommendations. This subpackage provides that operational context so
+the recommender can be exercised end to end:
+
+- :mod:`accounts` — account registry with handles and profiles;
+- :mod:`timeline` — posting and timeline delivery, with both
+  fan-out-on-write (push) and fan-out-on-read (pull) strategies;
+- :mod:`service` — the platform façade: follow/unfollow (kept in sync
+  with the labeled graph and a landmark maintainer), posting, timeline
+  reads, and the who-to-follow endpoint.
+"""
+
+from .accounts import Account, AccountRegistry
+from .timeline import Post, TimelineStore
+from .service import MicroblogPlatform, WhoToFollowResult
+
+__all__ = [
+    "Account",
+    "AccountRegistry",
+    "Post",
+    "TimelineStore",
+    "MicroblogPlatform",
+    "WhoToFollowResult",
+]

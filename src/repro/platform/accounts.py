@@ -1,0 +1,104 @@
+"""Account registry: ids, handles, and publisher profiles."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..errors import ReproError
+
+_HANDLE = re.compile(r"^[a-z0-9_]{1,30}$")
+
+
+class AccountError(ReproError):
+    """Account registry violations (duplicate/unknown handle, bad name)."""
+
+
+@dataclass
+class Account:
+    """One platform account.
+
+    Attributes:
+        account_id: Stable integer id (node id in the social graph).
+        handle: Unique lowercase handle (without the leading ``@``).
+        topics: Publisher-profile topics (mutable — the labeling
+            pipeline refreshes them as the account posts).
+    """
+
+    account_id: int
+    handle: str
+    topics: Tuple[str, ...] = ()
+
+
+class AccountRegistry:
+    """Bidirectional id ↔ handle mapping with validation.
+
+    Example:
+        >>> registry = AccountRegistry()
+        >>> alice = registry.create("alice", topics=("technology",))
+        >>> registry.by_handle("alice").account_id == alice.account_id
+        True
+    """
+
+    def __init__(self) -> None:
+        self._by_id: Dict[int, Account] = {}
+        self._by_handle: Dict[str, int] = {}
+        self._next_id = 0
+
+    def create(self, handle: str, topics: Tuple[str, ...] = (),
+               account_id: Optional[int] = None) -> Account:
+        """Register a new account.
+
+        Args:
+            handle: Unique handle matching ``[a-z0-9_]{1,30}``.
+            topics: Initial publisher profile.
+            account_id: Explicit id (used when importing an existing
+                graph); autoincremented otherwise.
+
+        Raises:
+            AccountError: on an invalid or taken handle, or a taken id.
+        """
+        if not _HANDLE.match(handle):
+            raise AccountError(f"invalid handle {handle!r}")
+        if handle in self._by_handle:
+            raise AccountError(f"handle @{handle} is taken")
+        if account_id is None:
+            while self._next_id in self._by_id:
+                self._next_id += 1
+            account_id = self._next_id
+            self._next_id += 1
+        elif account_id in self._by_id:
+            raise AccountError(f"account id {account_id} is taken")
+        account = Account(account_id=account_id, handle=handle,
+                          topics=tuple(topics))
+        self._by_id[account_id] = account
+        self._by_handle[handle] = account_id
+        return account
+
+    def by_id(self, account_id: int) -> Account:
+        """Look an account up by id."""
+        try:
+            return self._by_id[account_id]
+        except KeyError:
+            raise AccountError(f"unknown account id {account_id}") from None
+
+    def by_handle(self, handle: str) -> Account:
+        """Look an account up by handle (without the @)."""
+        try:
+            return self._by_id[self._by_handle[handle]]
+        except KeyError:
+            raise AccountError(f"unknown handle @{handle}") from None
+
+    def set_topics(self, account_id: int, topics: Tuple[str, ...]) -> None:
+        """Replace an account's publisher profile."""
+        self.by_id(account_id).topics = tuple(topics)
+
+    def __contains__(self, account_id: int) -> bool:
+        return account_id in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Account]:
+        return iter(self._by_id.values())

@@ -1,0 +1,215 @@
+"""The platform façade: follows, posts, timelines, who-to-follow.
+
+Wires every subsystem together the way the paper's deployment sketch
+implies: the follow graph is the system of record, follow/unfollow
+operations keep the labeled graph (and optionally a landmark
+maintainer) in sync, posts flow through the timeline store, and the
+who-to-follow endpoint serves Tr recommendations — exact, or
+landmark-accelerated once an index is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..config import LandmarkParams, ScoreParams
+from ..core.recommender import Recommender
+from ..dynamics.events import EdgeEvent, EventKind
+from ..errors import ConfigurationError
+from ..graph.labeled_graph import LabeledSocialGraph
+from ..landmarks.approximate import ApproximateRecommender
+from ..landmarks.index import LandmarkIndex
+from ..landmarks.selection import select_landmarks
+from ..semantics.matrix import SimilarityMatrix
+from .accounts import Account, AccountRegistry
+from .timeline import Post, TimelineStore
+
+Ref = Union[int, str]
+
+
+@dataclass(frozen=True)
+class WhoToFollowResult:
+    """One who-to-follow suggestion, ready for display.
+
+    Attributes:
+        handle: Suggested account's handle.
+        account_id: Its id.
+        score: Recommendation score.
+        topics: Its publisher profile (the "why you might care" line).
+    """
+
+    handle: str
+    account_id: int
+    score: float
+    topics: Tuple[str, ...]
+
+
+class MicroblogPlatform:
+    """An in-memory micro-blogging service with Tr recommendations.
+
+    Example::
+
+        platform = MicroblogPlatform(similarity)
+        alice = platform.register("alice", topics=("technology",))
+        bob = platform.register("bob", topics=("technology", "bigdata"))
+        platform.follow("alice", "bob")
+        platform.post("bob", "shipping our new cloud pipeline")
+        platform.who_to_follow("alice", "technology")
+    """
+
+    def __init__(self, similarity: SimilarityMatrix,
+                 params: ScoreParams = ScoreParams(),
+                 timeline_strategy: str = "push",
+                 timeline_size: int = 200) -> None:
+        self.graph = LabeledSocialGraph()
+        self.accounts = AccountRegistry()
+        self.similarity = similarity
+        self.params = params
+        self.timelines = TimelineStore(self.graph,
+                                       strategy=timeline_strategy,
+                                       timeline_size=timeline_size)
+        self._recommender: Optional[Recommender] = None
+        self._approximate: Optional[ApproximateRecommender] = None
+        self._maintainer = None  # duck-typed: has on_event(EdgeEvent)
+        self._event_clock = 0
+
+    # ------------------------------------------------------------------
+    # Accounts & follows
+    # ------------------------------------------------------------------
+    def register(self, handle: str,
+                 topics: Sequence[str] = ()) -> Account:
+        """Create an account and its graph node."""
+        account = self.accounts.create(handle, tuple(topics))
+        self.graph.add_node(account.account_id, topics)
+        self._invalidate()
+        return account
+
+    def _resolve(self, ref: Ref) -> Account:
+        if isinstance(ref, str):
+            return self.accounts.by_handle(ref)
+        return self.accounts.by_id(ref)
+
+    def follow(self, follower: Ref, followee: Ref,
+               topics: Optional[Iterable[str]] = None) -> None:
+        """Create a follow edge.
+
+        The edge label defaults to the §5.1 semantics — the
+        intersection of the follower's and followee's profiles, falling
+        back to the followee's lead topic — and can be overridden when
+        the caller knows the follower's precise interest.
+        """
+        source = self._resolve(follower)
+        target = self._resolve(followee)
+        if topics is None:
+            shared = set(source.topics) & set(target.topics)
+            if shared:
+                label: Tuple[str, ...] = tuple(sorted(shared))
+            elif target.topics:
+                label = (sorted(target.topics)[0],)
+            else:
+                label = ()
+        else:
+            label = tuple(topics)
+        self.graph.add_edge(source.account_id, target.account_id, label)
+        self._emit(EventKind.FOLLOW, source.account_id, target.account_id,
+                   label)
+        self._invalidate()
+
+    def unfollow(self, follower: Ref, followee: Ref) -> None:
+        """Remove a follow edge and notify the maintainer."""
+        source = self._resolve(follower)
+        target = self._resolve(followee)
+        self.graph.remove_edge(source.account_id, target.account_id)
+        self._emit(EventKind.UNFOLLOW, source.account_id,
+                   target.account_id, ())
+        self._invalidate()
+
+    def _emit(self, kind: EventKind, source: int, target: int,
+              topics: Tuple[str, ...]) -> None:
+        if self._maintainer is not None:
+            self._maintainer.on_event(EdgeEvent(
+                kind=kind, source=source, target=target, topics=topics,
+                time=self._event_clock))
+        self._event_clock += 1
+
+    # ------------------------------------------------------------------
+    # Posts & timelines
+    # ------------------------------------------------------------------
+    def post(self, author: Ref, text: str,
+             topics: Optional[Iterable[str]] = None) -> Post:
+        """Publish a post (topics default to the author's profile)."""
+        account = self._resolve(author)
+        post_topics = (tuple(topics) if topics is not None
+                       else account.topics)
+        return self.timelines.publish(account.account_id, text, post_topics)
+
+    def timeline(self, account: Ref, limit: int = 50) -> List[Post]:
+        """The account's home timeline, newest first."""
+        return self.timelines.timeline(self._resolve(account).account_id,
+                                       limit=limit)
+
+    # ------------------------------------------------------------------
+    # Who-to-follow
+    # ------------------------------------------------------------------
+    def enable_landmarks(self, strategy: str = "In-Deg",
+                         num_landmarks: int = 20, top_n: int = 100,
+                         seed: int = 0) -> LandmarkIndex:
+        """Build a landmark index and serve who-to-follow through it.
+
+        Also attaches an eager maintainer so subsequent follow and
+        unfollow operations keep the index fresh.
+
+        Raises:
+            ConfigurationError: when the platform has fewer accounts
+                than the requested landmark count.
+        """
+        if num_landmarks > self.graph.num_nodes:
+            raise ConfigurationError(
+                f"cannot place {num_landmarks} landmarks on "
+                f"{self.graph.num_nodes} accounts")
+        from ..dynamics.maintenance import EagerMaintainer
+
+        topics = sorted(self.graph.topics())
+        landmarks = select_landmarks(self.graph, strategy, num_landmarks,
+                                     rng=seed)
+        index = LandmarkIndex.build(
+            self.graph, landmarks, topics, self.similarity,
+            params=self.params,
+            landmark_params=LandmarkParams(num_landmarks=num_landmarks,
+                                           top_n=top_n))
+        self._approximate = ApproximateRecommender(
+            self.graph, self.similarity, index)
+        self._maintainer = EagerMaintainer(
+            self.graph, index, topics, self.similarity, self.params)
+        return index
+
+    def who_to_follow(self, account: Ref, topic: str, top_n: int = 5,
+                      ) -> List[WhoToFollowResult]:
+        """Topic-conditioned account suggestions (the WTF endpoint)."""
+        user = self._resolve(account)
+        if self._approximate is not None:
+            ranked = self._approximate.recommend(
+                user.account_id, topic, top_n=top_n)
+        else:
+            if self._recommender is None:
+                self._recommender = Recommender(
+                    self.graph, self.similarity, self.params)
+            ranked = [
+                (item.node, item.score)
+                for item in self._recommender.recommend(
+                    user.account_id, topic, top_n=top_n)
+            ]
+        results = []
+        for node, score in ranked:
+            suggested = self.accounts.by_id(node)
+            results.append(WhoToFollowResult(
+                handle=suggested.handle, account_id=node, score=score,
+                topics=tuple(sorted(self.graph.node_topics(node)))))
+        return results
+
+    def _invalidate(self) -> None:
+        """Graph changed: drop the cached exact recommender's caches."""
+        if self._recommender is not None:
+            self._recommender.invalidate()
+            self._recommender = None

@@ -1,0 +1,131 @@
+"""Posting and timeline delivery.
+
+Two classical delivery strategies, selectable per store:
+
+- **push** (fan-out on write): a post is copied into every follower's
+  timeline at publish time — cheap reads, expensive celebrity writes;
+- **pull** (fan-out on read): timelines are assembled at read time by
+  merging the followed accounts' recent posts — cheap writes, reads
+  cost O(followees · log).
+
+The store keeps per-account home timelines bounded (old entries are
+evicted), mirroring how real systems cap timeline length. Both
+strategies must produce identical timelines — a test asserts it — so
+the choice is purely an operational trade-off, which the write/read
+counters expose.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..graph.labeled_graph import LabeledSocialGraph
+
+
+@dataclass(frozen=True)
+class Post:
+    """One published micro-post.
+
+    Attributes:
+        post_id: Monotonically increasing id (doubles as timestamp).
+        author: Publishing account id.
+        text: Post body.
+        topics: Topics of the post (from the author's profile or a
+            per-post tagger).
+    """
+
+    post_id: int
+    author: int
+    text: str
+    topics: Tuple[str, ...] = ()
+
+
+class TimelineStore:
+    """Posts plus per-account home timelines.
+
+    Args:
+        graph: The follow graph (reads follower lists at fan-out time).
+        strategy: ``"push"`` or ``"pull"``.
+        timeline_size: Home-timeline capacity per account.
+    """
+
+    def __init__(self, graph: LabeledSocialGraph, strategy: str = "push",
+                 timeline_size: int = 200) -> None:
+        if strategy not in ("push", "pull"):
+            raise ConfigurationError(
+                f"strategy must be 'push' or 'pull', got {strategy!r}")
+        if timeline_size < 1:
+            raise ConfigurationError(
+                f"timeline_size must be >= 1, got {timeline_size}")
+        self.graph = graph
+        self.strategy = strategy
+        self.timeline_size = timeline_size
+        self._posts: Dict[int, Post] = {}
+        self._by_author: Dict[int, Deque[int]] = {}
+        self._home: Dict[int, Deque[int]] = {}
+        self._next_post_id = 0
+        #: Operational counters for the push/pull trade-off.
+        self.fanout_writes = 0
+        self.merge_reads = 0
+
+    # ------------------------------------------------------------------
+    def publish(self, author: int, text: str,
+                topics: Iterable[str] = ()) -> Post:
+        """Publish a post; fan out immediately under the push strategy."""
+        post = Post(post_id=self._next_post_id, author=author, text=text,
+                    topics=tuple(topics))
+        self._next_post_id += 1
+        self._posts[post.post_id] = post
+        authored = self._by_author.setdefault(
+            author, deque(maxlen=self.timeline_size))
+        authored.append(post.post_id)
+        if self.strategy == "push":
+            for follower in self.graph.in_neighbors(author):
+                home = self._home.setdefault(
+                    follower, deque(maxlen=self.timeline_size))
+                home.append(post.post_id)
+                self.fanout_writes += 1
+        return post
+
+    def post(self, post_id: int) -> Post:
+        """Fetch a post by id."""
+        return self._posts[post_id]
+
+    def posts_by(self, author: int, limit: Optional[int] = None) -> List[Post]:
+        """An account's own posts, newest first."""
+        ids = list(self._by_author.get(author, ()))
+        ids.reverse()
+        if limit is not None:
+            ids = ids[:limit]
+        return [self._posts[post_id] for post_id in ids]
+
+    def timeline(self, account: int, limit: int = 50) -> List[Post]:
+        """The account's home timeline, newest first.
+
+        Under push this reads the precomputed timeline; under pull it
+        k-way merges the followed accounts' recent posts.
+        """
+        if self.strategy == "push":
+            ids = list(self._home.get(account, ()))
+            ids.reverse()
+            return [self._posts[post_id] for post_id in ids[:limit]]
+        # pull: merge followees' author feeds by descending post id
+        feeds = []
+        for followee in self.graph.out_neighbors(account):
+            authored = self._by_author.get(followee)
+            if authored:
+                feeds.append(reversed(authored))
+                self.merge_reads += 1
+        merged = heapq.merge(*feeds, reverse=True)
+        return [self._posts[post_id]
+                for post_id in itertools.islice(merged, limit)]
+
+    @property
+    def num_posts(self) -> int:
+        """Total posts ever published."""
+        return len(self._posts)

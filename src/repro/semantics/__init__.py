@@ -1,0 +1,18 @@
+"""Topic vocabulary, taxonomy, and semantic similarity (Section 3.2)."""
+
+from .taxonomy import Taxonomy
+from .similarity import lin_similarity, path_similarity, wu_palmer_similarity
+from .matrix import SimilarityMatrix
+from .vocabularies import DBLP_AREAS, WEB_TOPICS, dblp_taxonomy, web_taxonomy
+
+__all__ = [
+    "Taxonomy",
+    "wu_palmer_similarity",
+    "path_similarity",
+    "lin_similarity",
+    "SimilarityMatrix",
+    "WEB_TOPICS",
+    "DBLP_AREAS",
+    "web_taxonomy",
+    "dblp_taxonomy",
+]

@@ -1,0 +1,110 @@
+"""Precomputed triangular similarity matrix.
+
+Section 5.2: "topic similarities given by the Wu and Palmer similarity
+scores are pre-computed and stored in memory as a triangular similarity
+matrix" (2.5 KB for 18 topics). This mirrors that: one float per
+unordered topic pair, packed in a flat list, O(1) lookups, and a
+``storage_bytes`` accessor so the benchmark can report the footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Sequence, Tuple
+
+from ..errors import UnknownTopicError
+from .similarity import wu_palmer_similarity
+from .taxonomy import Taxonomy
+
+SimilarityFn = Callable[[Taxonomy, str, str], float]
+
+
+class SimilarityMatrix:
+    """Symmetric topic-similarity lookup table.
+
+    Example:
+        >>> from repro.semantics import web_taxonomy
+        >>> matrix = SimilarityMatrix.from_taxonomy(web_taxonomy())
+        >>> matrix.similarity("technology", "technology")
+        1.0
+    """
+
+    def __init__(self, topics: Sequence[str],
+                 values: Sequence[float]) -> None:
+        self._topics: Tuple[str, ...] = tuple(topics)
+        self._index: Dict[str, int] = {
+            topic: i for i, topic in enumerate(self._topics)}
+        if len(self._index) != len(self._topics):
+            raise ValueError("duplicate topics in similarity matrix")
+        expected = len(self._topics) * (len(self._topics) + 1) // 2
+        if len(values) != expected:
+            raise ValueError(
+                f"expected {expected} packed values, got {len(values)}")
+        self._values: Tuple[float, ...] = tuple(values)
+
+    @classmethod
+    def from_taxonomy(cls, taxonomy: Taxonomy,
+                      measure: SimilarityFn = wu_palmer_similarity,
+                      ) -> "SimilarityMatrix":
+        """Precompute every pair under *measure* (default Wu–Palmer)."""
+        topics = sorted(taxonomy.topics)
+        values = []
+        for i, first in enumerate(topics):
+            for second in topics[: i + 1]:
+                values.append(measure(taxonomy, first, second))
+        return cls(topics, values)
+
+    def _packed_index(self, i: int, j: int) -> int:
+        if i < j:
+            i, j = j, i
+        return i * (i + 1) // 2 + j
+
+    @property
+    def topics(self) -> Tuple[str, ...]:
+        """Topic tuple in matrix order."""
+        return self._topics
+
+    def __contains__(self, topic: str) -> bool:
+        return topic in self._index
+
+    def similarity(self, first: str, second: str) -> float:
+        """Similarity of an (unordered) topic pair.
+
+        Raises:
+            UnknownTopicError: if either topic is not in the matrix.
+        """
+        try:
+            i = self._index[first]
+            j = self._index[second]
+        except KeyError as exc:
+            raise UnknownTopicError(str(exc.args[0])) from None
+        return self._values[self._packed_index(i, j)]
+
+    def max_similarity(self, topics: Iterable[str], target: str) -> float:
+        """``max_{t' ∈ topics} sim(t', target)`` — Equation 3's inner max.
+
+        Unknown topics in *topics* contribute 0 (an unlabeled edge has
+        no semantic weight) rather than raising, since real labeling
+        pipelines leave residual unlabeled edges.
+        """
+        if target not in self._index:
+            raise UnknownTopicError(target)
+        best = 0.0
+        for topic in topics:
+            index = self._index.get(topic)
+            if index is None:
+                continue
+            value = self._values[self._packed_index(index, self._index[target])]
+            if value > best:
+                best = value
+                if best >= 1.0:
+                    break
+        return best
+
+    @property
+    def storage_bytes(self) -> int:
+        """Footprint of the packed triangle at 8 bytes per entry."""
+        return 8 * len(self._values)
+
+    def __repr__(self) -> str:
+        return (f"SimilarityMatrix(topics={len(self._topics)}, "
+                f"bytes={self.storage_bytes})")

@@ -1,0 +1,140 @@
+"""IS-A topic taxonomy.
+
+The paper computes Wu–Palmer similarity on WordNet. WordNet is not
+redistributable here, so we implement the measure on an explicit IS-A
+tree over the topic vocabulary — exactly what Wu–Palmer consumes (the
+18 topics are nouns with one sense each, so this is faithful: the paper
+itself notes "we have a small number of topics ... without synonymy
+issues").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
+
+from ..errors import TaxonomyError, UnknownTopicError
+
+#: Name of the implicit root concept of every taxonomy.
+ROOT = "<root>"
+
+
+class Taxonomy:
+    """A rooted IS-A tree of topic concepts.
+
+    Built from a ``child -> parent`` mapping; the root is implicit and
+    named :data:`ROOT`. Leaves and internal concepts are both valid
+    topics.
+
+    Example:
+        >>> tax = Taxonomy({"sports": None, "football": "sports"})
+        >>> tax.depth("football")
+        2
+        >>> tax.lowest_common_subsumer("football", "sports")
+        'sports'
+    """
+
+    def __init__(self, parents: Mapping[str, Optional[str]]) -> None:
+        self._parent: Dict[str, str] = {}
+        for child, parent in parents.items():
+            if child == ROOT:
+                raise TaxonomyError(f"{ROOT!r} is reserved for the root")
+            self._parent[child] = ROOT if parent is None else parent
+        for child, parent in self._parent.items():
+            if parent != ROOT and parent not in self._parent:
+                raise TaxonomyError(
+                    f"parent {parent!r} of {child!r} is not a declared topic")
+        self._depth: Dict[str, int] = {ROOT: 0}
+        for topic in self._parent:
+            self._compute_depth(topic, trail=set())
+
+    def _compute_depth(self, topic: str, trail: set) -> int:
+        if topic in self._depth:
+            return self._depth[topic]
+        if topic in trail:
+            raise TaxonomyError(f"cycle in taxonomy at {topic!r}")
+        trail.add(topic)
+        depth = self._compute_depth(self._parent[topic], trail) + 1
+        self._depth[topic] = depth
+        return depth
+
+    # ------------------------------------------------------------------
+    def __contains__(self, topic: str) -> bool:
+        return topic in self._parent
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._parent)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def topics(self) -> FrozenSet[str]:
+        """Every declared topic (the root concept is excluded)."""
+        return frozenset(self._parent)
+
+    def parent(self, topic: str) -> str:
+        """Immediate hypernym (:data:`ROOT` for top-level topics)."""
+        self._require(topic)
+        return self._parent[topic]
+
+    def depth(self, topic: str) -> int:
+        """Node depth counting the root as 0 (so top-level topics are 1)."""
+        if topic == ROOT:
+            return 0
+        self._require(topic)
+        return self._depth[topic]
+
+    def ancestors(self, topic: str) -> Tuple[str, ...]:
+        """Chain of hypernyms from *topic* (inclusive) up to the root."""
+        self._require(topic)
+        chain = [topic]
+        while chain[-1] != ROOT:
+            chain.append(self._parent.get(chain[-1], ROOT))
+        return tuple(chain)
+
+    def lowest_common_subsumer(self, first: str, second: str) -> str:
+        """Deepest concept subsuming both topics (possibly the root)."""
+        first_ancestors = set(self.ancestors(first))
+        for candidate in self.ancestors(second):
+            if candidate in first_ancestors:
+                return candidate
+        return ROOT
+
+    def children(self, topic: str) -> FrozenSet[str]:
+        """Immediate hyponyms of *topic* (or of the root)."""
+        if topic != ROOT:
+            self._require(topic)
+        return frozenset(
+            child for child, parent in self._parent.items() if parent == topic)
+
+    def leaves(self) -> FrozenSet[str]:
+        """Topics with no hyponyms."""
+        parents = set(self._parent.values())
+        return frozenset(t for t in self._parent if t not in parents)
+
+    def subtree(self, topic: str) -> FrozenSet[str]:
+        """*topic* and every concept below it."""
+        self._require(topic)
+        result = {topic}
+        frontier = [topic]
+        while frontier:
+            node = frontier.pop()
+            for child in self.children(node):
+                if child not in result:
+                    result.add(child)
+                    frontier.append(child)
+        return frozenset(result)
+
+    def _require(self, topic: str) -> None:
+        if topic not in self._parent:
+            raise UnknownTopicError(topic)
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[str, str]]) -> "Taxonomy":
+        """Build from ``(parent, child)`` pairs; parents without a pair
+        of their own become top-level topics."""
+        parents: Dict[str, Optional[str]] = {}
+        for parent, child in edges:
+            parents.setdefault(parent, None)
+            parents[child] = parent
+        return cls(parents)

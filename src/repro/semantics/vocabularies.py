@@ -1,0 +1,113 @@
+"""Built-in topic vocabularies and their IS-A taxonomies.
+
+Two vocabularies mirror the paper's datasets:
+
+- :data:`WEB_TOPICS` — 18 labeling topics standing in for the "18
+  standard topics for Web sites/documents proposed by OpenCalais"
+  (Section 5.1). The names follow the ones the paper actually displays
+  in its figures and examples (``technology``, ``bigdata``, ``social``,
+  ``leisure``, ``politics``, ``health``, ...).
+- :data:`DBLP_AREAS` — 18 computer-science areas standing in for the
+  Singapore conference classification used for the DBLP dataset.
+
+Each taxonomy adds a few unlabeled intermediate concepts (``society``,
+``stem``, ...) so that Wu–Palmer has meaningful depth structure, exactly
+the role WordNet's hypernym chains play in the paper.
+"""
+
+from __future__ import annotations
+
+from .taxonomy import Taxonomy
+
+#: The 18 labeling topics of the Twitter-like vocabulary.
+WEB_TOPICS: tuple[str, ...] = (
+    "social", "politics", "law", "religion", "education",
+    "leisure", "sports", "entertainment", "travel", "food",
+    "health", "business", "finance",
+    "science", "environment", "weather",
+    "technology", "bigdata",
+)
+
+_WEB_PARENTS: dict[str, str | None] = {
+    # intermediate concepts (taxonomy-only, never used as labels)
+    "society": None,
+    "lifestyle": None,
+    "economy": None,
+    "stem": None,
+    # society branch
+    "social": "society",
+    "politics": "society",
+    "law": "society",
+    "religion": "society",
+    "education": "society",
+    # lifestyle branch
+    "leisure": "lifestyle",
+    "sports": "leisure",
+    "entertainment": "leisure",
+    "travel": "leisure",
+    "food": "leisure",
+    "health": "lifestyle",
+    # economy branch
+    "business": "economy",
+    "finance": "economy",
+    # STEM branch
+    "science": "stem",
+    "environment": "science",
+    "weather": "science",
+    "technology": "stem",
+    "bigdata": "technology",
+}
+
+#: The 18 labeling areas of the DBLP-like vocabulary.
+DBLP_AREAS: tuple[str, ...] = (
+    "databases", "data-mining", "information-retrieval",
+    "artificial-intelligence", "machine-learning", "nlp", "vision",
+    "networks", "distributed-systems", "operating-systems", "security",
+    "software-engineering", "programming-languages",
+    "theory", "algorithms",
+    "graphics", "hci", "bioinformatics",
+)
+
+_DBLP_PARENTS: dict[str, str | None] = {
+    # intermediate concepts
+    "data-management": None,
+    "intelligence": None,
+    "systems": None,
+    "software": None,
+    "foundations": None,
+    "interaction": None,
+    # data branch
+    "databases": "data-management",
+    "data-mining": "data-management",
+    "information-retrieval": "data-management",
+    # AI branch
+    "artificial-intelligence": "intelligence",
+    "machine-learning": "artificial-intelligence",
+    "nlp": "artificial-intelligence",
+    "vision": "artificial-intelligence",
+    # systems branch
+    "networks": "systems",
+    "distributed-systems": "systems",
+    "operating-systems": "systems",
+    "security": "systems",
+    # software branch
+    "software-engineering": "software",
+    "programming-languages": "software",
+    # theory branch
+    "theory": "foundations",
+    "algorithms": "foundations",
+    # interaction / applications branch
+    "graphics": "interaction",
+    "hci": "interaction",
+    "bioinformatics": "intelligence",
+}
+
+
+def web_taxonomy() -> Taxonomy:
+    """The Twitter-experiment taxonomy over :data:`WEB_TOPICS`."""
+    return Taxonomy(_WEB_PARENTS)
+
+
+def dblp_taxonomy() -> Taxonomy:
+    """The DBLP-experiment taxonomy over :data:`DBLP_AREAS`."""
+    return Taxonomy(_DBLP_PARENTS)

@@ -1,0 +1,18 @@
+"""Topic-extraction pipeline (Section 5.1's labeling methodology)."""
+
+from .documents import Document, tokenize
+from .seed_tagger import KeywordSeedTagger
+from .classifier import MultiLabelClassifier
+from .profiles import build_follower_profiles, label_edges
+from .pipeline import LabelingPipeline, LabelingReport
+
+__all__ = [
+    "Document",
+    "tokenize",
+    "KeywordSeedTagger",
+    "MultiLabelClassifier",
+    "build_follower_profiles",
+    "label_edges",
+    "LabelingPipeline",
+    "LabelingReport",
+]

@@ -1,0 +1,194 @@
+"""One-vs-rest multi-label text classifier — the Mulan SVM stand-in.
+
+Section 5.1 completes the 10% seed labeling with "a trained Support
+Vector Multi-Label Model using Mulan, with a precision of 0.90". We
+implement the same role from scratch: one regularised logistic
+regression per topic over a bag-of-words representation, trained on the
+seed-tagged accounts, with a held-out precision report so the pipeline
+can state its own number next to the paper's 0.90.
+
+Numpy-only; vocabulary is capped by document frequency so the dense
+matrices stay small (the synthetic corpus has a few hundred distinct
+words).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .documents import Document
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """Held-out multi-label quality of the trained classifier.
+
+    Precision/recall are micro-averaged over (account, topic) pairs —
+    the convention under which the paper reports 0.90.
+    """
+
+    precision: float
+    recall: float
+    f1: float
+    num_eval_documents: int
+
+
+class MultiLabelClassifier:
+    """One-vs-rest logistic regression on bag-of-words features.
+
+    Args:
+        min_document_frequency: Words must appear in at least this many
+            training documents to enter the vocabulary.
+        learning_rate: Gradient-descent step size.
+        l2: L2 regularisation strength.
+        epochs: Full-batch gradient-descent epochs per topic.
+        threshold: Probability above which a topic is assigned; if no
+            topic clears it, the single best topic is assigned instead
+            (every account publishes on *something*).
+    """
+
+    def __init__(self, min_document_frequency: int = 2,
+                 learning_rate: float = 0.5, l2: float = 1e-3,
+                 epochs: int = 200, threshold: float = 0.5) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ConfigurationError(
+                f"threshold must be in (0, 1), got {threshold}")
+        self.min_document_frequency = min_document_frequency
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.epochs = epochs
+        self.threshold = threshold
+        self._vocabulary: Dict[str, int] = {}
+        self._topics: Tuple[str, ...] = ()
+        self._weights: np.ndarray | None = None  # (topics, features + bias)
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`fit` has run."""
+        return self._weights is not None
+
+    @property
+    def topics(self) -> Tuple[str, ...]:
+        """Topics the classifier can assign."""
+        return self._topics
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of bag-of-words features."""
+        return len(self._vocabulary)
+
+    # ------------------------------------------------------------------
+    def _build_vocabulary(self, documents: Sequence[Document]) -> None:
+        document_frequency: Counter = Counter()
+        for document in documents:
+            document_frequency.update(set(document.tokens()))
+        words = sorted(
+            word for word, count in document_frequency.items()
+            if count >= self.min_document_frequency)
+        self._vocabulary = {word: index for index, word in enumerate(words)}
+
+    def _features(self, documents: Sequence[Document]) -> np.ndarray:
+        """Log-scaled term counts plus a bias column."""
+        matrix = np.zeros((len(documents), len(self._vocabulary) + 1))
+        for row, document in enumerate(documents):
+            counts = Counter(document.tokens())
+            for word, count in counts.items():
+                column = self._vocabulary.get(word)
+                if column is not None:
+                    matrix[row, column] = 1.0 + np.log(count)
+            matrix[row, -1] = 1.0  # bias
+        norms = np.linalg.norm(matrix[:, :-1], axis=1, keepdims=True)
+        np.divide(matrix[:, :-1], norms, out=matrix[:, :-1], where=norms > 0)
+        return matrix
+
+    def fit(self, documents: Sequence[Document],
+            labels: Mapping[int, Sequence[str]]) -> "MultiLabelClassifier":
+        """Train on seed-tagged accounts.
+
+        Args:
+            documents: Training documents (author ids must appear in
+                *labels*).
+            labels: author → assigned topics (the seed tagger's output).
+
+        Raises:
+            ConfigurationError: when no training document or no topic
+                is available.
+        """
+        training = [doc for doc in documents if labels.get(doc.author)]
+        if not training:
+            raise ConfigurationError("no labeled documents to train on")
+        topic_set = sorted({t for doc in training for t in labels[doc.author]})
+        if not topic_set:
+            raise ConfigurationError("no topics present in the labels")
+        self._topics = tuple(topic_set)
+        self._build_vocabulary(training)
+        features = self._features(training)
+        num_docs, num_features = features.shape
+        targets = np.zeros((num_docs, len(self._topics)))
+        topic_index = {topic: i for i, topic in enumerate(self._topics)}
+        for row, document in enumerate(training):
+            for topic in labels[document.author]:
+                targets[row, topic_index[topic]] = 1.0
+
+        weights = np.zeros((len(self._topics), num_features))
+        rate = self.learning_rate
+        for _ in range(self.epochs):
+            logits = features @ weights.T
+            probabilities = 1.0 / (1.0 + np.exp(-logits))
+            gradient = ((probabilities - targets).T @ features) / num_docs
+            gradient += self.l2 * weights
+            weights -= rate * gradient
+        self._weights = weights
+        return self
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, documents: Sequence[Document]) -> np.ndarray:
+        """Per-topic probabilities, shape (docs, topics)."""
+        if self._weights is None:
+            raise ConfigurationError("classifier is not trained")
+        features = self._features(documents)
+        return 1.0 / (1.0 + np.exp(-(features @ self._weights.T)))
+
+    def predict(self, documents: Sequence[Document],
+                ) -> Dict[int, Tuple[str, ...]]:
+        """Multi-label predictions per account."""
+        probabilities = self.predict_proba(list(documents))
+        result: Dict[int, Tuple[str, ...]] = {}
+        for row, document in enumerate(documents):
+            above = [
+                (float(probabilities[row, i]), topic)
+                for i, topic in enumerate(self._topics)
+                if probabilities[row, i] >= self.threshold
+            ]
+            if above:
+                above.sort(reverse=True)
+                result[document.author] = tuple(t for _, t in above)
+            else:
+                best = int(np.argmax(probabilities[row]))
+                result[document.author] = (self._topics[best],)
+        return result
+
+    def evaluate(self, documents: Sequence[Document],
+                 truth: Mapping[int, Sequence[str]]) -> EvaluationReport:
+        """Micro-averaged precision/recall against ground truth."""
+        eligible = [doc for doc in documents if truth.get(doc.author)]
+        if not eligible:
+            return EvaluationReport(0.0, 0.0, 0.0, 0)
+        predictions = self.predict(eligible)
+        true_positive = predicted = actual = 0
+        for document in eligible:
+            predicted_topics = set(predictions.get(document.author, ()))
+            true_topics = set(truth[document.author])
+            true_positive += len(predicted_topics & true_topics)
+            predicted += len(predicted_topics)
+            actual += len(true_topics)
+        precision = true_positive / predicted if predicted else 0.0
+        recall = true_positive / actual if actual else 0.0
+        f1 = (2 * precision * recall / (precision + recall)
+              if precision + recall else 0.0)
+        return EvaluationReport(precision, recall, f1, len(eligible))

@@ -1,0 +1,42 @@
+"""Document model and tokenisation for the labeling pipeline."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+_TOKEN = re.compile(r"[a-z0-9']+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase word tokens; hashtags/mentions keep their word part."""
+    return _TOKEN.findall(text.lower())
+
+
+@dataclass(frozen=True)
+class Document:
+    """A user's aggregated posts, the unit the taggers consume.
+
+    Attributes:
+        author: Account id.
+        texts: The individual posts.
+    """
+
+    author: int
+    texts: Tuple[str, ...]
+
+    @classmethod
+    def from_posts(cls, author: int, posts: Sequence[str]) -> "Document":
+        """Build a document from an account's post list."""
+        return cls(author=author, texts=tuple(posts))
+
+    def tokens(self) -> List[str]:
+        """All tokens across the posts, in order."""
+        collected: List[str] = []
+        for text in self.texts:
+            collected.extend(tokenize(text))
+        return collected
+
+    def __len__(self) -> int:
+        return len(self.texts)

@@ -1,0 +1,142 @@
+"""End-to-end graph labeling pipeline (Section 5.1).
+
+Stages, mirroring the paper exactly:
+
+1. **Seed tagging** — the keyword tagger (OpenCalais stand-in) labels
+   ~10% of accounts from their posts;
+2. **Profile completion** — the multi-label classifier (Mulan SVM
+   stand-in), trained on the seeds, predicts a publisher profile for
+   every remaining account; its held-out precision is reported next to
+   the paper's 0.90;
+3. **Follower profiles** — high-frequency topics among each account's
+   followees;
+4. **Edge labeling** — follower ∩ publisher intersection per edge.
+
+The output is a fully labeled social graph plus a
+:class:`LabelingReport` with the coverage/precision numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..graph.labeled_graph import LabeledSocialGraph
+from ..utils.rng import SeedLike, rng_from_seed, spawn_rng
+from .classifier import MultiLabelClassifier
+from .documents import Document
+from .profiles import apply_publisher_profiles, build_follower_profiles, label_edges
+from .seed_tagger import KeywordSeedTagger
+
+
+@dataclass(frozen=True)
+class LabelingReport:
+    """What the pipeline did, for the experiment write-ups.
+
+    Attributes:
+        num_accounts: Accounts in the corpus.
+        seed_tagged: Accounts labeled by the seed tagger (~10% in the
+            paper).
+        classifier_precision: Held-out micro precision of the profile
+            classifier (paper: 0.90).
+        classifier_recall: Held-out micro recall.
+        labeled_edges: Edges that received a non-empty label.
+        total_edges: Edges in the graph.
+    """
+
+    num_accounts: int
+    seed_tagged: int
+    classifier_precision: float
+    classifier_recall: float
+    labeled_edges: int
+    total_edges: int
+
+    @property
+    def seed_coverage(self) -> float:
+        """Fraction of accounts the seed tagger labeled."""
+        return self.seed_tagged / self.num_accounts if self.num_accounts else 0.0
+
+    @property
+    def edge_coverage(self) -> float:
+        """Fraction of edges that received a label."""
+        return self.labeled_edges / self.total_edges if self.total_edges else 0.0
+
+
+class LabelingPipeline:
+    """Compose tagger + classifier + profile builders.
+
+    Example::
+
+        dataset = generate_twitter_dataset(2000, seed=1)
+        pipeline = LabelingPipeline()
+        graph, report = pipeline.run(dataset.unlabeled_graph(),
+                                     dataset.tweets, seed=1)
+    """
+
+    def __init__(self, tagger: KeywordSeedTagger | None = None,
+                 classifier: MultiLabelClassifier | None = None,
+                 holdout_fraction: float = 0.25,
+                 follower_min_share: float = 0.2) -> None:
+        self.tagger = tagger or KeywordSeedTagger()
+        self.classifier = classifier or MultiLabelClassifier()
+        self.holdout_fraction = holdout_fraction
+        self.follower_min_share = follower_min_share
+
+    def run(self, graph: LabeledSocialGraph,
+            posts: Mapping[int, Sequence[str]],
+            seed: SeedLike = None,
+            ) -> Tuple[LabeledSocialGraph, LabelingReport]:
+        """Label *graph* in place from the *posts* corpus.
+
+        Returns:
+            ``(graph, report)`` — the same graph object, now labeled.
+        """
+        rng = rng_from_seed(seed)
+        documents = [
+            Document.from_posts(node, posts.get(node, ()))
+            for node in sorted(graph.nodes())
+        ]
+
+        # Stage 1: seed tagging.
+        seeds = self.tagger.tag(documents, seed=spawn_rng(rng, "tagger"))
+
+        # Stage 2: train on most seeds, hold some out for the
+        # precision report, then predict everyone's publisher profile.
+        seed_authors = sorted(seeds)
+        holdout_rng = spawn_rng(rng, "holdout")
+        holdout_size = max(1, int(self.holdout_fraction * len(seed_authors)))
+        holdout = set(holdout_rng.sample(seed_authors,
+                                         min(holdout_size, len(seed_authors))))
+        training_labels = {
+            author: topics for author, topics in seeds.items()
+            if author not in holdout
+        }
+        self.classifier.fit(documents, training_labels)
+        evaluation = self.classifier.evaluate(
+            [doc for doc in documents if doc.author in holdout], seeds)
+
+        predictions = self.classifier.predict(documents)
+        publisher_profiles: Dict[int, Tuple[str, ...]] = {}
+        for document in documents:
+            if document.author in seeds:
+                publisher_profiles[document.author] = seeds[document.author]
+            else:
+                publisher_profiles[document.author] = predictions.get(
+                    document.author, ())
+        apply_publisher_profiles(graph, publisher_profiles)
+
+        # Stages 3 + 4: follower profiles, then edge intersections.
+        follower_profiles = build_follower_profiles(
+            graph, publisher_profiles, min_share=self.follower_min_share)
+        labeled_edges = label_edges(graph, publisher_profiles,
+                                    follower_profiles)
+
+        report = LabelingReport(
+            num_accounts=graph.num_nodes,
+            seed_tagged=len(seeds),
+            classifier_precision=evaluation.precision,
+            classifier_recall=evaluation.recall,
+            labeled_edges=labeled_edges,
+            total_edges=graph.num_edges,
+        )
+        return graph, report

@@ -1,0 +1,91 @@
+"""Keyword-based seed tagger — the OpenCalais stand-in.
+
+Section 5.1: OpenCalais categorisation tagged ~10% of the nodes with
+topics extracted from their tweets. This tagger plays that role: it
+attempts only a sample of the accounts (the *coverage*), and within the
+sample tags conservatively — a topic is assigned only when its keyword
+evidence is strong — so the output is a small, high-precision training
+set for the multi-label classifier, exactly the regime the paper's
+pipeline operated in.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from ..datasets.text import TOPIC_KEYWORDS
+from ..errors import ConfigurationError
+from ..utils.rng import SeedLike, rng_from_seed
+from .documents import Document
+
+
+class KeywordSeedTagger:
+    """Tag accounts whose posts clearly match topic keyword pools.
+
+    Args:
+        keywords: topic → keyword pool (defaults to the built-in Web
+            pools).
+        coverage: Fraction of accounts the tagger attempts (0.1 mirrors
+            the paper's 10%).
+        min_hits: Minimum keyword matches for a topic to be considered.
+        min_share: Minimum share of all keyword matches a topic needs.
+        max_topics: Cap on assigned topics per account.
+    """
+
+    def __init__(self,
+                 keywords: Mapping[str, Sequence[str]] = TOPIC_KEYWORDS,
+                 coverage: float = 0.1,
+                 min_hits: int = 2,
+                 min_share: float = 0.15,
+                 max_topics: int = 3) -> None:
+        if not 0.0 < coverage <= 1.0:
+            raise ConfigurationError(
+                f"coverage must be in (0, 1], got {coverage}")
+        if min_hits < 1:
+            raise ConfigurationError(f"min_hits must be >= 1, got {min_hits}")
+        self.coverage = coverage
+        self.min_hits = min_hits
+        self.min_share = min_share
+        self.max_topics = max_topics
+        self._keyword_topic: Dict[str, str] = {}
+        for topic, pool in keywords.items():
+            for word in pool:
+                self._keyword_topic[word] = topic
+
+    def tag_document(self, document: Document) -> Tuple[str, ...]:
+        """Topics of one account's posts ('()' when evidence is weak)."""
+        hits: Counter = Counter()
+        for token in document.tokens():
+            topic = self._keyword_topic.get(token)
+            if topic is not None:
+                hits[topic] += 1
+        total = sum(hits.values())
+        if total == 0:
+            return ()
+        qualified = [
+            (count, topic) for topic, count in hits.items()
+            if count >= self.min_hits and count / total >= self.min_share
+        ]
+        qualified.sort(key=lambda pair: (-pair[0], pair[1]))
+        return tuple(topic for _, topic in qualified[: self.max_topics])
+
+    def tag(self, documents: Iterable[Document],
+            seed: SeedLike = None) -> Dict[int, Tuple[str, ...]]:
+        """Tag a *coverage*-sized sample of *documents*.
+
+        Returns:
+            author → topics, for sampled accounts that got at least one
+            topic. The dictionary's size over the corpus size is the
+            effective coverage the pipeline report shows.
+        """
+        rng = rng_from_seed(seed)
+        corpus = list(documents)
+        attempted = max(1, int(self.coverage * len(corpus)))
+        sample = rng.sample(corpus, min(attempted, len(corpus)))
+        result: Dict[int, Tuple[str, ...]] = {}
+        for document in sample:
+            topics = self.tag_document(document)
+            if topics:
+                result[document.author] = topics
+        return result

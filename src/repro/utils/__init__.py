@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic RNG helpers, timers, varint codec."""
+
+from .rng import rng_from_seed, spawn_rng
+from .timers import Stopwatch, format_duration
+from .varint import decode_uvarint, decode_uvarint_list, encode_uvarint, encode_uvarint_list
+from .topk import TopK
+
+__all__ = [
+    "rng_from_seed",
+    "spawn_rng",
+    "Stopwatch",
+    "format_duration",
+    "encode_uvarint",
+    "decode_uvarint",
+    "encode_uvarint_list",
+    "decode_uvarint_list",
+    "TopK",
+]

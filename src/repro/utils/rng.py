@@ -1,0 +1,59 @@
+"""Deterministic random-number discipline.
+
+All stochastic components (dataset generators, landmark sampling, the
+evaluation protocol, the simulated user panels) take an explicit seed or
+:class:`random.Random` instance, so every experiment in this repository
+is reproducible bit-for-bit. These helpers centralise the conversions.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Optional, Union
+
+SeedLike = Union[int, random.Random, None]
+
+
+def rng_from_seed(seed: SeedLike) -> random.Random:
+    """Return a :class:`random.Random` for the given seed-like value.
+
+    Accepts an ``int`` seed, an existing ``Random`` (returned as-is so a
+    caller can thread one generator through a pipeline), or ``None`` for
+    a fresh OS-seeded generator.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def spawn_rng(rng: random.Random, label: str) -> random.Random:
+    """Derive an independent child generator from *rng*.
+
+    The child is seeded from the parent's stream combined with a label,
+    so two subsystems that spawn from the same parent with different
+    labels get decorrelated streams, and the parent's subsequent output
+    does not depend on how much the child consumes.
+    """
+    # zlib.crc32 (not hash()) so the derivation is stable across
+    # processes — Python randomises str hashing per interpreter.
+    material = (rng.getrandbits(64) << 32) ^ zlib.crc32(label.encode("utf-8"))
+    return random.Random(material)
+
+
+def sample_without_replacement(rng: random.Random, population: list,
+                               k: int, exclude: Optional[set] = None) -> list:
+    """Sample ``k`` distinct items from *population*, skipping *exclude*.
+
+    Falls back to returning every eligible item when fewer than ``k``
+    remain, rather than raising — evaluation code treats a short sample
+    as "use everything available".
+    """
+    if exclude:
+        eligible = [item for item in population if item not in exclude]
+    else:
+        eligible = list(population)
+    if k >= len(eligible):
+        rng.shuffle(eligible)
+        return eligible
+    return rng.sample(eligible, k)

@@ -1,0 +1,68 @@
+"""Bounded top-k accumulator.
+
+Both Algorithm 1 (per-landmark preprocessing keeps only the top-n
+recommendations per topic) and the query-time rankers need a structure
+that ingests (item, score) pairs — possibly updating an item's score —
+and yields the k best. A heap alone cannot update keys cheaply, so this
+keeps a dict of current scores and sorts on demand; n is small (<= 1000)
+throughout the paper, which makes the O(m log m) finalisation cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterator, List, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class TopK(Generic[K]):
+    """Accumulate additive scores per item and report the k largest.
+
+    Ties are broken by item (ascending) so results are deterministic.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._scores: Dict[K, float] = {}
+
+    def add(self, item: K, score: float) -> None:
+        """Add *score* to the running total of *item*."""
+        self._scores[item] = self._scores.get(item, 0.0) + score
+
+    def set(self, item: K, score: float) -> None:
+        """Overwrite the score of *item*."""
+        self._scores[item] = score
+
+    def get(self, item: K, default: float = 0.0) -> float:
+        """Current score of *item* (default when absent)."""
+        return self._scores.get(item, default)
+
+    def __contains__(self, item: K) -> bool:
+        return item in self._scores
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._scores)
+
+    def items(self) -> Iterator[Tuple[K, float]]:
+        """Iterate over (item, score) pairs, unordered."""
+        return iter(self._scores.items())
+
+    def best(self) -> List[Tuple[K, float]]:
+        """Return up to k (item, score) pairs, highest score first."""
+        ranked = sorted(self._scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[: self.k]
+
+    def prune(self) -> None:
+        """Drop everything outside the current top k.
+
+        Useful for long-running accumulations where the candidate pool
+        is much larger than k; callers decide when pruning is safe
+        (i.e. when dropped items can no longer re-enter the top k).
+        """
+        if len(self._scores) > self.k:
+            self._scores = dict(self.best())

@@ -1,0 +1,99 @@
+"""LEB128-style unsigned varint codec.
+
+The landmark store (``repro.landmarks.storage``) keeps inverted lists on
+disk as delta-gapped varints — the standard posting-list encoding in IR
+systems. Kept dependency-free and round-trip property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..errors import CorruptRecordError
+
+_CONTINUATION = 0x80
+_PAYLOAD = 0x7F
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as a little-endian base-128 varint."""
+    if value < 0:
+        raise ValueError(f"varints encode non-negative integers, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & _PAYLOAD
+        value >>= 7
+        if value:
+            out.append(byte | _CONTINUATION)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(buffer: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode one varint from *buffer* starting at *offset*.
+
+    Returns:
+        ``(value, next_offset)``.
+
+    Raises:
+        CorruptRecordError: on truncated input or a varint longer than
+            ten bytes (more than 64 bits of payload).
+    """
+    result = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(buffer):
+            raise CorruptRecordError(
+                f"truncated varint at offset {offset}")
+        byte = buffer[position]
+        position += 1
+        result |= (byte & _PAYLOAD) << shift
+        if not byte & _CONTINUATION:
+            return result, position
+        shift += 7
+        if shift >= 70:
+            raise CorruptRecordError(
+                f"varint at offset {offset} exceeds 64 bits")
+
+
+def encode_uvarint_list(values: Iterable[int], delta: bool = False) -> bytes:
+    """Encode a sequence of non-negative ints, optionally delta-gapped.
+
+    With ``delta=True`` the input must be strictly increasing; the gaps
+    (first value, then successive differences) are what gets encoded,
+    which is much smaller for sorted id lists.
+    """
+    out = bytearray()
+    previous = 0
+    first = True
+    for value in values:
+        if delta:
+            if not first and value <= previous:
+                raise ValueError(
+                    "delta encoding requires strictly increasing values "
+                    f"({value} after {previous})")
+            encoded = value if first else value - previous
+            previous = value
+        else:
+            encoded = value
+        out += encode_uvarint(encoded)
+        first = False
+    return bytes(out)
+
+
+def decode_uvarint_list(buffer: bytes, count: int, offset: int = 0,
+                        delta: bool = False) -> Tuple[List[int], int]:
+    """Decode *count* varints; inverse of :func:`encode_uvarint_list`."""
+    values: List[int] = []
+    position = offset
+    running = 0
+    for index in range(count):
+        value, position = decode_uvarint(buffer, position)
+        if delta:
+            running = value if index == 0 else running + value
+            values.append(running)
+        else:
+            values.append(value)
+    return values, position

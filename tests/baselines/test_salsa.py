@@ -1,0 +1,92 @@
+"""Tests for the WTF-style SALSA recommender."""
+
+import pytest
+
+from repro.baselines import SalsaRecommender
+from repro.datasets import generate_twitter_graph
+from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.graph.builders import graph_from_edges
+
+
+@pytest.fixture()
+def two_communities():
+    """User 0's community follows 10-12; an unrelated clique follows 20."""
+    edges = []
+    for follower in (0, 1, 2):
+        for followee in (10, 11):
+            edges.append((follower, followee))
+    edges += [(1, 12), (2, 12)]
+    edges += [(0, 1), (0, 2)]          # 0 trusts 1 and 2
+    edges += [(30, 20), (31, 20), (32, 20)]  # unrelated cluster
+    return graph_from_edges(edges)
+
+
+class TestCircleOfTrust:
+    def test_includes_user_first(self, two_communities):
+        circle = SalsaRecommender(two_communities).circle_of_trust(0)
+        assert circle[0] == 0
+
+    def test_contains_trusted_neighbourhood(self, two_communities):
+        circle = SalsaRecommender(two_communities).circle_of_trust(0)
+        assert {1, 2} <= set(circle)
+
+    def test_excludes_unreachable_cluster(self, two_communities):
+        circle = SalsaRecommender(two_communities).circle_of_trust(0)
+        assert not {30, 31, 32, 20} & set(circle)
+
+    def test_size_cap(self):
+        graph = generate_twitter_graph(200, seed=401)
+        circle = SalsaRecommender(graph, circle_size=10).circle_of_trust(0)
+        assert len(circle) <= 11  # user + 10
+
+    def test_unknown_user_raises(self, two_communities):
+        with pytest.raises(NodeNotFoundError):
+            SalsaRecommender(two_communities).circle_of_trust(10**9)
+
+
+class TestRecommend:
+    def test_recommends_community_authority(self, two_communities):
+        """12 is followed by 0's trusted circle but not by 0 — the
+        canonical WTF recommendation."""
+        results = SalsaRecommender(two_communities).recommend(0, top_n=3)
+        assert results
+        assert results[0][0] == 12
+
+    def test_excludes_followed_and_self(self, two_communities):
+        results = SalsaRecommender(two_communities).recommend(0, top_n=10)
+        nodes = {node for node, _ in results}
+        assert not nodes & {0, 1, 2, 10, 11}
+
+    def test_candidate_pool_restriction(self, two_communities):
+        results = SalsaRecommender(two_communities).recommend(
+            0, top_n=10, candidates=[12, 20])
+        assert {node for node, _ in results} <= {12, 20}
+
+    def test_scores_descending(self, two_communities):
+        results = SalsaRecommender(two_communities).recommend(0, top_n=10)
+        values = [score for _, score in results]
+        assert values == sorted(values, reverse=True)
+
+    def test_personalised_unlike_twitterrank(self):
+        """Two users in different communities get different heads."""
+        graph = generate_twitter_graph(300, seed=402)
+        salsa = SalsaRecommender(graph, circle_size=20)
+        users = [n for n in graph.nodes() if graph.out_degree(n) >= 5][:6]
+        heads = {tuple(n for n, _ in salsa.recommend(u, top_n=3))
+                 for u in users}
+        assert len(heads) > 1
+
+    def test_isolated_user_gets_nothing(self):
+        graph = graph_from_edges([(1, 2)])
+        graph.add_node(9)
+        assert SalsaRecommender(graph).recommend(9) == []
+
+
+class TestValidation:
+    def test_bad_circle_size(self, two_communities):
+        with pytest.raises(ConfigurationError):
+            SalsaRecommender(two_communities, circle_size=0)
+
+    def test_bad_restart(self, two_communities):
+        with pytest.raises(ConfigurationError):
+            SalsaRecommender(two_communities, restart=1.0)

@@ -1,0 +1,115 @@
+"""Tests for the TwitterRank baseline."""
+
+import pytest
+
+from repro.baselines import TwitterRank
+from repro.baselines.twitterrank import default_topic_interest
+from repro.datasets import generate_twitter_graph
+from repro.errors import ConfigurationError
+from repro.graph.builders import graph_from_edges
+
+
+@pytest.fixture()
+def star_graph():
+    """Nodes 1-4 all follow node 0 (a technology celebrity); node 5
+    publishes technology but has one follower."""
+    return graph_from_edges(
+        [(i, 0, ["technology"]) for i in range(1, 5)] + [(4, 5, ["technology"])],
+        node_topics={0: ["technology"], 5: ["technology"],
+                     1: ["technology"], 2: ["technology"],
+                     3: ["technology"], 4: ["technology"]},
+    )
+
+
+class TestDefaultInterest:
+    def test_distributions_sum_to_one(self, star_graph):
+        interest = default_topic_interest(star_graph)
+        for node, distribution in interest.items():
+            assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_profile_topics_get_most_mass(self, star_graph):
+        interest = default_topic_interest(star_graph, smoothing=0.2)
+        assert interest[0]["technology"] > 0.5
+
+    def test_background_mass_everywhere(self):
+        graph = graph_from_edges(
+            [(0, 1, ["technology"]), (2, 3, ["food"])],
+            node_topics={1: ["technology"], 3: ["food"]})
+        interest = default_topic_interest(graph, smoothing=0.3)
+        assert interest[1]["food"] > 0.0  # smoothed background
+
+
+class TestRank:
+    def test_scores_form_probability_distribution(self, star_graph):
+        ranking = TwitterRank(star_graph).rank("technology")
+        assert sum(ranking.values()) == pytest.approx(1.0, abs=1e-6)
+        assert all(value >= 0.0 for value in ranking.values())
+
+    def test_popular_account_wins(self, star_graph):
+        ranking = TwitterRank(star_graph).rank("technology")
+        assert ranking[0] == max(ranking.values())
+
+    def test_rank_is_cached_and_invalidate_clears(self, star_graph):
+        twitterrank = TwitterRank(star_graph)
+        first = twitterrank.rank("technology")
+        assert twitterrank.rank("technology") is first
+        twitterrank.invalidate()
+        assert twitterrank.rank("technology") is not first
+
+    def test_unknown_topic_falls_back_to_uniformish(self, star_graph):
+        ranking = TwitterRank(star_graph).rank("technology")
+        # every node keeps some smoothed teleport mass
+        assert all(value > 0.0 for value in ranking.values())
+
+    def test_tweet_counts_bias_transitions(self, star_graph):
+        heavy = TwitterRank(star_graph, tweet_counts={0: 100, 5: 1})
+        light = TwitterRank(star_graph, tweet_counts={0: 1, 5: 100})
+        assert heavy.rank("technology")[0] > light.rank("technology")[0]
+
+    def test_gamma_validation(self, star_graph):
+        with pytest.raises(ConfigurationError):
+            TwitterRank(star_graph, gamma=1.0)
+
+    def test_deterministic(self, star_graph):
+        first = TwitterRank(star_graph).rank("technology")
+        second = TwitterRank(star_graph).rank("technology")
+        assert first == pytest.approx(second)
+
+
+class TestAggregateAndRecommend:
+    def test_aggregate_rank_combines_topics(self, star_graph):
+        twitterrank = TwitterRank(star_graph)
+        combined = twitterrank.aggregate_rank(
+            {"technology": 0.7, "food": 0.3})
+        assert sum(combined.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_recommend_excludes_followees(self, star_graph):
+        twitterrank = TwitterRank(star_graph)
+        results = twitterrank.recommend(4, "technology", top_n=3)
+        nodes = [node for node, _ in results]
+        assert 0 not in nodes and 5 not in nodes and 4 not in nodes
+
+    def test_recommend_candidate_pool(self, star_graph):
+        twitterrank = TwitterRank(star_graph)
+        results = twitterrank.recommend(1, "technology", candidates=[2, 3])
+        assert {node for node, _ in results} <= {2, 3}
+
+    def test_score_is_user_independent(self, star_graph):
+        """TwitterRank is global: the same candidate scores identically
+        for different query users (the property Figures 8-9 exploit)."""
+        twitterrank = TwitterRank(star_graph)
+        assert twitterrank.score(1, 5, "technology") == \
+            twitterrank.score(2, 5, "technology")
+
+
+class TestOnGeneratedGraph:
+    def test_follows_popularity_within_topic(self):
+        """The paper observes TwitterRank ranks essentially by
+        popularity: the top-ranked account should be among the most
+        followed technology publishers."""
+        graph = generate_twitter_graph(300, seed=31)
+        ranking = TwitterRank(graph).rank("technology")
+        best = max(ranking, key=ranking.get)
+        degrees = sorted((graph.in_degree(n) for n in graph.nodes()),
+                         reverse=True)
+        assert graph.in_degree(best) >= degrees[min(30, len(degrees) - 1)]

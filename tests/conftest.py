@@ -1,0 +1,77 @@
+"""Shared fixtures: small canonical graphs and similarity matrices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ScoreParams, SimilarityMatrix, web_taxonomy
+from repro.core.scores import AuthorityIndex
+from repro.graph.builders import graph_from_edges
+from repro.semantics import dblp_taxonomy
+
+
+@pytest.fixture(scope="session")
+def web_sim() -> SimilarityMatrix:
+    return SimilarityMatrix.from_taxonomy(web_taxonomy())
+
+
+@pytest.fixture(scope="session")
+def dblp_sim() -> SimilarityMatrix:
+    return SimilarityMatrix.from_taxonomy(dblp_taxonomy())
+
+
+@pytest.fixture()
+def params() -> ScoreParams:
+    """A β large enough to make path effects visible in few decimals."""
+    return ScoreParams(beta=0.1, alpha=0.85)
+
+
+@pytest.fixture()
+def paper_figure_graph():
+    """The running example of the paper's Figure 1, reconstructed.
+
+    Degree structure matches Example 1 exactly: B has 3 followers
+    (2 on technology, 1 on bigdata), C has 6 followers (2 on
+    technology, 2 on bigdata), so auth(B, technology) = 2/3,
+    auth(C, technology) = 1/3, and C beats B on bigdata.
+    D and E are reached from A through B and C respectively
+    (Example 2's paths p1 and p2).
+    """
+    return graph_from_edges(
+        [
+            # A=0, B=1, C=2, D=3, E=4, F=5, G=6, H=7, I=8, J=9
+            (0, 1, ["bigdata", "technology"]),   # A -> B
+            (0, 2, ["bigdata"]),                 # A -> C
+            (1, 3, ["technology"]),              # B -> D
+            (2, 4, ["technology"]),              # C -> E
+            (5, 1, ["technology"]),              # F -> B
+            (6, 1, ["leisure"]),                 # G -> B
+            (5, 2, ["technology"]),              # F -> C
+            (7, 2, ["technology"]),              # H -> C
+            (6, 2, ["bigdata"]),                 # G -> C
+            (8, 2, ["social"]),                  # I -> C
+            (9, 2, ["food"]),                    # J -> C
+        ],
+        node_topics={
+            0: ["technology"], 1: ["technology", "bigdata"],
+            2: ["technology", "bigdata", "social"],
+            3: ["technology"], 4: ["technology"],
+        },
+    )
+
+
+@pytest.fixture()
+def diamond_graph():
+    """Two parallel length-2 paths 0→{1,2}→3 plus a direct edge 0→3."""
+    return graph_from_edges([
+        (0, 1, ["technology"]),
+        (0, 2, ["technology"]),
+        (1, 3, ["technology"]),
+        (2, 3, ["technology"]),
+        (0, 3, ["technology"]),
+    ])
+
+
+@pytest.fixture()
+def authority_index(diamond_graph) -> AuthorityIndex:
+    return AuthorityIndex(diamond_graph)

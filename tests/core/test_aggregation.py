@@ -1,0 +1,144 @@
+"""Tests for the metasearch aggregation rules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    AGGREGATORS,
+    borda,
+    comb_mnz,
+    comb_sum,
+    reciprocal_rank_fusion,
+    weighted_sum,
+)
+from repro.errors import ConfigurationError
+
+LISTS = {
+    "technology": {1: 0.9, 2: 0.5, 3: 0.1},
+    "bigdata": {2: 0.8, 3: 0.6, 4: 0.2},
+}
+
+
+class TestWeightedSum:
+    def test_uniform_weights_default(self):
+        fused = weighted_sum(LISTS)
+        assert fused[2] == pytest.approx(1.3)
+        assert fused[1] == pytest.approx(0.9)
+
+    def test_explicit_weights(self):
+        fused = weighted_sum(LISTS, weights={"technology": 2.0,
+                                             "bigdata": 0.0})
+        assert fused[1] == pytest.approx(1.8)
+        assert 4 not in fused
+
+    def test_normalisation(self):
+        fused = weighted_sum(LISTS, normalise=True)
+        # per-list max (item 1 in technology, item 2 in bigdata) -> 1.0
+        assert fused[1] == pytest.approx(1.0)
+        assert fused[2] == pytest.approx(0.5 / 0.9 + 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_sum({})
+
+
+class TestCombRules:
+    def test_comb_sum_is_normalised_sum(self):
+        fused = comb_sum(LISTS)
+        assert fused[2] == pytest.approx(0.5 / 0.9 + 1.0)
+
+    def test_comb_mnz_multiplies_by_support(self):
+        summed = comb_sum(LISTS)
+        fused = comb_mnz(LISTS)
+        assert fused[2] == pytest.approx(2 * summed[2])
+        assert fused[1] == pytest.approx(1 * summed[1])
+
+    def test_comb_mnz_prefers_consensus(self):
+        lists = {
+            "a": {1: 1.0, 2: 0.9},
+            "b": {2: 0.9, 3: 1.0},
+        }
+        fused = comb_mnz(lists)
+        assert fused[2] > fused[1]
+        assert fused[2] > fused[3]
+
+
+class TestBorda:
+    def test_positional_points(self):
+        fused = borda(LISTS)
+        # union size 4: top of a list earns 4, next 3, next 2
+        assert fused[1] == pytest.approx(4)
+        assert fused[2] == pytest.approx(3 + 4)
+        assert fused[3] == pytest.approx(2 + 3)
+
+    def test_scale_invariance(self):
+        """Borda only sees ranks: multiplying scores changes nothing."""
+        scaled = {name: {i: v * 1000 for i, v in scores.items()}
+                  for name, scores in LISTS.items()}
+        assert borda(scaled) == borda(LISTS)
+
+
+class TestRRF:
+    def test_known_values(self):
+        fused = reciprocal_rank_fusion(LISTS, k=1.0)
+        assert fused[1] == pytest.approx(1 / 2)
+        assert fused[2] == pytest.approx(1 / 3 + 1 / 2)
+
+    def test_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            reciprocal_rank_fusion(LISTS, k=0.0)
+
+
+class TestRegistryAndProperties:
+    def test_registry_names(self):
+        assert set(AGGREGATORS) == {"weighted", "combsum", "combmnz",
+                                    "borda", "rrf"}
+
+    @pytest.mark.parametrize("name", sorted(AGGREGATORS))
+    def test_single_list_preserves_order(self, name):
+        single = {"only": {1: 0.9, 2: 0.5, 3: 0.1}}
+        fused = AGGREGATORS[name](single)
+        ranked = sorted(fused.items(), key=lambda kv: (-kv[1], kv[0]))
+        assert [item for item, _ in ranked] == [1, 2, 3]
+
+    @given(st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.dictionaries(st.integers(0, 8),
+                        st.floats(min_value=0.001, max_value=1.0,
+                                  allow_nan=False),
+                        min_size=1, max_size=6),
+        min_size=1, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_union_coverage_property(self, lists):
+        """Every rule scores exactly the union of input items."""
+        union = {item for scores in lists.values() for item in scores}
+        for name, rule in AGGREGATORS.items():
+            fused = rule(lists)
+            assert set(fused) == union, name
+
+
+class TestRecommenderIntegration:
+    def test_recommender_accepts_each_rule(self, web_sim):
+        from repro import Recommender, ScoreParams
+        from repro.graph.builders import graph_from_edges
+
+        graph = graph_from_edges([
+            (0, 1, ["technology"]), (1, 2, ["technology"]),
+            (0, 3, ["bigdata"]), (3, 4, ["bigdata"]),
+        ])
+        recommender = Recommender(graph, web_sim, ScoreParams(beta=0.2))
+        for name in AGGREGATORS:
+            results = recommender.recommend(
+                0, ["technology", "bigdata"], top_n=5, aggregation=name)
+            assert results, name
+
+    def test_unknown_rule_rejected(self, web_sim):
+        from repro import Recommender, ScoreParams
+        from repro.errors import ConfigurationError
+        from repro.graph.builders import graph_from_edges
+
+        graph = graph_from_edges([(0, 1, ["technology"])])
+        recommender = Recommender(graph, web_sim, ScoreParams(beta=0.2))
+        with pytest.raises(ConfigurationError):
+            recommender.recommend(0, "technology", aggregation="magic")

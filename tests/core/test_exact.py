@@ -1,0 +1,195 @@
+"""Tests for the exact engines: Prop. 1 iteration, Eq. 6 matrix form,
+Prop. 3 convergence, and brute-force walk enumeration as ground truth."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ScoreParams
+from repro.core.exact import (
+    adjacency_matrix,
+    matrix_scores,
+    max_beta,
+    single_source_scores,
+    spectral_radius,
+    verify_convergence_condition,
+)
+from repro.core.scores import AuthorityIndex, path_score
+from repro.errors import ConvergenceError
+from repro.graph.builders import complete_graph, graph_from_edges, path_graph
+from repro.graph.traversal import enumerate_walks
+from repro.semantics import SimilarityMatrix, web_taxonomy
+from repro.semantics.vocabularies import WEB_TOPICS
+
+
+def _random_labeled_graph(rng, num_nodes=8, num_edges=18):
+    edges = set()
+    while len(edges) < num_edges:
+        source = rng.randrange(num_nodes)
+        target = rng.randrange(num_nodes)
+        if source != target:
+            edges.add((source, target))
+    graph = graph_from_edges(
+        (s, t, [rng.choice(WEB_TOPICS)]) for s, t in sorted(edges))
+    for node in range(num_nodes):
+        graph.ensure_node(node)
+    return graph
+
+
+class TestIterativeVsBruteForce:
+    """Definition 1 computed by literal walk enumeration must match the
+    depth-capped Prop. 1 iteration exactly."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_depth_capped_scores_match_walk_sums(self, web_sim, seed):
+        rng = random.Random(seed)
+        graph = _random_labeled_graph(rng)
+        params = ScoreParams(beta=0.3, alpha=0.8)
+        auth = AuthorityIndex(graph)
+        source = 0
+        depth = 4
+        state = single_source_scores(graph, source, ["technology"], web_sim,
+                                     authority=auth, params=params,
+                                     max_depth=depth)
+        for target in graph.nodes():
+            if target == source:
+                continue
+            expected = sum(
+                path_score(graph, web_sim, auth, walk, "technology",
+                           params).total
+                for walk in enumerate_walks(graph, source, target, depth))
+            assert state.score(target, "technology") == pytest.approx(
+                expected, abs=1e-12)
+
+    def test_topo_matches_walk_counts(self, web_sim):
+        rng = random.Random(9)
+        graph = _random_labeled_graph(rng)
+        params = ScoreParams(beta=0.25, alpha=0.5)
+        state = single_source_scores(graph, 0, [], web_sim, params=params,
+                                     max_depth=3)
+        for target in graph.nodes():
+            if target == 0:
+                continue
+            walks = list(enumerate_walks(graph, 0, target, 3))
+            expected_b = sum(params.beta ** (len(w) - 1) for w in walks)
+            expected_ab = sum(
+                (params.beta * params.alpha) ** (len(w) - 1) for w in walks)
+            assert state.topo_beta.get(target, 0.0) == pytest.approx(
+                expected_b, abs=1e-12)
+            assert state.topo_alphabeta.get(target, 0.0) == pytest.approx(
+                expected_ab, abs=1e-12)
+
+
+class TestIterativeVsMatrix:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_engines_agree_on_random_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = _random_labeled_graph(rng, num_nodes=7, num_edges=14)
+        sim = SimilarityMatrix.from_taxonomy(web_taxonomy())
+        params = ScoreParams(beta=0.08, alpha=0.85, tolerance=1e-14,
+                             max_iter=200)
+        topic = rng.choice(WEB_TOPICS)
+        source = rng.randrange(7)
+        iterative = single_source_scores(graph, source, [topic], sim,
+                                         params=params)
+        direct = matrix_scores(graph, source, topic, sim, params=params)
+        for node in graph.nodes():
+            assert iterative.score(node, topic) == pytest.approx(
+                direct.score(node, topic), abs=1e-9)
+            assert iterative.topo_beta.get(node, 0.0) == pytest.approx(
+                direct.topo_beta.get(node, 0.0), abs=1e-9)
+
+    def test_matrix_form_adjacency_orientation(self):
+        graph = graph_from_edges([(0, 1)])
+        adjacency = adjacency_matrix(graph)
+        # Paper's convention: A[v][u] = 1 iff u follows v.
+        assert adjacency[1, 0] == 1.0
+        assert adjacency[0, 1] == 0.0
+
+
+class TestScoreStateApi:
+    def test_ranked_excludes_and_truncates(self, diamond_graph, web_sim):
+        state = single_source_scores(diamond_graph, 0, ["technology"],
+                                     web_sim, params=ScoreParams(beta=0.2))
+        ranked = state.ranked("technology", top_n=2, exclude=(0,))
+        assert len(ranked) == 2
+        assert all(node != 0 for node, _ in ranked)
+        assert ranked[0][1] >= ranked[1][1]
+
+    def test_score_of_unreached_node_is_zero(self, diamond_graph, web_sim):
+        state = single_source_scores(diamond_graph, 3, ["technology"],
+                                     web_sim)
+        assert state.score(0, "technology") == 0.0
+
+    def test_absorbing_stops_propagation(self, web_sim):
+        graph = path_graph(4, topics=["technology"])
+        for i in range(3):
+            graph.set_edge_topics(i, i + 1, ["technology"])
+        state = single_source_scores(
+            graph, 0, ["technology"], web_sim,
+            params=ScoreParams(beta=0.3), absorbing=frozenset({1}))
+        assert state.score(1, "technology") > 0.0
+        assert state.score(2, "technology") == 0.0
+
+    def test_absorbing_source_still_propagates(self, web_sim):
+        graph = path_graph(3, topics=["technology"])
+        state = single_source_scores(
+            graph, 0, [], web_sim, params=ScoreParams(beta=0.3),
+            absorbing=frozenset({0}))
+        assert state.topo_beta.get(1, 0.0) > 0.0
+
+
+class TestConvergence:
+    def test_convergence_error_when_beta_too_large(self, web_sim):
+        graph = complete_graph(6, topics=["technology"])
+        # spectral radius of K6 adjacency = 5; beta = 0.5 diverges.
+        params = ScoreParams(beta=0.5, alpha=1.0, max_iter=60)
+        with pytest.raises(ConvergenceError):
+            single_source_scores(graph, 0, ["technology"], web_sim,
+                                 params=params)
+
+    def test_depth_capped_run_never_raises(self, web_sim):
+        graph = complete_graph(6, topics=["technology"])
+        params = ScoreParams(beta=0.5, alpha=1.0)
+        state = single_source_scores(graph, 0, ["technology"], web_sim,
+                                     params=params, max_depth=3)
+        assert not state.converged
+        assert state.iterations == 3
+
+    def test_spectral_radius_of_complete_graph(self):
+        assert spectral_radius(complete_graph(6)) == pytest.approx(5.0,
+                                                                   rel=1e-3)
+
+    def test_spectral_radius_of_dag_is_zero(self):
+        assert spectral_radius(path_graph(5)) == 0.0
+
+    def test_spectral_radius_matches_numpy(self):
+        rng = random.Random(4)
+        graph = _random_labeled_graph(rng, num_nodes=9, num_edges=25)
+        ours = spectral_radius(graph, iterations=300)
+        dense = adjacency_matrix(graph)
+        largest = max(abs(np.linalg.eigvals(dense)))
+        assert ours == pytest.approx(float(largest), rel=1e-2)
+
+    def test_verify_convergence_condition(self):
+        graph = complete_graph(5)
+        assert verify_convergence_condition(graph, ScoreParams(beta=0.1))
+        assert not verify_convergence_condition(graph, ScoreParams(beta=0.5))
+
+    def test_max_beta(self):
+        graph = complete_graph(5)
+        assert max_beta(graph) == pytest.approx(0.25, rel=1e-3)
+        assert max_beta(path_graph(4)) == float("inf")
+
+    def test_paper_beta_converges_fast_on_real_shapes(self, web_sim):
+        """β = 0.0005 (the paper's value) converges in a handful of
+        iterations even on dense graphs."""
+        graph = complete_graph(10, topics=["technology"])
+        state = single_source_scores(graph, 0, ["technology"], web_sim,
+                                     params=ScoreParams())
+        assert state.converged
+        assert state.iterations <= 10

@@ -1,0 +1,146 @@
+"""Equivalence tests: the CSR engine vs the reference dict engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ScoreParams
+from repro.core.exact import single_source_scores
+from repro.core.fast import SparseEngine, scipy_available
+from repro.datasets import generate_twitter_graph
+from repro.errors import ConvergenceError, NodeNotFoundError
+from repro.graph.builders import complete_graph, graph_from_edges
+from repro.semantics import SimilarityMatrix, web_taxonomy
+from repro.semantics.vocabularies import WEB_TOPICS
+
+pytestmark = pytest.mark.skipif(not scipy_available(),
+                                reason="scipy not installed")
+
+
+def _random_graph(rng, num_nodes=10, num_edges=30):
+    edges = set()
+    while len(edges) < num_edges:
+        source = rng.randrange(num_nodes)
+        target = rng.randrange(num_nodes)
+        if source != target:
+            edges.add((source, target))
+    graph = graph_from_edges(
+        (s, t, [rng.choice(WEB_TOPICS)]) for s, t in sorted(edges))
+    for node in range(num_nodes):
+        graph.ensure_node(node)
+    return graph
+
+
+def _assert_states_match(fast, reference, topics):
+    assert fast.topo_beta == pytest.approx(reference.topo_beta, abs=1e-12)
+    assert fast.topo_alphabeta == pytest.approx(reference.topo_alphabeta,
+                                                abs=1e-12)
+    for topic in topics:
+        assert fast.scores.get(topic, {}) == pytest.approx(
+            reference.scores.get(topic, {}), abs=1e-12)
+
+
+class TestEquivalence:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_converged_scores_match_reference(self, seed):
+        rng = random.Random(seed)
+        graph = _random_graph(rng)
+        sim = SimilarityMatrix.from_taxonomy(web_taxonomy())
+        params = ScoreParams(beta=0.05, alpha=0.85, tolerance=1e-14,
+                             max_iter=200)
+        topics = [rng.choice(WEB_TOPICS), rng.choice(WEB_TOPICS)]
+        topics = list(dict.fromkeys(topics))
+        source = rng.randrange(10)
+        engine = SparseEngine(graph, sim, params)
+        fast = engine.single_source(source, topics)
+        reference = single_source_scores(graph, source, topics, sim,
+                                         params=params)
+        _assert_states_match(fast, reference, topics)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_depth_capped_scores_match_reference(self, seed, depth):
+        rng = random.Random(seed)
+        graph = _random_graph(rng)
+        sim = SimilarityMatrix.from_taxonomy(web_taxonomy())
+        params = ScoreParams(beta=0.3, alpha=0.7)
+        source = rng.randrange(10)
+        engine = SparseEngine(graph, sim, params)
+        fast = engine.single_source(source, ["technology"],
+                                    max_depth=depth)
+        reference = single_source_scores(graph, source, ["technology"],
+                                         sim, params=params,
+                                         max_depth=depth)
+        _assert_states_match(fast, reference, ["technology"])
+
+    def test_absorbing_matches_reference(self, web_sim):
+        graph = generate_twitter_graph(150, seed=301)
+        params = ScoreParams(beta=0.004)
+        landmarks = frozenset(sorted(graph.nodes())[:10])
+        source = sorted(graph.nodes())[20]
+        engine = SparseEngine(graph, web_sim, params)
+        fast = engine.single_source(source, ["technology"], max_depth=2,
+                                    absorbing=landmarks)
+        reference = single_source_scores(graph, source, ["technology"],
+                                         web_sim, params=params,
+                                         max_depth=2, absorbing=landmarks)
+        _assert_states_match(fast, reference, ["technology"])
+
+    def test_absorbing_source_still_propagates(self, web_sim):
+        from repro.graph.builders import path_graph
+
+        graph = path_graph(3, topics=["technology"])
+        engine = SparseEngine(graph, web_sim, ScoreParams(beta=0.3))
+        state = engine.single_source(0, [], absorbing=frozenset({0}),
+                                     max_depth=2)
+        assert state.topo_beta.get(1, 0.0) > 0.0
+
+
+class TestBehaviour:
+    def test_unknown_source_raises(self, web_sim):
+        graph = generate_twitter_graph(50, seed=302)
+        engine = SparseEngine(graph, web_sim, ScoreParams(beta=0.004))
+        with pytest.raises(NodeNotFoundError):
+            engine.single_source(10**9, ["technology"])
+
+    def test_divergence_detected(self, web_sim):
+        graph = complete_graph(6, topics=["technology"])
+        engine = SparseEngine(graph, web_sim,
+                              ScoreParams(beta=0.5, alpha=1.0, max_iter=60))
+        with pytest.raises(ConvergenceError):
+            engine.single_source(0, ["technology"])
+
+    def test_semantic_matrices_cached_per_topic(self, web_sim):
+        graph = generate_twitter_graph(80, seed=303)
+        engine = SparseEngine(graph, web_sim, ScoreParams(beta=0.004))
+        engine.single_source(0, ["technology"])
+        first = engine._semantic_cache["technology"]
+        engine.single_source(1, ["technology"])
+        assert engine._semantic_cache["technology"] is first
+        engine.invalidate()
+        assert "technology" not in engine._semantic_cache
+
+    def test_bulk_reuse_is_faster_than_dict_engine(self, web_sim):
+        """The engine's purpose: amortised bulk propagation."""
+        import time
+
+        graph = generate_twitter_graph(800, seed=304)
+        params = ScoreParams(beta=0.004)
+        sources = sorted(graph.nodes())[:30]
+
+        engine = SparseEngine(graph, web_sim, params)
+        start = time.perf_counter()
+        for source in sources:
+            engine.single_source(source, ["technology"])
+        fast_elapsed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for source in sources:
+            single_source_scores(graph, source, ["technology"], web_sim,
+                                 params=params)
+        dict_elapsed = time.perf_counter() - start
+        assert fast_elapsed < dict_elapsed

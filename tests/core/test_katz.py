@@ -1,0 +1,71 @@
+"""Tests for the Katz baseline (Equation 2)."""
+
+import numpy as np
+import pytest
+
+from repro import ScoreParams
+from repro.core.exact import adjacency_matrix, single_source_scores
+from repro.core.katz import katz_rank, katz_scores
+from repro.graph.builders import complete_graph, graph_from_edges, path_graph
+from repro.semantics import SimilarityMatrix, web_taxonomy
+
+
+class TestKatzScores:
+    def test_single_path_decay(self):
+        graph = path_graph(4)
+        scores = katz_scores(graph, 0, ScoreParams(beta=0.5))
+        assert scores[1] == pytest.approx(0.5)
+        assert scores[2] == pytest.approx(0.25)
+        assert scores[3] == pytest.approx(0.125)
+
+    def test_parallel_paths_add(self):
+        graph = graph_from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        scores = katz_scores(graph, 0, ScoreParams(beta=0.5))
+        assert scores[3] == pytest.approx(2 * 0.25)
+
+    def test_matches_matrix_resolvent(self):
+        """Katz(u, ·) is row u of (I − βA^T)^{-1} (walk-sum identity)."""
+        graph = graph_from_edges([
+            (0, 1), (1, 2), (2, 0), (0, 2), (2, 3), (3, 1),
+        ])
+        params = ScoreParams(beta=0.15, tolerance=1e-15, max_iter=300)
+        scores = katz_scores(graph, 0, params)
+        adjacency = adjacency_matrix(graph)  # A[v][u] = 1 iff u -> v
+        resolvent = np.linalg.inv(np.eye(4) - params.beta * adjacency)
+        for node in range(4):
+            assert scores.get(node, 0.0) == pytest.approx(
+                float(resolvent[node, 0]), abs=1e-9)
+
+    def test_equals_tr_topology_vector(self, web_sim):
+        """Eq. 2 is the Tr propagation's topo_beta vector."""
+        graph = graph_from_edges([
+            (0, 1, ["technology"]), (1, 2, ["food"]), (0, 2, ["sports"]),
+        ])
+        params = ScoreParams(beta=0.2)
+        katz = katz_scores(graph, 0, params)
+        state = single_source_scores(graph, 0, [], web_sim, params=params)
+        assert katz == pytest.approx(state.topo_beta)
+
+    def test_max_depth_truncates_walks(self):
+        graph = path_graph(5)
+        scores = katz_scores(graph, 0, ScoreParams(beta=0.5), max_depth=2)
+        assert 3 not in scores
+        assert scores[2] == pytest.approx(0.25)
+
+    def test_source_entry_includes_empty_walk(self):
+        graph = path_graph(3)
+        assert katz_scores(graph, 0, ScoreParams(beta=0.5))[0] == 1.0
+
+
+class TestKatzRank:
+    def test_excludes_source(self):
+        graph = complete_graph(4)
+        ranked = katz_rank(graph, 0, ScoreParams(beta=0.1))
+        assert all(node != 0 for node, _ in ranked)
+
+    def test_descending_order_and_top_n(self):
+        graph = graph_from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)])
+        ranked = katz_rank(graph, 0, ScoreParams(beta=0.3), top_n=2)
+        assert len(ranked) == 2
+        assert ranked[0][1] >= ranked[1][1]
+        assert ranked[0][0] == 3  # three walks lead to node 3

@@ -1,0 +1,175 @@
+"""Tests for the public Recommender API and its ablation variants."""
+
+import pytest
+
+from repro import Recommender, ScoreParams
+from repro.errors import (
+    ConfigurationError,
+    NodeNotFoundError,
+    UnknownTopicError,
+)
+from repro.graph.builders import graph_from_edges
+
+
+@pytest.fixture()
+def world(web_sim):
+    graph = graph_from_edges([
+        (0, 1, ["technology"]),
+        (1, 2, ["technology"]),
+        (1, 3, ["food"]),
+        (0, 4, ["food"]),
+        (4, 3, ["food"]),
+        (5, 2, ["technology"]),
+        (6, 3, ["food"]),
+    ])
+    return graph, Recommender(graph, web_sim, ScoreParams(beta=0.2))
+
+
+class TestRecommend:
+    def test_orders_by_score(self, world):
+        _, recommender = world
+        results = recommender.recommend(0, "technology", top_n=5)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_excludes_user_and_followees_by_default(self, world):
+        _, recommender = world
+        nodes = {r.node for r in recommender.recommend(0, "technology")}
+        assert 0 not in nodes
+        assert 1 not in nodes and 4 not in nodes
+
+    def test_can_include_followees(self, world):
+        _, recommender = world
+        nodes = {r.node for r in recommender.recommend(
+            0, "technology", exclude_followed=False)}
+        assert 1 in nodes
+
+    def test_candidate_pool_restriction(self, world):
+        _, recommender = world
+        results = recommender.recommend(0, "technology", candidates=[2])
+        assert [r.node for r in results] == [2]
+
+    def test_multi_topic_query_combines_linearly(self, world):
+        _, recommender = world
+        tech = {r.node: r.score
+                for r in recommender.recommend(0, "technology", top_n=10)}
+        food = {r.node: r.score
+                for r in recommender.recommend(0, "food", top_n=10)}
+        both = {r.node: r.score for r in recommender.recommend(
+            0, {"technology": 1.0, "food": 1.0}, top_n=10)}
+        for node, score in both.items():
+            expected = 0.5 * tech.get(node, 0.0) + 0.5 * food.get(node, 0.0)
+            assert score == pytest.approx(expected)
+
+    def test_per_topic_breakdown_present(self, world):
+        _, recommender = world
+        results = recommender.recommend(0, ["technology", "food"], top_n=5)
+        assert all(r.per_topic for r in results)
+
+    def test_unknown_user_raises(self, world):
+        _, recommender = world
+        with pytest.raises(NodeNotFoundError):
+            recommender.recommend(99, "technology")
+
+    def test_unknown_topic_raises(self, world):
+        _, recommender = world
+        with pytest.raises(UnknownTopicError):
+            recommender.recommend(0, "astrology")
+
+    def test_empty_query_rejected(self, world):
+        _, recommender = world
+        with pytest.raises(ConfigurationError):
+            recommender.recommend(0, [])
+
+    def test_negative_weights_rejected(self, world):
+        _, recommender = world
+        with pytest.raises(ConfigurationError):
+            recommender.recommend(0, {"technology": -1.0})
+
+    def test_score_single_pair(self, world):
+        _, recommender = world
+        assert recommender.score(0, 2, "technology") > 0.0
+        assert recommender.score(0, 6, "technology") == 0.0
+
+
+class TestEngines:
+    def test_sparse_engine_gives_identical_recommendations(self, world,
+                                                           web_sim):
+        graph, reference = world
+        sparse = Recommender(graph, web_sim, ScoreParams(beta=0.2),
+                             engine="sparse")
+        expected = reference.recommend(0, "technology", top_n=5)
+        got = sparse.recommend(0, "technology", top_n=5)
+        assert [r.node for r in got] == [r.node for r in expected]
+        for ours, theirs in zip(got, expected):
+            assert ours.score == pytest.approx(theirs.score, abs=1e-12)
+
+    def test_unknown_engine_rejected(self, world, web_sim):
+        graph, _ = world
+        with pytest.raises(ConfigurationError):
+            Recommender(graph, web_sim, engine="quantum")
+
+    def test_sparse_invalidate_rebuilds_engine(self, world, web_sim):
+        graph, _ = world
+        sparse = Recommender(graph.copy(), web_sim, ScoreParams(beta=0.2),
+                             engine="sparse")
+        before = sparse.score(0, 2, "technology")
+        sparse.graph.add_edge(5, 0, ["technology"])
+        sparse.invalidate()
+        # new follower of 0 does not change 0's outgoing scores' paths,
+        # but the engine must have rebuilt without raising and keep
+        # serving consistent values
+        after = sparse.score(0, 2, "technology")
+        assert after == pytest.approx(before)
+
+
+class TestVariants:
+    def test_variant_names(self, world, web_sim):
+        graph, recommender = world
+        assert recommender.variant == "Tr"
+        assert Recommender(graph, web_sim,
+                           use_authority=False).variant == "Tr-auth"
+        assert Recommender(graph, web_sim,
+                           use_similarity=False).variant == "Tr-sim"
+
+    def test_tr_auth_ignores_authority(self, world, web_sim):
+        """With authority frozen, adding followers to a node must not
+        change its score."""
+        graph, _ = world
+        ablated = Recommender(graph.copy(), web_sim, ScoreParams(beta=0.2),
+                              use_authority=False)
+        before = ablated.score(0, 2, "technology")
+        mutated = graph.copy()
+        mutated.add_edge(7, 2, ["technology"])
+        ablated_after = Recommender(mutated, web_sim, ScoreParams(beta=0.2),
+                                    use_authority=False)
+        assert ablated_after.score(0, 2, "technology") == pytest.approx(before)
+
+    def test_tr_sim_ignores_label_semantics(self, world, web_sim):
+        """With similarity frozen, relabeling an edge to a semantically
+        distant (but non-empty) topic must not change scores."""
+        graph, _ = world
+        first = Recommender(graph.copy(), web_sim, ScoreParams(beta=0.2),
+                            use_similarity=False)
+        before = first.score(0, 2, "technology")
+        relabeled = graph.copy()
+        relabeled.set_edge_topics(0, 1, ["religion"])
+        relabeled.set_edge_topics(1, 2, ["religion"])
+        # keep authority structure identical: followers on technology
+        # unchanged on node 2 except via 1->2 edge; rebuild both with
+        # the same label moves
+        second = Recommender(relabeled, web_sim, ScoreParams(beta=0.2),
+                             use_similarity=False)
+        # authority for topic "technology" changed (1->2 no longer
+        # labeled technology), so compare on the walk through food
+        # instead: score on "food" via 0->4->3 unaffected by semantics.
+        assert first.score(0, 3, "food") == pytest.approx(
+            second.score(0, 3, "food"))
+        assert before > 0.0
+
+    def test_full_tr_differs_from_ablations(self, world, web_sim):
+        graph, recommender = world
+        tr_score = recommender.score(0, 2, "technology")
+        no_auth = Recommender(graph, web_sim, ScoreParams(beta=0.2),
+                              use_authority=False).score(0, 2, "technology")
+        assert tr_score != no_auth

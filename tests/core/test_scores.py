@@ -1,0 +1,196 @@
+"""Tests for authority, edge relevance, path scores, and Prop. 2."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ScoreParams
+from repro.core.scores import (
+    AuthorityIndex,
+    PathScore,
+    compose_path_scores,
+    edge_relevance,
+    path_score,
+    single_edge_score,
+)
+from repro.graph.builders import graph_from_edges, path_graph
+
+
+class TestAuthorityPaperExample1:
+    """The worked Example 1 of the paper, verified number for number."""
+
+    B, C = 1, 2
+
+    def test_local_authority_on_technology(self, paper_figure_graph):
+        auth = AuthorityIndex(paper_figure_graph)
+        assert auth.local_authority(self.B, "technology") == pytest.approx(2 / 3)
+        assert auth.local_authority(self.C, "technology") == pytest.approx(2 / 6)
+
+    def test_global_popularity_ties_on_technology(self, paper_figure_graph):
+        auth = AuthorityIndex(paper_figure_graph)
+        assert auth.global_popularity(self.B, "technology") == pytest.approx(1.0)
+        assert auth.global_popularity(self.C, "technology") == pytest.approx(1.0)
+
+    def test_b_beats_c_on_technology(self, paper_figure_graph):
+        auth = AuthorityIndex(paper_figure_graph)
+        assert auth.auth(self.B, "technology") == pytest.approx(2 / 3)
+        assert auth.auth(self.C, "technology") == pytest.approx(1 / 3)
+
+    def test_c_beats_b_on_bigdata(self, paper_figure_graph):
+        """Same local share (1/3) but C is more followed on bigdata."""
+        auth = AuthorityIndex(paper_figure_graph)
+        b_score = auth.auth(self.B, "bigdata")
+        c_score = auth.auth(self.C, "bigdata")
+        assert b_score == pytest.approx(
+            (1 / 3) * math.log1p(1) / math.log1p(2))
+        assert c_score == pytest.approx(1 / 3)
+        assert c_score > b_score
+
+
+class TestAuthorityProperties:
+    def test_zero_when_unfollowed_on_topic(self, paper_figure_graph):
+        auth = AuthorityIndex(paper_figure_graph)
+        assert auth.auth(1, "food") == 0.0
+
+    def test_one_when_exclusive_and_most_followed(self):
+        graph = graph_from_edges([
+            (10, 0, ["technology"]), (11, 0, ["technology"]),
+        ])
+        auth = AuthorityIndex(graph)
+        assert auth.auth(0, "technology") == pytest.approx(1.0)
+
+    def test_bounded_by_unit_interval(self, paper_figure_graph):
+        auth = AuthorityIndex(paper_figure_graph)
+        for node in paper_figure_graph.nodes():
+            for topic in ("technology", "bigdata", "social", "food"):
+                assert 0.0 <= auth.auth(node, topic) <= 1.0
+
+    def test_cache_consistency_after_invalidate(self, paper_figure_graph):
+        auth = AuthorityIndex(paper_figure_graph)
+        before = auth.auth(2, "technology")
+        paper_figure_graph.add_edge(20, 2, ["technology"])
+        auth.invalidate()
+        after = auth.auth(2, "technology")
+        assert after != before
+        # C now has 7 followers, 3 on technology; max on technology is
+        # still C's own count (B has 2).
+        assert after == pytest.approx(
+            (3 / 7) * math.log1p(3) / math.log1p(3))
+
+
+class TestEdgeRelevance:
+    def test_distance_decay(self, web_sim):
+        params = ScoreParams(beta=0.5, alpha=0.5)
+        near = edge_relevance(web_sim, frozenset({"technology"}),
+                              "technology", distance=1, params=params)
+        far = edge_relevance(web_sim, frozenset({"technology"}),
+                             "technology", distance=2, params=params)
+        assert near == pytest.approx(0.5)
+        assert far == pytest.approx(0.25)
+
+    def test_max_over_labels(self, web_sim):
+        params = ScoreParams(beta=0.5, alpha=1.0)
+        value = edge_relevance(web_sim, frozenset({"social", "bigdata"}),
+                               "technology", distance=1, params=params)
+        assert value == pytest.approx(
+            web_sim.similarity("bigdata", "technology"))
+
+    def test_distance_is_one_based(self, web_sim):
+        with pytest.raises(ValueError):
+            edge_relevance(web_sim, frozenset(), "technology", distance=0,
+                           params=ScoreParams())
+
+
+class TestPathScore:
+    def test_single_edge_matches_single_edge_score(self, web_sim):
+        graph = graph_from_edges([
+            (0, 1, ["technology"]), (5, 1, ["technology"]),
+        ])
+        params = ScoreParams(beta=0.3, alpha=0.7)
+        auth = AuthorityIndex(graph)
+        full = path_score(graph, web_sim, auth, [0, 1], "technology", params)
+        shortcut = single_edge_score(
+            web_sim, auth, graph.edge_topics(0, 1), 1, "technology", params)
+        assert full.total == pytest.approx(shortcut)
+        assert full.length == 1
+
+    def test_too_short_path_rejected(self, web_sim, diamond_graph):
+        with pytest.raises(ValueError):
+            path_score(diamond_graph, web_sim, AuthorityIndex(diamond_graph),
+                       [0], "technology", ScoreParams())
+
+    def test_example_2_path_ordering(self, paper_figure_graph, web_sim):
+        """Example 2: p1 = A→B→D outranks p2 = A→C→E on technology."""
+        params = ScoreParams(beta=0.5, alpha=0.85)
+        auth = AuthorityIndex(paper_figure_graph)
+        p1 = path_score(paper_figure_graph, web_sim, auth, [0, 1, 3],
+                        "technology", params)
+        p2 = path_score(paper_figure_graph, web_sim, auth, [0, 2, 4],
+                        "technology", params)
+        assert p1.total > p2.total
+
+
+class TestComposition:
+    """Proposition 2, both on concrete paths and as a property."""
+
+    def test_concrete_composition(self, web_sim):
+        graph = path_graph(5, topics=["technology"])
+        for i in range(4):
+            graph.set_edge_topics(i, i + 1, ["technology"])
+        params = ScoreParams(beta=0.4, alpha=0.6)
+        auth = AuthorityIndex(graph)
+        whole = path_score(graph, web_sim, auth, [0, 1, 2, 3, 4],
+                           "technology", params)
+        first = path_score(graph, web_sim, auth, [0, 1, 2], "technology",
+                           params)
+        second = path_score(graph, web_sim, auth, [2, 3, 4], "technology",
+                            params)
+        composed = compose_path_scores(first, second, params)
+        assert composed.total == pytest.approx(whole.total)
+        assert composed.length == whole.length
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_composition_property_on_random_paths(self, beta, alpha,
+                                                  len1, len2, seed):
+        """ω(p1.p2) = β^|p2|·ω(p1) + (βα)^|p1|·ω(p2) on random labeled
+        paths, computed from scratch both ways."""
+        import random
+
+        from repro.semantics import SimilarityMatrix, web_taxonomy
+        from repro.semantics.vocabularies import WEB_TOPICS
+
+        rng = random.Random(seed)
+        params = ScoreParams(beta=beta, alpha=alpha)
+        sim = SimilarityMatrix.from_taxonomy(web_taxonomy())
+        total = len1 + len2
+        graph = path_graph(total + 1)
+        for i in range(total):
+            graph.set_edge_topics(i, i + 1, [rng.choice(WEB_TOPICS)])
+        # extra followers so authorities are non-trivial
+        extra = total + 1
+        for i in range(1, total + 1):
+            for _ in range(rng.randint(0, 2)):
+                graph.add_edge(extra, i, [rng.choice(WEB_TOPICS)])
+                extra += 1
+        auth = AuthorityIndex(graph)
+        topic = rng.choice(WEB_TOPICS)
+        nodes = list(range(total + 1))
+        whole = path_score(graph, sim, auth, nodes, topic, params)
+        first = path_score(graph, sim, auth, nodes[: len1 + 1], topic, params)
+        # the suffix path's edge distances restart at 1 from its origin
+        second = path_score(graph, sim, auth, nodes[len1:], topic, params)
+        composed = compose_path_scores(first, second, params)
+        assert composed.total == pytest.approx(whole.total, rel=1e-9)
+
+    def test_pathscore_not_directly_additive(self):
+        with pytest.raises(TypeError):
+            PathScore(1, 0.5) + PathScore(1, 0.5)

@@ -1,0 +1,41 @@
+"""Tests for the synthetic text generator."""
+
+import random
+
+from repro.datasets.text import TOPIC_KEYWORDS, generate_tweet, generate_tweets
+from repro.semantics.vocabularies import WEB_TOPICS
+
+
+class TestKeywordPools:
+    def test_every_web_topic_has_a_pool(self):
+        assert set(TOPIC_KEYWORDS) == set(WEB_TOPICS)
+
+    def test_pools_are_nonempty(self):
+        assert all(len(pool) >= 5 for pool in TOPIC_KEYWORDS.values())
+
+
+class TestGenerateTweet:
+    def test_length(self):
+        tweet = generate_tweet(random.Random(0), ["technology"], length=8)
+        assert len(tweet.split()) == 8
+
+    def test_topical_tweets_contain_topic_keywords(self):
+        rng = random.Random(1)
+        words = set()
+        for _ in range(20):
+            words.update(generate_tweet(rng, ["food"]).split())
+        assert words & set(TOPIC_KEYWORDS["food"])
+
+    def test_empty_topics_is_pure_filler(self):
+        tweet = generate_tweet(random.Random(2), [])
+        topical = set().union(*TOPIC_KEYWORDS.values())
+        assert not set(tweet.split()) & topical
+
+
+class TestGenerateTweets:
+    def test_count(self):
+        assert len(generate_tweets(["sports"], 7, seed=0)) == 7
+
+    def test_deterministic_for_seed(self):
+        assert generate_tweets(["sports"], 5, seed=9) == \
+            generate_tweets(["sports"], 5, seed=9)

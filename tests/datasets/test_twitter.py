@@ -1,0 +1,106 @@
+"""Tests for the Twitter-like dataset generator."""
+
+import pytest
+
+from repro.datasets import TwitterConfig, generate_twitter_dataset, generate_twitter_graph
+from repro.datasets.twitter import TOPIC_POPULARITY_ORDER
+from repro.errors import ConfigurationError
+from repro.graph.stats import compute_stats, edges_per_topic, reciprocity
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_twitter_dataset(600, seed=42, with_tweets=False)
+
+
+class TestShape:
+    def test_node_and_edge_counts(self, dataset):
+        stats = compute_stats(dataset.graph)
+        assert stats.num_nodes == 600
+        assert stats.avg_out_degree == pytest.approx(15.0, rel=0.1)
+
+    def test_every_edge_and_node_labeled(self, dataset):
+        stats = compute_stats(dataset.graph)
+        assert stats.labeled_edge_fraction == 1.0
+        assert stats.labeled_node_fraction == 1.0
+
+    def test_in_degree_is_heavy_tailed(self, dataset):
+        """Table 2: the max in-degree dwarfs the average (celebrities)."""
+        stats = compute_stats(dataset.graph)
+        assert stats.max_in_degree > 5 * stats.avg_in_degree
+
+    def test_out_degree_tail_is_much_lighter(self, dataset):
+        stats = compute_stats(dataset.graph)
+        assert stats.max_out_degree < stats.max_in_degree
+
+    def test_low_reciprocity(self, dataset):
+        """Twitter is an information network: most follows are one-way."""
+        assert reciprocity(dataset.graph) < 0.35
+
+    def test_no_self_loops_or_duplicates(self, dataset):
+        seen = set()
+        for source, target, _ in dataset.graph.edges():
+            assert source != target
+            assert (source, target) not in seen
+            seen.add((source, target))
+
+
+class TestTopicStructure:
+    def test_topic_distribution_is_biased(self, dataset):
+        """Figure 3: a few topics dominate the edge labels."""
+        counts = edges_per_topic(dataset.graph)
+        ordered = sorted(counts.values(), reverse=True)
+        assert ordered[0] > 5 * ordered[-1]
+
+    def test_technology_popular_social_rare(self, dataset):
+        """The roles Figure 9 assigns the two topics."""
+        counts = edges_per_topic(dataset.graph)
+        assert counts.get("technology", 0) > counts.get("social", 1)
+
+    def test_edge_labels_subset_of_publisher_profile(self, dataset):
+        for _, target, label in dataset.graph.edges():
+            assert label <= dataset.graph.node_topics(target)
+
+    def test_interest_profiles_cover_all_nodes(self, dataset):
+        assert set(dataset.interests) == set(dataset.graph.nodes())
+        assert all(dataset.interests[node] for node in dataset.interests)
+
+
+class TestDeterminismAndConfig:
+    def test_same_seed_same_graph(self):
+        first = generate_twitter_graph(150, seed=5)
+        second = generate_twitter_graph(150, seed=5)
+        assert sorted(first.edges()) == sorted(second.edges())
+
+    def test_different_seeds_differ(self):
+        first = generate_twitter_graph(150, seed=5)
+        second = generate_twitter_graph(150, seed=6)
+        assert sorted(first.edges()) != sorted(second.edges())
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwitterConfig(num_nodes=1)
+        with pytest.raises(ConfigurationError):
+            TwitterConfig(homophily=1.5)
+        with pytest.raises(ConfigurationError):
+            TwitterConfig(topics=("astrology",))
+
+    def test_popularity_order_covers_all_18_topics(self):
+        assert len(TOPIC_POPULARITY_ORDER) == 18
+
+
+class TestTweets:
+    def test_with_tweets_fills_corpus(self):
+        dataset = generate_twitter_dataset(100, seed=2)
+        assert set(dataset.tweets) == set(dataset.graph.nodes())
+        low, high = dataset.config.tweets_per_user
+        assert all(low <= len(posts) <= high
+                   for posts in dataset.tweets.values())
+
+    def test_unlabeled_graph_strips_labels_only(self):
+        dataset = generate_twitter_dataset(100, seed=2, with_tweets=False)
+        bare = dataset.unlabeled_graph()
+        assert bare.num_nodes == dataset.graph.num_nodes
+        assert bare.num_edges == dataset.graph.num_edges
+        assert all(not label for _, _, label in bare.edges())
+        assert all(not bare.node_topics(node) for node in bare.nodes())

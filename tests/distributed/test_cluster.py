@@ -1,0 +1,104 @@
+"""Tests for the Pregel-style distributed propagation engine."""
+
+import pytest
+
+from repro import ScoreParams
+from repro.core.exact import single_source_scores
+from repro.datasets import generate_twitter_graph
+from repro.distributed import (
+    distributed_single_source_scores,
+    greedy_partition,
+    hash_partition,
+)
+from repro.errors import ConfigurationError
+from repro.graph.builders import path_graph
+
+PARAMS = ScoreParams(beta=0.004)
+TOPIC = "technology"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_twitter_graph(300, seed=88)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("num_parts", [1, 2, 4, 8])
+    def test_scores_identical_to_single_machine(self, graph, web_sim,
+                                                num_parts):
+        """Partitioning must never change answers, only traffic."""
+        assignment = hash_partition(graph, num_parts)
+        source = next(iter(sorted(graph.nodes())))
+        reference = single_source_scores(graph, source, [TOPIC], web_sim,
+                                         params=PARAMS)
+        state, _ = distributed_single_source_scores(
+            graph, assignment, source, [TOPIC], web_sim, params=PARAMS)
+        assert state.scores[TOPIC] == pytest.approx(
+            reference.scores[TOPIC])
+        assert state.topo_beta == pytest.approx(reference.topo_beta)
+        assert state.topo_alphabeta == pytest.approx(
+            reference.topo_alphabeta)
+
+    def test_absorbing_matches_single_machine(self, graph, web_sim):
+        landmarks = frozenset(sorted(graph.nodes())[:10])
+        source = sorted(graph.nodes())[20]
+        reference = single_source_scores(graph, source, [TOPIC], web_sim,
+                                         params=PARAMS, max_depth=2,
+                                         absorbing=landmarks)
+        state, _ = distributed_single_source_scores(
+            graph, hash_partition(graph, 3), source, [TOPIC], web_sim,
+            params=PARAMS, max_depth=2, absorbing=landmarks)
+        assert state.scores[TOPIC] == pytest.approx(reference.scores[TOPIC])
+
+    def test_unassigned_source_rejected(self, graph, web_sim):
+        with pytest.raises(ConfigurationError):
+            distributed_single_source_scores(
+                graph, {}, 0, [TOPIC], web_sim, params=PARAMS)
+
+
+class TestMessageAccounting:
+    def test_single_partition_sends_no_remote_messages(self, graph,
+                                                       web_sim):
+        state, stats = distributed_single_source_scores(
+            graph, hash_partition(graph, 1), 0, [TOPIC], web_sim,
+            params=PARAMS, max_depth=3)
+        assert stats.remote_messages == 0
+        assert stats.remote_values == 0
+        assert stats.local_transfers > 0
+
+    def test_remote_fraction_tracks_edge_cut(self, graph, web_sim):
+        """A lower-cut partitioning must produce fewer remote values."""
+        source = max(graph.nodes(), key=graph.out_degree)
+        _, hash_stats = distributed_single_source_scores(
+            graph, hash_partition(graph, 4), source, [TOPIC], web_sim,
+            params=PARAMS, max_depth=3)
+        _, greedy_stats = distributed_single_source_scores(
+            graph, greedy_partition(graph, 4, seed=1), source, [TOPIC],
+            web_sim, params=PARAMS, max_depth=3)
+        assert greedy_stats.remote_values < hash_stats.remote_values
+
+    def test_combiner_never_exceeds_raw_values(self, graph, web_sim):
+        _, stats = distributed_single_source_scores(
+            graph, hash_partition(graph, 4), 0, [TOPIC], web_sim,
+            params=PARAMS, max_depth=3)
+        assert stats.remote_messages <= stats.remote_values
+
+    def test_per_link_totals_match_message_count(self, graph, web_sim):
+        _, stats = distributed_single_source_scores(
+            graph, hash_partition(graph, 4), 0, [TOPIC], web_sim,
+            params=PARAMS, max_depth=3)
+        assert sum(stats.per_link.values()) == stats.remote_messages
+        assert all(s != r for s, r in stats.per_link)
+
+    def test_supersteps_equal_walk_depth(self, web_sim):
+        graph = path_graph(5, topics=[TOPIC])
+        _, stats = distributed_single_source_scores(
+            graph, hash_partition(graph, 2), 0, [TOPIC], web_sim,
+            params=ScoreParams(beta=0.3), max_depth=3)
+        assert stats.supersteps == 3
+
+    def test_remote_fraction_bounds(self, graph, web_sim):
+        _, stats = distributed_single_source_scores(
+            graph, hash_partition(graph, 4), 0, [TOPIC], web_sim,
+            params=PARAMS, max_depth=2)
+        assert 0.0 <= stats.remote_fraction <= 1.0

@@ -1,0 +1,105 @@
+"""Tests for the graph partitioners."""
+
+import pytest
+
+from repro.datasets import generate_twitter_graph
+from repro.distributed import (
+    balance,
+    edge_cut_fraction,
+    greedy_partition,
+    hash_partition,
+    partition_metrics,
+    topic_partition,
+)
+from repro.errors import ConfigurationError
+from repro.graph import LabeledSocialGraph
+from repro.graph.builders import graph_from_edges
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_twitter_graph(400, seed=77)
+
+
+PARTITIONERS = {
+    "hash": lambda g, k: hash_partition(g, k),
+    "greedy": lambda g, k: greedy_partition(g, k, seed=1),
+    "topic": lambda g, k: topic_partition(g, k),
+}
+
+
+class TestAllPartitioners:
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_every_node_assigned_to_valid_part(self, graph, name):
+        assignment = PARTITIONERS[name](graph, 4)
+        assert set(assignment) == set(graph.nodes())
+        assert set(assignment.values()) <= set(range(4))
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_single_partition_has_zero_cut(self, graph, name):
+        assignment = PARTITIONERS[name](graph, 1)
+        assert edge_cut_fraction(graph, assignment) == 0.0
+        assert balance(assignment) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_reasonable_balance(self, graph, name):
+        assignment = PARTITIONERS[name](graph, 4)
+        assert balance(assignment) < 2.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hash_partition(LabeledSocialGraph(), 2)
+
+    def test_invalid_part_count(self, graph):
+        with pytest.raises(ConfigurationError):
+            greedy_partition(graph, 0)
+
+
+class TestCutQuality:
+    def test_greedy_cuts_less_than_hash(self, graph):
+        """The connectivity-aware partitioner must beat the oblivious
+        baseline — the premise of the paper's future-work paragraph."""
+        hash_cut = edge_cut_fraction(graph, hash_partition(graph, 4))
+        greedy_cut = edge_cut_fraction(graph,
+                                       greedy_partition(graph, 4, seed=1))
+        assert greedy_cut < hash_cut
+
+    def test_topic_partition_groups_topical_communities(self, graph):
+        """Homophilous edges mostly stay within topic partitions."""
+        topic_cut = edge_cut_fraction(graph, topic_partition(graph, 4))
+        hash_cut = edge_cut_fraction(graph, hash_partition(graph, 4))
+        assert topic_cut < hash_cut
+
+    def test_clique_pair_mostly_separated(self):
+        """Streaming LDG is not optimal — when the BFS crosses the
+        bridge early it can strand one clique member — but it must keep
+        each clique essentially together (cut ≤ one node's edges)."""
+        edges = [(a, b) for a in range(4) for b in range(4) if a != b]
+        edges += [(a, b) for a in range(10, 14) for b in range(10, 14)
+                  if a != b]
+        edges.append((0, 10))  # one bridge
+        graph = graph_from_edges(edges)
+        assignment = greedy_partition(graph, 2, seed=3)
+        cut = edge_cut_fraction(graph, assignment)
+        assert cut <= 6 / graph.num_edges
+        # at least one clique fully co-located
+        first = len({assignment[n] for n in range(4)})
+        second = len({assignment[n] for n in range(10, 14)})
+        assert 1 in (first, second)
+
+
+class TestMetrics:
+    def test_partition_metrics_summary(self, graph):
+        metrics = partition_metrics(graph, hash_partition(graph, 3))
+        assert metrics.num_parts == 3
+        assert 0.0 <= metrics.edge_cut <= 1.0
+        assert metrics.balance >= 1.0
+
+    def test_edge_cut_on_known_assignment(self):
+        graph = graph_from_edges([(0, 1), (1, 2), (2, 3)])
+        assignment = {0: 0, 1: 0, 2: 1, 3: 1}
+        assert edge_cut_fraction(graph, assignment) == pytest.approx(1 / 3)
+
+    def test_balance_of_skewed_assignment(self):
+        assignment = {0: 0, 1: 0, 2: 0, 3: 1}
+        assert balance(assignment) == pytest.approx(1.5)

@@ -1,0 +1,67 @@
+"""Property-based tests for partitioners and message accounting."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ScoreParams
+from repro.core.exact import single_source_scores
+from repro.distributed import (
+    balance,
+    distributed_single_source_scores,
+    edge_cut_fraction,
+    greedy_partition,
+    hash_partition,
+    topic_partition,
+)
+from repro.graph.builders import graph_from_edges
+from repro.semantics import SimilarityMatrix, web_taxonomy
+from repro.semantics.vocabularies import WEB_TOPICS
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)).filter(
+        lambda e: e[0] != e[1]),
+    min_size=3, max_size=50, unique=True)
+
+
+def _labeled(edges, seed=0):
+    rng = random.Random(seed)
+    return graph_from_edges(
+        (s, t, [rng.choice(WEB_TOPICS)]) for s, t in sorted(edges))
+
+
+class TestPartitionProperties:
+    @given(edges_strategy, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_all_partitioners_cover_all_nodes(self, edges, parts):
+        graph = _labeled(edges)
+        for assignment in (hash_partition(graph, parts),
+                           greedy_partition(graph, parts, seed=1),
+                           topic_partition(graph, parts)):
+            assert set(assignment) == set(graph.nodes())
+            assert all(0 <= part < parts
+                       for part in assignment.values())
+            assert 0.0 <= edge_cut_fraction(graph, assignment) <= 1.0
+            assert balance(assignment) >= 0.99
+
+    @given(edges_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_arbitrary_assignment_never_changes_scores(self, edges):
+        """The distributed engine's core contract, fuzzed: ANY node→
+        partition map yields the single-machine scores."""
+        rng = random.Random(42)
+        graph = _labeled(edges, seed=7)
+        sim = SimilarityMatrix.from_taxonomy(web_taxonomy())
+        params = ScoreParams(beta=0.05, max_iter=100, tolerance=1e-13)
+        assignment = {node: rng.randrange(4) for node in graph.nodes()}
+        source = sorted(graph.nodes())[0]
+        state, stats = distributed_single_source_scores(
+            graph, assignment, source, ["technology"], sim, params=params,
+            max_depth=5)
+        reference = single_source_scores(graph, source, ["technology"],
+                                         sim, params=params, max_depth=5)
+        assert state.scores["technology"] == pytest.approx(
+            reference.scores["technology"], abs=1e-12)
+        assert stats.remote_values + stats.local_transfers >= 0

@@ -1,0 +1,65 @@
+"""Tests for churn event simulation."""
+
+import pytest
+
+from repro.datasets import generate_twitter_graph
+from repro.dynamics import EdgeEvent, EventKind, simulate_churn
+from repro.errors import ConfigurationError
+from repro.graph.builders import path_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_twitter_graph(200, seed=33)
+
+
+class TestSimulateChurn:
+    def test_emits_requested_volume_roughly(self, graph):
+        events = list(simulate_churn(graph, 200, seed=1))
+        assert len(events) >= 180  # a few picks may fail and be skipped
+
+    def test_mix_of_follows_and_unfollows(self, graph):
+        events = list(simulate_churn(graph, 300, unfollow_fraction=0.5,
+                                     seed=1))
+        follows = sum(1 for e in events if e.is_follow)
+        unfollows = len(events) - follows
+        assert follows > 50 and unfollows > 50
+
+    def test_all_unfollow_fraction(self, graph):
+        events = list(simulate_churn(graph, 100, unfollow_fraction=1.0,
+                                     seed=1))
+        assert all(e.kind is EventKind.UNFOLLOW for e in events)
+
+    def test_source_graph_not_mutated(self, graph):
+        edges_before = graph.num_edges
+        list(simulate_churn(graph, 200, seed=2))
+        assert graph.num_edges == edges_before
+
+    def test_timestamps_strictly_increase(self, graph):
+        events = list(simulate_churn(graph, 100, seed=3))
+        times = [e.time for e in events]
+        assert times == sorted(set(times))
+
+    def test_follow_events_carry_topics(self, graph):
+        events = [e for e in simulate_churn(graph, 200, seed=4)
+                  if e.is_follow]
+        labeled = sum(1 for e in events if e.topics)
+        assert labeled >= 0.9 * len(events)
+
+    def test_no_self_follows(self, graph):
+        assert all(e.source != e.target
+                   for e in simulate_churn(graph, 300, seed=5))
+
+    def test_deterministic_for_seed(self, graph):
+        first = list(simulate_churn(graph, 50, seed=6))
+        second = list(simulate_churn(graph, 50, seed=6))
+        assert first == second
+
+    def test_validation(self):
+        tiny = path_graph(2)
+        with pytest.raises(ConfigurationError):
+            list(simulate_churn(tiny, 10, unfollow_fraction=1.5))
+        from repro.graph import LabeledSocialGraph
+
+        with pytest.raises(ConfigurationError):
+            list(simulate_churn(LabeledSocialGraph(), 10))

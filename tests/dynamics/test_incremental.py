@@ -1,0 +1,155 @@
+"""Tests for the first-order incremental landmark updater."""
+
+import pytest
+
+from repro import ScoreParams
+from repro.config import LandmarkParams
+from repro.datasets import generate_twitter_graph
+from repro.dynamics import GraphStream, IncrementalMaintainer, simulate_churn
+from repro.dynamics.events import EdgeEvent, EventKind
+from repro.dynamics.maintenance import measure_staleness
+from repro.graph.builders import path_graph
+from repro.landmarks import LandmarkIndex
+
+TOPIC = "technology"
+
+
+def _build_index(graph, web_sim, landmarks, params, top_n=100):
+    return LandmarkIndex.build(
+        graph, landmarks, [TOPIC], web_sim, params=params,
+        landmark_params=LandmarkParams(num_landmarks=len(landmarks),
+                                       top_n=top_n))
+
+
+def _rebuild_reference(graph, web_sim, landmarks, params, top_n=100):
+    return _build_index(graph, web_sim, landmarks, params, top_n=top_n)
+
+
+class TestExactCasesOnDags:
+    """On DAGs with fresh sink targets the first-order delta is exact:
+    no walk can cross the new edge twice, and the authority of the new
+    target was zero before the event."""
+
+    def test_appending_an_edge_to_a_chain(self, web_sim):
+        params = ScoreParams(beta=0.2, alpha=0.85)
+        graph = path_graph(3, topics=[TOPIC])
+        for i in range(2):
+            graph.set_edge_topics(i, i + 1, [TOPIC])
+        graph.add_node(3, topics=[TOPIC])
+        index = _build_index(graph, web_sim, [0], params)
+        maintainer = IncrementalMaintainer(graph, index, [TOPIC], web_sim,
+                                           params)
+        stream = GraphStream(graph)
+        stream.subscribe(maintainer.on_event)
+        stream.apply(EdgeEvent(EventKind.FOLLOW, 2, 3, (TOPIC,), 0))
+
+        reference = _rebuild_reference(graph, web_sim, [0], params)
+        ours = {e.node: e for e in index.recommendations(0, TOPIC)}
+        theirs = {e.node: e for e in reference.recommendations(0, TOPIC)}
+        assert set(ours) == set(theirs)
+        for node, entry in theirs.items():
+            assert ours[node].score == pytest.approx(entry.score, abs=1e-12)
+            assert ours[node].topo == pytest.approx(entry.topo, abs=1e-12)
+            assert ours[node].topo_ab == pytest.approx(entry.topo_ab,
+                                                       abs=1e-12)
+
+    def test_edge_with_downstream_tail(self, web_sim):
+        """New edge lands mid-graph: the p2 tail must be composed."""
+        params = ScoreParams(beta=0.2, alpha=0.85)
+        graph = path_graph(3, topics=[TOPIC])        # 0 -> 1 -> 2
+        for i in range(2):
+            graph.set_edge_topics(i, i + 1, [TOPIC])
+        # a separate chain 5 -> 6 that the new edge will connect to
+        graph.add_node(5, topics=[TOPIC])
+        graph.add_node(6, topics=[TOPIC])
+        graph.add_edge(5, 6, [TOPIC])
+        index = _build_index(graph, web_sim, [0], params)
+        maintainer = IncrementalMaintainer(graph, index, [TOPIC], web_sim,
+                                           params, tail_depth=3)
+        stream = GraphStream(graph)
+        stream.subscribe(maintainer.on_event)
+        stream.apply(EdgeEvent(EventKind.FOLLOW, 2, 5, (TOPIC,), 0))
+
+        reference = _rebuild_reference(graph, web_sim, [0], params)
+        ours = {e.node: e for e in index.recommendations(0, TOPIC)}
+        theirs = {e.node: e for e in reference.recommendations(0, TOPIC)}
+        # node 6 is only reachable through the new edge's tail
+        assert 6 in ours
+        for node in theirs:
+            assert ours[node].score == pytest.approx(theirs[node].score,
+                                                     abs=1e-12)
+
+    def test_follow_then_unfollow_roundtrips(self, web_sim):
+        params = ScoreParams(beta=0.2, alpha=0.85)
+        graph = path_graph(3, topics=[TOPIC])
+        for i in range(2):
+            graph.set_edge_topics(i, i + 1, [TOPIC])
+        graph.add_node(3, topics=[TOPIC])
+        index = _build_index(graph, web_sim, [0], params)
+        before = {e.node: e.score for e in index.recommendations(0, TOPIC)}
+        maintainer = IncrementalMaintainer(graph, index, [TOPIC], web_sim,
+                                           params)
+        stream = GraphStream(graph)
+        stream.subscribe(maintainer.on_event)
+        stream.apply(EdgeEvent(EventKind.FOLLOW, 2, 3, (TOPIC,), 0))
+        stream.apply(EdgeEvent(EventKind.UNFOLLOW, 2, 3, (), 1))
+        after = {e.node: e.score for e in index.recommendations(0, TOPIC)}
+        for node, score in before.items():
+            assert after.get(node, 0.0) == pytest.approx(score, abs=1e-12)
+
+
+class TestApproximationOnRealGraphs:
+    def test_beats_doing_nothing_under_churn(self, web_sim):
+        params = ScoreParams(beta=0.004)
+        base = generate_twitter_graph(200, seed=202)
+        landmarks = sorted(base.nodes(),
+                           key=lambda n: -base.in_degree(n))[:8]
+        incremental_graph = base.copy()
+        incremental_index = _build_index(incremental_graph, web_sim,
+                                         landmarks, params, top_n=1000)
+        maintainer = IncrementalMaintainer(
+            incremental_graph, incremental_index, [TOPIC], web_sim, params)
+        stream = GraphStream(incremental_graph)
+        stream.subscribe(maintainer.on_event)
+        events = list(simulate_churn(base, 150, seed=202))
+        stream.apply_all(events)
+
+        stale_graph = base.copy()
+        stale_index = _build_index(stale_graph, web_sim, landmarks, params,
+                                   top_n=1000)
+        GraphStream(stale_graph).apply_all(events)
+
+        incr = measure_staleness(incremental_graph, incremental_index,
+                                 TOPIC, web_sim, params,
+                                 sample=landmarks[:5])
+        noop = measure_staleness(stale_graph, stale_index, TOPIC, web_sim,
+                                 params, sample=landmarks[:5])
+        assert incr <= noop + 1e-12
+        assert maintainer.deltas_applied > 0
+
+    def test_never_rebuilds(self, web_sim):
+        params = ScoreParams(beta=0.004)
+        graph = generate_twitter_graph(150, seed=203)
+        landmarks = sorted(graph.nodes(),
+                           key=lambda n: -graph.in_degree(n))[:5]
+        index = _build_index(graph, web_sim, landmarks, params)
+        maintainer = IncrementalMaintainer(graph, index, [TOPIC], web_sim,
+                                           params)
+        stream = GraphStream(graph)
+        stream.subscribe(maintainer.on_event)
+        stream.apply_all(simulate_churn(graph, 80, seed=203))
+        assert maintainer.stats.landmarks_rebuilt == 0
+
+    def test_top_n_cap_respected(self, web_sim):
+        params = ScoreParams(beta=0.004)
+        graph = generate_twitter_graph(150, seed=204)
+        landmarks = sorted(graph.nodes(),
+                           key=lambda n: -graph.in_degree(n))[:5]
+        index = _build_index(graph, web_sim, landmarks, params, top_n=20)
+        maintainer = IncrementalMaintainer(graph, index, [TOPIC], web_sim,
+                                           params)
+        stream = GraphStream(graph)
+        stream.subscribe(maintainer.on_event)
+        stream.apply_all(simulate_churn(graph, 100, seed=204))
+        for landmark in landmarks:
+            assert len(index.recommendations(landmark, TOPIC)) <= 20

@@ -1,0 +1,90 @@
+"""Tests for the Tables 5-6 landmark evaluation harness."""
+
+import pytest
+
+from repro import ScoreParams
+from repro.datasets import generate_twitter_graph
+from repro.eval.landmarks_eval import (
+    evaluate_strategy_quality,
+    time_selection_strategies,
+)
+from repro.landmarks.selection import STRATEGIES
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_twitter_graph(300, seed=81)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ScoreParams(beta=0.004)
+
+
+class TestTable5Harness:
+    def test_all_strategies_timed(self, graph, web_sim, params):
+        rows = time_selection_strategies(
+            graph, ["technology"], web_sim, num_landmarks=5,
+            params=params, precompute_sample=2, seed=1)
+        assert {row.strategy for row in rows} == set(STRATEGIES)
+        for row in rows:
+            assert row.select_ms_per_landmark >= 0.0
+            assert row.precompute_s_per_landmark >= 0.0
+
+    def test_subset_of_strategies(self, graph, web_sim, params):
+        rows = time_selection_strategies(
+            graph, ["technology"], web_sim, num_landmarks=5,
+            strategies=["Random", "In-Deg"], params=params,
+            precompute_sample=1, seed=1)
+        assert [row.strategy for row in rows] == ["Random", "In-Deg"]
+
+    def test_coverage_strategies_slower_than_random(self, graph, web_sim,
+                                                    params):
+        """Table 5's headline: centrality-flavoured selection costs
+        orders of magnitude more than random selection."""
+        rows = {row.strategy: row for row in time_selection_strategies(
+            graph, ["technology"], web_sim, num_landmarks=5,
+            strategies=["Random", "Central"], params=params,
+            precompute_sample=1, seed=1)}
+        assert (rows["Central"].select_ms_per_landmark
+                > rows["Random"].select_ms_per_landmark)
+
+
+class TestTable6Harness:
+    def test_quality_row_structure(self, graph, web_sim, params):
+        quality = evaluate_strategy_quality(
+            graph, ["technology"], web_sim, "In-Deg",
+            num_landmarks=10, stored_topns=(10, 100),
+            num_queries=4, params=params, seed=2)
+        assert quality.strategy == "In-Deg"
+        assert quality.mean_landmarks_encountered >= 0.0
+        assert set(quality.kendall_by_topn) == {10, 100}
+        for value in quality.kendall_by_topn.values():
+            assert 0.0 <= value <= 1.0
+        assert quality.approx_seconds > 0.0
+        assert quality.exact_seconds > 0.0
+        assert quality.gain == pytest.approx(
+            quality.exact_seconds / quality.approx_seconds)
+
+    def test_larger_stored_topn_is_no_worse(self, graph, web_sim, params):
+        """Table 6: storing more per landmark lowers (or preserves) the
+        Kendall tau distance to the exact ranking."""
+        quality = evaluate_strategy_quality(
+            graph, ["technology"], web_sim, "In-Deg",
+            num_landmarks=15, stored_topns=(10, 1000),
+            num_queries=6, params=params, seed=2)
+        assert (quality.kendall_by_topn[1000]
+                <= quality.kendall_by_topn[10] + 0.05)
+
+    def test_in_deg_encounters_more_landmarks_than_random(self, graph,
+                                                          web_sim, params):
+        """Table 6's #lnd column: In-Deg landmarks (celebrities) are met
+        far more often by a depth-2 BFS than random ones."""
+        in_deg = evaluate_strategy_quality(
+            graph, ["technology"], web_sim, "In-Deg", num_landmarks=15,
+            stored_topns=(10,), num_queries=6, params=params, seed=2)
+        random_rows = evaluate_strategy_quality(
+            graph, ["technology"], web_sim, "Random", num_landmarks=15,
+            stored_topns=(10,), num_queries=6, params=params, seed=2)
+        assert (in_deg.mean_landmarks_encountered
+                >= random_rows.mean_landmarks_encountered)

@@ -1,0 +1,131 @@
+"""Tests for the Section 5.3 link-prediction protocol."""
+
+import pytest
+
+from repro import Recommender, ScoreParams
+from repro.baselines import TwitterRank
+from repro.config import EvaluationParams
+from repro.datasets import generate_twitter_graph
+from repro.errors import ProtocolError
+from repro.eval import (
+    LinkPredictionProtocol,
+    katz_scorer,
+    tr_scorer,
+    twitterrank_scorer,
+)
+from repro.graph.builders import graph_from_edges
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_twitter_graph(400, seed=51)
+
+
+@pytest.fixture(scope="module")
+def protocol(graph):
+    return LinkPredictionProtocol(
+        graph,
+        EvaluationParams(test_size=20, num_negatives=100),
+        seed=3)
+
+
+class TestSampling:
+    def test_caller_graph_untouched(self, graph):
+        edges_before = graph.num_edges
+        LinkPredictionProtocol(
+            graph, EvaluationParams(test_size=10, num_negatives=50), seed=1)
+        assert graph.num_edges == edges_before
+
+    def test_test_edges_removed_from_working_copy(self, protocol):
+        for edge in protocol.test_edges:
+            assert not protocol.graph.has_edge(edge.source, edge.target)
+
+    def test_degree_constraints_hold(self, graph):
+        params = EvaluationParams(test_size=20, num_negatives=50,
+                                  k_in=3, k_out=3)
+        protocol = LinkPredictionProtocol(graph, params, seed=9)
+        for edge in protocol.test_edges:
+            # degrees measured before removal: allow the -1 from it
+            assert protocol.graph.in_degree(edge.target) >= params.k_in - 1
+            assert protocol.graph.out_degree(edge.source) >= params.k_out - 1
+
+    def test_topic_comes_from_edge_label(self, graph):
+        protocol = LinkPredictionProtocol(
+            graph, EvaluationParams(test_size=20, num_negatives=50), seed=2)
+        for edge in protocol.test_edges:
+            original = graph.edge_topics(edge.source, edge.target)
+            assert edge.topic in original
+
+    def test_forced_topic(self, graph):
+        from repro.eval.slices import topic_slice_filter
+
+        protocol = LinkPredictionProtocol(
+            graph, EvaluationParams(test_size=5, num_negatives=50), seed=2,
+            edge_filter=topic_slice_filter("technology"),
+            forced_topic="technology")
+        assert all(edge.topic == "technology"
+                   for edge in protocol.test_edges)
+
+    def test_impossible_constraints_raise(self):
+        tiny = graph_from_edges([(0, 1, ["technology"])])
+        with pytest.raises(ProtocolError):
+            LinkPredictionProtocol(
+                tiny, EvaluationParams(test_size=5, num_negatives=10,
+                                       k_in=5, k_out=5))
+
+    def test_deterministic_for_seed(self, graph):
+        params = EvaluationParams(test_size=10, num_negatives=50)
+        first = LinkPredictionProtocol(graph, params, seed=7)
+        second = LinkPredictionProtocol(graph, params, seed=7)
+        assert first.test_edges == second.test_edges
+
+
+class TestRun:
+    def test_perfect_oracle_has_recall_one(self, protocol):
+        def oracle(source, candidates, topic):
+            true_targets = {
+                e.target for e in protocol.test_edges if e.source == source}
+            return {c: (1.0 if c in true_targets else 0.0)
+                    for c in candidates}
+
+        curves = protocol.run({"oracle": oracle})
+        assert curves["oracle"].recall_at(1) == 1.0
+
+    def test_zero_scorer_recall_matches_tie_midrank(self, protocol):
+        curves = protocol.run({"zero": lambda s, c, t: {}})
+        # all scores tie at zero -> midrank ~ (|candidates|+1)/2 >> 20
+        assert curves["zero"].recall_at(20) == 0.0
+
+    def test_recall_monotone_in_n(self, protocol, web_sim):
+        recommender = Recommender(protocol.graph, web_sim,
+                                  ScoreParams(beta=0.004))
+        curves = protocol.run({"Tr": tr_scorer(recommender)})
+        curve = curves["Tr"]
+        values = [curve.recall_at(n) for n in range(1, 21)]
+        assert values == sorted(values)
+
+    def test_precision_recall_relationship(self, protocol, web_sim):
+        recommender = Recommender(protocol.graph, web_sim,
+                                  ScoreParams(beta=0.004))
+        curves = protocol.run({"Tr": tr_scorer(recommender)})
+        curve = curves["Tr"]
+        for n in (1, 5, 10):
+            assert curve.precision_at(n) == pytest.approx(
+                curve.recall_at(n) / n)
+
+    def test_all_methods_rank_same_lists(self, protocol, web_sim):
+        recommender = Recommender(protocol.graph, web_sim,
+                                  ScoreParams(beta=0.004))
+        curves = protocol.run({
+            "Tr": tr_scorer(recommender),
+            "Katz": katz_scorer(protocol.graph, ScoreParams(beta=0.004)),
+            "TwitterRank": twitterrank_scorer(TwitterRank(protocol.graph)),
+        })
+        lengths = {curve.num_lists for curve in curves.values()}
+        assert lengths == {len(protocol.test_edges)}
+
+    def test_curve_rows(self, protocol):
+        curves = protocol.run({"zero": lambda s, c, t: {}})
+        rows = curves["zero"].curve(max_rank=5)
+        assert len(rows) == 5
+        assert rows[0][0] == 1

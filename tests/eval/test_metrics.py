@@ -1,0 +1,111 @@
+"""Tests for ranking metrics and the top-k Kendall tau distance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    average_rating,
+    hits_in_top_n,
+    kendall_tau_distance,
+    precision_at,
+    rank_of_target,
+    recall_at,
+)
+
+
+class TestRecallPrecision:
+    def test_recall(self):
+        assert recall_at(30, 100) == pytest.approx(0.3)
+
+    def test_precision(self):
+        assert precision_at(30, 100, 10) == pytest.approx(0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recall_at(1, 0)
+        with pytest.raises(ValueError):
+            precision_at(1, 10, 0)
+
+
+class TestRankOfTarget:
+    def test_unique_scores(self):
+        scores = {1: 3.0, 2: 2.0, 3: 1.0}
+        assert rank_of_target(scores, 2, [1, 2, 3]) == 2.0
+
+    def test_target_best(self):
+        scores = {1: 0.1, 2: 5.0}
+        assert rank_of_target(scores, 2, [1, 2]) == 1.0
+
+    def test_missing_scores_count_as_zero(self):
+        scores = {1: 1.0}
+        assert rank_of_target(scores, 2, [1, 2, 3]) == pytest.approx(2.5)
+
+    def test_tie_midrank(self):
+        scores = {1: 1.0, 2: 1.0, 3: 1.0}
+        # target ties with two others: 1 + 0 + 2/2 = 2
+        assert rank_of_target(scores, 2, [1, 2, 3]) == pytest.approx(2.0)
+
+    def test_hits_in_top_n(self):
+        scores = {1: 3.0, 2: 2.0, 3: 1.0}
+        assert hits_in_top_n(scores, 1, [1, 2, 3], 1)
+        assert not hits_in_top_n(scores, 3, [1, 2, 3], 2)
+
+
+class TestKendallTau:
+    def test_identical_lists_zero(self):
+        assert kendall_tau_distance([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_reversed_lists_one(self):
+        assert kendall_tau_distance([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_single_swap(self):
+        assert kendall_tau_distance([1, 2, 3], [1, 3, 2]) == pytest.approx(1 / 3)
+
+    def test_disjoint_lists(self):
+        value = kendall_tau_distance([1, 2], [3, 4])
+        # k=2: cross pairs 4 discordant, within pairs 2 at penalty 0,
+        # over C(4,2)=6 pairs -> 2/3... see K^(0) definition
+        assert value == pytest.approx(4 / 6)
+
+    def test_partially_overlapping(self):
+        # shared item 1 first in both; 2 exclusive to first list,
+        # 3 exclusive to second: pair (2,3) discordant; (1,2) and
+        # (1,3): the exclusive item is ranked below the shared one in
+        # its own list -> concordant.
+        value = kendall_tau_distance([1, 2], [1, 3])
+        assert value == pytest.approx(1 / 3)
+
+    def test_exclusive_item_ranked_above_shared_is_discordant(self):
+        value = kendall_tau_distance([2, 1], [1, 3])
+        # pairs over {1,2,3}: (1,2): first says 2<1, second implies
+        # 1<2 -> discordant. (1,3): second ranks 3 below 1 ->
+        # concordant. (2,3): exclusive to different lists -> discordant.
+        assert value == pytest.approx(2 / 3)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau_distance([1, 1], [1, 2])
+
+    def test_empty_and_singleton(self):
+        assert kendall_tau_distance([], []) == 0.0
+        assert kendall_tau_distance([1], [1]) == 0.0
+
+    @given(st.lists(st.integers(0, 30), unique=True, max_size=12),
+           st.lists(st.integers(0, 30), unique=True, max_size=12))
+    @settings(max_examples=80, deadline=None)
+    def test_axioms(self, first, second):
+        distance = kendall_tau_distance(first, second)
+        assert 0.0 <= distance <= 1.0
+        assert distance == pytest.approx(
+            kendall_tau_distance(second, first))
+        assert kendall_tau_distance(first, first) == 0.0
+
+
+class TestAverageRating:
+    def test_mean(self):
+        assert average_rating([1, 2, 3]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_rating([])

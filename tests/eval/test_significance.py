@@ -1,0 +1,81 @@
+"""Tests for bootstrap CIs and the paired sign test."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.significance import (
+    bootstrap_recall_ci,
+    mean_reciprocal_rank,
+    paired_sign_test,
+)
+
+
+class TestBootstrapCI:
+    def test_contains_point_estimate(self):
+        ranks = [1, 2, 3, 15, 30, 2, 8, 50, 4, 12] * 5
+        point = sum(1 for r in ranks if r <= 10) / len(ranks)
+        low, high = bootstrap_recall_ci(ranks, n=10, seed=1)
+        assert low <= point <= high
+
+    def test_degenerate_all_hits(self):
+        low, high = bootstrap_recall_ci([1.0] * 20, n=10, seed=1)
+        assert low == high == 1.0
+
+    def test_wider_at_higher_confidence(self):
+        ranks = [1, 20, 3, 40, 5, 60, 7, 80] * 4
+        narrow = bootstrap_recall_ci(ranks, n=10, confidence=0.5, seed=2)
+        wide = bootstrap_recall_ci(ranks, n=10, confidence=0.99, seed=2)
+        assert (wide[1] - wide[0]) >= (narrow[1] - narrow[0])
+
+    def test_deterministic_for_seed(self):
+        ranks = [1, 5, 11, 3, 40]
+        assert bootstrap_recall_ci(ranks, 10, seed=3) == \
+            bootstrap_recall_ci(ranks, 10, seed=3)
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            bootstrap_recall_ci([], 10)
+        with pytest.raises(EvaluationError):
+            bootstrap_recall_ci([1.0], 10, confidence=1.5)
+
+
+class TestPairedSignTest:
+    def test_identical_methods_not_significant(self):
+        ranks = [1.0, 2.0, 3.0]
+        assert paired_sign_test(ranks, ranks) == 1.0
+
+    def test_uniform_domination_is_significant(self):
+        better = [1.0] * 12
+        worse = [5.0] * 12
+        assert paired_sign_test(better, worse) < 0.01
+
+    def test_symmetric(self):
+        a = [1, 5, 2, 8, 3, 9, 1, 7]
+        b = [2, 4, 3, 7, 4, 8, 2, 6]
+        assert paired_sign_test(a, b) == pytest.approx(
+            paired_sign_test(b, a))
+
+    def test_known_binomial_value(self):
+        # 5 wins vs 0: two-sided p = 2 * (1/2)^5 = 0.0625
+        assert paired_sign_test([1] * 5, [2] * 5) == pytest.approx(0.0625)
+
+    def test_p_value_bounds(self):
+        a = [1, 5, 2, 8]
+        b = [2, 4, 3, 7]
+        assert 0.0 < paired_sign_test(a, b) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            paired_sign_test([1.0], [1.0, 2.0])
+        with pytest.raises(EvaluationError):
+            paired_sign_test([], [])
+
+
+class TestMRR:
+    def test_known_value(self):
+        assert mean_reciprocal_rank([1.0, 2.0, 4.0]) == pytest.approx(
+            (1.0 + 0.5 + 0.25) / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            mean_reciprocal_rank([])

@@ -1,0 +1,81 @@
+"""Tests for popularity and topic slicing (Figures 8-9)."""
+
+import pytest
+
+from repro.config import EvaluationParams
+from repro.datasets import generate_twitter_graph
+from repro.eval import LinkPredictionProtocol
+from repro.eval.slices import (
+    combined_filter,
+    in_degree_percentile_threshold,
+    popularity_slice_filter,
+    topic_slice_filter,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_twitter_graph(500, seed=61)
+
+
+class TestThresholds:
+    def test_top_threshold_larger_than_bottom(self, graph):
+        top = in_degree_percentile_threshold(graph, 0.1, top=True)
+        bottom = in_degree_percentile_threshold(graph, 0.1, top=False)
+        assert top > bottom
+
+    def test_top_slice_size_about_ten_percent(self, graph):
+        threshold = in_degree_percentile_threshold(graph, 0.1, top=True)
+        count = sum(1 for n in graph.nodes()
+                    if graph.in_degree(n) >= threshold)
+        assert count >= 0.08 * graph.num_nodes
+
+    def test_invalid_fraction(self, graph):
+        with pytest.raises(ValueError):
+            in_degree_percentile_threshold(graph, 0.0, top=True)
+
+
+class TestPopularityFilter:
+    def test_top_slice_targets_are_popular(self, graph):
+        accept = popularity_slice_filter(graph, 0.1, top=True)
+        protocol = LinkPredictionProtocol(
+            graph, EvaluationParams(test_size=10, num_negatives=20,
+                                    k_in=1, k_out=1),
+            seed=2, edge_filter=accept)
+        threshold = in_degree_percentile_threshold(graph, 0.1, top=True)
+        for edge in protocol.test_edges:
+            # allow -1: the protocol removed the test edge itself
+            assert protocol.graph.in_degree(edge.target) >= threshold - 1
+
+    def test_bottom_slice_targets_are_unpopular(self, graph):
+        accept = popularity_slice_filter(graph, 0.15, top=False)
+        protocol = LinkPredictionProtocol(
+            graph, EvaluationParams(test_size=5, num_negatives=20,
+                                    k_in=1, k_out=1),
+            seed=2, edge_filter=accept)
+        threshold = in_degree_percentile_threshold(graph, 0.15, top=False)
+        for edge in protocol.test_edges:
+            assert protocol.graph.in_degree(edge.target) <= threshold
+
+
+class TestTopicFilter:
+    def test_only_matching_edges_pass(self, graph):
+        accept = topic_slice_filter("technology")
+        protocol = LinkPredictionProtocol(
+            graph, EvaluationParams(test_size=10, num_negatives=20),
+            seed=2, edge_filter=accept, forced_topic="technology")
+        for edge in protocol.test_edges:
+            assert edge.topic == "technology"
+
+    def test_combined_filter_conjunction(self, graph):
+        accept = combined_filter(
+            topic_slice_filter("technology"),
+            popularity_slice_filter(graph, 0.5, top=True))
+        threshold = in_degree_percentile_threshold(graph, 0.5, top=True)
+        protocol = LinkPredictionProtocol(
+            graph, EvaluationParams(test_size=5, num_negatives=20,
+                                    k_in=1, k_out=1),
+            seed=2, edge_filter=accept, forced_topic="technology")
+        for edge in protocol.test_edges:
+            assert edge.topic == "technology"
+            assert protocol.graph.in_degree(edge.target) >= threshold - 1

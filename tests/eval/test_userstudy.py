@@ -1,0 +1,146 @@
+"""Tests for the simulated user-validation panels."""
+
+import pytest
+
+from repro import Recommender, ScoreParams
+from repro.core.scores import AuthorityIndex
+from repro.datasets import generate_twitter_graph
+from repro.errors import EvaluationError
+from repro.eval.userstudy import (
+    JudgePanel,
+    run_dblp_study,
+    run_twitter_study,
+    topical_affinity,
+)
+
+
+class TestJudgePanel:
+    def test_marks_are_in_range(self):
+        panel = JudgePanel(size=10, seed=1)
+        for affinity in (0.0, 0.2, 0.5, 0.8, 1.0):
+            for mark in panel.rate_all(affinity):
+                assert 1 <= mark <= 5
+
+    def test_doubt_band_collapses_to_two_or_three(self):
+        panel = JudgePanel(size=20, doubt_band=(0.3, 0.6), seed=2)
+        marks = panel.rate_all(0.45)
+        assert set(marks) <= {2, 3}
+
+    def test_clear_relevance_rated_higher_than_clear_irrelevance(self):
+        panel = JudgePanel(size=54, seed=3)
+        relevant = sum(panel.rate_all(0.95)) / 54
+        irrelevant = sum(panel.rate_all(0.05)) / 54
+        assert relevant > irrelevant + 1.0
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            JudgePanel(size=0)
+        with pytest.raises(EvaluationError):
+            JudgePanel(size=5, doubt_band=(0.9, 0.1))
+
+
+class TestTopicalAffinity:
+    def test_specialist_beats_generalist(self, paper_figure_graph, web_sim):
+        authority = AuthorityIndex(paper_figure_graph)
+        specialist = topical_affinity(paper_figure_graph, web_sim,
+                                      authority, 1, "technology")
+        generalist = topical_affinity(paper_figure_graph, web_sim,
+                                      authority, 2, "technology")
+        assert specialist > generalist
+
+    def test_unlabeled_account_is_near_zero(self, paper_figure_graph,
+                                            web_sim):
+        authority = AuthorityIndex(paper_figure_graph)
+        assert topical_affinity(paper_figure_graph, web_sim, authority,
+                                5, "technology") == pytest.approx(0.05)
+
+
+@pytest.fixture(scope="module")
+def study_world(web_sim):
+    graph = generate_twitter_graph(300, seed=71)
+    recommender = Recommender(graph, web_sim, ScoreParams(beta=0.004))
+
+    def tr_method(user, topic, k):
+        return [r.node for r in recommender.recommend(user, topic, top_n=k)]
+
+    def popular_method(user, topic, k):
+        ranked = sorted(graph.nodes(), key=lambda n: -graph.in_degree(n))
+        return ranked[:k]
+
+    def random_ish_method(user, topic, k):
+        return sorted(graph.nodes())[:k]
+
+    return graph, {"Tr": tr_method, "Popular": popular_method,
+                   "Arbitrary": random_ish_method}
+
+
+class TestTwitterStudy:
+    def test_produces_marks_for_every_method_and_topic(self, study_world,
+                                                       web_sim):
+        graph, methods = study_world
+        result = run_twitter_study(graph, web_sim, methods,
+                                   topics=("technology", "social"),
+                                   num_query_users=4, seed=5)
+        for name in methods:
+            assert set(result.mean_marks[name]) == {"technology", "social"}
+            for mark in result.mean_marks[name].values():
+                assert 0.0 <= mark <= 5.0
+
+    def test_topical_method_beats_arbitrary(self, study_world, web_sim):
+        graph, methods = study_world
+        result = run_twitter_study(graph, web_sim, methods,
+                                   topics=("technology",),
+                                   num_query_users=6, seed=5)
+        assert result.mark("Tr", "technology") > result.mark(
+            "Arbitrary", "technology")
+
+    def test_overall_average(self, study_world, web_sim):
+        graph, methods = study_world
+        result = run_twitter_study(graph, web_sim, methods,
+                                   topics=("technology", "social"),
+                                   num_query_users=3, seed=5)
+        expected = sum(result.mean_marks["Tr"].values()) / 2
+        assert result.overall("Tr") == pytest.approx(expected)
+
+
+class TestDblpStudy:
+    def test_table3_rows_produced(self, study_world, dblp_sim):
+        from repro.datasets import generate_dblp_dataset
+
+        dataset = generate_dblp_dataset(200, seed=7)
+        recommender = Recommender(dataset.graph, dblp_sim,
+                                  ScoreParams(beta=0.002))
+
+        def tr_method(user, topic, k):
+            return [r.node
+                    for r in recommender.recommend(user, topic, top_n=k)]
+
+        result = run_dblp_study(dataset.graph, dblp_sim,
+                                {"Tr": tr_method}, panel_size=10, seed=3)
+        assert 0.0 <= result.average_mark["Tr"] <= 5.0
+        assert result.high_marks["Tr"] >= 0
+        assert 0.0 <= result.best_answer["Tr"] <= 1.0
+        rows = result.as_rows()
+        assert [row[0] for row in rows] == [
+            "average mark", "# 4 and 5-mark", "best answer (%)"]
+
+    def test_citation_cap_respected_via_filtering(self, dblp_sim):
+        """Methods returning only mega-cited authors yield no marks."""
+        from repro.datasets import generate_dblp_dataset
+
+        dataset = generate_dblp_dataset(200, seed=7)
+        celebrities = sorted(dataset.graph.nodes(),
+                             key=lambda n: -dataset.graph.in_degree(n))[:3]
+        max_in = dataset.graph.in_degree(celebrities[0])
+
+        def celebrity_method(user, topic, k):
+            return celebrities[:k]
+
+        result = run_dblp_study(dataset.graph, dblp_sim,
+                                {"Celebs": celebrity_method},
+                                panel_size=5, citation_cap=max_in // 2 or 1,
+                                seed=3)
+        # every proposal above the cap was filtered out
+        assert result.high_marks["Celebs"] + 1 >= 1  # structural smoke
+        assert result.average_mark["Celebs"] == 0.0 or \
+            result.average_mark["Celebs"] <= 5.0

@@ -1,0 +1,57 @@
+"""Tests for graph construction helpers."""
+
+import pytest
+
+from repro.graph.builders import (
+    complete_graph,
+    graph_from_edges,
+    graph_from_records,
+    path_graph,
+)
+
+
+class TestGraphFromEdges:
+    def test_two_tuples_are_unlabeled(self):
+        g = graph_from_edges([(1, 2)])
+        assert g.edge_topics(1, 2) == frozenset()
+
+    def test_three_tuples_carry_topics(self):
+        g = graph_from_edges([(1, 2, ["technology"])])
+        assert g.edge_topics(1, 2) == frozenset({"technology"})
+
+    def test_node_topics_applied(self):
+        g = graph_from_edges([(1, 2)], node_topics={1: ["food"], 9: ["law"]})
+        assert g.node_topics(1) == frozenset({"food"})
+        assert 9 in g  # declared but not in any edge
+
+
+class TestGraphFromRecords:
+    def test_mixed_records(self):
+        g = graph_from_records([
+            {"node": 1, "topics": ["food"]},
+            {"source": 1, "target": 2, "topics": ["food"]},
+        ])
+        assert g.num_edges == 1
+        assert g.node_topics(1) == frozenset({"food"})
+
+    def test_unrecognised_record_raises(self):
+        with pytest.raises(ValueError):
+            graph_from_records([{"foo": 1}])
+
+
+class TestCannedGraphs:
+    def test_complete_graph_edge_count(self):
+        g = complete_graph(4)
+        assert g.num_nodes == 4
+        assert g.num_edges == 12  # n(n-1)
+
+    def test_complete_graph_has_no_self_loops(self):
+        g = complete_graph(3)
+        assert all(s != t for s, t, _ in g.edges())
+
+    def test_path_graph_shape(self):
+        g = path_graph(5, topics=["technology"])
+        assert g.num_edges == 4
+        assert g.out_degree(0) == 1
+        assert g.out_degree(4) == 0
+        assert g.node_topics(2) == frozenset({"technology"})

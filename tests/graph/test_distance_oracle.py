@@ -1,0 +1,133 @@
+"""Tests for the landmark distance oracle (upper-bound contract)."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.datasets import generate_twitter_graph
+from repro.errors import ConfigurationError, NodeNotFoundError
+from repro.graph.builders import graph_from_edges, path_graph
+from repro.graph.distance_oracle import LandmarkDistanceOracle
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_twitter_graph(250, seed=66)
+
+
+@pytest.fixture(scope="module")
+def oracle(graph):
+    landmarks = sorted(graph.nodes(),
+                       key=lambda n: -graph.in_degree(n))[:12]
+    return LandmarkDistanceOracle(graph, landmarks)
+
+
+class TestConstruction:
+    def test_requires_landmarks(self, graph):
+        with pytest.raises(ConfigurationError):
+            LandmarkDistanceOracle(graph, [])
+
+    def test_unknown_landmark_rejected(self, graph):
+        with pytest.raises(NodeNotFoundError):
+            LandmarkDistanceOracle(graph, [10**9])
+
+    def test_duplicate_landmarks_deduplicated(self):
+        oracle = LandmarkDistanceOracle(path_graph(4), [1, 1, 2])
+        assert oracle.landmarks == (1, 2)
+
+    def test_storage_accounting(self, oracle):
+        assert oracle.storage_entries > 0
+
+
+class TestEstimates:
+    def test_self_distance_zero(self, oracle, graph):
+        node = next(iter(graph.nodes()))
+        assert oracle.estimate(node, node) == 0.0
+
+    def test_exact_on_path_through_landmark(self):
+        oracle = LandmarkDistanceOracle(path_graph(6), [3])
+        assert oracle.estimate(0, 5) == 5.0
+        assert oracle.witness(0, 5) == 3
+
+    def test_upper_bound_property(self, oracle, graph):
+        """Triangle inequality: estimate >= true distance, always."""
+        rng = random.Random(1)
+        nodes = sorted(graph.nodes())
+        for _ in range(200):
+            source, target = rng.sample(nodes, 2)
+            estimate = oracle.estimate(source, target)
+            exact = oracle.exact_distance(source, target)
+            assert estimate >= exact or (
+                math.isinf(exact) and math.isinf(estimate))
+
+    def test_unwitnessed_pair_is_infinite(self):
+        graph = graph_from_edges([(0, 1), (2, 3)])
+        oracle = LandmarkDistanceOracle(graph, [1])
+        assert math.isinf(oracle.estimate(2, 3))
+        assert oracle.witness(2, 3) is None
+
+    def test_exact_distance_matches_networkx(self, graph, oracle):
+        nxg = nx.DiGraph((s, t) for s, t, _ in graph.edges())
+        rng = random.Random(2)
+        nodes = sorted(graph.nodes())
+        for _ in range(50):
+            source, target = rng.sample(nodes, 2)
+            ours = oracle.exact_distance(source, target)
+            try:
+                theirs = float(nx.shortest_path_length(nxg, source, target))
+            except nx.NetworkXNoPath:
+                theirs = math.inf
+            assert ours == theirs
+
+
+class TestAccuracy:
+    def test_more_landmarks_never_hurt(self, graph):
+        rng = random.Random(3)
+        nodes = sorted(graph.nodes())
+        pairs = [tuple(rng.sample(nodes, 2)) for _ in range(100)]
+        hubs = sorted(graph.nodes(), key=lambda n: -graph.in_degree(n))
+        small = LandmarkDistanceOracle(graph, hubs[:3])
+        large = LandmarkDistanceOracle(graph, hubs[:15])
+        assert large.mean_relative_error(pairs) <= \
+            small.mean_relative_error(pairs) + 1e-12
+
+    def test_error_is_nonnegative(self, oracle, graph):
+        rng = random.Random(4)
+        nodes = sorted(graph.nodes())
+        pairs = [tuple(rng.sample(nodes, 2)) for _ in range(100)]
+        assert oracle.mean_relative_error(pairs) >= 0.0
+
+
+class TestContrastWithScoreApproximation:
+    def test_oracle_overestimates_where_scores_underestimate(self, web_sim):
+        """The conceptual contrast of Section 4: landmark distance
+        estimates are upper bounds; landmark score estimates are lower
+        bounds. Exercise both on one graph with off-path landmarks."""
+        from repro import ScoreParams
+        from repro.config import LandmarkParams
+        from repro.core.exact import single_source_scores
+        from repro.landmarks import ApproximateRecommender, LandmarkIndex
+
+        # two routes 0→5: direct chain and a detour via landmark 10
+        graph = graph_from_edges([
+            (0, 1, ["technology"]), (1, 5, ["technology"]),
+            (0, 10, ["technology"]), (10, 11, ["technology"]),
+            (11, 5, ["technology"]),
+        ])
+        oracle = LandmarkDistanceOracle(graph, [10])
+        assert oracle.estimate(0, 5) == 3.0  # true distance is 2
+        assert oracle.exact_distance(0, 5) == 2.0
+
+        params = ScoreParams(beta=0.2)
+        index = LandmarkIndex.build(
+            graph, [10], ["technology"], web_sim, params=params,
+            landmark_params=LandmarkParams(num_landmarks=1, top_n=10,
+                                           query_depth=1))
+        approx = ApproximateRecommender(graph, web_sim, index)
+        estimate = approx.query(0, "technology", depth=1).scores.get(5, 0.0)
+        exact = single_source_scores(graph, 0, ["technology"], web_sim,
+                                     params=params).score(5, "technology")
+        assert estimate < exact  # misses the 0→1→5 walk
+        assert estimate > 0.0    # but witnesses the landmark route

@@ -1,0 +1,51 @@
+"""Extra distance-oracle scenarios: strategy interplay and witnesses."""
+
+import math
+import random
+
+import pytest
+
+from repro.datasets import generate_twitter_graph
+from repro.graph.distance_oracle import LandmarkDistanceOracle
+from repro.landmarks.selection import select_landmarks
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_twitter_graph(300, seed=606)
+
+
+class TestSelectionStrategyInterplay:
+    def test_hub_landmarks_witness_more_pairs_than_random(self, graph):
+        """In-Deg landmarks sit on many shortest paths, so they witness
+        (connect) more node pairs than uniformly random landmarks — the
+        same reason Table 6's #lnd column favours In-Deg."""
+        rng = random.Random(1)
+        nodes = sorted(graph.nodes())
+        pairs = [tuple(rng.sample(nodes, 2)) for _ in range(150)]
+        hubs = LandmarkDistanceOracle(
+            graph, select_landmarks(graph, "In-Deg", 10, rng=1))
+        randoms = LandmarkDistanceOracle(
+            graph, select_landmarks(graph, "Random", 10, rng=1))
+
+        def witnessed(oracle):
+            return sum(1 for s, t in pairs
+                       if not math.isinf(oracle.estimate(s, t)))
+
+        assert witnessed(hubs) >= witnessed(randoms)
+
+    def test_witness_is_consistent_with_estimate(self, graph):
+        oracle = LandmarkDistanceOracle(
+            graph, select_landmarks(graph, "In-Deg", 8, rng=2))
+        rng = random.Random(3)
+        nodes = sorted(graph.nodes())
+        for _ in range(50):
+            source, target = rng.sample(nodes, 2)
+            witness = oracle.witness(source, target)
+            estimate = oracle.estimate(source, target)
+            if witness is None:
+                assert math.isinf(estimate)
+            else:
+                through = (oracle._to_landmark[witness][source]
+                           + oracle._from_landmark[witness][target])
+                assert estimate == float(through)

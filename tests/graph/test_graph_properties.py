@@ -1,0 +1,115 @@
+"""Property-based and stateful tests for the graph substrate.
+
+The per-topic follower counts (``|Γu(t)|``) are maintained
+incrementally on every mutation — the property the authority score
+relies on. The stateful machine below performs arbitrary interleavings
+of add/relabel/remove operations and checks the counters against a
+from-scratch recount after every step.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.scores import AuthorityIndex
+from repro.errors import EdgeNotFoundError
+from repro.graph import LabeledSocialGraph
+
+NODES = list(range(8))
+TOPICS = ["technology", "bigdata", "food", "social"]
+
+edge_strategy = st.tuples(
+    st.sampled_from(NODES), st.sampled_from(NODES)).filter(
+    lambda pair: pair[0] != pair[1])
+label_strategy = st.lists(st.sampled_from(TOPICS), max_size=3,
+                          unique=True)
+
+
+class GraphCounterMachine(RuleBasedStateMachine):
+    """Random mutations with a counter-consistency invariant."""
+
+    def __init__(self):
+        super().__init__()
+        self.graph = LabeledSocialGraph()
+        for node in NODES:
+            self.graph.add_node(node)
+
+    @rule(edge=edge_strategy, label=label_strategy)
+    def add_or_relabel_edge(self, edge, label):
+        self.graph.add_edge(edge[0], edge[1], label)
+
+    @rule(edge=edge_strategy)
+    def remove_edge_if_present(self, edge):
+        try:
+            self.graph.remove_edge(edge[0], edge[1])
+        except EdgeNotFoundError:
+            pass
+
+    @invariant()
+    def follower_counts_match_recount(self):
+        for node in NODES:
+            recount = {}
+            for _, label in self.graph.in_neighbors(node).items():
+                for topic in label:
+                    recount[topic] = recount.get(topic, 0) + 1
+            assert recount == dict(self.graph.follower_topic_counts(node))
+
+    @invariant()
+    def edge_count_matches_iteration(self):
+        assert self.graph.num_edges == sum(1 for _ in self.graph.edges())
+
+    @invariant()
+    def max_followers_cache_matches_recount(self):
+        for topic in TOPICS:
+            expected = max(
+                (self.graph.follower_count_on(node, topic)
+                 for node in NODES), default=0)
+            assert self.graph.max_followers_on(topic) == expected
+
+
+TestGraphCounterMachine = GraphCounterMachine.TestCase
+TestGraphCounterMachine.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None)
+
+
+class TestAuthorityProperties:
+    @given(st.lists(st.tuples(edge_strategy, label_strategy),
+                    min_size=1, max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_authority_bounds_on_random_graphs(self, edges):
+        graph = LabeledSocialGraph()
+        for node in NODES:
+            graph.add_node(node)
+        for (source, target), label in edges:
+            graph.add_edge(source, target, label)
+        authority = AuthorityIndex(graph)
+        for node in NODES:
+            for topic in TOPICS:
+                value = authority.auth(node, topic)
+                assert 0.0 <= value <= 1.0
+                followers_on = graph.follower_count_on(node, topic)
+                if followers_on == 0:
+                    assert value == 0.0
+                else:
+                    assert value > 0.0
+
+    @given(st.lists(st.tuples(edge_strategy, label_strategy),
+                    min_size=1, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_local_authority_is_one_iff_exclusive(self, edges):
+        graph = LabeledSocialGraph()
+        for node in NODES:
+            graph.add_node(node)
+        for (source, target), label in edges:
+            graph.add_edge(source, target, label)
+        authority = AuthorityIndex(graph)
+        for node in NODES:
+            for topic in TOPICS:
+                local = authority.local_authority(node, topic)
+                followers_on = graph.follower_count_on(node, topic)
+                total = graph.follower_count(node)
+                if total and followers_on == total:
+                    assert local == pytest.approx(1.0)
+                if local == 1.0 and total:
+                    assert followers_on == total

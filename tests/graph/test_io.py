@@ -1,0 +1,74 @@
+"""Round-trip and error tests for graph serialisation."""
+
+import pytest
+
+from repro.graph.builders import graph_from_edges
+from repro.graph.io import (
+    read_edge_list,
+    read_jsonl,
+    write_edge_list,
+    write_jsonl,
+)
+
+
+@pytest.fixture()
+def sample():
+    return graph_from_edges(
+        [
+            (0, 1, ["technology", "bigdata"]),
+            (1, 2, []),
+            (2, 0, ["food"]),
+        ],
+        node_topics={0: ["technology"], 2: ["food", "travel"]},
+    )
+
+
+def _assert_same_graph(first, second):
+    assert sorted(first.nodes()) == sorted(second.nodes())
+    assert sorted(first.edges()) == sorted(second.edges())
+    for node in first.nodes():
+        assert first.node_topics(node) == second.node_topics(node)
+
+
+class TestEdgeListFormat:
+    def test_round_trip(self, sample, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_edge_list(sample, path)
+        _assert_same_graph(sample, read_edge_list(path))
+
+    def test_unlabeled_edges_survive(self, sample, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_edge_list(sample, path)
+        assert read_edge_list(path).edge_topics(1, 2) == frozenset()
+
+    def test_malformed_edge_line_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\t2\tx\textra\n")
+        with pytest.raises(ValueError, match="bad edge line"):
+            read_edge_list(path)
+
+    def test_malformed_node_line_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("#node\t1\n")
+        with pytest.raises(ValueError, match="bad node line"):
+            read_edge_list(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("\n1\t2\ttechnology\n\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 1
+
+
+class TestJsonlFormat:
+    def test_round_trip(self, sample, tmp_path):
+        path = tmp_path / "graph.jsonl"
+        write_jsonl(sample, path)
+        _assert_same_graph(sample, read_jsonl(path))
+
+    def test_preserves_follower_counts(self, sample, tmp_path):
+        path = tmp_path / "graph.jsonl"
+        write_jsonl(sample, path)
+        loaded = read_jsonl(path)
+        assert loaded.follower_count_on(1, "technology") == \
+            sample.follower_count_on(1, "technology")

@@ -1,0 +1,153 @@
+"""Tests for the core labeled social graph structure."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+)
+from repro.graph import LabeledSocialGraph
+
+
+@pytest.fixture()
+def small_graph():
+    g = LabeledSocialGraph()
+    g.add_node(1, topics=["technology"])
+    g.add_node(2, topics=["technology", "bigdata"])
+    g.add_node(3)
+    g.add_edge(1, 2, topics=["technology"])
+    g.add_edge(3, 2, topics=["technology", "bigdata"])
+    return g
+
+
+class TestNodes:
+    def test_counts(self, small_graph):
+        assert small_graph.num_nodes == 3
+        assert len(small_graph) == 3
+
+    def test_duplicate_node_raises(self, small_graph):
+        with pytest.raises(DuplicateNodeError):
+            small_graph.add_node(1)
+
+    def test_ensure_node_is_idempotent(self, small_graph):
+        small_graph.ensure_node(1, topics=["food"])
+        assert small_graph.node_topics(1) == frozenset({"technology"})
+
+    def test_node_topics_missing_raises(self, small_graph):
+        with pytest.raises(NodeNotFoundError):
+            small_graph.node_topics(99)
+
+    def test_set_node_topics(self, small_graph):
+        small_graph.set_node_topics(3, ["food"])
+        assert small_graph.node_topics(3) == frozenset({"food"})
+
+    def test_contains(self, small_graph):
+        assert 1 in small_graph
+        assert 99 not in small_graph
+
+
+class TestEdges:
+    def test_edge_count(self, small_graph):
+        assert small_graph.num_edges == 2
+
+    def test_implicit_node_creation(self):
+        g = LabeledSocialGraph()
+        g.add_edge(7, 8)
+        assert 7 in g and 8 in g
+
+    def test_self_loop_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            small_graph.add_edge(1, 1)
+
+    def test_edge_topics(self, small_graph):
+        assert small_graph.edge_topics(1, 2) == frozenset({"technology"})
+
+    def test_missing_edge_raises(self, small_graph):
+        with pytest.raises(EdgeNotFoundError):
+            small_graph.edge_topics(2, 1)
+
+    def test_re_add_replaces_label(self, small_graph):
+        small_graph.add_edge(1, 2, topics=["food"])
+        assert small_graph.num_edges == 2
+        assert small_graph.edge_topics(1, 2) == frozenset({"food"})
+
+    def test_set_edge_topics_requires_existing_edge(self, small_graph):
+        with pytest.raises(EdgeNotFoundError):
+            small_graph.set_edge_topics(2, 3, ["food"])
+
+    def test_remove_edge_returns_label(self, small_graph):
+        label = small_graph.remove_edge(1, 2)
+        assert label == frozenset({"technology"})
+        assert small_graph.num_edges == 1
+        assert not small_graph.has_edge(1, 2)
+
+    def test_remove_missing_edge_raises(self, small_graph):
+        with pytest.raises(EdgeNotFoundError):
+            small_graph.remove_edge(2, 1)
+
+    def test_edges_iteration(self, small_graph):
+        edges = sorted((s, t) for s, t, _ in small_graph.edges())
+        assert edges == [(1, 2), (3, 2)]
+
+
+class TestDegreesAndFollowers:
+    def test_degrees(self, small_graph):
+        assert small_graph.out_degree(1) == 1
+        assert small_graph.in_degree(2) == 2
+        assert small_graph.follower_count(2) == 2
+
+    def test_followers_mapping(self, small_graph):
+        assert set(small_graph.followers(2)) == {1, 3}
+
+    def test_follower_count_on_topic(self, small_graph):
+        assert small_graph.follower_count_on(2, "technology") == 2
+        assert small_graph.follower_count_on(2, "bigdata") == 1
+        assert small_graph.follower_count_on(2, "food") == 0
+
+    def test_follower_counts_track_removal(self, small_graph):
+        small_graph.remove_edge(3, 2)
+        assert small_graph.follower_count_on(2, "technology") == 1
+        assert small_graph.follower_count_on(2, "bigdata") == 0
+
+    def test_follower_counts_track_relabel(self, small_graph):
+        small_graph.set_edge_topics(1, 2, ["bigdata"])
+        assert small_graph.follower_count_on(2, "technology") == 1
+        assert small_graph.follower_count_on(2, "bigdata") == 2
+
+    def test_follower_topic_counts(self, small_graph):
+        counts = small_graph.follower_topic_counts(2)
+        assert counts == {"technology": 2, "bigdata": 1}
+
+
+class TestMaxFollowers:
+    def test_max_followers_on(self, small_graph):
+        assert small_graph.max_followers_on("technology") == 2
+        assert small_graph.max_followers_on("unknown") == 0
+
+    def test_cache_invalidated_by_mutation(self, small_graph):
+        assert small_graph.max_followers_on("technology") == 2
+        small_graph.add_edge(2, 3, topics=["technology"])
+        small_graph.add_edge(1, 3, topics=["technology"])
+        assert small_graph.max_followers_on("technology") == 2
+        small_graph.add_node(10)
+        small_graph.add_edge(10, 3, topics=["technology"])
+        assert small_graph.max_followers_on("technology") == 3
+
+
+class TestTopicsAndCopy:
+    def test_topics_unions_node_and_edge_labels(self, small_graph):
+        small_graph.set_node_topics(3, ["food"])
+        assert small_graph.topics() == frozenset(
+            {"technology", "bigdata", "food"})
+
+    def test_copy_is_independent(self, small_graph):
+        clone = small_graph.copy()
+        clone.remove_edge(1, 2)
+        assert small_graph.has_edge(1, 2)
+        assert not clone.has_edge(1, 2)
+        assert small_graph.follower_count_on(2, "technology") == 2
+        assert clone.follower_count_on(2, "technology") == 1
+
+    def test_repr(self, small_graph):
+        assert "nodes=3" in repr(small_graph)

@@ -1,0 +1,81 @@
+"""Tests for Table-2 style graph statistics."""
+
+import pytest
+
+from repro.graph import LabeledSocialGraph
+from repro.graph.builders import complete_graph, graph_from_edges
+from repro.graph.stats import (
+    compute_stats,
+    edges_per_topic,
+    in_degree_distribution,
+    out_degree_distribution,
+    reciprocity,
+    topic_follower_totals,
+)
+
+
+@pytest.fixture()
+def labeled():
+    return graph_from_edges(
+        [
+            (0, 1, ["technology"]),
+            (2, 1, ["technology", "food"]),
+            (1, 3, []),
+        ],
+        node_topics={0: ["technology"], 1: ["technology"]},
+    )
+
+
+class TestComputeStats:
+    def test_counts(self, labeled):
+        stats = compute_stats(labeled)
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 3
+        assert stats.avg_out_degree == pytest.approx(0.75)
+        assert stats.avg_in_degree == pytest.approx(0.75)
+        assert stats.max_in_degree == 2
+        assert stats.max_out_degree == 1
+
+    def test_label_fractions(self, labeled):
+        stats = compute_stats(labeled)
+        assert stats.labeled_edge_fraction == pytest.approx(2 / 3)
+        assert stats.labeled_node_fraction == pytest.approx(0.5)
+
+    def test_empty_graph(self):
+        stats = compute_stats(LabeledSocialGraph())
+        assert stats.num_nodes == 0
+        assert stats.avg_in_degree == 0.0
+
+    def test_as_rows_layout(self, labeled):
+        rows = compute_stats(labeled).as_rows()
+        assert rows[0] == ("Total number of nodes", "4")
+        assert len(rows) == 8
+
+
+class TestDistributions:
+    def test_in_degree_distribution(self, labeled):
+        assert in_degree_distribution(labeled) == {0: 2, 1: 1, 2: 1}
+
+    def test_out_degree_distribution(self, labeled):
+        assert out_degree_distribution(labeled) == {0: 1, 1: 3}
+
+    def test_edges_per_topic_counts_multilabel_once_per_topic(self, labeled):
+        assert edges_per_topic(labeled) == {"technology": 2, "food": 1}
+
+    def test_topic_follower_totals(self, labeled):
+        assert topic_follower_totals(labeled) == {"technology": 2, "food": 1}
+
+
+class TestReciprocity:
+    def test_no_mutual_edges(self, labeled):
+        assert reciprocity(labeled) == 0.0
+
+    def test_complete_graph_fully_reciprocal(self):
+        assert reciprocity(complete_graph(3)) == 1.0
+
+    def test_half_reciprocal(self):
+        g = graph_from_edges([(0, 1), (1, 0), (0, 2)])
+        assert reciprocity(g) == pytest.approx(2 / 3)
+
+    def test_empty_graph(self):
+        assert reciprocity(LabeledSocialGraph()) == 0.0

@@ -1,0 +1,111 @@
+"""Tests for traversal primitives, with networkx as an oracle."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.graph.builders import graph_from_edges, path_graph
+from repro.graph.traversal import (
+    bfs_levels,
+    enumerate_walks,
+    k_vicinity,
+    reachable_set,
+    weakly_connected_components,
+)
+
+
+@pytest.fixture()
+def branching_graph():
+    return graph_from_edges([
+        (0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (5, 0),
+    ])
+
+
+class TestBfsLevels:
+    def test_distances(self, branching_graph):
+        levels = bfs_levels(branching_graph, 0)
+        assert levels == {0: 0, 1: 1, 2: 1, 3: 2, 4: 3}
+
+    def test_max_depth_truncates(self, branching_graph):
+        levels = bfs_levels(branching_graph, 0, max_depth=1)
+        assert set(levels) == {0, 1, 2}
+
+    def test_in_direction(self, branching_graph):
+        levels = bfs_levels(branching_graph, 0, direction="in")
+        assert levels == {0: 0, 5: 1}
+
+    def test_invalid_direction(self, branching_graph):
+        with pytest.raises(ConfigurationError):
+            bfs_levels(branching_graph, 0, direction="sideways")
+
+
+class TestKVicinity:
+    def test_excludes_source(self, branching_graph):
+        assert 0 not in k_vicinity(branching_graph, 0, 2)
+
+    def test_depth_two(self, branching_graph):
+        assert k_vicinity(branching_graph, 0, 2) == {1, 2, 3}
+
+    def test_reachable_set(self, branching_graph):
+        assert reachable_set(branching_graph, 0) == {1, 2, 3, 4}
+
+
+class TestEnumerateWalks:
+    def test_single_path(self):
+        g = path_graph(4)
+        walks = list(enumerate_walks(g, 0, 3, max_length=5))
+        assert walks == [[0, 1, 2, 3]]
+
+    def test_diamond_finds_both_paths_and_direct_edge(self):
+        g = graph_from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)])
+        walks = sorted(enumerate_walks(g, 0, 3, max_length=2))
+        assert walks == [[0, 1, 3], [0, 2, 3], [0, 3]]
+
+    def test_cycles_yield_repeated_visits(self):
+        g = graph_from_edges([(0, 1), (1, 0)])
+        walks = sorted(enumerate_walks(g, 0, 1, max_length=3))
+        assert walks == [[0, 1], [0, 1, 0, 1]]
+
+    def test_zero_max_length_is_empty(self):
+        g = path_graph(3)
+        assert list(enumerate_walks(g, 0, 1, max_length=0)) == []
+
+
+class TestComponents:
+    def test_two_components(self):
+        g = graph_from_edges([(0, 1), (2, 3)])
+        components = sorted(map(sorted, weakly_connected_components(g)))
+        assert components == [[0, 1], [2, 3]]
+
+    def test_direction_ignored(self):
+        g = graph_from_edges([(0, 1), (2, 1)])
+        assert len(weakly_connected_components(g)) == 1
+
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(
+        lambda e: e[0] != e[1]),
+    min_size=1, max_size=40, unique=True)
+
+
+class TestAgainstNetworkx:
+    @given(edges_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_matches_networkx(self, edges):
+        g = graph_from_edges(edges)
+        nxg = nx.DiGraph(edges)
+        source = edges[0][0]
+        ours = bfs_levels(g, source)
+        theirs = nx.single_source_shortest_path_length(nxg, source)
+        assert ours == dict(theirs)
+
+    @given(edges_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_components_match_networkx(self, edges):
+        g = graph_from_edges(edges)
+        nxg = nx.DiGraph(edges)
+        ours = sorted(map(sorted, weakly_connected_components(g)))
+        theirs = sorted(map(sorted, nx.weakly_connected_components(nxg)))
+        assert ours == theirs

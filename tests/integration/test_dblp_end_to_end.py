@@ -1,0 +1,97 @@
+"""DBLP-side integration: generation → recommendation → landmarks →
+evaluation, the counterpart of the Twitter end-to-end suite."""
+
+import pytest
+
+from repro import Recommender, ScoreParams
+from repro.baselines import TwitterRank
+from repro.config import EvaluationParams, LandmarkParams
+from repro.datasets import generate_dblp_dataset
+from repro.eval import (
+    LinkPredictionProtocol,
+    katz_scorer,
+    landmark_scorer,
+    tr_scorer,
+    twitterrank_scorer,
+)
+from repro.landmarks import (
+    ApproximateRecommender,
+    LandmarkIndex,
+    select_landmarks,
+)
+
+PARAMS = ScoreParams(beta=0.0005, alpha=0.85)
+
+
+@pytest.fixture(scope="module")
+def world(dblp_sim):
+    dataset = generate_dblp_dataset(400, seed=808)
+    return dataset, dblp_sim
+
+
+class TestRecommendationOnCitationGraph:
+    def test_recommends_same_area_authors(self, world):
+        dataset, sim = world
+        graph = dataset.graph
+        recommender = Recommender(graph, sim, PARAMS)
+        researcher = max(graph.nodes(), key=graph.out_degree)
+        area = sorted(graph.node_topics(researcher))[0]
+        results = recommender.recommend(researcher, area, top_n=5)
+        assert results
+        # the head suggestions publish in (or near) the queried area
+        top = results[0]
+        assert top.per_topic[area] > 0.0
+
+    def test_citation_cap_filter_like_the_user_study(self, world):
+        dataset, sim = world
+        graph = dataset.graph
+        recommender = Recommender(graph, sim, PARAMS)
+        researcher = max(graph.nodes(), key=graph.out_degree)
+        area = sorted(graph.node_topics(researcher))[0]
+        degrees = sorted(graph.in_degree(n) for n in graph.nodes())
+        cap = degrees[int(0.9 * len(degrees))]
+        filtered = [r for r in recommender.recommend(researcher, area,
+                                                     top_n=40)
+                    if graph.in_degree(r.node) <= cap]
+        assert filtered, "cap should leave non-obvious authors"
+        assert all(graph.in_degree(r.node) <= cap for r in filtered)
+
+
+class TestProtocolOnDblp:
+    def test_four_methods_run_and_tr_is_competitive(self, world):
+        dataset, sim = world
+        protocol = LinkPredictionProtocol(
+            dataset.graph,
+            EvaluationParams(test_size=15, num_negatives=150), seed=9)
+        working = protocol.graph
+        landmarks = select_landmarks(working, "In-Deg", 15, rng=2)
+        index = LandmarkIndex.build(
+            working, landmarks, sorted(working.topics()), sim,
+            params=PARAMS,
+            landmark_params=LandmarkParams(num_landmarks=15, top_n=200))
+        curves = protocol.run({
+            "Tr": tr_scorer(Recommender(working, sim, PARAMS)),
+            "Katz": katz_scorer(working, PARAMS),
+            "TwitterRank": twitterrank_scorer(TwitterRank(working)),
+            "Tr-landmarks": landmark_scorer(
+                ApproximateRecommender(working, sim, index)),
+        })
+        assert all(curve.num_lists == 15 for curve in curves.values())
+        # Figure-6 shape at miniature scale: path-based >= popularity
+        assert curves["Tr"].recall_at(20) >= \
+            curves["TwitterRank"].recall_at(20) - 0.1
+
+    def test_sparse_engine_matches_dict_engine_on_dblp(self, world):
+        dataset, sim = world
+        from repro.core.fast import scipy_available
+
+        if not scipy_available():
+            pytest.skip("scipy not installed")
+        graph = dataset.graph
+        dict_rec = Recommender(graph, sim, PARAMS)
+        sparse_rec = Recommender(graph, sim, PARAMS, engine="sparse")
+        researcher = max(graph.nodes(), key=graph.out_degree)
+        area = sorted(graph.node_topics(researcher))[0]
+        expected = dict_rec.recommend(researcher, area, top_n=10)
+        got = sparse_rec.recommend(researcher, area, top_n=10)
+        assert [r.node for r in got] == [r.node for r in expected]

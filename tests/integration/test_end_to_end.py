@@ -1,0 +1,120 @@
+"""Integration tests: the full paper pipeline on one small world.
+
+Raw posts → labeling pipeline → Tr recommendation → landmark index →
+approximate recommendation → link-prediction evaluation, checking the
+cross-module contracts the unit tests cannot see.
+"""
+
+import pytest
+
+from repro import Recommender, ScoreParams, SimilarityMatrix, web_taxonomy
+from repro.baselines import TwitterRank
+from repro.config import EvaluationParams, LandmarkParams
+from repro.datasets import generate_twitter_dataset
+from repro.eval import (
+    LinkPredictionProtocol,
+    katz_scorer,
+    landmark_scorer,
+    tr_scorer,
+    twitterrank_scorer,
+)
+from repro.eval.metrics import kendall_tau_distance
+from repro.landmarks import (
+    ApproximateRecommender,
+    LandmarkIndex,
+    load_index,
+    save_index,
+    select_landmarks,
+)
+from repro.topics import LabelingPipeline
+
+
+@pytest.fixture(scope="module")
+def world(web_sim):
+    dataset = generate_twitter_dataset(400, seed=91)
+    graph = dataset.unlabeled_graph()
+    graph, report = LabelingPipeline().run(graph, dataset.tweets, seed=91)
+    params = ScoreParams(beta=0.003)
+    return dataset, graph, report, params
+
+
+class TestPipelineToRecommendation:
+    def test_labeled_graph_supports_recommendation(self, world, web_sim):
+        _, graph, _, params = world
+        recommender = Recommender(graph, web_sim, params)
+        user = next(n for n in graph.nodes() if graph.out_degree(n) >= 3)
+        results = recommender.recommend(user, "technology", top_n=5)
+        assert results
+        assert all(r.score > 0 for r in results)
+
+    def test_report_is_consistent_with_graph(self, world):
+        _, graph, report, _ = world
+        assert report.num_accounts == graph.num_nodes
+        assert report.total_edges == graph.num_edges
+        assert report.labeled_edges <= report.total_edges
+
+
+class TestLandmarkRoundTrip:
+    def test_index_survives_disk_and_gives_same_answers(self, world, web_sim,
+                                                        tmp_path):
+        _, graph, _, params = world
+        landmarks = select_landmarks(graph, "In-Deg", 20, rng=1)
+        index = LandmarkIndex.build(
+            graph, landmarks, ["technology"], web_sim, params=params,
+            landmark_params=LandmarkParams(num_landmarks=20, top_n=100))
+        path = tmp_path / "index.rplm"
+        save_index(index, path)
+        restored = load_index(path)
+
+        fresh = ApproximateRecommender(graph, web_sim, index)
+        reloaded = ApproximateRecommender(graph, web_sim, restored)
+        user = next(n for n in graph.nodes()
+                    if graph.out_degree(n) >= 3 and n not in set(landmarks))
+        assert fresh.recommend(user, "technology", top_n=10) == \
+            reloaded.recommend(user, "technology", top_n=10)
+
+    def test_approximate_close_to_exact_ranking(self, world, web_sim):
+        """The Table-6 headline at miniature scale: a well-stocked
+        In-Deg index keeps the Kendall tau distance to the exact
+        top-20 low."""
+        _, graph, _, params = world
+        landmarks = select_landmarks(graph, "In-Deg", 30, rng=1)
+        index = LandmarkIndex.build(
+            graph, landmarks, ["technology"], web_sim, params=params,
+            landmark_params=LandmarkParams(num_landmarks=30, top_n=1000))
+        approx = ApproximateRecommender(graph, web_sim, index)
+        exact = Recommender(graph, web_sim, params)
+        users = [n for n in graph.nodes()
+                 if graph.out_degree(n) >= 5 and n not in set(landmarks)][:5]
+        distances = []
+        for user in users:
+            approx_top = [n for n, _ in approx.recommend(
+                user, "technology", top_n=20)]
+            exact_top = [r.node for r in exact.recommend(
+                user, "technology", top_n=20)]
+            distances.append(kendall_tau_distance(approx_top, exact_top))
+        assert sum(distances) / len(distances) < 0.6
+
+
+class TestFullEvaluation:
+    def test_all_four_methods_under_one_protocol(self, world, web_sim):
+        _, graph, _, params = world
+        protocol = LinkPredictionProtocol(
+            graph, EvaluationParams(test_size=15, num_negatives=100),
+            seed=4)
+        landmarks = select_landmarks(protocol.graph, "In-Deg", 20, rng=1)
+        index = LandmarkIndex.build(
+            protocol.graph, landmarks, sorted(protocol.graph.topics()),
+            web_sim, params=params,
+            landmark_params=LandmarkParams(num_landmarks=20, top_n=100))
+        curves = protocol.run({
+            "Tr": tr_scorer(Recommender(protocol.graph, web_sim, params)),
+            "Katz": katz_scorer(protocol.graph, params),
+            "TwitterRank": twitterrank_scorer(TwitterRank(protocol.graph)),
+            "Tr-landmarks": landmark_scorer(
+                ApproximateRecommender(protocol.graph, web_sim, index)),
+        })
+        assert all(curve.num_lists == 15 for curve in curves.values())
+        # the landmark approximation must not be wildly worse than Tr
+        assert curves["Tr-landmarks"].recall_at(20) >= \
+            curves["Tr"].recall_at(20) - 0.5

@@ -1,0 +1,139 @@
+"""Tests for Algorithm 2 and the Proposition-4 composition."""
+
+import random
+
+import pytest
+
+from repro import ScoreParams
+from repro.config import LandmarkParams
+from repro.core.exact import single_source_scores
+from repro.datasets import generate_twitter_graph
+from repro.graph.builders import graph_from_edges, path_graph
+from repro.landmarks import ApproximateRecommender, LandmarkIndex
+from repro.semantics.vocabularies import WEB_TOPICS
+
+
+def _tech_path(length):
+    graph = path_graph(length, topics=["technology"])
+    for i in range(length - 1):
+        graph.set_edge_topics(i, i + 1, ["technology"])
+    return graph
+
+
+def _build(graph, landmarks, web_sim, top_n=50, beta=0.2, query_depth=2):
+    params = ScoreParams(beta=beta, alpha=0.85)
+    index = LandmarkIndex.build(
+        graph, landmarks, ["technology"], web_sim, params=params,
+        landmark_params=LandmarkParams(num_landmarks=len(landmarks),
+                                       top_n=top_n,
+                                       query_depth=query_depth))
+    return ApproximateRecommender(graph, web_sim, index)
+
+
+class TestExactnessOnSinglePathGraphs:
+    """On a path every u→v walk is unique, and any walk longer than the
+    exploration depth passes through an on-path landmark, so the
+    approximation must be *exact* (Prop. 4 with no missing paths)."""
+
+    def test_path_through_one_landmark(self, web_sim):
+        graph = _tech_path(7)
+        recommender = _build(graph, [2], web_sim)
+        result = recommender.query(0, "technology")
+        exact = single_source_scores(graph, 0, ["technology"], web_sim,
+                                     params=ScoreParams(beta=0.2))
+        for node in range(1, 7):
+            assert result.scores.get(node, 0.0) == pytest.approx(
+                exact.score(node, "technology"), abs=1e-12)
+
+    def test_landmark_is_reported_encountered(self, web_sim):
+        graph = _tech_path(7)
+        recommender = _build(graph, [2], web_sim)
+        result = recommender.query(0, "technology")
+        assert result.landmarks_encountered == (2,)
+
+    def test_landmark_outside_vicinity_not_used(self, web_sim):
+        graph = _tech_path(8)
+        recommender = _build(graph, [5], web_sim, query_depth=2)
+        result = recommender.query(0, "technology")
+        assert result.landmarks_encountered == ()
+        # only the directly-explored depth-2 nodes get scores
+        assert set(result.scores) <= {1, 2}
+
+
+class TestLowerBound:
+    """σ̃ counts a subset of the walks, so it never exceeds σ."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_approximate_never_exceeds_exact(self, web_sim, seed):
+        rng = random.Random(seed)
+        graph = generate_twitter_graph(200, seed=seed)
+        params = ScoreParams(beta=0.01)
+        landmarks = rng.sample(sorted(graph.nodes()), 20)
+        index = LandmarkIndex.build(
+            graph, landmarks, ["technology"], web_sim, params=params,
+            landmark_params=LandmarkParams(num_landmarks=20, top_n=1000))
+        recommender = ApproximateRecommender(graph, web_sim, index)
+        queries = rng.sample(sorted(graph.nodes()), 5)
+        for query in queries:
+            result = recommender.query(query, "technology")
+            exact = single_source_scores(graph, query, ["technology"],
+                                         web_sim, params=params)
+            for node, value in result.scores.items():
+                assert value <= exact.score(node, "technology") + 1e-9
+
+
+class TestRecommendApi:
+    def test_recommend_excludes_user_and_followees(self, web_sim):
+        graph = generate_twitter_graph(200, seed=4)
+        landmarks = sorted(graph.nodes())[:15]
+        recommender = _build(graph, landmarks, web_sim, beta=0.01)
+        user = next(n for n in graph.nodes() if graph.out_degree(n) >= 3)
+        results = recommender.recommend(user, "technology", top_n=10)
+        followees = set(graph.out_neighbors(user))
+        for node, score in results:
+            assert node != user
+            assert node not in followees
+            assert score > 0.0
+
+    def test_results_sorted_descending(self, web_sim):
+        graph = generate_twitter_graph(200, seed=4)
+        recommender = _build(graph, sorted(graph.nodes())[:15], web_sim,
+                             beta=0.01)
+        results = recommender.recommend(0, "technology", top_n=10)
+        scores = [score for _, score in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_depth_override(self, web_sim):
+        graph = _tech_path(8)
+        recommender = _build(graph, [5], web_sim, query_depth=2)
+        shallow = recommender.query(0, "technology", depth=2)
+        deep = recommender.query(0, "technology", depth=6)
+        assert shallow.landmarks_encountered == ()
+        assert deep.landmarks_encountered == (5,)
+
+    def test_reaches_beyond_exploration_via_landmark(self, web_sim):
+        """The whole point: nodes invisible to the depth-2 BFS are
+        recommended through landmark composition (node r1 of Fig. 2)."""
+        graph = _tech_path(7)
+        recommender = _build(graph, [2], web_sim, query_depth=2)
+        results = dict(recommender.recommend(0, "technology", top_n=10))
+        assert 5 in results or 6 in results
+
+
+class TestMultipleLandmarks:
+    def test_scores_aggregate_over_landmarks(self, web_sim):
+        """Two disjoint branches, one landmark each: both contribute."""
+        graph = graph_from_edges([
+            (0, 1, ["technology"]), (1, 2, ["technology"]),
+            (2, 3, ["technology"]),
+            (0, 4, ["technology"]), (4, 5, ["technology"]),
+            (5, 6, ["technology"]),
+        ])
+        recommender = _build(graph, [1, 4], web_sim)
+        result = recommender.query(0, "technology")
+        assert result.landmarks_encountered == (1, 4)
+        exact = single_source_scores(graph, 0, ["technology"], web_sim,
+                                     params=ScoreParams(beta=0.2))
+        for node in (2, 3, 5, 6):
+            assert result.scores.get(node, 0.0) == pytest.approx(
+                exact.score(node, "technology"), abs=1e-12)

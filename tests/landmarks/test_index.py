@@ -1,0 +1,94 @@
+"""Tests for the Algorithm-1 landmark index."""
+
+import pytest
+
+from repro import ScoreParams
+from repro.config import LandmarkParams
+from repro.core.exact import single_source_scores
+from repro.datasets import generate_twitter_graph
+from repro.landmarks import LandmarkIndex
+from repro.semantics.vocabularies import WEB_TOPICS
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_twitter_graph(250, seed=17)
+
+
+@pytest.fixture(scope="module")
+def index(graph, web_sim):
+    return LandmarkIndex.build(
+        graph, landmarks=[3, 14, 15], topics=["technology", "food"],
+        similarity=web_sim, params=ScoreParams(beta=0.004),
+        landmark_params=LandmarkParams(num_landmarks=3, top_n=10))
+
+
+class TestBuild:
+    def test_all_landmarks_present(self, index):
+        assert sorted(index.landmarks) == [3, 14, 15]
+        assert 3 in index and 99 not in index
+        assert len(index) == 3
+
+    def test_topics_stored_per_landmark(self, index):
+        assert set(index.topics_of(3)) == {"technology", "food"}
+
+    def test_top_n_respected(self, index):
+        for landmark in index.landmarks:
+            for topic in ("technology", "food"):
+                assert len(index.recommendations(landmark, topic)) <= 10
+
+    def test_entries_sorted_by_descending_score(self, index):
+        entries = index.recommendations(3, "technology")
+        scores = [entry.score for entry in entries]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_landmark_never_recommends_itself(self, index):
+        for landmark in index.landmarks:
+            for topic in ("technology", "food"):
+                nodes = [e.node for e in index.recommendations(landmark,
+                                                               topic)]
+                assert landmark not in nodes
+
+    def test_entries_match_fresh_propagation(self, graph, index, web_sim):
+        """Stored (score, topo) pairs must equal a from-scratch run."""
+        state = single_source_scores(graph, 3, ["technology"], web_sim,
+                                     params=ScoreParams(beta=0.004))
+        for entry in index.recommendations(3, "technology"):
+            assert entry.score == pytest.approx(
+                state.score(entry.node, "technology"))
+            assert entry.topo == pytest.approx(
+                state.topo_beta.get(entry.node, 0.0))
+
+    def test_build_seconds_recorded(self, index):
+        assert set(index.build_seconds) == {3, 14, 15}
+        assert all(value >= 0.0 for value in index.build_seconds.values())
+
+    def test_unknown_landmark_returns_empty(self, index):
+        assert index.recommendations(999, "technology") == []
+
+    def test_unknown_topic_returns_empty(self, index):
+        assert index.recommendations(3, "astrology") == []
+
+
+class TestFootprint:
+    def test_storage_bytes_counts_entries(self, index):
+        total_entries = sum(
+            len(index.recommendations(landmark, topic))
+            for landmark in index.landmarks
+            for topic in index.topics_of(landmark))
+        assert index.storage_bytes == 32 * total_entries
+
+    def test_stats_summary(self, index):
+        stats = index.stats()
+        assert stats["landmarks"] == 3.0
+        assert stats["mean_entries_per_list"] > 0.0
+        assert stats["mean_build_seconds"] >= 0.0
+
+    def test_full_vocabulary_footprint_is_modest(self, graph, web_sim):
+        """Paper: top-1000 for all topics fits in 1.4MB per landmark.
+        Our top-50 on 18 topics must stay well under that."""
+        index = LandmarkIndex.build(
+            graph, landmarks=[3], topics=list(WEB_TOPICS),
+            similarity=web_sim, params=ScoreParams(beta=0.004),
+            landmark_params=LandmarkParams(top_n=50))
+        assert index.storage_bytes < 1_400_000

@@ -1,0 +1,79 @@
+"""Tests for the file-backed landmark store."""
+
+import pytest
+
+from repro import ScoreParams
+from repro.config import LandmarkParams
+from repro.datasets import generate_twitter_graph
+from repro.errors import CorruptRecordError, StorageError
+from repro.landmarks import LandmarkIndex, load_index, save_index
+
+
+@pytest.fixture(scope="module")
+def index(web_sim):
+    graph = generate_twitter_graph(150, seed=23)
+    return LandmarkIndex.build(
+        graph, landmarks=[1, 5, 9], topics=["technology", "food"],
+        similarity=web_sim, params=ScoreParams(beta=0.004, alpha=0.6),
+        landmark_params=LandmarkParams(num_landmarks=3, top_n=25))
+
+
+class TestRoundTrip:
+    def test_bytes_written_match_file_size(self, index, tmp_path):
+        path = tmp_path / "index.rplm"
+        written = save_index(index, path)
+        assert path.stat().st_size == written
+
+    def test_round_trip_preserves_everything(self, index, tmp_path):
+        path = tmp_path / "index.rplm"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.landmarks == index.landmarks
+        for landmark in index.landmarks:
+            assert loaded.topics_of(landmark) == index.topics_of(landmark)
+            for topic in index.topics_of(landmark):
+                original = index.recommendations(landmark, topic)
+                restored = loaded.recommendations(landmark, topic)
+                assert restored == original
+
+    def test_round_trip_preserves_decay_factors(self, index, tmp_path):
+        path = tmp_path / "index.rplm"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.params.beta == index.params.beta
+        assert loaded.params.alpha == index.params.alpha
+        assert loaded.landmark_params.top_n == index.landmark_params.top_n
+
+
+class TestCorruptionHandling:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.rplm"
+        path.write_bytes(b"NOPE" + b"\x00" * 30)
+        with pytest.raises(StorageError):
+            load_index(path)
+
+    def test_bad_version_rejected(self, index, tmp_path):
+        path = tmp_path / "index.rplm"
+        save_index(index, path)
+        blob = bytearray(path.read_bytes())
+        blob[4] = 99
+        path.write_bytes(bytes(blob))
+        with pytest.raises(StorageError):
+            load_index(path)
+
+    def test_flipped_payload_byte_detected_by_crc(self, index, tmp_path):
+        path = tmp_path / "index.rplm"
+        save_index(index, path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # corrupt the last payload byte
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptRecordError):
+            load_index(path)
+
+    def test_truncated_file_detected(self, index, tmp_path):
+        path = tmp_path / "index.rplm"
+        save_index(index, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 10])
+        with pytest.raises(CorruptRecordError):
+            load_index(path)

@@ -1,0 +1,73 @@
+"""Tests for the account registry."""
+
+import pytest
+
+from repro.platform.accounts import AccountError, AccountRegistry
+
+
+class TestCreate:
+    def test_autoincrement_ids(self):
+        registry = AccountRegistry()
+        first = registry.create("alice")
+        second = registry.create("bob")
+        assert second.account_id == first.account_id + 1
+
+    def test_explicit_id(self):
+        registry = AccountRegistry()
+        account = registry.create("alice", account_id=42)
+        assert account.account_id == 42
+        # autoincrement skips taken ids
+        registry._next_id = 42
+        other = registry.create("bob")
+        assert other.account_id != 42
+
+    def test_duplicate_handle_rejected(self):
+        registry = AccountRegistry()
+        registry.create("alice")
+        with pytest.raises(AccountError):
+            registry.create("alice")
+
+    def test_duplicate_id_rejected(self):
+        registry = AccountRegistry()
+        registry.create("alice", account_id=1)
+        with pytest.raises(AccountError):
+            registry.create("bob", account_id=1)
+
+    @pytest.mark.parametrize("handle", ["", "UPPER", "with space",
+                                        "way_too_long" * 4, "émoji"])
+    def test_invalid_handles_rejected(self, handle):
+        with pytest.raises(AccountError):
+            AccountRegistry().create(handle)
+
+    def test_topics_stored(self):
+        registry = AccountRegistry()
+        account = registry.create("alice", topics=("technology",))
+        assert account.topics == ("technology",)
+
+
+class TestLookup:
+    def test_by_id_and_handle(self):
+        registry = AccountRegistry()
+        account = registry.create("alice")
+        assert registry.by_id(account.account_id) is account
+        assert registry.by_handle("alice") is account
+
+    def test_unknown_lookups_raise(self):
+        registry = AccountRegistry()
+        with pytest.raises(AccountError):
+            registry.by_id(9)
+        with pytest.raises(AccountError):
+            registry.by_handle("ghost")
+
+    def test_set_topics(self):
+        registry = AccountRegistry()
+        account = registry.create("alice")
+        registry.set_topics(account.account_id, ("food",))
+        assert registry.by_handle("alice").topics == ("food",)
+
+    def test_container_protocol(self):
+        registry = AccountRegistry()
+        account = registry.create("alice")
+        assert account.account_id in registry
+        assert len(registry) == 1
+        assert [a.handle for a in registry] == ["alice"]

@@ -1,0 +1,141 @@
+"""Integration tests for the micro-blogging platform façade."""
+
+import pytest
+
+from repro import ScoreParams
+from repro.errors import ConfigurationError
+from repro.platform import MicroblogPlatform
+
+
+@pytest.fixture()
+def platform(web_sim):
+    service = MicroblogPlatform(web_sim, ScoreParams(beta=0.1))
+    service.register("alice", topics=("technology",))
+    service.register("bob", topics=("technology", "bigdata"))
+    service.register("carol", topics=("technology",))
+    service.register("dave", topics=("food",))
+    service.follow("alice", "bob")
+    service.follow("bob", "carol")
+    service.follow("alice", "dave")
+    # give carol topical followers so her authority is non-zero
+    service.register("erin", topics=("technology",))
+    service.follow("erin", "carol")
+    return service
+
+
+class TestFollows:
+    def test_follow_labels_edge_with_profile_intersection(self, platform):
+        alice = platform.accounts.by_handle("alice")
+        bob = platform.accounts.by_handle("bob")
+        label = platform.graph.edge_topics(alice.account_id, bob.account_id)
+        assert label == frozenset({"technology"})
+
+    def test_follow_without_shared_topics_uses_lead_topic(self, platform):
+        alice = platform.accounts.by_handle("alice")
+        dave = platform.accounts.by_handle("dave")
+        assert platform.graph.edge_topics(
+            alice.account_id, dave.account_id) == frozenset({"food"})
+
+    def test_explicit_label_override(self, platform):
+        platform.follow("dave", "bob", topics=["bigdata"])
+        dave = platform.accounts.by_handle("dave")
+        bob = platform.accounts.by_handle("bob")
+        assert platform.graph.edge_topics(
+            dave.account_id, bob.account_id) == frozenset({"bigdata"})
+
+    def test_unfollow_removes_edge(self, platform):
+        platform.unfollow("alice", "dave")
+        alice = platform.accounts.by_handle("alice")
+        dave = platform.accounts.by_handle("dave")
+        assert not platform.graph.has_edge(alice.account_id,
+                                           dave.account_id)
+
+
+class TestPosting:
+    def test_post_lands_in_follower_timeline(self, platform):
+        platform.post("bob", "new cloud pipeline shipped")
+        timeline = platform.timeline("alice")
+        assert [p.text for p in timeline] == ["new cloud pipeline shipped"]
+
+    def test_post_topics_default_to_profile(self, platform):
+        post = platform.post("bob", "hello")
+        assert set(post.topics) == {"technology", "bigdata"}
+
+    def test_handle_and_id_refs_equivalent(self, platform):
+        bob = platform.accounts.by_handle("bob")
+        platform.post(bob.account_id, "by id")
+        assert platform.timeline("alice")[0].text == "by id"
+
+
+class TestWhoToFollow:
+    def test_suggests_transitive_account(self, platform):
+        suggestions = platform.who_to_follow("alice", "technology")
+        handles = [s.handle for s in suggestions]
+        assert "carol" in handles  # alice -> bob -> carol
+        assert "bob" not in handles  # already followed
+        assert all(s.score > 0 for s in suggestions)
+
+    def test_results_carry_profiles(self, platform):
+        suggestions = platform.who_to_follow("alice", "technology")
+        carol = next(s for s in suggestions if s.handle == "carol")
+        assert "technology" in carol.topics
+
+    def test_follow_invalidates_recommendations(self, platform):
+        before = platform.who_to_follow("alice", "technology")
+        assert any(s.handle == "carol" for s in before)
+        platform.follow("alice", "carol")
+        after = platform.who_to_follow("alice", "technology")
+        assert all(s.handle != "carol" for s in after)
+
+
+class TestLandmarkMode:
+    def test_landmark_service_agrees_with_exact(self, web_sim):
+        from repro.datasets import generate_twitter_dataset
+
+        dataset = generate_twitter_dataset(150, seed=6, with_tweets=False)
+        params = ScoreParams(beta=0.004)
+        platform = MicroblogPlatform(web_sim, params)
+        for node in sorted(dataset.graph.nodes()):
+            platform.register(f"user{node}",
+                              tuple(sorted(dataset.graph.node_topics(node))),
+                              )
+        id_of = {node: platform.accounts.by_handle(f"user{node}").account_id
+                 for node in dataset.graph.nodes()}
+        for source, target, label in dataset.graph.edges():
+            platform.follow(id_of[source], id_of[target],
+                            topics=sorted(label))
+        user = next(n for n in dataset.graph.nodes()
+                    if dataset.graph.out_degree(n) >= 3)
+        exact = platform.who_to_follow(id_of[user], "technology", top_n=5)
+        platform.enable_landmarks(num_landmarks=20, top_n=500, seed=1)
+        approx = platform.who_to_follow(id_of[user], "technology", top_n=5)
+        # the landmark path may rank ties differently; the head must hold
+        assert exact, "exact service returned nothing"
+        assert approx, "landmark service returned nothing"
+        assert {s.handle for s in approx} & {s.handle for s in exact}
+
+    def test_maintainer_keeps_index_consistent_after_follow(self, web_sim):
+        platform = MicroblogPlatform(web_sim, ScoreParams(beta=0.1))
+        for index in range(12):
+            platform.register(f"user{index}", ("technology",))
+        for index in range(11):
+            platform.follow(f"user{index}", f"user{index + 1}")
+        platform.enable_landmarks(num_landmarks=3, top_n=50, seed=1)
+        assert platform._maintainer is not None
+        before = platform._maintainer.stats.events_seen
+        platform.follow("user0", "user5")
+        assert platform._maintainer.stats.events_seen == before + 1
+
+    def test_too_many_landmarks_rejected(self, web_sim):
+        platform = MicroblogPlatform(web_sim)
+        platform.register("alice")
+        with pytest.raises(ConfigurationError):
+            platform.enable_landmarks(num_landmarks=5)
+
+
+class TestRegistration:
+    def test_register_creates_graph_node(self, platform):
+        account = platform.register("frank", topics=("sports",))
+        assert account.account_id in platform.graph
+        assert platform.graph.node_topics(account.account_id) == frozenset(
+            {"sports"})

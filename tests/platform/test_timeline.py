@@ -1,0 +1,91 @@
+"""Tests for the timeline store (push vs pull equivalence)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.builders import graph_from_edges
+from repro.platform.timeline import TimelineStore
+
+
+@pytest.fixture()
+def follow_graph():
+    # 0 follows 1 and 2; 3 follows 1
+    return graph_from_edges([(0, 1), (0, 2), (3, 1)])
+
+
+class TestPublish:
+    def test_posts_get_increasing_ids(self, follow_graph):
+        store = TimelineStore(follow_graph)
+        first = store.publish(1, "hello")
+        second = store.publish(1, "again")
+        assert second.post_id > first.post_id
+        assert store.num_posts == 2
+
+    def test_push_fans_out_to_followers(self, follow_graph):
+        store = TimelineStore(follow_graph, strategy="push")
+        store.publish(1, "hello")
+        assert store.fanout_writes == 2  # followers 0 and 3
+
+    def test_pull_defers_work_to_read(self, follow_graph):
+        store = TimelineStore(follow_graph, strategy="pull")
+        store.publish(1, "hello")
+        assert store.fanout_writes == 0
+        store.timeline(0)
+        assert store.merge_reads > 0
+
+
+class TestTimelines:
+    def test_newest_first(self, follow_graph):
+        store = TimelineStore(follow_graph)
+        store.publish(1, "first")
+        store.publish(2, "second")
+        texts = [post.text for post in store.timeline(0)]
+        assert texts == ["second", "first"]
+
+    def test_limit(self, follow_graph):
+        store = TimelineStore(follow_graph)
+        for index in range(10):
+            store.publish(1, f"post {index}")
+        assert len(store.timeline(0, limit=3)) == 3
+
+    def test_non_follower_sees_nothing(self, follow_graph):
+        store = TimelineStore(follow_graph)
+        store.publish(1, "hello")
+        assert store.timeline(2) == []
+
+    def test_push_and_pull_agree_on_static_graph(self, follow_graph):
+        """With no follow churn during the window, the strategies must
+        produce identical timelines."""
+        push = TimelineStore(follow_graph, strategy="push")
+        pull = TimelineStore(follow_graph, strategy="pull")
+        script = [(1, "a"), (2, "b"), (1, "c"), (2, "d"), (1, "e")]
+        for author, text in script:
+            push.publish(author, text)
+            pull.publish(author, text)
+        for reader in (0, 3):
+            push_view = [(p.author, p.text) for p in push.timeline(reader)]
+            pull_view = [(p.author, p.text) for p in pull.timeline(reader)]
+            assert push_view == pull_view
+
+    def test_capacity_eviction(self, follow_graph):
+        store = TimelineStore(follow_graph, timeline_size=3)
+        for index in range(6):
+            store.publish(1, f"post {index}")
+        texts = [post.text for post in store.timeline(0, limit=10)]
+        assert texts == ["post 5", "post 4", "post 3"]
+
+    def test_posts_by_author(self, follow_graph):
+        store = TimelineStore(follow_graph)
+        store.publish(1, "mine")
+        store.publish(2, "theirs")
+        assert [p.text for p in store.posts_by(1)] == ["mine"]
+
+
+class TestValidation:
+    def test_bad_strategy(self, follow_graph):
+        with pytest.raises(ConfigurationError):
+            TimelineStore(follow_graph, strategy="magic")
+
+    def test_bad_capacity(self, follow_graph):
+        with pytest.raises(ConfigurationError):
+            TimelineStore(follow_graph, timeline_size=0)

@@ -1,0 +1,90 @@
+"""Tests for the precomputed similarity matrix."""
+
+import pytest
+
+from repro.errors import UnknownTopicError
+from repro.semantics import (
+    SimilarityMatrix,
+    dblp_taxonomy,
+    web_taxonomy,
+    wu_palmer_similarity,
+)
+from repro.semantics.similarity import path_similarity
+from repro.semantics.vocabularies import DBLP_AREAS, WEB_TOPICS
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return SimilarityMatrix.from_taxonomy(web_taxonomy())
+
+
+class TestConstruction:
+    def test_matches_direct_measure_for_every_pair(self, matrix):
+        taxonomy = web_taxonomy()
+        for first in taxonomy.topics:
+            for second in taxonomy.topics:
+                assert matrix.similarity(first, second) == pytest.approx(
+                    wu_palmer_similarity(taxonomy, first, second))
+
+    def test_alternate_measure(self):
+        taxonomy = web_taxonomy()
+        matrix = SimilarityMatrix.from_taxonomy(taxonomy,
+                                                measure=path_similarity)
+        assert matrix.similarity("bigdata", "technology") == pytest.approx(0.5)
+
+    def test_wrong_value_count_rejected(self):
+        with pytest.raises(ValueError):
+            SimilarityMatrix(["a", "b"], [1.0])
+
+    def test_duplicate_topics_rejected(self):
+        with pytest.raises(ValueError):
+            SimilarityMatrix(["a", "a"], [1.0, 0.5, 1.0])
+
+
+class TestLookups:
+    def test_symmetry(self, matrix):
+        assert matrix.similarity("sports", "food") == matrix.similarity(
+            "food", "sports")
+
+    def test_unknown_topic_raises(self, matrix):
+        with pytest.raises(UnknownTopicError):
+            matrix.similarity("sports", "astrology")
+
+    def test_contains(self, matrix):
+        assert "sports" in matrix
+        assert "astrology" not in matrix
+
+
+class TestMaxSimilarity:
+    def test_picks_the_best_label(self, matrix):
+        # Eq. 3 keeps only the maximum over the edge's labels.
+        value = matrix.max_similarity(["social", "technology"], "bigdata")
+        assert value == matrix.similarity("technology", "bigdata")
+
+    def test_empty_labels_are_zero(self, matrix):
+        assert matrix.max_similarity([], "technology") == 0.0
+
+    def test_unknown_labels_ignored(self, matrix):
+        assert matrix.max_similarity(["astrology"], "technology") == 0.0
+
+    def test_unknown_target_raises(self, matrix):
+        with pytest.raises(UnknownTopicError):
+            matrix.max_similarity(["sports"], "astrology")
+
+    def test_exact_label_short_circuits_to_one(self, matrix):
+        assert matrix.max_similarity(
+            ["technology", "food"], "technology") == 1.0
+
+
+class TestFootprint:
+    def test_web_matrix_is_a_few_kilobytes(self, matrix):
+        """The paper stores 18 topics in ~2.5KB; our taxonomy carries a
+        few extra internal concepts but stays the same order of
+        magnitude."""
+        assert matrix.storage_bytes < 10_000
+
+    def test_vocabulary_sizes(self):
+        assert len(WEB_TOPICS) == 18
+        assert len(DBLP_AREAS) == 18
+        assert set(WEB_TOPICS) <= web_taxonomy().topics
+        assert set(DBLP_AREAS) <= dblp_taxonomy().topics

@@ -1,0 +1,108 @@
+"""Tests for the similarity measures (Wu-Palmer, path, Lin)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics.similarity import (
+    lin_similarity,
+    path_similarity,
+    wu_palmer_similarity,
+)
+from repro.semantics.taxonomy import Taxonomy
+from repro.semantics.vocabularies import web_taxonomy
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return web_taxonomy()
+
+
+class TestWuPalmer:
+    def test_identity_is_one(self, taxonomy):
+        assert wu_palmer_similarity(taxonomy, "sports", "sports") == 1.0
+
+    def test_siblings_share_parent_depth(self, taxonomy):
+        # sports and entertainment are both under leisure (depth 2);
+        # each is at depth 3: 2*2 / (3+3) = 2/3.
+        value = wu_palmer_similarity(taxonomy, "sports", "entertainment")
+        assert value == pytest.approx(2 / 3)
+
+    def test_parent_child(self, taxonomy):
+        # bigdata (depth 3) under technology (depth 2): 2*2/(3+2) = 0.8.
+        value = wu_palmer_similarity(taxonomy, "bigdata", "technology")
+        assert value == pytest.approx(0.8)
+
+    def test_cross_branch_is_zero(self, taxonomy):
+        # society and stem branches only meet at the depth-0 root.
+        assert wu_palmer_similarity(taxonomy, "social", "bigdata") == 0.0
+
+    def test_example_2_ordering(self, taxonomy):
+        """The paper's Example 2 relies on sim(bigdata, technology)
+        being substantial — a bigdata-labeled edge carries weight for a
+        technology query."""
+        assert wu_palmer_similarity(
+            taxonomy, "bigdata", "technology") > wu_palmer_similarity(
+            taxonomy, "bigdata", "sports")
+
+
+class TestPathSimilarity:
+    def test_identity(self, taxonomy):
+        assert path_similarity(taxonomy, "food", "food") == 1.0
+
+    def test_siblings_two_hops(self, taxonomy):
+        assert path_similarity(taxonomy, "sports", "entertainment") == \
+            pytest.approx(1 / 3)
+
+    def test_parent_child_one_hop(self, taxonomy):
+        assert path_similarity(taxonomy, "bigdata", "technology") == \
+            pytest.approx(1 / 2)
+
+
+class TestLinSimilarity:
+    def test_identity(self, taxonomy):
+        assert lin_similarity(taxonomy, "law", "law") == 1.0
+
+    def test_root_lcs_gives_zero(self, taxonomy):
+        assert lin_similarity(taxonomy, "social", "bigdata") == 0.0
+
+    def test_specific_pair_beats_generic_pair(self, taxonomy):
+        specific = lin_similarity(taxonomy, "bigdata", "technology")
+        generic = lin_similarity(taxonomy, "sports", "health")
+        assert specific > generic
+
+
+MEASURES = [wu_palmer_similarity, path_similarity, lin_similarity]
+
+
+class TestMeasureProperties:
+    @pytest.mark.parametrize("measure", MEASURES)
+    def test_symmetry_everywhere(self, taxonomy, measure):
+        for first, second in itertools.combinations(
+                sorted(taxonomy.topics), 2):
+            assert measure(taxonomy, first, second) == pytest.approx(
+                measure(taxonomy, second, first))
+
+    @pytest.mark.parametrize("measure", MEASURES)
+    def test_bounds_everywhere(self, taxonomy, measure):
+        for first in taxonomy.topics:
+            for second in taxonomy.topics:
+                value = measure(taxonomy, first, second)
+                assert 0.0 <= value <= 1.0
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_identity_maximal_on_random_taxonomies(self, data):
+        """On any random tree, sim(a, a) = 1 >= sim(a, b)."""
+        size = data.draw(st.integers(min_value=2, max_value=12))
+        parents = {"t0": None}
+        for index in range(1, size):
+            parent = data.draw(st.sampled_from(sorted(parents)))
+            parents[f"t{index}"] = parent
+        taxonomy = Taxonomy(parents)
+        a = data.draw(st.sampled_from(sorted(parents)))
+        b = data.draw(st.sampled_from(sorted(parents)))
+        assert wu_palmer_similarity(taxonomy, a, a) == 1.0
+        assert wu_palmer_similarity(taxonomy, a, b) <= 1.0

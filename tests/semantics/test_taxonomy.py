@@ -1,0 +1,88 @@
+"""Tests for the IS-A taxonomy."""
+
+import pytest
+
+from repro.errors import TaxonomyError, UnknownTopicError
+from repro.semantics.taxonomy import ROOT, Taxonomy
+
+
+@pytest.fixture()
+def taxonomy():
+    return Taxonomy({
+        "lifestyle": None,
+        "leisure": "lifestyle",
+        "sports": "leisure",
+        "food": "leisure",
+        "health": "lifestyle",
+        "stem": None,
+        "technology": "stem",
+        "bigdata": "technology",
+    })
+
+
+class TestConstruction:
+    def test_root_name_reserved(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy({ROOT: None})
+
+    def test_undeclared_parent_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy({"a": "ghost"})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy({"a": "b", "b": "a"})
+
+    def test_from_edges(self):
+        tax = Taxonomy.from_edges([("stem", "technology"),
+                                   ("technology", "bigdata")])
+        assert tax.parent("bigdata") == "technology"
+        assert tax.parent("stem") == ROOT
+
+
+class TestStructure:
+    def test_depths(self, taxonomy):
+        assert taxonomy.depth(ROOT) == 0
+        assert taxonomy.depth("lifestyle") == 1
+        assert taxonomy.depth("sports") == 3
+
+    def test_unknown_topic_raises(self, taxonomy):
+        with pytest.raises(UnknownTopicError):
+            taxonomy.depth("astrology")
+
+    def test_ancestors_chain(self, taxonomy):
+        assert taxonomy.ancestors("sports") == (
+            "sports", "leisure", "lifestyle", ROOT)
+
+    def test_contains_and_len(self, taxonomy):
+        assert "bigdata" in taxonomy
+        assert ROOT not in taxonomy
+        assert len(taxonomy) == 8
+
+    def test_children(self, taxonomy):
+        assert taxonomy.children("leisure") == frozenset({"sports", "food"})
+        assert taxonomy.children(ROOT) == frozenset({"lifestyle", "stem"})
+
+    def test_leaves(self, taxonomy):
+        assert taxonomy.leaves() == frozenset(
+            {"sports", "food", "health", "bigdata"})
+
+    def test_subtree(self, taxonomy):
+        assert taxonomy.subtree("leisure") == frozenset(
+            {"leisure", "sports", "food"})
+
+
+class TestLowestCommonSubsumer:
+    def test_siblings(self, taxonomy):
+        assert taxonomy.lowest_common_subsumer("sports", "food") == "leisure"
+
+    def test_ancestor_descendant(self, taxonomy):
+        assert taxonomy.lowest_common_subsumer(
+            "bigdata", "technology") == "technology"
+
+    def test_different_branches_meet_at_root(self, taxonomy):
+        assert taxonomy.lowest_common_subsumer("sports", "bigdata") == ROOT
+
+    def test_symmetry(self, taxonomy):
+        assert (taxonomy.lowest_common_subsumer("sports", "health")
+                == taxonomy.lowest_common_subsumer("health", "sports"))

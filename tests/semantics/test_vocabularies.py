@@ -1,0 +1,58 @@
+"""Structural checks of the built-in vocabularies."""
+
+import pytest
+
+from repro.semantics import dblp_taxonomy, web_taxonomy, wu_palmer_similarity
+from repro.semantics.taxonomy import ROOT
+from repro.semantics.vocabularies import DBLP_AREAS, WEB_TOPICS
+
+
+class TestWebTaxonomy:
+    def test_all_labeling_topics_declared(self):
+        taxonomy = web_taxonomy()
+        assert set(WEB_TOPICS) <= taxonomy.topics
+
+    def test_paper_pair_bigdata_under_technology(self):
+        """Figure 1 labels an edge with {bigdata, technology}; Example 2
+        needs the two topics semantically close."""
+        taxonomy = web_taxonomy()
+        assert taxonomy.parent("bigdata") == "technology"
+        assert wu_palmer_similarity(taxonomy, "bigdata",
+                                    "technology") >= 0.5
+
+    def test_figure9_topics_are_far_apart(self):
+        """social / leisure / technology (Figure 9's slices) live in
+        different branches, so a social-labeled edge must not leak
+        weight into a technology query."""
+        taxonomy = web_taxonomy()
+        assert wu_palmer_similarity(taxonomy, "social", "technology") == 0.0
+        assert wu_palmer_similarity(taxonomy, "leisure", "technology") == 0.0
+
+    def test_depth_at_least_two_everywhere(self):
+        """Wu-Palmer needs depth structure; flat vocabularies would
+        make every cross-pair similarity 0."""
+        taxonomy = web_taxonomy()
+        assert all(taxonomy.depth(topic) >= 1 for topic in WEB_TOPICS)
+        assert any(taxonomy.depth(topic) >= 3 for topic in WEB_TOPICS)
+
+
+class TestDblpTaxonomy:
+    def test_all_areas_declared(self):
+        taxonomy = dblp_taxonomy()
+        assert set(DBLP_AREAS) <= taxonomy.topics
+
+    def test_related_areas_share_branches(self):
+        taxonomy = dblp_taxonomy()
+        assert taxonomy.lowest_common_subsumer(
+            "databases", "data-mining") != ROOT
+        assert taxonomy.lowest_common_subsumer(
+            "machine-learning", "nlp") != ROOT
+
+    def test_unrelated_areas_meet_at_root(self):
+        taxonomy = dblp_taxonomy()
+        assert taxonomy.lowest_common_subsumer(
+            "databases", "graphics") == ROOT
+
+    def test_vocabulary_sizes_match_paper_scale(self):
+        # 18 topics, like the OpenCalais web-document list the paper used
+        assert len(WEB_TOPICS) == len(DBLP_AREAS) == 18

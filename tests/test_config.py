@@ -1,0 +1,92 @@
+"""Tests for parameter validation."""
+
+import pytest
+
+from repro.config import (
+    EvaluationParams,
+    LandmarkParams,
+    PAPER_ALPHA,
+    PAPER_BETA,
+    ScoreParams,
+    normalize_weights,
+)
+from repro.errors import ConfigurationError
+
+
+class TestScoreParams:
+    def test_paper_defaults(self):
+        params = ScoreParams()
+        assert params.beta == PAPER_BETA == 0.0005
+        assert params.alpha == PAPER_ALPHA == 0.85
+
+    @pytest.mark.parametrize("field,value", [
+        ("beta", 0.0), ("beta", 1.0), ("beta", -0.1),
+        ("alpha", 0.0), ("alpha", 1.1),
+        ("tolerance", 0.0), ("max_iter", 0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ScoreParams(**{field: value})
+
+    def test_edge_decay(self):
+        params = ScoreParams(beta=0.5, alpha=0.5)
+        assert params.edge_decay == 0.25
+
+    def test_with_validates(self):
+        params = ScoreParams()
+        assert params.with_(beta=0.1).beta == 0.1
+        with pytest.raises(ConfigurationError):
+            params.with_(beta=2.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ScoreParams().beta = 0.3  # type: ignore[misc]
+
+
+class TestLandmarkParams:
+    def test_defaults(self):
+        params = LandmarkParams()
+        assert params.num_landmarks == 100
+        assert params.query_depth == 2
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_landmarks": 0}, {"top_n": 0}, {"query_depth": 0},
+        {"precompute_depth": 1, "query_depth": 2},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LandmarkParams(**kwargs)
+
+
+class TestEvaluationParams:
+    def test_paper_defaults(self):
+        params = EvaluationParams()
+        assert params.test_size == 100
+        assert params.num_negatives == 1000
+        assert params.k_in == params.k_out == 3
+
+    @pytest.mark.parametrize("kwargs", [
+        {"test_size": 0}, {"num_negatives": 0}, {"trials": 0},
+        {"max_rank": 0}, {"k_in": -1},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            EvaluationParams(**kwargs)
+
+
+class TestNormalizeWeights:
+    def test_normalises_to_one(self):
+        weights = normalize_weights({"a": 1.0, "b": 3.0})
+        assert weights == {"a": 0.25, "b": 0.75}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalize_weights({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalize_weights({"a": -1.0})
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalize_weights({"a": 0.0})

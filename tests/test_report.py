@@ -1,0 +1,60 @@
+"""Tests for the benchmark report consolidator."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPORT_PATH = Path(__file__).parent.parent / "benchmarks" / "report.py"
+
+
+@pytest.fixture(scope="module")
+def report_module():
+    spec = importlib.util.spec_from_file_location("bench_report",
+                                                  REPORT_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBuildReport:
+    def test_groups_known_files_into_sections(self, report_module,
+                                              tmp_path):
+        (tmp_path / "table2_datasets.txt").write_text("TABLE2 CONTENT")
+        (tmp_path / "fig4_recall_twitter.txt").write_text("FIG4 CONTENT")
+        report = report_module.build_report(tmp_path)
+        assert "## Paper tables" in report
+        assert "TABLE2 CONTENT" in report
+        assert "## Paper figures" in report
+        assert "FIG4 CONTENT" in report
+
+    def test_unknown_files_land_in_other(self, report_module, tmp_path):
+        (tmp_path / "mystery_numbers.txt").write_text("???")
+        report = report_module.build_report(tmp_path)
+        assert "## Other" in report
+        assert "???" in report
+
+    def test_missing_benches_listed(self, report_module, tmp_path):
+        (tmp_path / "table2_datasets.txt").write_text("x")
+        report = report_module.build_report(tmp_path)
+        assert "## Missing" in report
+        assert "`fig4_recall_twitter`" in report
+
+    def test_main_writes_report(self, report_module, tmp_path, capsys):
+        (tmp_path / "table2_datasets.txt").write_text("x")
+        code = report_module.main(["report.py", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "REPORT.md").exists()
+
+    def test_main_rejects_missing_dir(self, report_module, tmp_path):
+        code = report_module.main(["report.py", str(tmp_path / "nope")])
+        assert code == 1
+
+    def test_real_results_dir_renders(self, report_module):
+        results = REPORT_PATH.parent / "results"
+        if not results.is_dir() or not list(results.glob("*.txt")):
+            pytest.skip("no benchmark results present")
+        report = report_module.build_report(results)
+        assert "# Benchmark report" in report

@@ -1,0 +1,97 @@
+"""Tests for the from-scratch multi-label classifier."""
+
+import pytest
+
+from repro.datasets.text import generate_tweets
+from repro.errors import ConfigurationError
+from repro.topics.classifier import MultiLabelClassifier
+from repro.topics.documents import Document
+
+
+def _corpus(spec, posts=6):
+    """spec: list of (author, topics). Returns (documents, labels)."""
+    documents = []
+    labels = {}
+    for author, topics in spec:
+        documents.append(Document.from_posts(
+            author, generate_tweets(topics, posts, seed=author)))
+        labels[author] = tuple(topics)
+    return documents, labels
+
+
+@pytest.fixture(scope="module")
+def trained():
+    spec = [(i, ["technology"]) for i in range(15)]
+    spec += [(i + 100, ["food"]) for i in range(15)]
+    spec += [(i + 200, ["sports"]) for i in range(15)]
+    documents, labels = _corpus(spec)
+    classifier = MultiLabelClassifier(epochs=300)
+    classifier.fit(documents, labels)
+    return classifier
+
+
+class TestTraining:
+    def test_untrained_predict_raises(self):
+        with pytest.raises(ConfigurationError):
+            MultiLabelClassifier().predict_proba([
+                Document.from_posts(1, ["x"])])
+
+    def test_no_labeled_documents_raises(self):
+        with pytest.raises(ConfigurationError):
+            MultiLabelClassifier().fit(
+                [Document.from_posts(1, ["x"])], {})
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            MultiLabelClassifier(threshold=1.5)
+
+    def test_topics_learned(self, trained):
+        assert set(trained.topics) == {"technology", "food", "sports"}
+
+    def test_vocabulary_built(self, trained):
+        assert trained.vocabulary_size > 10
+        assert trained.is_trained
+
+
+class TestPrediction:
+    def test_classifies_held_out_documents(self, trained):
+        fresh = [
+            Document.from_posts(900, generate_tweets(["technology"], 8,
+                                                     seed=900)),
+            Document.from_posts(901, generate_tweets(["food"], 8, seed=901)),
+        ]
+        predictions = trained.predict(fresh)
+        assert "technology" in predictions[900]
+        assert "food" in predictions[901]
+
+    def test_always_assigns_at_least_one_topic(self, trained):
+        vague = [Document.from_posts(950, ["today just really new great"])]
+        predictions = trained.predict(vague)
+        assert len(predictions[950]) >= 1
+
+    def test_probabilities_in_unit_interval(self, trained):
+        docs = [Document.from_posts(960,
+                                    generate_tweets(["sports"], 5, seed=1))]
+        probabilities = trained.predict_proba(docs)
+        assert ((probabilities >= 0.0) & (probabilities <= 1.0)).all()
+
+
+class TestEvaluation:
+    def test_precision_on_clean_corpus_is_high(self):
+        """The Mulan SVM reached 0.90 precision; the stand-in should be
+        in that regime on its own synthetic vocabulary."""
+        spec = [(i, ["technology"]) for i in range(20)]
+        spec += [(i + 100, ["food"]) for i in range(20)]
+        documents, labels = _corpus(spec, posts=8)
+        train_docs = documents[:15] + documents[20:35]
+        eval_docs = documents[15:20] + documents[35:]
+        classifier = MultiLabelClassifier(epochs=300)
+        classifier.fit(train_docs, labels)
+        report = classifier.evaluate(eval_docs, labels)
+        assert report.precision >= 0.8
+        assert report.num_eval_documents == 10
+
+    def test_empty_evaluation_set(self, trained):
+        report = trained.evaluate([], {})
+        assert report.precision == 0.0
+        assert report.num_eval_documents == 0

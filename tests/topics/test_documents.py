@@ -1,0 +1,32 @@
+"""Tests for the document model and tokeniser."""
+
+from repro.topics.documents import Document, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Hello WORLD") == ["hello", "world"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("cloud, software!") == ["cloud", "software"]
+
+    def test_keeps_digits_and_apostrophes(self):
+        assert tokenize("web2 don't") == ["web2", "don't"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestDocument:
+    def test_from_posts(self):
+        doc = Document.from_posts(7, ["a b", "c"])
+        assert doc.author == 7
+        assert len(doc) == 2
+
+    def test_tokens_concatenate_posts(self):
+        doc = Document.from_posts(1, ["alpha beta", "gamma"])
+        assert doc.tokens() == ["alpha", "beta", "gamma"]
+
+    def test_empty_document(self):
+        doc = Document.from_posts(1, [])
+        assert doc.tokens() == []

@@ -1,0 +1,61 @@
+"""End-to-end tests for the labeling pipeline (Section 5.1)."""
+
+import pytest
+
+from repro.datasets import generate_twitter_dataset
+from repro.topics import LabelingPipeline
+
+
+@pytest.fixture(scope="module")
+def labeled_world():
+    dataset = generate_twitter_dataset(400, seed=21)
+    graph = dataset.unlabeled_graph()
+    pipeline = LabelingPipeline()
+    graph, report = pipeline.run(graph, dataset.tweets, seed=21)
+    return dataset, graph, report
+
+
+class TestPipelineReport:
+    def test_seed_coverage_near_configured_ten_percent(self, labeled_world):
+        _, _, report = labeled_world
+        assert 0.02 <= report.seed_coverage <= 0.12
+
+    def test_classifier_precision_is_high(self, labeled_world):
+        """Paper: 0.90 precision for the Mulan SVM stage."""
+        _, _, report = labeled_world
+        assert report.classifier_precision >= 0.75
+
+    def test_every_edge_labeled(self, labeled_world):
+        _, graph, report = labeled_world
+        assert report.edge_coverage == 1.0
+        assert all(label for _, _, label in graph.edges())
+
+    def test_every_node_gets_a_profile(self, labeled_world):
+        _, graph, _ = labeled_world
+        labeled_nodes = sum(1 for n in graph.nodes() if graph.node_topics(n))
+        assert labeled_nodes >= 0.95 * graph.num_nodes
+
+
+class TestPipelineFidelity:
+    def test_recovered_profiles_overlap_ground_truth(self, labeled_world):
+        """The pipeline should mostly rediscover the generator's
+        publisher profiles from the raw text."""
+        dataset, graph, _ = labeled_world
+        agree = sum(
+            1 for node in graph.nodes()
+            if set(graph.node_topics(node))
+            & set(dataset.graph.node_topics(node)))
+        assert agree >= 0.7 * graph.num_nodes
+
+    def test_edge_labels_subset_of_publisher_profile(self, labeled_world):
+        _, graph, _ = labeled_world
+        for source, target, label in graph.edges():
+            assert label <= graph.node_topics(target)
+
+    def test_deterministic_for_seed(self):
+        dataset = generate_twitter_dataset(150, seed=5)
+        first, _ = LabelingPipeline().run(
+            dataset.unlabeled_graph(), dataset.tweets, seed=9)
+        second, _ = LabelingPipeline().run(
+            dataset.unlabeled_graph(), dataset.tweets, seed=9)
+        assert sorted(first.edges()) == sorted(second.edges())

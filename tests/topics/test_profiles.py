@@ -1,0 +1,75 @@
+"""Tests for profile building and edge labeling."""
+
+from repro.graph.builders import graph_from_edges
+from repro.topics.profiles import (
+    apply_publisher_profiles,
+    build_follower_profiles,
+    label_edges,
+)
+
+
+def _fan_graph():
+    """0 follows 1..4; publishers 1-3 on technology, 4 on food."""
+    return graph_from_edges([(0, i) for i in range(1, 5)])
+
+
+PUBLISHERS = {1: ("technology",), 2: ("technology",),
+              3: ("technology", "bigdata"), 4: ("food",)}
+
+
+class TestFollowerProfiles:
+    def test_frequent_topic_enters_profile(self):
+        graph = _fan_graph()
+        profiles = build_follower_profiles(graph, PUBLISHERS, min_share=0.5)
+        assert profiles[0] == ("technology",)
+
+    def test_rare_topic_filtered_by_share(self):
+        graph = _fan_graph()
+        profiles = build_follower_profiles(graph, PUBLISHERS, min_share=0.5)
+        assert "food" not in profiles[0]
+
+    def test_low_threshold_keeps_everything(self):
+        graph = _fan_graph()
+        profiles = build_follower_profiles(graph, PUBLISHERS, min_share=0.0)
+        assert set(profiles[0]) == {"technology", "bigdata", "food"}
+
+    def test_max_topics_cap(self):
+        graph = _fan_graph()
+        profiles = build_follower_profiles(graph, PUBLISHERS,
+                                           min_share=0.0, max_topics=1)
+        assert profiles[0] == ("technology",)
+
+    def test_no_followees_empty_profile(self):
+        graph = _fan_graph()
+        profiles = build_follower_profiles(graph, PUBLISHERS)
+        assert profiles[4] == ()
+
+
+class TestLabelEdges:
+    def test_intersection_labeling(self):
+        graph = _fan_graph()
+        follower = {0: ("technology",)}
+        labeled = label_edges(graph, PUBLISHERS, follower, fallback=False)
+        assert graph.edge_topics(0, 1) == frozenset({"technology"})
+        assert graph.edge_topics(0, 4) == frozenset()
+        assert labeled == 3
+
+    def test_fallback_labels_with_publisher_lead_topic(self):
+        graph = _fan_graph()
+        follower = {0: ("technology",)}
+        labeled = label_edges(graph, PUBLISHERS, follower, fallback=True)
+        assert graph.edge_topics(0, 4) == frozenset({"food"})
+        assert labeled == 4
+
+    def test_updates_follower_counts(self):
+        graph = _fan_graph()
+        label_edges(graph, PUBLISHERS, {0: ("technology",)})
+        assert graph.follower_count_on(1, "technology") == 1
+
+
+class TestApplyPublisherProfiles:
+    def test_installs_node_labels(self):
+        graph = _fan_graph()
+        apply_publisher_profiles(graph, PUBLISHERS)
+        assert graph.node_topics(3) == frozenset({"technology", "bigdata"})
+        assert graph.node_topics(0) == frozenset()

@@ -1,0 +1,75 @@
+"""Tests for the keyword seed tagger (OpenCalais stand-in)."""
+
+import pytest
+
+from repro.datasets.text import generate_tweets
+from repro.errors import ConfigurationError
+from repro.topics.documents import Document
+from repro.topics.seed_tagger import KeywordSeedTagger
+
+
+def _doc(author, *texts):
+    return Document.from_posts(author, list(texts))
+
+
+class TestTagDocument:
+    def test_clear_topic_is_tagged(self):
+        tagger = KeywordSeedTagger()
+        doc = _doc(1, "software cloud algorithm", "smartphone gadget")
+        assert "technology" in tagger.tag_document(doc)
+
+    def test_no_keywords_is_untagged(self):
+        tagger = KeywordSeedTagger()
+        assert tagger.tag_document(_doc(1, "hello there friend-of-mine")) == ()
+
+    def test_weak_evidence_is_untagged(self):
+        tagger = KeywordSeedTagger(min_hits=3)
+        assert tagger.tag_document(_doc(1, "software is neat")) == ()
+
+    def test_max_topics_cap(self):
+        tagger = KeywordSeedTagger(min_hits=1, min_share=0.0, max_topics=2)
+        doc = _doc(1, "software recipe stocks", "cloud chef dividend")
+        assert len(tagger.tag_document(doc)) == 2
+
+    def test_min_share_filters_minor_topics(self):
+        tagger = KeywordSeedTagger(min_hits=1, min_share=0.5)
+        doc = _doc(1, "software cloud gadget silicon recipe")
+        topics = tagger.tag_document(doc)
+        assert topics == ("technology",)
+
+
+class TestTagCorpus:
+    def test_coverage_limits_attempts(self):
+        tagger = KeywordSeedTagger(coverage=0.1)
+        docs = [
+            Document.from_posts(i, generate_tweets(["technology"], 5, seed=i))
+            for i in range(100)
+        ]
+        tagged = tagger.tag(docs, seed=0)
+        assert 0 < len(tagged) <= 10
+
+    def test_full_coverage_tags_clear_corpus(self):
+        tagger = KeywordSeedTagger(coverage=1.0)
+        docs = [
+            Document.from_posts(i, generate_tweets(["food"], 8, seed=i))
+            for i in range(20)
+        ]
+        tagged = tagger.tag(docs, seed=0)
+        hits = sum(1 for topics in tagged.values() if "food" in topics)
+        assert hits >= 0.8 * len(tagged)
+
+    def test_deterministic_for_seed(self):
+        tagger = KeywordSeedTagger(coverage=0.5)
+        docs = [
+            Document.from_posts(i, generate_tweets(["sports"], 4, seed=i))
+            for i in range(40)
+        ]
+        assert tagger.tag(docs, seed=3) == tagger.tag(docs, seed=3)
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ConfigurationError):
+            KeywordSeedTagger(coverage=0.0)
+
+    def test_invalid_min_hits(self):
+        with pytest.raises(ConfigurationError):
+            KeywordSeedTagger(min_hits=0)

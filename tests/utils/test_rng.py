@@ -1,0 +1,50 @@
+"""Tests for the RNG discipline helpers."""
+
+import random
+
+from repro.utils.rng import rng_from_seed, sample_without_replacement, spawn_rng
+
+
+class TestRngFromSeed:
+    def test_int_seed_is_deterministic(self):
+        assert rng_from_seed(7).random() == rng_from_seed(7).random()
+
+    def test_existing_random_returned_as_is(self):
+        rng = random.Random(1)
+        assert rng_from_seed(rng) is rng
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(rng_from_seed(None), random.Random)
+
+
+class TestSpawnRng:
+    def test_children_with_different_labels_differ(self):
+        parent = random.Random(3)
+        first = spawn_rng(parent, "a")
+        parent2 = random.Random(3)
+        second = spawn_rng(parent2, "b")
+        assert first.random() != second.random()
+
+    def test_same_label_same_parent_state_is_deterministic(self):
+        first = spawn_rng(random.Random(3), "x").random()
+        second = spawn_rng(random.Random(3), "x").random()
+        assert first == second
+
+
+class TestSampleWithoutReplacement:
+    def test_respects_exclusions(self):
+        rng = random.Random(0)
+        sample = sample_without_replacement(rng, list(range(20)), 5,
+                                            exclude={0, 1, 2})
+        assert len(sample) == 5
+        assert not set(sample) & {0, 1, 2}
+
+    def test_no_duplicates(self):
+        rng = random.Random(0)
+        sample = sample_without_replacement(rng, list(range(50)), 30)
+        assert len(set(sample)) == 30
+
+    def test_short_population_returns_everything(self):
+        rng = random.Random(0)
+        sample = sample_without_replacement(rng, [1, 2, 3], 10)
+        assert sorted(sample) == [1, 2, 3]

@@ -1,0 +1,54 @@
+"""Tests for the stopwatch and duration formatting."""
+
+import pytest
+
+from repro.utils.timers import Stopwatch, format_duration
+
+
+class TestStopwatch:
+    def test_context_manager_records_a_lap(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        assert len(watch.laps) == 1
+        assert watch.elapsed >= 0.0
+
+    def test_multiple_laps_accumulate(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            with watch:
+                pass
+        assert len(watch.laps) == 3
+        assert watch.elapsed == pytest.approx(sum(watch.laps))
+
+    def test_mean_lap(self):
+        watch = Stopwatch()
+        assert watch.mean_lap == 0.0
+        with watch:
+            pass
+        assert watch.mean_lap == pytest.approx(watch.elapsed)
+
+    def test_double_start_raises(self):
+        watch = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize("seconds,expected", [
+        (0.0000005, "0.5us"),
+        (0.0025, "2.50ms"),
+        (1.5, "1.50s"),
+        (119.0, "119.00s"),
+        (150.0, "2m30.0s"),
+    ])
+    def test_unit_selection(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)

@@ -1,0 +1,104 @@
+"""Unit + property tests for the varint codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CorruptRecordError
+from repro.utils.varint import (
+    decode_uvarint,
+    decode_uvarint_list,
+    encode_uvarint,
+    encode_uvarint_list,
+)
+
+
+class TestEncodeUvarint:
+    def test_zero_is_single_byte(self):
+        assert encode_uvarint(0) == b"\x00"
+
+    def test_small_values_are_single_byte(self):
+        assert encode_uvarint(127) == b"\x7f"
+
+    def test_128_needs_two_bytes(self):
+        assert encode_uvarint(128) == b"\x80\x01"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1)
+
+    def test_known_multibyte_value(self):
+        # 300 = 0b100101100 -> 0xAC 0x02 (protobuf's canonical example)
+        assert encode_uvarint(300) == b"\xac\x02"
+
+
+class TestDecodeUvarint:
+    def test_round_trip_simple(self):
+        value, offset = decode_uvarint(encode_uvarint(300))
+        assert value == 300
+        assert offset == 2
+
+    def test_decode_at_offset(self):
+        buffer = b"\xff" + encode_uvarint(5)
+        value, offset = decode_uvarint(buffer, offset=1)
+        assert value == 5
+        assert offset == 2
+
+    def test_truncated_raises(self):
+        with pytest.raises(CorruptRecordError):
+            decode_uvarint(b"\x80")  # continuation bit set, nothing after
+
+    def test_empty_raises(self):
+        with pytest.raises(CorruptRecordError):
+            decode_uvarint(b"")
+
+    def test_overlong_raises(self):
+        with pytest.raises(CorruptRecordError):
+            decode_uvarint(b"\x80" * 11 + b"\x01")
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_round_trip_property(self, value):
+        decoded, offset = decode_uvarint(encode_uvarint(value))
+        assert decoded == value
+        assert offset == len(encode_uvarint(value))
+
+
+class TestVarintLists:
+    def test_plain_round_trip(self):
+        values = [5, 0, 17, 5]
+        blob = encode_uvarint_list(values)
+        decoded, offset = decode_uvarint_list(blob, len(values))
+        assert decoded == values
+        assert offset == len(blob)
+
+    def test_delta_round_trip(self):
+        values = [3, 10, 11, 400]
+        blob = encode_uvarint_list(values, delta=True)
+        decoded, _ = decode_uvarint_list(blob, len(values), delta=True)
+        assert decoded == values
+
+    def test_delta_is_smaller_for_dense_sorted_ids(self):
+        values = list(range(1000, 1200))
+        assert len(encode_uvarint_list(values, delta=True)) < len(
+            encode_uvarint_list(values))
+
+    def test_delta_requires_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            encode_uvarint_list([5, 5], delta=True)
+
+    def test_empty_list(self):
+        assert encode_uvarint_list([]) == b""
+        assert decode_uvarint_list(b"", 0) == ([], 0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=50))
+    def test_plain_round_trip_property(self, values):
+        blob = encode_uvarint_list(values)
+        decoded, _ = decode_uvarint_list(blob, len(values))
+        assert decoded == values
+
+    @given(st.sets(st.integers(min_value=0, max_value=2**40), max_size=50))
+    def test_delta_round_trip_property(self, value_set):
+        values = sorted(value_set)
+        blob = encode_uvarint_list(values, delta=True)
+        decoded, _ = decode_uvarint_list(blob, len(values), delta=True)
+        assert decoded == values
