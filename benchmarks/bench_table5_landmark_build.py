@@ -7,10 +7,15 @@ Algorithm-1 precompute time per landmark is essentially strategy-
 independent (the paper's 12-15 minutes on the 2.2M-node crawl).
 """
 
+import pytest
 from conftest import write_result
 
+from repro.config import LandmarkParams
+from repro.core.fast import scipy_available
 from repro.eval.landmarks_eval import time_selection_strategies
+from repro.landmarks import LandmarkIndex, select_landmarks
 from repro.landmarks.selection import STRATEGIES
+from repro.utils.timers import Stopwatch
 
 
 def test_table5_selection_and_precompute_times(benchmark, twitter_graph,
@@ -40,3 +45,52 @@ def test_table5_selection_and_precompute_times(benchmark, twitter_graph,
     computes = [row.precompute_s_per_landmark for row in rows
                 if row.precompute_s_per_landmark > 0]
     assert max(computes) < 25 * min(computes)
+
+
+NUM_LANDMARKS = 100
+
+
+@pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+def test_table5_engine_speedup(benchmark, twitter_graph, web_sim,
+                               paper_params):
+    """Algorithm 1 at paper scale (|L| = 100): batched multi-source CSR
+    propagation vs the serial dict reference engine."""
+    landmarks = select_landmarks(twitter_graph, "Random", NUM_LANDMARKS,
+                                 rng=12)
+    landmark_params = LandmarkParams(num_landmarks=NUM_LANDMARKS, top_n=100)
+
+    def build(engine):
+        watch = Stopwatch()
+        with watch:
+            index = LandmarkIndex.build(
+                twitter_graph, landmarks, ["technology"], web_sim,
+                params=paper_params, landmark_params=landmark_params,
+                engine=engine)
+        return index, watch.elapsed
+
+    def run():
+        sparse_index, sparse_total = build("sparse")
+        dict_index, dict_total = build("dict")
+        # identical inverted lists (same nodes, scores within 1e-9)
+        for landmark in landmarks:
+            ours = sparse_index.recommendations(landmark, "technology")
+            theirs = dict_index.recommendations(landmark, "technology")
+            assert [e.node for e in ours] == [e.node for e in theirs]
+            for a, b in zip(ours, theirs):
+                assert a.score == pytest.approx(b.score, abs=1e-9)
+        return (sparse_index.stats()["mean_build_seconds"], sparse_total,
+                dict_index.stats()["mean_build_seconds"], dict_total)
+
+    sparse_mean, sparse_total, dict_mean, dict_total = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    speedup = dict_mean / sparse_mean if sparse_mean > 0 else float("inf")
+
+    lines = [f"Table 5 ext — Algorithm 1 engines ({NUM_LANDMARKS} landmarks)",
+             f"  {'engine':8s} {'s/landmark':>12s} {'total (s)':>12s}",
+             f"  {'sparse':8s} {sparse_mean:12.4f} {sparse_total:12.2f}",
+             f"  {'dict':8s} {dict_mean:12.4f} {dict_total:12.2f}",
+             f"  per-landmark speedup  {speedup:8.1f}x"]
+    write_result("table5_engine_speedup", "\n".join(lines) + "\n")
+
+    # the whole point of the batched engine
+    assert speedup >= 3.0

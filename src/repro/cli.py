@@ -18,13 +18,13 @@ import sys
 from typing import Optional, Sequence
 
 from .baselines import SalsaRecommender, TwitterRank
-from .config import EvaluationParams, LandmarkParams, ScoreParams
+from .config import ENGINE_CHOICES, EvaluationParams, LandmarkParams, ScoreParams
 from .core.recommender import Recommender
 from .datasets import generate_dblp_graph, generate_twitter_graph
 from .eval import (
     LinkPredictionProtocol,
     katz_scorer,
-    tr_scorer,
+    make_tr_scorer,
     twitterrank_scorer,
 )
 from .graph.io import read_jsonl, write_jsonl
@@ -83,7 +83,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     wanted = [m.strip() for m in args.methods.split(",") if m.strip()]
     for method in wanted:
         if method == "Tr":
-            scorers[method] = tr_scorer(Recommender(protocol.graph, similarity))
+            scorers[method] = make_tr_scorer(protocol.graph, similarity,
+                                             engine=args.engine)
         elif method == "Katz":
             scorers[method] = katz_scorer(protocol.graph)
         elif method == "TwitterRank":
@@ -118,10 +119,13 @@ def _cmd_landmarks(args: argparse.Namespace) -> int:
     index = LandmarkIndex.build(
         graph, landmarks, topics, similarity,
         landmark_params=LandmarkParams(num_landmarks=args.count,
-                                       top_n=args.top))
+                                       top_n=args.top),
+        engine=args.engine, workers=args.workers)
     written = save_index(index, args.out)
+    stats = index.stats()
     print(f"built index for {len(landmarks)} landmarks "
-          f"({written} bytes) -> {args.out}")
+          f"({written} bytes, engine={index.engine_used}, "
+          f"{stats['mean_build_seconds']:.4f}s/landmark) -> {args.out}")
     return 0
 
 
@@ -204,6 +208,8 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=0)
     evaluate.add_argument("--taxonomy", choices=("web", "dblp"),
                           default="web")
+    evaluate.add_argument("--engine", choices=ENGINE_CHOICES, default="auto",
+                          help="propagation engine for the Tr scorer")
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     landmarks = sub.add_parser("landmarks", help="build a landmark index")
@@ -215,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
     landmarks.add_argument("--out", default="landmarks.rplm")
     landmarks.add_argument("--taxonomy", choices=("web", "dblp"),
                            default="web")
+    landmarks.add_argument("--engine", choices=ENGINE_CHOICES, default="auto",
+                           help="propagation engine for Algorithm 1")
+    landmarks.add_argument("--workers", type=int, default=1,
+                           help="thread fan-out for the dict engine")
     landmarks.set_defaults(handler=_cmd_landmarks)
 
     partition = sub.add_parser("partition",

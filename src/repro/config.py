@@ -10,7 +10,7 @@ baselines — agrees on one validated set of knobs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from typing import Mapping, Optional
 
 from .errors import ConfigurationError
 
@@ -70,14 +70,19 @@ class LandmarkParams:
         top_n: How many recommendations each landmark stores per topic
             (paper studies 10 / 100 / 1000).
         query_depth: BFS exploration depth at query time (paper uses 2).
-        precompute_depth: Exploration cap during preprocessing; set high
-            so Algorithm 1 runs to convergence.
+        precompute_depth: Hard cap on the walk length explored during
+            preprocessing (Algorithm 1). Propagation stops at the
+            earlier of convergence (frontier mass below ``tolerance``)
+            and this many rounds, so deep or cyclic graphs can never
+            raise :class:`~repro.errors.ConvergenceError` while an
+            index is being built. ``None`` removes the cap and demands
+            convergence within ``ScoreParams.max_iter`` rounds.
     """
 
     num_landmarks: int = 100
     top_n: int = 100
     query_depth: int = 2
-    precompute_depth: int = 20
+    precompute_depth: Optional[int] = 20
 
     def __post_init__(self) -> None:
         if self.num_landmarks < 1:
@@ -88,10 +93,50 @@ class LandmarkParams:
         if self.query_depth < 1:
             raise ConfigurationError(
                 f"query_depth must be >= 1, got {self.query_depth}")
-        if self.precompute_depth < self.query_depth:
+        if (self.precompute_depth is not None
+                and self.precompute_depth < self.query_depth):
             raise ConfigurationError(
                 "precompute_depth must be >= query_depth "
                 f"({self.precompute_depth} < {self.query_depth})")
+
+
+#: Engine names accepted everywhere an ``engine=`` knob exists.
+ENGINE_CHOICES = ("auto", "dict", "sparse")
+
+
+@dataclass(frozen=True)
+class EngineParams:
+    """Propagation-engine selection for bulk workloads.
+
+    Attributes:
+        engine: ``"dict"`` (the readable reference engine of
+            :mod:`repro.core.exact`), ``"sparse"`` (the batched CSR
+            engine of :mod:`repro.core.fast`; requires scipy), or
+            ``"auto"`` (sparse when scipy is importable, dict
+            otherwise).
+        workers: Fan-out width for the dict engine: landmarks are
+            propagated on a ``concurrent.futures`` thread pool of this
+            size. Ignored by the sparse engine, whose batching already
+            fills the machine through BLAS.
+        batch_size: How many sources the sparse engine propagates per
+            mat–mat product block.
+    """
+
+    engine: str = "auto"
+    workers: int = 1
+    batch_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINE_CHOICES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINE_CHOICES}, "
+                f"got {self.engine!r}")
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}")
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}")
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,11 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+try:  # optional: accelerates spectral_radius on large graphs
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised on scipy-less installs
+    _scipy_sparse = None
+
 from ..config import ScoreParams
 from ..errors import ConvergenceError
 from ..graph.labeled_graph import LabeledSocialGraph
@@ -326,7 +331,10 @@ def spectral_radius(graph: LabeledSocialGraph, iterations: int = 100,
 
     Works on the sparse adjacency directly (no dense matrix), so it is
     usable on the benchmark-scale graphs. Deterministic for a given
-    seed; accuracy improves with *iterations*.
+    seed; accuracy improves with *iterations*. When scipy is available
+    the edge list is materialised once as a CSR matrix and every power
+    step is a sparse mat-vec; without scipy each step re-walks
+    ``graph.edges()`` in pure Python.
     """
     nodes = list(graph.nodes())
     if not nodes:
@@ -335,11 +343,26 @@ def spectral_radius(graph: LabeledSocialGraph, iterations: int = 100,
     position = {node: i for i, node in enumerate(nodes)}
     vector = rng.random(len(nodes)) + 0.1
     vector /= np.linalg.norm(vector)
+
+    adjacency = None
+    if _scipy_sparse is not None:
+        rows = []
+        cols = []
+        for walker, neighbor, _ in graph.edges():
+            rows.append(position[neighbor])
+            cols.append(position[walker])
+        adjacency = _scipy_sparse.csr_matrix(
+            (np.ones(len(rows)), (rows, cols)),
+            shape=(len(nodes), len(nodes)))
+
     estimate = 0.0
     for _ in range(iterations):
-        output = np.zeros(len(nodes))
-        for walker, neighbor, _ in graph.edges():
-            output[position[neighbor]] += vector[position[walker]]
+        if adjacency is not None:
+            output = adjacency @ vector
+        else:
+            output = np.zeros(len(nodes))
+            for walker, neighbor, _ in graph.edges():
+                output[position[neighbor]] += vector[position[walker]]
         norm = float(np.linalg.norm(output))
         if norm == 0.0:
             return 0.0  # nilpotent adjacency (DAG): radius 0

@@ -17,7 +17,11 @@ reference engine to floating-point accumulation order.
 
 Use for bulk workloads (landmark preprocessing over many sources, the
 evaluation protocol): the matrices are built once per graph and each
-propagation is a handful of sparse mat-vecs.
+propagation is a handful of sparse mat-vecs. :meth:`SparseEngine.
+multi_source` goes one step further and propagates a block of B
+sources as n×B mat–mat products — one BLAS call replaces B Python-level
+mat-vec loops, which is what makes Algorithm 1 cheap over hundreds of
+landmarks.
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ try:  # scipy is an optional test/bench dependency
 except ImportError:  # pragma: no cover - exercised on scipy-less installs
     _sparse = None
 
-from ..config import ScoreParams
+from ..config import ENGINE_CHOICES, ScoreParams
 from ..errors import ConfigurationError, ConvergenceError, NodeNotFoundError
 from ..graph.labeled_graph import LabeledSocialGraph
 from ..semantics.matrix import SimilarityMatrix
@@ -42,6 +46,28 @@ from .scores import AuthorityIndex
 def scipy_available() -> bool:
     """Whether the sparse engine can be used on this install."""
     return _sparse is not None
+
+
+def resolve_engine(name: str) -> str:
+    """Resolve an ``engine=`` knob to a concrete engine name.
+
+    ``"auto"`` picks ``"sparse"`` when scipy is importable and falls
+    back to ``"dict"`` otherwise; explicit names are validated.
+
+    Raises:
+        ConfigurationError: on an unknown name, or on an explicit
+            ``"sparse"`` request when scipy is not installed.
+    """
+    if name not in ENGINE_CHOICES:
+        raise ConfigurationError(
+            f"engine must be one of {ENGINE_CHOICES}, got {name!r}")
+    if name == "auto":
+        return "sparse" if scipy_available() else "dict"
+    if name == "sparse" and not scipy_available():
+        raise ConfigurationError(
+            "engine='sparse' requires scipy; install it or pass "
+            "engine='auto' to fall back to the dict engine")
+    return name
 
 
 class SparseEngine:
@@ -119,15 +145,65 @@ class SparseEngine:
                       absorbing: Optional[frozenset] = None) -> ScoreState:
         """Vectorised equivalent of
         :func:`repro.core.exact.single_source_scores`."""
-        position = self._position.get(source)
-        if position is None:
-            raise NodeNotFoundError(source)
+        return self.multi_source([source], topics, max_depth=max_depth,
+                                 absorbing=absorbing)[0]
+
+    def multi_source(self, sources: Sequence[int], topics: Sequence[str],
+                     max_depth: Optional[int] = None,
+                     absorbing: Optional[frozenset] = None,
+                     ) -> List[ScoreState]:
+        """Propagate a block of B sources simultaneously.
+
+        The three frontier vectors of the reference engine become n×B
+        blocks and every step is a sparse mat–mat product (``A @ R``),
+        so the per-source cost is amortised across the batch — the
+        regime of landmark preprocessing (Algorithm 1 over hundreds of
+        landmarks) and the evaluation protocol.
+
+        Convergence is tracked *per column*: a source whose frontier
+        mass falls below ``params.tolerance`` is frozen (its column is
+        dropped from subsequent products) while the rest keep
+        iterating, so each returned :class:`ScoreState` carries the
+        same ``iterations``/``converged`` it would get from
+        :meth:`single_source`.
+
+        Args:
+            sources: Source nodes (one propagation per entry; the
+                batch may be empty).
+            topics: Topics to score, shared by every source.
+            max_depth: Walk-length cap applied to every column;
+                ``None`` runs each column to convergence.
+            absorbing: Nodes whose mass is not propagated further —
+                each column's own source always propagates, matching
+                the reference engine.
+
+        Returns:
+            One :class:`ScoreState` per source, in input order.
+
+        Raises:
+            NodeNotFoundError: if any source is not in the graph.
+            ConvergenceError: if ``max_depth`` is ``None`` and at
+                least one column has not converged within
+                ``params.max_iter`` rounds.
+        """
+        positions: List[int] = []
+        for source in sources:
+            position = self._position.get(source)
+            if position is None:
+                raise NodeNotFoundError(source)
+            positions.append(position)
+        if not positions:
+            return []
+
         params = self.params
         beta = params.beta
+        alpha = params.alpha
         alphabeta = params.edge_decay
         n = len(self._nodes)
+        batch = len(positions)
         adjacency = self._adjacency
         semantic = [self._semantic_matrix(topic) for topic in topics]
+        position_array = np.asarray(positions)
 
         absorb_mask = None
         if absorbing:
@@ -136,64 +212,93 @@ class SparseEngine:
                 index = self._position.get(node)
                 if index is not None:
                     absorb_mask[index] = 0.0
-            absorb_mask[position] = 1.0  # the source always propagates
 
-        tb = np.zeros(n)
-        tb[position] = 1.0
+        tb = np.zeros((n, batch))
+        tb[position_array, np.arange(batch)] = 1.0
         tab = tb.copy()
-        r = [np.zeros(n) for _ in topics]
+        r = [np.zeros((n, batch)) for _ in topics]
         cumulative_tb = tb.copy()
         cumulative_tab = tab.copy()
-        cumulative_r = [vector.copy() for vector in r]
+        cumulative_r = [block.copy() for block in r]
 
         limit = params.max_iter if max_depth is None else max_depth
-        iterations = 0
-        converged = False
+        iterations = np.zeros(batch, dtype=np.int64)
+        converged = np.zeros(batch, dtype=bool)
+        active = np.ones(batch, dtype=bool)
+
         for _ in range(limit):
+            live = np.nonzero(active)[0]
+            if live.size == 0:
+                break
+            frontier_tb = tb[:, live]
+            frontier_tab = tab[:, live]
+            frontier_r = [block[:, live] for block in r]
             if absorb_mask is not None:
-                tb = tb * absorb_mask
-                tab = tab * absorb_mask
-                r = [vector * absorb_mask for vector in r]
-            next_tb = beta * (adjacency @ tb)
-            next_tab = alphabeta * (adjacency @ tab)
+                columns = np.arange(live.size)
+                source_rows = position_array[live]
+                masked_tb = frontier_tb * absorb_mask[:, None]
+                masked_tab = frontier_tab * absorb_mask[:, None]
+                # each column's own source always propagates
+                masked_tb[source_rows, columns] = \
+                    frontier_tb[source_rows, columns]
+                masked_tab[source_rows, columns] = \
+                    frontier_tab[source_rows, columns]
+                frontier_tb, frontier_tab = masked_tb, masked_tab
+                masked_r = []
+                for block in frontier_r:
+                    masked = block * absorb_mask[:, None]
+                    masked[source_rows, columns] = \
+                        block[source_rows, columns]
+                    masked_r.append(masked)
+                frontier_r = masked_r
+            next_tb = beta * (adjacency @ frontier_tb)
+            next_tab = alphabeta * (adjacency @ frontier_tab)
             next_r = [
-                beta * (adjacency @ r[i])
-                + beta * params.alpha * (semantic[i] @ tab)
+                beta * (adjacency @ frontier_r[i])
+                + beta * alpha * (semantic[i] @ frontier_tab)
                 for i in range(len(topics))
             ]
-            iterations += 1
-            new_mass = float(next_tb.sum()
-                             + sum(v.sum() for v in next_r))
-            cumulative_tb += next_tb
-            cumulative_tab += next_tab
+            iterations[live] += 1
+            new_mass = next_tb.sum(axis=0)
+            for block in next_r:
+                new_mass = new_mass + block.sum(axis=0)
+            cumulative_tb[:, live] += next_tb
+            cumulative_tab[:, live] += next_tab
             for i in range(len(topics)):
-                cumulative_r[i] += next_r[i]
-            tb, tab, r = next_tb, next_tab, next_r
-            if new_mass < params.tolerance:
-                converged = True
-                break
+                cumulative_r[i][:, live] += next_r[i]
+            tb[:, live] = next_tb
+            tab[:, live] = next_tab
+            for i in range(len(topics)):
+                r[i][:, live] = next_r[i]
+            done = new_mass < params.tolerance
+            converged[live[done]] = True
+            active[live[done]] = False
 
-        if max_depth is None and not converged:
+        if max_depth is None and not converged.all():
+            stuck = [sources[int(i)] for i in np.nonzero(~converged)[0]]
             raise ConvergenceError(
-                f"sparse propagation from node {source} did not converge "
-                f"within {params.max_iter} iterations",
-                iterations=iterations)
+                f"sparse propagation from node(s) {stuck} did not "
+                f"converge within {params.max_iter} iterations",
+                iterations=int(iterations.max()))
 
         def to_dict(vector: np.ndarray) -> Dict[int, float]:
             indices = np.nonzero(vector)[0]
             return {self._nodes[int(i)]: float(vector[int(i)])
                     for i in indices}
 
-        scores = {topic: to_dict(cumulative_r[i])
-                  for i, topic in enumerate(topics)}
-        return ScoreState(
-            source=source,
-            scores=scores,
-            topo_beta=to_dict(cumulative_tb),
-            topo_alphabeta=to_dict(cumulative_tab),
-            iterations=iterations,
-            converged=converged,
-        )
+        states: List[ScoreState] = []
+        for column, source in enumerate(sources):
+            scores = {topic: to_dict(cumulative_r[i][:, column])
+                      for i, topic in enumerate(topics)}
+            states.append(ScoreState(
+                source=source,
+                scores=scores,
+                topo_beta=to_dict(cumulative_tb[:, column]),
+                topo_alphabeta=to_dict(cumulative_tab[:, column]),
+                iterations=int(iterations[column]),
+                converged=bool(converged[column]),
+            ))
+        return states
 
     def invalidate(self) -> None:
         """Drop the per-topic semantic caches (after authority changes)."""

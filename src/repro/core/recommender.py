@@ -111,13 +111,14 @@ class Recommender:
             params: Decay/convergence knobs.
             use_authority: ``False`` gives the Tr−auth ablation.
             use_similarity: ``False`` gives the Tr−sim ablation.
-            engine: ``"dict"`` (reference implementation) or
-                ``"sparse"`` (scipy CSR engine — identical results,
-                amortised mat-vec cost for bulk workloads).
+            engine: ``"dict"`` (reference implementation), ``"sparse"``
+                (scipy CSR engine — identical results, amortised
+                mat-vec cost for bulk workloads), or ``"auto"``
+                (sparse when scipy is available, dict otherwise).
         """
-        if engine not in ("dict", "sparse"):
-            raise ConfigurationError(
-                f"engine must be 'dict' or 'sparse', got {engine!r}")
+        from .fast import resolve_engine
+
+        engine = resolve_engine(engine)
         self.graph = graph
         self.params = params
         self.use_authority = use_authority

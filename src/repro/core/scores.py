@@ -82,6 +82,18 @@ class AuthorityIndex:
             return 0.0
         return math.log1p(followers_on_topic) / self._log_max_followers(topic)
 
+    def warm(self, topics: Sequence[str]) -> None:
+        """Precompute authority for every node on the given topics.
+
+        After warming, lookups on these topics are pure dict reads —
+        worth doing once before fanning propagations out across
+        threads, so the memo dict is only read concurrently.
+        """
+        for topic in topics:
+            self._log_max_followers(topic)
+            for node in self._graph.nodes():
+                self.auth(node, topic)
+
     def invalidate(self) -> None:
         """Drop caches after the underlying graph was mutated."""
         self._cache.clear()

@@ -72,6 +72,10 @@ class DistributedLandmarkService:
         self._similarity = similarity
         self._authority = authority or AuthorityIndex(graph)
         self._landmark_set = frozenset(index.landmarks)
+        # Sorted composition order keeps float accumulation — and the
+        # resulting tie-sensitive rankings — deterministic across
+        # processes, matching ApproximateRecommender.
+        self._sorted_landmarks = sorted(self._landmark_set)
 
     def landmark_home(self, landmark: int) -> int:
         """Partition that stores a landmark's inverted lists."""
@@ -80,8 +84,14 @@ class DistributedLandmarkService:
     def query(self, user: int, topic: str,
               depth: Optional[int] = None,
               ) -> Tuple[Dict[int, float], QueryCost]:
-        """Approximate scores plus the network cost of obtaining them."""
-        exploration_depth = depth or self.landmark_params.query_depth
+        """Approximate scores plus the network cost of obtaining them.
+
+        An explicit ``depth=0`` runs zero exploration rounds
+        (landmark-list composition only), mirroring
+        :meth:`repro.landmarks.ApproximateRecommender.query`.
+        """
+        exploration_depth = (depth if depth is not None
+                             else self.landmark_params.query_depth)
         state, stats = distributed_single_source_scores(
             self.graph, self.assignment, user, [topic], self._similarity,
             authority=self._authority, params=self.params,
@@ -92,8 +102,8 @@ class DistributedLandmarkService:
         remote = 0
         local = 0
         entries_shipped = 0
-        for landmark in self._landmark_set:
-            if landmark == user:
+        for landmark in self._sorted_landmarks:
+            if landmark == user and exploration_depth > 0:
                 continue
             topo_ab = state.topo_alphabeta.get(landmark, 0.0)
             if topo_ab <= 0.0:

@@ -12,6 +12,7 @@ from .linkpred import (
     TestEdge,
     katz_scorer,
     landmark_scorer,
+    make_tr_scorer,
     tr_scorer,
     twitterrank_scorer,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "TestEdge",
     "MethodCurve",
     "tr_scorer",
+    "make_tr_scorer",
     "katz_scorer",
     "twitterrank_scorer",
     "landmark_scorer",

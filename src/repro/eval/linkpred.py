@@ -202,6 +202,23 @@ def tr_scorer(recommender: Recommender,
     return score
 
 
+def make_tr_scorer(graph: LabeledSocialGraph,
+                   similarity,
+                   params: ScoreParams = ScoreParams(),
+                   engine: str = "auto",
+                   max_depth: Optional[int] = None) -> Scorer:
+    """Build a Tr scorer on a chosen propagation engine.
+
+    The protocol scores hundreds of test lists against one graph —
+    exactly the bulk regime the CSR engine amortises its matrix build
+    over. ``engine`` accepts ``"auto"`` / ``"dict"`` / ``"sparse"``
+    (see :func:`repro.core.fast.resolve_engine`); results are
+    engine-independent, only the wall-clock changes.
+    """
+    recommender = Recommender(graph, similarity, params, engine=engine)
+    return tr_scorer(recommender, max_depth=max_depth)
+
+
 def katz_scorer(graph: LabeledSocialGraph,
                 params: ScoreParams = ScoreParams(),
                 max_depth: Optional[int] = None) -> Scorer:

@@ -100,6 +100,10 @@ class ApproximateRecommender:
         self._authority = authority or AuthorityIndex(graph)
         self._sim_cache = _MaxSimCache(similarity)
         self._landmark_set = frozenset(index.landmarks)
+        # Sorted composition order: float accumulation order — and
+        # therefore tie-sensitive rankings — stays deterministic across
+        # processes (frozenset iteration order depends on the hash seed).
+        self._sorted_landmarks = sorted(self._landmark_set)
 
     def query(self, user: int, topic: str,
               depth: Optional[int] = None) -> ApproximateResult:
@@ -111,9 +115,17 @@ class ApproximateRecommender:
                 public :meth:`recommend` also accepts only one topic to
                 mirror the paper).
             depth: Exploration depth override (default: the index's
-                ``query_depth``).
+                ``query_depth``). An explicit ``depth=0`` runs *zero*
+                exploration rounds — landmark-list composition only.
+                With no exploration there is no directly-explored mass
+                to double count, so when *user* is itself a landmark
+                its own stored list is composed (``topo_{αβ}(u,u)=1``
+                makes that exactly the precomputed recommendations);
+                at ``depth>=1`` the user's own landmark is skipped as
+                always.
         """
-        exploration_depth = depth or self.landmark_params.query_depth
+        exploration_depth = (depth if depth is not None
+                             else self.landmark_params.query_depth)
         state = explore_with_landmarks(
             self.graph, user, [topic], self._similarity,
             landmarks=self._landmark_set, params=self.params,
@@ -124,8 +136,8 @@ class ApproximateRecommender:
         combined: Dict[int, float] = dict(state.scores.get(topic, {}))
 
         encountered: List[int] = []
-        for landmark in self._landmark_set:
-            if landmark == user:
+        for landmark in self._sorted_landmarks:
+            if landmark == user and exploration_depth > 0:
                 continue
             topo_ab = state.topo_alphabeta.get(landmark, 0.0)
             if topo_ab <= 0.0:
@@ -140,7 +152,6 @@ class ApproximateRecommender:
                 if contribution:
                     combined[entry.node] = (
                         combined.get(entry.node, 0.0) + contribution)
-        encountered.sort()
         return ApproximateResult(
             scores=combined,
             landmarks_encountered=tuple(encountered),

@@ -5,16 +5,26 @@ accounts ``v`` with both halves of Proposition 4's composition:
 ``σ(λ, v, t)`` and ``topo_β(λ, v)``. The lists are the "inverted lists"
 of Section 5.2; their in-memory layout (and the file layout in
 :mod:`repro.landmarks.storage`) follows that description.
+
+Preprocessing runs on one of two interchangeable engines (selected via
+``engine=`` on :meth:`LandmarkIndex.build`): the dict-based reference
+engine, optionally fanned out over a thread pool, or the batched CSR
+engine of :mod:`repro.core.fast`, which propagates whole blocks of
+landmarks as sparse mat–mat products. Both honour the same stopping
+rule and the ``precompute_depth`` cap, so the stored lists are
+identical up to floating-point accumulation order.
 """
 
 from __future__ import annotations
 
 import sys
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..config import LandmarkParams, ScoreParams
-from ..core.exact import _MaxSimCache, single_source_scores
+from ..config import EngineParams, LandmarkParams, ScoreParams
+from ..core.exact import ScoreState, _MaxSimCache, single_source_scores
+from ..core.fast import SparseEngine, resolve_engine
 from ..core.scores import AuthorityIndex
 from ..graph.labeled_graph import LabeledSocialGraph
 from ..semantics.matrix import SimilarityMatrix
@@ -53,7 +63,12 @@ class LandmarkIndex:
         # λ -> topic -> entries sorted by descending score
         self._lists: Dict[int, Dict[str, List[LandmarkEntry]]] = {}
         #: Per-landmark wall-clock spent in Algorithm 1, for Table 5.
+        #: Batched engines attribute each batch's elapsed time evenly
+        #: across its landmarks.
         self.build_seconds: Dict[int, float] = {}
+        #: Concrete engine that ran Algorithm 1 ("dict" or "sparse");
+        #: ``None`` for indexes assembled via :meth:`set_recommendations`.
+        self.engine_used: Optional[str] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -66,8 +81,19 @@ class LandmarkIndex:
         params: ScoreParams = ScoreParams(),
         landmark_params: LandmarkParams = LandmarkParams(),
         authority: Optional[AuthorityIndex] = None,
+        engine: Union[str, EngineParams] = "auto",
+        workers: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> "LandmarkIndex":
-        """Run Algorithm 1 to convergence for every landmark.
+        """Run Algorithm 1 for every landmark.
+
+        Each landmark is propagated until its frontier mass converges
+        below ``params.tolerance`` or, if
+        ``landmark_params.precompute_depth`` is set, until that many
+        rounds have run — whichever comes first. The cap makes
+        preprocessing total on any graph: a deep or cyclic graph
+        truncates at the cap instead of raising
+        :class:`~repro.errors.ConvergenceError`.
 
         Args:
             graph: The labeled follow graph.
@@ -79,36 +105,117 @@ class LandmarkIndex:
             landmark_params: Supplies ``top_n`` and the precompute
                 depth cap.
             authority: Shared authority cache (created if omitted).
+            engine: ``"auto"`` / ``"dict"`` / ``"sparse"``, or a full
+                :class:`~repro.config.EngineParams`. ``"auto"`` uses
+                the batched CSR engine when scipy is available and the
+                dict engine otherwise.
+            workers: Thread-pool width for the dict engine (overrides
+                ``engine.workers`` when given).
+            batch_size: Sources per mat–mat block for the sparse
+                engine (overrides ``engine.batch_size`` when given).
         """
+        if isinstance(engine, EngineParams):
+            engine_params = engine
+        else:
+            engine_params = EngineParams(engine=engine)
+        if workers is not None or batch_size is not None:
+            engine_params = EngineParams(
+                engine=engine_params.engine,
+                workers=workers if workers is not None
+                else engine_params.workers,
+                batch_size=batch_size if batch_size is not None
+                else engine_params.batch_size)
+        resolved = resolve_engine(engine_params.engine)
+
         index = cls(params, landmark_params)
+        index.engine_used = resolved
         shared_authority = authority or AuthorityIndex(graph)
+        max_depth = landmark_params.precompute_depth
+        topic_list = list(topics)
+
+        if resolved == "sparse":
+            cls._build_sparse(index, graph, list(landmarks), topic_list,
+                              similarity, shared_authority,
+                              engine_params.batch_size, max_depth)
+        else:
+            cls._build_dict(index, graph, list(landmarks), topic_list,
+                            similarity, shared_authority,
+                            engine_params.workers, max_depth)
+        return index
+
+    @staticmethod
+    def _entries_for(state: ScoreState, landmark: int, topics: Sequence[str],
+                     top_n: int) -> Dict[str, List[LandmarkEntry]]:
+        """Turn one propagation state into per-topic inverted lists."""
+        per_topic: Dict[str, List[LandmarkEntry]] = {}
+        for topic in topics:
+            ranked = state.ranked(topic, top_n=top_n, exclude=(landmark,))
+            per_topic[topic] = [
+                LandmarkEntry(
+                    node=node,
+                    score=score,
+                    topo=state.topo_beta.get(node, 0.0),
+                    topo_ab=state.topo_alphabeta.get(node, 0.0),
+                )
+                for node, score in ranked
+            ]
+        return per_topic
+
+    @classmethod
+    def _build_dict(cls, index: "LandmarkIndex", graph: LabeledSocialGraph,
+                    landmarks: List[int], topics: List[str],
+                    similarity: SimilarityMatrix,
+                    authority: AuthorityIndex, workers: int,
+                    max_depth: Optional[int]) -> None:
+        """Reference-engine build, optionally fanned out over threads."""
         sim_cache = _MaxSimCache(similarity)
-        precompute_params = params.with_(
-            max_iter=max(params.max_iter, landmark_params.precompute_depth))
-        for landmark in landmarks:
+        top_n = index.landmark_params.top_n
+
+        def run_one(landmark: int) -> Tuple[Dict[str, List[LandmarkEntry]],
+                                            float]:
             watch = Stopwatch()
             with watch:
                 state = single_source_scores(
-                    graph, landmark, list(topics), similarity,
-                    authority=shared_authority, params=precompute_params,
-                    sim_cache=sim_cache)
-                per_topic: Dict[str, List[LandmarkEntry]] = {}
-                for topic in topics:
-                    ranked = state.ranked(
-                        topic, top_n=landmark_params.top_n,
-                        exclude=(landmark,))
-                    per_topic[topic] = [
-                        LandmarkEntry(
-                            node=node,
-                            score=score,
-                            topo=state.topo_beta.get(node, 0.0),
-                            topo_ab=state.topo_alphabeta.get(node, 0.0),
-                        )
-                        for node, score in ranked
-                    ]
+                    graph, landmark, topics, similarity,
+                    authority=authority, params=index.params,
+                    max_depth=max_depth, sim_cache=sim_cache)
+                per_topic = cls._entries_for(state, landmark, topics, top_n)
+            return per_topic, watch.elapsed
+
+        if workers > 1 and len(landmarks) > 1:
+            # Warm the shared caches serially once so the concurrent
+            # propagations only read them.
+            authority.warm(topics)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(run_one, landmarks))
+        else:
+            results = [run_one(landmark) for landmark in landmarks]
+        for landmark, (per_topic, elapsed) in zip(landmarks, results):
             index._lists[landmark] = per_topic
-            index.build_seconds[landmark] = watch.elapsed
-        return index
+            index.build_seconds[landmark] = elapsed
+
+    @classmethod
+    def _build_sparse(cls, index: "LandmarkIndex", graph: LabeledSocialGraph,
+                      landmarks: List[int], topics: List[str],
+                      similarity: SimilarityMatrix,
+                      authority: AuthorityIndex, batch_size: int,
+                      max_depth: Optional[int]) -> None:
+        """Batched CSR build: one mat–mat propagation per block."""
+        engine = SparseEngine(graph, similarity, index.params,
+                              authority=authority)
+        top_n = index.landmark_params.top_n
+        for start in range(0, len(landmarks), batch_size):
+            block = landmarks[start:start + batch_size]
+            watch = Stopwatch()
+            with watch:
+                states = engine.multi_source(block, topics,
+                                             max_depth=max_depth)
+                for landmark, state in zip(block, states):
+                    index._lists[landmark] = cls._entries_for(
+                        state, landmark, topics, top_n)
+            share = watch.elapsed / len(block)
+            for landmark in block:
+                index.build_seconds[landmark] = share
 
     # ------------------------------------------------------------------
     @property
@@ -150,7 +257,7 @@ class LandmarkIndex:
                 total += 32 * len(entries)
         return total
 
-    def stats(self) -> Dict[str, float]:
+    def stats(self) -> Dict[str, object]:
         """Summary for benchmark reports."""
         entry_counts = [
             len(entries)
@@ -165,6 +272,7 @@ class LandmarkIndex:
                 sum(entry_counts) / len(entry_counts) if entry_counts else 0.0),
             "storage_bytes": float(self.storage_bytes),
             "mean_build_seconds": mean_build,
+            "engine": self.engine_used,
         }
 
     def __repr__(self) -> str:

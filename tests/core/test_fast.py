@@ -7,10 +7,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import ScoreParams
-from repro.core.exact import single_source_scores
-from repro.core.fast import SparseEngine, scipy_available
+from repro.core.exact import matrix_scores, single_source_scores
+from repro.core.fast import SparseEngine, resolve_engine, scipy_available
 from repro.datasets import generate_twitter_graph
-from repro.errors import ConvergenceError, NodeNotFoundError
+from repro.errors import ConfigurationError, ConvergenceError, NodeNotFoundError
 from repro.graph.builders import complete_graph, graph_from_edges
 from repro.semantics import SimilarityMatrix, web_taxonomy
 from repro.semantics.vocabularies import WEB_TOPICS
@@ -98,6 +98,131 @@ class TestEquivalence:
         state = engine.single_source(0, [], absorbing=frozenset({0}),
                                      max_depth=2)
         assert state.topo_beta.get(1, 0.0) > 0.0
+
+
+class TestMultiSourceParity:
+    """multi_source ≡ single_source ≡ single_source_scores ≡ matrix_scores."""
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_batch_matches_all_reference_engines(self, seed):
+        rng = random.Random(seed)
+        graph = _random_graph(rng)
+        sim = SimilarityMatrix.from_taxonomy(web_taxonomy())
+        params = ScoreParams(beta=0.05, alpha=0.85, tolerance=1e-14,
+                             max_iter=200)
+        topic = rng.choice(WEB_TOPICS)
+        sources = rng.sample(range(10), 4)
+        engine = SparseEngine(graph, sim, params)
+        states = engine.multi_source(sources, [topic])
+        for source, state in zip(sources, states):
+            single = engine.single_source(source, [topic])
+            _assert_states_match(state, single, [topic])
+            reference = single_source_scores(graph, source, [topic], sim,
+                                             params=params)
+            _assert_states_match(state, reference, [topic])
+            closed_form = matrix_scores(graph, source, topic, sim,
+                                        params=params)
+            assert state.scores.get(topic, {}) == pytest.approx(
+                closed_form.scores.get(topic, {}), abs=1e-9)
+            assert state.topo_beta == pytest.approx(
+                closed_form.topo_beta, abs=1e-9)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=4))
+    @settings(max_examples=15, deadline=None)
+    def test_depth_capped_batch_matches_reference(self, seed, depth):
+        rng = random.Random(seed)
+        graph = _random_graph(rng)
+        sim = SimilarityMatrix.from_taxonomy(web_taxonomy())
+        params = ScoreParams(beta=0.3, alpha=0.7)
+        sources = rng.sample(range(10), 3)
+        engine = SparseEngine(graph, sim, params)
+        states = engine.multi_source(sources, ["technology"],
+                                     max_depth=depth)
+        for source, state in zip(sources, states):
+            reference = single_source_scores(graph, source, ["technology"],
+                                             sim, params=params,
+                                             max_depth=depth)
+            _assert_states_match(state, reference, ["technology"])
+            assert state.iterations == reference.iterations
+
+    def test_depth_zero_returns_only_the_sources(self, web_sim):
+        graph = generate_twitter_graph(100, seed=400)
+        engine = SparseEngine(graph, web_sim, ScoreParams(beta=0.004))
+        sources = sorted(graph.nodes())[:5]
+        states = engine.multi_source(sources, ["technology"], max_depth=0)
+        for source, state in zip(sources, states):
+            assert state.iterations == 0
+            assert not state.converged
+            assert state.topo_beta == {source: 1.0}
+            assert state.topo_alphabeta == {source: 1.0}
+            assert state.scores["technology"] == {}
+
+    def test_absorbing_batch_matches_reference(self, web_sim):
+        graph = generate_twitter_graph(150, seed=301)
+        params = ScoreParams(beta=0.004)
+        landmarks = frozenset(sorted(graph.nodes())[:10])
+        # include a source that is itself absorbing: it must still
+        # propagate its own mass
+        sources = sorted(graph.nodes())[5:25:5]
+        engine = SparseEngine(graph, web_sim, params)
+        states = engine.multi_source(sources, ["technology"], max_depth=3,
+                                     absorbing=landmarks)
+        for source, state in zip(sources, states):
+            reference = single_source_scores(graph, source, ["technology"],
+                                             web_sim, params=params,
+                                             max_depth=3,
+                                             absorbing=landmarks)
+            _assert_states_match(state, reference, ["technology"])
+
+    def test_columns_converge_independently(self, web_sim):
+        """A well-connected hub needs more rounds than a leaf; both
+        columns must report their own iteration count."""
+        graph = graph_from_edges(
+            [(0, i, ["technology"]) for i in range(1, 6)]
+            + [(i, i + 1, ["technology"]) for i in range(1, 5)])
+        graph.ensure_node(7)  # isolated: converges immediately
+        params = ScoreParams(beta=0.1, tolerance=1e-12, max_iter=100)
+        engine = SparseEngine(graph, web_sim, params)
+        states = engine.multi_source([0, 7], ["technology"])
+        assert states[0].converged and states[1].converged
+        assert states[1].iterations < states[0].iterations
+        for source, state in zip([0, 7], states):
+            reference = single_source_scores(graph, source, ["technology"],
+                                             web_sim, params=params)
+            _assert_states_match(state, reference, ["technology"])
+
+    def test_empty_batch_returns_empty_list(self, web_sim):
+        graph = generate_twitter_graph(50, seed=302)
+        engine = SparseEngine(graph, web_sim, ScoreParams(beta=0.004))
+        assert engine.multi_source([], ["technology"]) == []
+
+    def test_unknown_source_in_batch_raises(self, web_sim):
+        graph = generate_twitter_graph(50, seed=302)
+        engine = SparseEngine(graph, web_sim, ScoreParams(beta=0.004))
+        with pytest.raises(NodeNotFoundError):
+            engine.multi_source([0, 10**9], ["technology"])
+
+    def test_divergent_batch_names_stuck_sources(self, web_sim):
+        graph = complete_graph(6, topics=["technology"])
+        engine = SparseEngine(graph, web_sim,
+                              ScoreParams(beta=0.5, alpha=1.0, max_iter=30))
+        with pytest.raises(ConvergenceError):
+            engine.multi_source([0, 1], ["technology"])
+
+
+class TestResolveEngine:
+    def test_auto_prefers_sparse_when_scipy_present(self):
+        assert resolve_engine("auto") == "sparse"
+
+    def test_explicit_names_pass_through(self):
+        assert resolve_engine("dict") == "dict"
+        assert resolve_engine("sparse") == "sparse"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_engine("quantum")
 
 
 class TestBehaviour:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro import Recommender, ScoreParams
+from repro.core.fast import scipy_available
 from repro.errors import (
     ConfigurationError,
     NodeNotFoundError,
@@ -93,6 +94,7 @@ class TestRecommend:
 
 
 class TestEngines:
+    @pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
     def test_sparse_engine_gives_identical_recommendations(self, world,
                                                            web_sim):
         graph, reference = world
@@ -109,6 +111,7 @@ class TestEngines:
         with pytest.raises(ConfigurationError):
             Recommender(graph, web_sim, engine="quantum")
 
+    @pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
     def test_sparse_invalidate_rebuilds_engine(self, world, web_sim):
         graph, _ = world
         sparse = Recommender(graph.copy(), web_sim, ScoreParams(beta=0.2),

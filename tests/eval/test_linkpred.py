@@ -129,3 +129,16 @@ class TestRun:
         rows = curves["zero"].curve(max_rank=5)
         assert len(rows) == 5
         assert rows[0][0] == 1
+
+    def test_make_tr_scorer_engine_independent(self, protocol, web_sim):
+        """The engine knob changes wall-clock, never rankings."""
+        from repro.eval import make_tr_scorer
+
+        params = ScoreParams(beta=0.004)
+        curves = protocol.run({
+            "dict": make_tr_scorer(protocol.graph, web_sim, params,
+                                   engine="dict"),
+            "auto": make_tr_scorer(protocol.graph, web_sim, params,
+                                   engine="auto"),
+        })
+        assert curves["dict"].ranks == pytest.approx(curves["auto"].ranks)

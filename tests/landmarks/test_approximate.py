@@ -120,6 +120,68 @@ class TestRecommendApi:
         assert 5 in results or 6 in results
 
 
+class TestDepthZero:
+    """Regression: depth=0 used to fall back to the default depth via
+    ``depth or query_depth``; it must mean zero exploration rounds."""
+
+    def test_zero_exploration_rounds(self, web_sim):
+        graph = generate_twitter_graph(200, seed=4)
+        recommender = _build(graph, sorted(graph.nodes())[:15], web_sim,
+                             beta=0.01)
+        user = sorted(graph.nodes())[50]
+        result = recommender.query(user, "technology", depth=0)
+        assert result.exploration.iterations == 0
+        assert result.exploration.topo_beta == {user: 1.0}
+
+    def test_landmark_user_composes_its_own_list(self, web_sim):
+        """With no exploration there is nothing to double count, so a
+        landmark user's stored list is served verbatim."""
+        graph = generate_twitter_graph(200, seed=4)
+        landmarks = sorted(graph.nodes())[:15]
+        recommender = _build(graph, landmarks, web_sim, beta=0.01)
+        user = landmarks[0]
+        result = recommender.query(user, "technology", depth=0)
+        stored = recommender.index.recommendations(user, "technology")
+        assert stored, "fixture landmark must store a non-empty list"
+        assert result.scores == pytest.approx(
+            {entry.node: entry.score for entry in stored})
+        assert user in result.landmarks_encountered
+
+    def test_non_landmark_user_gets_no_scores(self, web_sim):
+        graph = generate_twitter_graph(200, seed=4)
+        landmarks = sorted(graph.nodes())[:15]
+        recommender = _build(graph, landmarks, web_sim, beta=0.01)
+        user = next(n for n in sorted(graph.nodes()) if n not in landmarks)
+        result = recommender.query(user, "technology", depth=0)
+        assert result.scores == {}
+        assert result.landmarks_encountered == ()
+
+    def test_depth_one_still_skips_own_landmark(self, web_sim):
+        """At depth >= 1 the user's own stored list would double count
+        the directly-explored walks, so it stays excluded."""
+        graph = _tech_path(7)
+        recommender = _build(graph, [0, 2], web_sim)
+        result = recommender.query(0, "technology", depth=2)
+        assert 0 not in result.landmarks_encountered
+
+
+class TestDeterminism:
+    def test_landmark_order_does_not_change_scores(self, web_sim):
+        """Composition iterates landmarks in sorted order, so float
+        accumulation is independent of the order they were built in."""
+        graph = generate_twitter_graph(200, seed=9)
+        landmarks = sorted(graph.nodes())[:12]
+        forward = _build(graph, landmarks, web_sim, beta=0.01)
+        backward = _build(graph, list(reversed(landmarks)), web_sim,
+                          beta=0.01)
+        for user in sorted(graph.nodes())[20:25]:
+            first = forward.query(user, "technology")
+            second = backward.query(user, "technology")
+            assert first.scores == second.scores
+            assert (first.landmarks_encountered
+                    == second.landmarks_encountered)
+
+
 class TestMultipleLandmarks:
     def test_scores_aggregate_over_landmarks(self, web_sim):
         """Two disjoint branches, one landmark each: both contribute."""

@@ -3,9 +3,11 @@
 import pytest
 
 from repro import ScoreParams
-from repro.config import LandmarkParams
+from repro.config import EngineParams, LandmarkParams
 from repro.core.exact import single_source_scores
+from repro.core.fast import scipy_available
 from repro.datasets import generate_twitter_graph
+from repro.graph.builders import complete_graph, path_graph
 from repro.landmarks import LandmarkIndex
 from repro.semantics.vocabularies import WEB_TOPICS
 
@@ -68,6 +70,114 @@ class TestBuild:
 
     def test_unknown_topic_returns_empty(self, index):
         assert index.recommendations(3, "astrology") == []
+
+
+def _assert_same_lists(first, second, topics):
+    """Same landmarks, same nodes in order, scores within 1e-9."""
+    assert sorted(first.landmarks) == sorted(second.landmarks)
+    for landmark in first.landmarks:
+        for topic in topics:
+            ours = first.recommendations(landmark, topic)
+            theirs = second.recommendations(landmark, topic)
+            assert [e.node for e in ours] == [e.node for e in theirs]
+            for a, b in zip(ours, theirs):
+                assert a.score == pytest.approx(b.score, abs=1e-9)
+                assert a.topo == pytest.approx(b.topo, abs=1e-9)
+                assert a.topo_ab == pytest.approx(b.topo_ab, abs=1e-9)
+
+
+class TestEngineSelection:
+    TOPICS = ["technology", "food"]
+
+    def _build(self, graph, web_sim, **kwargs):
+        return LandmarkIndex.build(
+            graph, landmarks=[3, 14, 15, 40, 77], topics=self.TOPICS,
+            similarity=web_sim, params=ScoreParams(beta=0.004),
+            landmark_params=LandmarkParams(num_landmarks=5, top_n=25),
+            **kwargs)
+
+    @pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+    def test_sparse_matches_dict(self, graph, web_sim):
+        sparse = self._build(graph, web_sim, engine="sparse")
+        reference = self._build(graph, web_sim, engine="dict")
+        assert sparse.engine_used == "sparse"
+        assert reference.engine_used == "dict"
+        _assert_same_lists(sparse, reference, self.TOPICS)
+
+    @pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+    def test_small_batches_match_one_shot(self, graph, web_sim):
+        batched = self._build(graph, web_sim, engine="sparse", batch_size=2)
+        one_shot = self._build(graph, web_sim, engine="sparse",
+                               batch_size=64)
+        _assert_same_lists(batched, one_shot, self.TOPICS)
+
+    def test_threaded_dict_matches_serial(self, graph, web_sim):
+        fanned = self._build(graph, web_sim, engine="dict", workers=4)
+        serial = self._build(graph, web_sim, engine="dict")
+        assert fanned.engine_used == "dict"
+        _assert_same_lists(fanned, serial, self.TOPICS)
+
+    def test_auto_resolves_to_available_engine(self, graph, web_sim):
+        index = self._build(graph, web_sim, engine="auto")
+        expected = "sparse" if scipy_available() else "dict"
+        assert index.engine_used == expected
+        assert index.stats()["engine"] == expected
+
+    def test_engine_params_object_accepted(self, graph, web_sim):
+        index = self._build(graph, web_sim,
+                            engine=EngineParams(engine="dict", workers=2))
+        assert index.engine_used == "dict"
+
+    def test_build_seconds_recorded_for_every_engine(self, graph, web_sim):
+        for kwargs in ({"engine": "dict"}, {"engine": "dict", "workers": 3},
+                       {"engine": "auto"}):
+            index = self._build(graph, web_sim, **kwargs)
+            assert set(index.build_seconds) == {3, 14, 15, 40, 77}
+            assert all(v >= 0.0 for v in index.build_seconds.values())
+
+
+class TestPrecomputeDepthCap:
+    @pytest.mark.parametrize("engine", ["dict"] + (
+        ["sparse"] if scipy_available() else []))
+    def test_cap_limits_walk_length(self, web_sim, engine):
+        """precompute_depth is a hard cap: on a path, a landmark's list
+        only reaches nodes within that many hops."""
+        graph = path_graph(12, topics=["technology"])
+        index = LandmarkIndex.build(
+            graph, landmarks=[0], topics=["technology"],
+            similarity=web_sim, params=ScoreParams(beta=0.3),
+            landmark_params=LandmarkParams(top_n=100, precompute_depth=3),
+            engine=engine)
+        nodes = {e.node for e in index.recommendations(0, "technology")}
+        assert nodes == {1, 2, 3}
+
+    @pytest.mark.parametrize("engine", ["dict"] + (
+        ["sparse"] if scipy_available() else []))
+    def test_cap_prevents_convergence_error(self, web_sim, engine):
+        """Regression: a non-converging graph used to raise
+        ConvergenceError during preprocessing; the cap truncates
+        instead."""
+        graph = complete_graph(6, topics=["technology"])
+        params = ScoreParams(beta=0.5, alpha=1.0, max_iter=60)
+        index = LandmarkIndex.build(
+            graph, landmarks=[0, 1], topics=["technology"],
+            similarity=web_sim, params=params,
+            landmark_params=LandmarkParams(top_n=10, precompute_depth=8),
+            engine=engine)
+        assert len(index.recommendations(0, "technology")) > 0
+
+    def test_uncapped_build_still_demands_convergence(self, web_sim):
+        from repro.errors import ConvergenceError
+
+        graph = complete_graph(6, topics=["technology"])
+        params = ScoreParams(beta=0.5, alpha=1.0, max_iter=60)
+        with pytest.raises(ConvergenceError):
+            LandmarkIndex.build(
+                graph, landmarks=[0], topics=["technology"],
+                similarity=web_sim, params=params,
+                landmark_params=LandmarkParams(top_n=10,
+                                               precompute_depth=None),
+                engine="dict")
 
 
 class TestFootprint:

@@ -120,3 +120,24 @@ class TestLandmarks:
 
         index = load_index(out)
         assert len(index.landmarks) == 3
+
+    def test_engine_and_workers_flags(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "index_dict.rplm"
+        code = main(["landmarks", str(graph_file), "--count", "3",
+                     "--top", "10", "--out", str(out),
+                     "--engine", "dict", "--workers", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "engine=dict" in captured.out
+
+    def test_engine_choices_enforced(self, graph_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["landmarks", str(graph_file), "--engine", "quantum"])
+
+    def test_engine_flag_on_evaluate(self, graph_file, capsys):
+        code = main(["evaluate", str(graph_file), "--methods", "Tr",
+                     "--test-size", "3", "--negatives", "20",
+                     "--engine", "auto"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Tr" in captured.out

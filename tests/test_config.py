@@ -3,6 +3,8 @@
 import pytest
 
 from repro.config import (
+    ENGINE_CHOICES,
+    EngineParams,
     EvaluationParams,
     LandmarkParams,
     PAPER_ALPHA,
@@ -56,6 +58,33 @@ class TestLandmarkParams:
     def test_invalid(self, kwargs):
         with pytest.raises(ConfigurationError):
             LandmarkParams(**kwargs)
+
+
+class TestLandmarkParamsPrecomputeDepth:
+    def test_none_disables_the_cap(self):
+        assert LandmarkParams(precompute_depth=None).precompute_depth is None
+
+    def test_default_is_a_true_cap(self):
+        assert LandmarkParams().precompute_depth == 20
+
+
+class TestEngineParams:
+    def test_defaults(self):
+        params = EngineParams()
+        assert params.engine == "auto"
+        assert params.workers == 1
+        assert params.batch_size == 32
+
+    @pytest.mark.parametrize("kwargs", [
+        {"engine": "quantum"}, {"workers": 0}, {"batch_size": 0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            EngineParams(**kwargs)
+
+    def test_every_choice_constructible(self):
+        for name in ENGINE_CHOICES:
+            assert EngineParams(engine=name).engine == name
 
 
 class TestEvaluationParams:
