@@ -1,0 +1,34 @@
+"""Repo-specific static analysis: custom AST lints for the repro tree.
+
+``python -m repro.analysis [paths]`` runs six rules that encode the
+invariants this codebase keeps re-learning by fixing bugs — falsy
+``or``-fallbacks on numeric parameters, nondeterministic set/dict
+iteration feeding float accumulation, unseeded randomness, mutable
+defaults, unbounded propagation loops, and blind exception handlers.
+See ``docs/ANALYSIS.md`` for each rule's motivating bug, the
+``# repro: ignore[RULE] -- why`` suppression syntax, and how to add a
+rule.
+
+Public surface:
+
+- :func:`check_source` / :func:`check_paths` — run the pass in-process
+  (the test fixtures drive rules through :func:`check_source`);
+- :class:`Finding` — one violation;
+- :class:`Rule` / :func:`register` / :data:`REGISTRY` — the plug-in
+  point for new rules.
+"""
+
+from .engine import check_file, check_paths, check_source
+from .findings import Finding
+from .rules import REGISTRY, Rule, all_rules, register
+
+__all__ = [
+    "Finding",
+    "REGISTRY",
+    "Rule",
+    "all_rules",
+    "check_file",
+    "check_paths",
+    "check_source",
+    "register",
+]

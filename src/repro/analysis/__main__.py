@@ -1,0 +1,71 @@
+"""CLI entry point: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 — clean; 1 — findings; 2 — usage error. CI runs this as
+a hard gate (see ``.github/workflows/ci.yml``), so a new violation of
+any rule fails the build exactly like a failing test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .engine import check_paths
+from .report import render_json, render_rule_list, render_text
+from .rules import REGISTRY
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific static analysis for the repro codebase "
+                    "(see docs/ANALYSIS.md for the rule catalogue).")
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is stable for CI consumption)")
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run, e.g. R1,R2 (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        print(render_rule_list())
+        return 0
+
+    select: Optional[List[str]] = None
+    if options.select:
+        select = [part.strip() for part in options.select.split(",")
+                  if part.strip()]
+        unknown = [rule_id for rule_id in select if rule_id not in REGISTRY]
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)} "
+                  f"(known: {', '.join(sorted(REGISTRY))})", file=sys.stderr)
+            return 2
+
+    try:
+        findings = check_paths(options.paths, select=select)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if options.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

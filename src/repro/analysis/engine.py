@@ -1,0 +1,97 @@
+"""Runner: parse files, apply rules, honour suppressions.
+
+The engine is deliberately small — rules do the analysis, this module
+does I/O, suppression filtering, and the ``R0`` suppression-hygiene
+findings (a suppression missing its justification, or naming an
+unknown rule, is itself an unsuppressible finding).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .findings import Finding
+from .rules import REGISTRY, ModuleContext, Rule, all_rules
+from .suppress import hygiene_messages, parse_suppressions
+
+
+def check_source(source: str, path: str = "<string>",
+                 rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint a source string; returns unsuppressed findings, sorted.
+
+    Raises:
+        SyntaxError: if *source* does not parse — a file the linter
+            cannot read must fail loudly, not pass silently.
+    """
+    tree = ast.parse(source, filename=path)
+    module = ModuleContext(path=path, source=source, tree=tree)
+    active = list(rules) if rules is not None else all_rules()
+    suppressions = parse_suppressions(source)
+    # R0 is a legal id to *name* (the hygiene docs mention it) but
+    # suppressing it has no effect: R0 findings are added after the
+    # suppression filter below.
+    known = ["R0"] + list(REGISTRY)
+
+    findings: List[Finding] = []
+    for rule in active:
+        for finding in rule.check(module):
+            suppression = suppressions.get(finding.line)
+            if suppression is not None and suppression.covers(finding.rule):
+                continue
+            findings.append(finding)
+
+    # Suppression hygiene (R0): never suppressible, always checked.
+    for suppression in suppressions.values():
+        for message in hygiene_messages(suppression, known):
+            findings.append(Finding(path=path, line=suppression.line, col=0,
+                                    rule="R0", message=message))
+    return sorted(findings)
+
+
+def check_file(path: Path,
+               rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint one file. Syntax errors become a single R0 finding."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        return check_source(source, path=str(path), rules=rules)
+    except SyntaxError as exc:
+        return [Finding(path=str(path), line=exc.lineno or 1, col=0,
+                        rule="R0", message=f"file does not parse: {exc.msg}")]
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+    return files
+
+
+def check_paths(paths: Iterable[str],
+                select: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint every python file under *paths*.
+
+    Args:
+        paths: Files or directories.
+        select: Rule ids to run (default: all registered rules).
+
+    Raises:
+        KeyError: if *select* names an unregistered rule.
+    """
+    if select is not None:
+        rules: Optional[List[Rule]] = [REGISTRY[rule_id]()
+                                       for rule_id in select]
+    else:
+        rules = None
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(check_file(path, rules=rules))
+    return sorted(findings)

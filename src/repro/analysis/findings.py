@@ -1,0 +1,39 @@
+"""Finding records produced by the static-analysis pass.
+
+A :class:`Finding` pins one rule violation to a file, line and column.
+Findings are plain data so that the reporters (text, JSON) and the test
+suite can consume them without touching the AST machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a concrete source location.
+
+    Attributes:
+        path: File the finding is in, as given to the runner.
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        rule: Rule identifier (``R1`` … ``R6``, or ``R0`` for
+            suppression-hygiene findings raised by the engine itself).
+        message: Human-readable explanation with the suggested fix.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable representation."""
+        return asdict(self)
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — the text-report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

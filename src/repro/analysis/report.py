@@ -1,0 +1,54 @@
+"""Renderers for analysis findings: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List
+
+from .findings import Finding
+from .rules import REGISTRY
+
+#: Version of the JSON report schema, bumped on breaking changes so CI
+#: consumers can pin what they parse.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: List[Finding]) -> str:
+    """One ``path:line:col: RULE message`` line per finding + summary."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        counts = Counter(finding.rule for finding in findings)
+        breakdown = ", ".join(f"{rule}={count}"
+                              for rule, count in sorted(counts.items()))
+        lines.append(f"{len(findings)} finding"
+                     f"{'s' if len(findings) != 1 else ''} ({breakdown})")
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding]) -> str:
+    """Machine-readable report for CI annotation tooling."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [finding.to_dict() for finding in findings],
+        "counts": dict(sorted(
+            Counter(finding.rule for finding in findings).items())),
+        "total": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """``--list-rules`` output: id, name, and what each rule prevents."""
+    lines = []
+    for rule_id in sorted(REGISTRY):
+        rule = REGISTRY[rule_id]
+        lines.append(f"{rule_id}  {rule.name}")
+        lines.append(f"    {rule.description}")
+    lines.append("R0  suppression-hygiene")
+    lines.append("    raised by the engine itself: a '# repro: ignore[...]' "
+                 "comment without a '-- justification', naming an unknown "
+                 "rule, or a file that fails to parse. Not suppressible.")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Per-line suppression comments for the static-analysis pass.
+
+Syntax, on the same line as the finding::
+
+    frontier = set(nodes)  # repro: ignore[R2] -- iteration order irrelevant: feeds a set union
+
+Several rules may be silenced at once (``ignore[R1,R2]``). The text
+after ``--`` is the *justification* and is mandatory: a suppression
+without one is itself reported as an ``R0`` finding, as is a
+suppression naming an unknown rule. This keeps the acceptance
+criterion — "every suppression carries a justification" — mechanical
+rather than a review convention.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List
+
+SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]\s*(?:--\s*(\S.*))?")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro: ignore[...]`` comment."""
+
+    line: int
+    rules: tuple
+    justification: str
+
+    def covers(self, rule: str) -> bool:
+        """Whether this comment silences *rule* on its line."""
+        return rule in self.rules
+
+
+def parse_suppressions(source: str) -> Dict[int, Suppression]:
+    """Map line number -> suppression for every ignore comment in *source*.
+
+    Tokenizes rather than regex-scanning raw lines so that ``repro:
+    ignore`` inside string literals does not count.
+    """
+    suppressions: Dict[int, Suppression] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(part.strip() for part in match.group(1).split(",")
+                      if part.strip())
+        justification = (match.group(2) or "").strip()
+        suppressions[token.start[0]] = Suppression(
+            line=token.start[0], rules=rules, justification=justification)
+    return suppressions
+
+
+def hygiene_messages(suppression: Suppression,
+                     known_rules: List[str]) -> List[str]:
+    """R0 complaints about a suppression comment itself, if any."""
+    messages: List[str] = []
+    if not suppression.justification:
+        messages.append(
+            "suppression lacks a justification: write "
+            "'# repro: ignore[RULE] -- why this is safe'")
+    for rule in suppression.rules:
+        if rule not in known_rules:
+            messages.append(
+                f"suppression names unknown rule {rule!r} "
+                f"(known: {', '.join(sorted(known_rules))})")
+    return messages

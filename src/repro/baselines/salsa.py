@@ -69,7 +69,7 @@ class SalsaRecommender:
         mass: Dict[int, float] = {user: 1.0}
         for _ in range(self.walk_iterations):
             spread: Dict[int, float] = {}
-            for node, value in mass.items():
+            for node, value in sorted(mass.items()):
                 followees = self.graph.out_neighbors(node)
                 if not followees:
                     spread[user] = spread.get(user, 0.0) + value
@@ -79,7 +79,7 @@ class SalsaRecommender:
                     spread[followee] = spread.get(followee, 0.0) + share
             mass = {user: self.restart}
             damp = 1.0 - self.restart
-            for node, value in spread.items():
+            for node, value in sorted(spread.items()):
                 mass[node] = mass.get(node, 0.0) + damp * value
         ranked = sorted(
             ((node, value) for node, value in mass.items() if node != user),

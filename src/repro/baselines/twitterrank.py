@@ -22,6 +22,7 @@ exploits when explaining Figures 8–9 (TwitterRank follows popularity).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..errors import ConfigurationError
@@ -95,7 +96,7 @@ class TwitterRank:
 
     @staticmethod
     def _normalise(distribution: Dict[str, float]) -> Dict[str, float]:
-        total = sum(distribution.values())
+        total = math.fsum(distribution.values())
         if total <= 0.0:
             return {}
         return {topic: value / total for topic, value in distribution.items()}
@@ -116,7 +117,7 @@ class TwitterRank:
             node: self._interest[node].get(topic, 0.0)
             for node in self.graph.nodes()
         }
-        total = sum(raw.values())
+        total = math.fsum(raw.values())
         if total <= 0.0:
             # Nobody is interested in the topic: fall back to uniform,
             # like standard PageRank on an empty personalisation vector.
@@ -147,7 +148,7 @@ class TwitterRank:
         for _ in range(self.max_iter):
             incoming: Dict[int, float] = {}
             dangling_mass = 0.0
-            for node, mass in scores.items():
+            for node, mass in sorted(scores.items()):
                 row = transitions.get(node)
                 if row is None:
                     dangling_mass += mass
@@ -157,7 +158,7 @@ class TwitterRank:
                         incoming.get(followee, 0.0) + mass * probability)
             updated: Dict[int, float] = {}
             drift = 0.0
-            for node, teleport_mass in teleport.items():
+            for node, teleport_mass in sorted(teleport.items()):
                 value = (self.gamma * (incoming.get(node, 0.0)
                                        + dangling_mass * teleport_mass)
                          + (1.0 - self.gamma) * teleport_mass)
@@ -182,10 +183,10 @@ class TwitterRank:
     def aggregate_rank(self, weights: Mapping[str, float]) -> Dict[int, float]:
         """Weighted aggregation ``TR = Σ_t r_t · TR_t`` over topics."""
         combined: Dict[int, float] = {}
-        for topic, weight in weights.items():
+        for topic, weight in sorted(weights.items()):
             if weight <= 0.0:
                 continue
-            for node, value in self.rank(topic).items():
+            for node, value in sorted(self.rank(topic).items()):
                 combined[node] = combined.get(node, 0.0) + weight * value
         return combined
 

@@ -9,7 +9,8 @@ baselines — agrees on one validated set of knobs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import math
+from dataclasses import dataclass, replace
 from typing import Mapping, Optional
 
 from .errors import ConfigurationError
@@ -182,7 +183,7 @@ def normalize_weights(weights: Mapping[str, float]) -> dict[str, float]:
         raise ConfigurationError("query must contain at least one topic")
     if any(w < 0 for w in weights.values()):
         raise ConfigurationError("topic weights must be non-negative")
-    total = float(sum(weights.values()))
+    total = math.fsum(weights.values())
     if total <= 0.0:
         raise ConfigurationError("topic weights must not all be zero")
     return {topic: w / total for topic, w in weights.items()}

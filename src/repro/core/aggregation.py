@@ -60,12 +60,12 @@ def weighted_sum(lists: ScoreLists,
     if not lists:
         raise ConfigurationError("nothing to aggregate")
     fused: Dict[int, float] = {}
-    for name, scores in lists.items():
+    for name, scores in sorted(lists.items()):
         weight = 1.0 if weights is None else weights.get(name, 0.0)
         if weight == 0.0:
             continue
         source = _normalise(scores) if normalise else scores
-        for item, value in source.items():
+        for item, value in sorted(source.items()):
             fused[item] = fused.get(item, 0.0) + weight * value
     return fused
 
@@ -81,8 +81,8 @@ def comb_mnz(lists: ScoreLists) -> Dict[int, float]:
         raise ConfigurationError("nothing to aggregate")
     summed = comb_sum(lists)
     support: Dict[int, int] = {}
-    for scores in lists.values():
-        for item, value in scores.items():
+    for scores in lists.values():  # repro: ignore[R2] -- support counts are integers; addition is exact in any order
+        for item, value in scores.items():  # repro: ignore[R2] -- support counts are integers; addition is exact in any order
             if value > 0.0:
                 support[item] = support.get(item, 0) + 1
     return {item: value * support.get(item, 0)
@@ -101,7 +101,7 @@ def borda(lists: ScoreLists) -> Dict[int, float]:
     universe = {item for scores in lists.values() for item in scores}
     pool_size = len(universe)
     fused: Dict[int, float] = {}
-    for scores in lists.values():
+    for scores in lists.values():  # repro: ignore[R2] -- Borda points are integers; addition is exact in any order
         ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
         for position, (item, _) in enumerate(ranked):
             fused[item] = fused.get(item, 0.0) + (pool_size - position)
@@ -116,7 +116,7 @@ def reciprocal_rank_fusion(lists: ScoreLists, k: float = 60.0,
     if k <= 0:
         raise ConfigurationError(f"k must be positive, got {k}")
     fused: Dict[int, float] = {}
-    for scores in lists.values():
+    for _, scores in sorted(lists.items()):
         ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
         for position, (item, _) in enumerate(ranked, start=1):
             fused[item] = fused.get(item, 0.0) + 1.0 / (k + position)

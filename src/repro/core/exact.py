@@ -19,7 +19,7 @@ Plus the Proposition 3 machinery: spectral-radius estimation and the
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
@@ -154,7 +154,7 @@ def single_source_scores(
     """
     if authority is None:
         authority = AuthorityIndex(graph)
-    cache = sim_cache or _MaxSimCache(similarity)
+    cache = sim_cache if sim_cache is not None else _MaxSimCache(similarity)
     beta = params.beta
     alphabeta = params.edge_decay
     edge_factor = params.beta * params.alpha
@@ -186,11 +186,11 @@ def single_source_scores(
         if not touched:
             converged = True
             break
-        for walker in touched:
+        for walker in sorted(touched):
             tb_mass = frontier_tb.get(walker, 0.0)
             tab_mass = frontier_tab.get(walker, 0.0)
             r_masses = [frontier_r[topic].get(walker, 0.0) for topic in topics]
-            for neighbor, label in graph.out_neighbors(walker).items():
+            for neighbor, label in sorted(graph.out_neighbors(walker).items()):
                 if tb_mass:
                     next_tb[neighbor] = next_tb.get(neighbor, 0.0) + beta * tb_mass
                 if tab_mass:
@@ -209,15 +209,16 @@ def single_source_scores(
                         bucket = next_r[topic]
                         bucket[neighbor] = bucket.get(neighbor, 0.0) + increment
         iterations += 1
-        new_mass = sum(sum(bucket.values()) for bucket in next_r.values())
-        new_mass += sum(next_tb.values())
-        for node, value in next_tb.items():
+        new_mass = math.fsum(
+            math.fsum(bucket.values()) for bucket in next_r.values())
+        new_mass += math.fsum(next_tb.values())
+        for node, value in sorted(next_tb.items()):
             cumulative_tb[node] = cumulative_tb.get(node, 0.0) + value
-        for node, value in next_tab.items():
+        for node, value in sorted(next_tab.items()):
             cumulative_tab[node] = cumulative_tab.get(node, 0.0) + value
         for topic in topics:
             bucket = cumulative_scores[topic]
-            for node, value in next_r[topic].items():
+            for node, value in sorted(next_r[topic].items()):
                 bucket[node] = bucket.get(node, 0.0) + value
         frontier_r, frontier_tb, frontier_tab = next_r, next_tb, next_tab
         if new_mass < params.tolerance:
@@ -225,7 +226,8 @@ def single_source_scores(
             break
 
     if max_depth is None and not converged:
-        remaining = sum(sum(b.values()) for b in frontier_r.values())
+        remaining = math.fsum(
+            math.fsum(b.values()) for b in frontier_r.values())
         raise ConvergenceError(
             f"propagation from node {source} did not converge within "
             f"{params.max_iter} iterations (check β against Prop. 3)",

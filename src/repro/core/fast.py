@@ -26,7 +26,7 @@ landmarks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -95,7 +95,8 @@ class SparseEngine:
         self.graph = graph
         self.similarity = similarity
         self.params = params
-        self._authority = authority or AuthorityIndex(graph)
+        self._authority = (authority if authority is not None
+                           else AuthorityIndex(graph))
         self._nodes: List[int] = sorted(graph.nodes())
         self._position: Dict[int, int] = {
             node: i for i, node in enumerate(self._nodes)}
@@ -115,7 +116,7 @@ class SparseEngine:
         self._semantic_cache: Dict[str, "_sparse.csr_matrix"] = {}
 
     # ------------------------------------------------------------------
-    def _semantic_matrix(self, topic: str):
+    def _semantic_matrix(self, topic: str) -> Any:
         cached = self._semantic_cache.get(topic)
         if cached is not None:
             return cached

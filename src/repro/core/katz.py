@@ -8,6 +8,7 @@ link-prediction baseline.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional
 
 from ..config import ScoreParams
@@ -36,16 +37,16 @@ def katz_scores(graph: LabeledSocialGraph, source: int,
     limit = params.max_iter if max_depth is None else max_depth
     for _ in range(limit):
         next_frontier: Dict[int, float] = {}
-        for walker, mass in frontier.items():
+        for walker, mass in sorted(frontier.items()):
             spread = beta * mass
-            for neighbor in graph.out_neighbors(walker):
+            for neighbor in sorted(graph.out_neighbors(walker)):
                 next_frontier[neighbor] = next_frontier.get(neighbor, 0.0) + spread
         if not next_frontier:
             break
-        for node, value in next_frontier.items():
+        for node, value in sorted(next_frontier.items()):
             cumulative[node] = cumulative.get(node, 0.0) + value
         frontier = next_frontier
-        if sum(next_frontier.values()) < params.tolerance:
+        if math.fsum(next_frontier.values()) < params.tolerance:
             break
     return cumulative
 

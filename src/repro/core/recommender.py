@@ -17,7 +17,7 @@ constructor flags:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 from ..config import ScoreParams, normalize_weights
 from ..errors import ConfigurationError
@@ -48,7 +48,7 @@ class _UnitSimilarity:
         self._base = base
 
     @property
-    def topics(self):
+    def topics(self) -> Tuple[str, ...]:
         """Topic tuple of the wrapped matrix."""
         return self._base.topics
 

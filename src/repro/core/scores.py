@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 from ..config import ScoreParams
 from ..graph.labeled_graph import LabeledSocialGraph
@@ -100,8 +100,8 @@ class AuthorityIndex:
         self._log_max.clear()
 
 
-def edge_relevance(similarity: SimilarityMatrix, edge_topics, topic: str,
-                   distance: int, params: ScoreParams) -> float:
+def edge_relevance(similarity: SimilarityMatrix, edge_topics: Iterable[str],
+                   topic: str, distance: int, params: ScoreParams) -> float:
     """Equation 3: ``ε_e(t) = α^d · max_{t'∈label(e)} sim(t', t)``.
 
     Args:
@@ -168,8 +168,8 @@ def compose_path_scores(first: PathScore, second: PathScore,
 
 
 def single_edge_score(similarity: SimilarityMatrix,
-                      authority: AuthorityIndex, edge_topics, target: int,
-                      topic: str, params: ScoreParams) -> float:
+                      authority: AuthorityIndex, edge_topics: Iterable[str],
+                      target: int, topic: str, params: ScoreParams) -> float:
     """``ω_{w→v}(t) = β·α·maxsim(label, t)·auth(v, t)`` (Prop. 1).
 
     The total score of the length-one path consisting of one edge into

@@ -149,7 +149,7 @@ def generate_dblp_dataset(num_authors: int = 800, seed: SeedLike = None,
                           config: Optional[DblpConfig] = None,
                           ) -> DblpDataset:
     """Run the full §5.1 pipeline: venues → papers → citations → projection."""
-    cfg = config or DblpConfig(num_authors=num_authors)
+    cfg = config if config is not None else DblpConfig(num_authors=num_authors)
     if cfg.num_authors != num_authors:
         cfg = DblpConfig(**{**cfg.__dict__, "num_authors": num_authors})
     rng = rng_from_seed(seed)
@@ -276,7 +276,7 @@ def _propagate_venue_labels(rng: random.Random, cfg: DblpConfig,
     for venue in pending:
         votes: Dict[str, int] = {}
         mine = authors_of_venue.get(venue, set())
-        for labeled_venue, area in labels.items():
+        for labeled_venue, area in labels.items():  # repro: ignore[R2] -- overlap votes are integers; addition is exact in any order
             overlap = len(mine & authors_of_venue.get(labeled_venue, set()))
             if overlap:
                 votes[area] = votes.get(area, 0) + overlap

@@ -171,7 +171,7 @@ def generate_twitter_dataset(num_nodes: int = 2000,
 
 def _generate(num_nodes: int, seed: SeedLike,
               config: Optional[TwitterConfig]) -> TwitterDataset:
-    cfg = config or TwitterConfig(num_nodes=num_nodes)
+    cfg = config if config is not None else TwitterConfig(num_nodes=num_nodes)
     if cfg.num_nodes != num_nodes:
         cfg = TwitterConfig(**{**cfg.__dict__, "num_nodes": num_nodes})
     rng = rng_from_seed(seed)

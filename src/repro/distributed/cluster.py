@@ -17,6 +17,7 @@ distributed design must minimise.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -130,13 +131,13 @@ def distributed_single_source_scores(
         if not touched:
             converged = True
             break
-        for walker in touched:
+        for walker in sorted(touched):
             walker_part = assignment[walker]
             tb_mass = frontier_tb.get(walker, 0.0)
             tab_mass = frontier_tab.get(walker, 0.0)
             r_masses = [frontier_r[topic].get(walker, 0.0)
                         for topic in topics]
-            for neighbor, label in graph.out_neighbors(walker).items():
+            for neighbor, label in sorted(graph.out_neighbors(walker).items()):
                 neighbor_part = assignment[neighbor]
                 if neighbor_part == walker_part:
                     stats.local_transfers += 1
@@ -165,19 +166,20 @@ def distributed_single_source_scores(
                             bucket.get(neighbor, 0.0) + increment)
         stats.supersteps += 1
         stats.remote_messages += len(combined_remote)
-        for _, sender_part, receiver_part in combined_remote:
+        for _, sender_part, receiver_part in sorted(combined_remote):
             link = (sender_part, receiver_part)
             stats.per_link[link] = stats.per_link.get(link, 0) + 1
 
-        new_mass = sum(sum(bucket.values()) for bucket in next_r.values())
-        new_mass += sum(next_tb.values())
-        for node, value in next_tb.items():
+        new_mass = math.fsum(
+            math.fsum(bucket.values()) for bucket in next_r.values())
+        new_mass += math.fsum(next_tb.values())
+        for node, value in sorted(next_tb.items()):
             cumulative_tb[node] = cumulative_tb.get(node, 0.0) + value
-        for node, value in next_tab.items():
+        for node, value in sorted(next_tab.items()):
             cumulative_tab[node] = cumulative_tab.get(node, 0.0) + value
         for topic in topics:
             bucket = cumulative_scores[topic]
-            for node, value in next_r[topic].items():
+            for node, value in sorted(next_r[topic].items()):
                 bucket[node] = bucket.get(node, 0.0) + value
         frontier_r, frontier_tb, frontier_tab = next_r, next_tb, next_tab
         if new_mass < params.tolerance:

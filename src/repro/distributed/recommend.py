@@ -67,10 +67,12 @@ class DistributedLandmarkService:
         self.graph = graph
         self.assignment = assignment
         self.index = index
-        self.params = params or index.params
-        self.landmark_params = landmark_params or index.landmark_params
+        self.params = params if params is not None else index.params
+        self.landmark_params = (landmark_params if landmark_params is not None
+                                else index.landmark_params)
         self._similarity = similarity
-        self._authority = authority or AuthorityIndex(graph)
+        self._authority = (authority if authority is not None
+                           else AuthorityIndex(graph))
         self._landmark_set = frozenset(index.landmarks)
         # Sorted composition order keeps float accumulation — and the
         # resulting tie-sensitive rankings — deterministic across

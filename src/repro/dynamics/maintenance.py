@@ -21,7 +21,7 @@ whether a policy is good enough.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..config import ScoreParams
@@ -67,7 +67,7 @@ class _BaseMaintainer:
         self.index = index
         self.topics = list(topics)
         self.similarity = similarity
-        self.params = params or index.params
+        self.params = params if params is not None else index.params
         self.stats = MaintenanceStats()
         #: Landmarks rebuilt at least once over this maintainer's life.
         self.rebuilt_ever: Set[int] = set()
@@ -212,7 +212,7 @@ def measure_staleness(
     0 means the index still matches the current graph exactly; values
     grow as churn invalidates the precomputation.
     """
-    params = params or index.params
+    params = params if params is not None else index.params
     landmarks = list(sample) if sample is not None else list(index.landmarks)
     authority = AuthorityIndex(graph)
     distances: List[float] = []

@@ -20,7 +20,7 @@ quantify that claim (and are standard recommender-system diagnostics):
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, Sequence
 
 from ..core.scores import AuthorityIndex
 from ..errors import EvaluationError
@@ -82,7 +82,7 @@ def specialisation(graph: LabeledSocialGraph,
     attributes to Tr's picks.
     """
     _require_lists(lists)
-    authority = authority or AuthorityIndex(graph)
+    authority = authority if authority is not None else AuthorityIndex(graph)
     values = [authority.local_authority(node, topic)
               for entries in lists for node in entries]
     return sum(values) / len(values)

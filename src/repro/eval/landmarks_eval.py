@@ -11,7 +11,7 @@ landmarks store their top-10 / top-100 / top-1000.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..config import LandmarkParams, ScoreParams
 from ..core.exact import single_source_scores
@@ -162,7 +162,7 @@ def evaluate_strategy_quality(
     stored top-n.
     """
     rng = rng_from_seed(seed)
-    topic = evaluation_topic or topics[0]
+    topic = evaluation_topic if evaluation_topic is not None else topics[0]
     landmarks = select_landmarks(graph, strategy, num_landmarks,
                                  rng=spawn_rng(rng, strategy))
     authority = AuthorityIndex(graph)
@@ -200,7 +200,7 @@ def evaluate_strategy_quality(
                 params=params.with_(max_iter=comparison_depth))
         exact_top = [node for node, _ in exact_state.ranked(
             topic, top_n=top_k_compare, exclude=(query,))]
-        for top_n, recommender in recommenders.items():
+        for top_n, recommender in sorted(recommenders.items()):
             if top_n == largest:
                 with approx_watch:
                     result = recommender.query(query, topic)

@@ -21,7 +21,7 @@ bottom of this module.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..config import EvaluationParams, ScoreParams
 from ..core.katz import katz_scores

@@ -12,7 +12,7 @@ L1000 columns.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence
+from typing import Mapping, Sequence
 
 
 def recall_at(hits: int, num_lists: int) -> float:

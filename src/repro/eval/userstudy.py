@@ -23,7 +23,7 @@ TwitterRank collapsing on DBLP — not the absolute panel means.
 
 from __future__ import annotations
 
-import random
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -116,7 +116,7 @@ class TwitterStudyResult:
     def overall(self, method: str) -> float:
         """Mean mark of *method* across all study topics."""
         per_topic = self.mean_marks[method]
-        return sum(per_topic.values()) / len(per_topic)
+        return math.fsum(per_topic.values()) / len(per_topic)
 
 
 def run_twitter_study(
@@ -137,7 +137,8 @@ def run_twitter_study(
     method and topic.
     """
     rng = rng_from_seed(seed)
-    panel = panel or JudgePanel(size=54, seed=rng.getrandbits(32))
+    panel = (panel if panel is not None
+             else JudgePanel(size=54, seed=rng.getrandbits(32)))
     authority = AuthorityIndex(graph)
     if query_users is None:
         eligible = sorted(
@@ -239,7 +240,7 @@ def run_dblp_study(
         area = profile[0]
         references = list(graph.out_neighbors(judge))
         totals: Dict[str, int] = {}
-        for name, method in methods.items():
+        for name, method in methods.items():  # repro: ignore[R2] -- marks are integers and each method accumulates independently; reordering would perturb the shared judge rng stream
             proposals = [
                 account for account in method(judge, area, top_k * 4)
                 if graph.in_degree(account) <= citation_cap

@@ -16,7 +16,6 @@ All functions treat the graph as unweighted and directed.
 
 from __future__ import annotations
 
-import random
 from collections import deque
 from typing import Dict, Iterable, Optional, Sequence
 
@@ -114,7 +113,7 @@ def closeness_centrality(graph: LabeledSocialGraph,
     for node in node_list:
         distances = bfs_levels(graph, node, direction=direction)
         reachable = len(distances) - 1
-        total = sum(distances.values())
+        total = sum(distances.values())  # repro: ignore[R2] -- BFS hop counts are integers; the sum is exact in any order
         if reachable > 0 and total > 0 and n > 1:
             result[node] = (reachable / (n - 1)) * (reachable / total)
         else:

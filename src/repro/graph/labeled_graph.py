@@ -102,7 +102,7 @@ class LabeledSocialGraph:
         self._out[source][target] = label
         self._in[target][source] = label
         counts = self._followers_on[target]
-        for topic in label:
+        for topic in sorted(label):
             counts[topic] = counts.get(topic, 0) + 1
         self._max_followers_cache = None
 

@@ -18,7 +18,7 @@ paper notes after Proposition 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import LandmarkParams, ScoreParams
@@ -94,10 +94,12 @@ class ApproximateRecommender:
     ) -> None:
         self.graph = graph
         self.index = index
-        self.params = params or index.params
-        self.landmark_params = landmark_params or index.landmark_params
+        self.params = params if params is not None else index.params
+        self.landmark_params = (landmark_params if landmark_params is not None
+                                else index.landmark_params)
         self._similarity = similarity
-        self._authority = authority or AuthorityIndex(graph)
+        self._authority = (authority if authority is not None
+                           else AuthorityIndex(graph))
         self._sim_cache = _MaxSimCache(similarity)
         self._landmark_set = frozenset(index.landmarks)
         # Sorted composition order: float accumulation order — and

@@ -17,6 +17,7 @@ identical up to floating-point accumulation order.
 
 from __future__ import annotations
 
+import math
 import sys
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -129,7 +130,8 @@ class LandmarkIndex:
 
         index = cls(params, landmark_params)
         index.engine_used = resolved
-        shared_authority = authority or AuthorityIndex(graph)
+        shared_authority = (authority if authority is not None
+                            else AuthorityIndex(graph))
         max_depth = landmark_params.precompute_depth
         topic_list = list(topics)
 
@@ -252,8 +254,8 @@ class LandmarkIndex:
         top-1000 for all topics".
         """
         total = 0
-        for per_topic in self._lists.values():
-            for entries in per_topic.values():
+        for per_topic in self._lists.values():  # repro: ignore[R2] -- byte counts are integers; addition is exact in any order
+            for entries in per_topic.values():  # repro: ignore[R2] -- byte counts are integers; addition is exact in any order
                 total += 32 * len(entries)
         return total
 
@@ -264,8 +266,9 @@ class LandmarkIndex:
             for per_topic in self._lists.values()
             for entries in per_topic.values()
         ]
-        mean_build = (sum(self.build_seconds.values()) / len(self.build_seconds)
-                      if self.build_seconds else 0.0)
+        mean_build = (
+            math.fsum(self.build_seconds.values()) / len(self.build_seconds)
+            if self.build_seconds else 0.0)
         return {
             "landmarks": float(len(self._lists)),
             "mean_entries_per_list": (

@@ -13,7 +13,8 @@ can reach (Central) or that reach many seeds (Out-Cen).
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Sequence
+import random
+from typing import Any, Callable, Dict, List, Sequence
 
 from ..errors import ConfigurationError
 from ..graph.labeled_graph import LabeledSocialGraph
@@ -31,7 +32,8 @@ def _check_count(graph: LabeledSocialGraph, count: int) -> None:
             f"cannot select {count} landmarks from {graph.num_nodes} nodes")
 
 
-def _weighted_sample(rng, weighted: Sequence[tuple[int, float]],
+def _weighted_sample(rng: random.Random,
+                     weighted: Sequence[tuple[int, float]],
                      count: int) -> List[int]:
     """Efraimidis–Spirakis weighted sampling without replacement.
 
@@ -164,7 +166,7 @@ def _coverage_scores(graph: LabeledSocialGraph, seeds: List[int],
     """
     scores: Dict[int, int] = {}
     for seed in seeds:
-        for node, hop in bfs_levels(graph, seed, max_depth=depth,
+        for node, hop in bfs_levels(graph, seed, max_depth=depth,  # repro: ignore[R2] -- coverage counts are integers; addition is exact in any order
                                     direction=direction).items():
             if hop > 0:
                 scores[node] = scores.get(node, 0) + 1
@@ -269,7 +271,7 @@ STRATEGIES: Dict[str, SelectionFn] = {
 
 
 def select_landmarks(graph: LabeledSocialGraph, strategy: str, count: int,
-                     rng: SeedLike = None, **options) -> List[int]:
+                     rng: SeedLike = None, **options: Any) -> List[int]:
     """Select *count* landmarks with the named Table-4 strategy.
 
     Raises:

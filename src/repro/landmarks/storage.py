@@ -101,7 +101,7 @@ def load_index(path: PathLike,
     top_n, offset = decode_uvarint(blob, offset)
     landmark_count, offset = decode_uvarint(blob, offset)
 
-    base = params or ScoreParams()
+    base = params if params is not None else ScoreParams()
     score_params = base.with_(beta=beta, alpha=alpha)
     index = LandmarkIndex(
         score_params,

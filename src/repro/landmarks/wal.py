@@ -21,7 +21,7 @@ from __future__ import annotations
 import struct
 import zlib
 from pathlib import Path
-from typing import Callable, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Iterator, List, Tuple, Union
 
 from ..errors import CorruptRecordError, StorageError
 from ..utils.varint import decode_uvarint, encode_uvarint

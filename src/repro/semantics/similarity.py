@@ -64,7 +64,8 @@ def lin_similarity(taxonomy: Taxonomy, first: str, second: str,
     """Lin similarity ``2·IC(lcs) / (IC(a) + IC(b))`` with structural IC."""
     if first == second:
         return 1.0
-    ic = information_content or uniform_information_content(taxonomy)
+    ic = (information_content if information_content is not None
+          else uniform_information_content(taxonomy))
     lcs = taxonomy.lowest_common_subsumer(first, second)
     denominator = ic[first] + ic[second]
     if denominator <= 0.0:

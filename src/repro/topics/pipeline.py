@@ -77,8 +77,9 @@ class LabelingPipeline:
                  classifier: MultiLabelClassifier | None = None,
                  holdout_fraction: float = 0.25,
                  follower_min_share: float = 0.2) -> None:
-        self.tagger = tagger or KeywordSeedTagger()
-        self.classifier = classifier or MultiLabelClassifier()
+        self.tagger = tagger if tagger is not None else KeywordSeedTagger()
+        self.classifier = (classifier if classifier is not None
+                           else MultiLabelClassifier())
         self.holdout_fraction = holdout_fraction
         self.follower_min_share = follower_min_share
 

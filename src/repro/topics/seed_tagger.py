@@ -60,7 +60,7 @@ class KeywordSeedTagger:
             topic = self._keyword_topic.get(token)
             if topic is not None:
                 hits[topic] += 1
-        total = sum(hits.values())
+        total = sum(hits.values())  # repro: ignore[R2] -- keyword hit counts are integers; the sum is exact in any order
         if total == 0:
             return ()
         qualified = [

@@ -1,0 +1,315 @@
+"""Per-rule fixtures: each rule must fire on its bad pattern and stay
+silent on the clean rewrite — the contract the CI gate relies on."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import check_source
+
+
+def run(source, path="src/repro/example.py", rules=None):
+    return check_source(textwrap.dedent(source), path=path)
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestR1FalsyOrDefault:
+    def test_fires_on_or_fallback_of_optional_parameter(self):
+        findings = run("""
+            def query(graph, depth=None):
+                depth = depth or 3
+                return depth
+        """)
+        assert rule_ids(findings) == ["R1"]
+        assert "depth" in findings[0].message
+
+    def test_fires_on_optional_annotation_without_none_default(self):
+        findings = run("""
+            from typing import Optional
+
+            def f(params: Optional[dict]):
+                params = params or {}
+                return params
+        """)
+        assert rule_ids(findings) == ["R1"]
+
+    def test_clean_explicit_none_check(self):
+        findings = run("""
+            def query(graph, depth=None):
+                depth = depth if depth is not None else 3
+                return depth
+        """)
+        assert findings == []
+
+    def test_boolean_condition_is_not_a_fallback(self):
+        findings = run("""
+            def f(flag=None, other=False):
+                if flag or other:
+                    return 1
+                return 0
+        """)
+        assert findings == []
+
+    def test_required_parameter_is_not_flagged(self):
+        findings = run("""
+            def f(depth: int):
+                return depth or 3
+        """)
+        assert findings == []
+
+
+class TestR2UnorderedAccumulation:
+    def test_fires_on_dict_items_loop_with_float_accumulation(self):
+        findings = run("""
+            def total_mass(scores):
+                total = 0.0
+                for node, value in scores.items():
+                    total += value
+                return total
+        """)
+        assert rule_ids(findings) == ["R2"]
+
+    def test_fires_on_dict_accumulate_idiom(self):
+        findings = run("""
+            def spread(frontier, beta):
+                out = {}
+                for node, mass in frontier.items():
+                    out[node] = out.get(node, 0.0) + beta * mass
+                return out
+        """)
+        assert rule_ids(findings) == ["R2"]
+
+    def test_fires_on_sum_over_dict_values(self):
+        findings = run("""
+            def norm(weights):
+                return sum(weights.values())
+        """)
+        assert rule_ids(findings) == ["R2"]
+
+    def test_fires_on_sum_over_set_local(self):
+        findings = run("""
+            def f(values):
+                pending = set(values)
+                return sum(pending)
+        """)
+        assert rule_ids(findings) == ["R2"]
+
+    def test_clean_sorted_iteration(self):
+        findings = run("""
+            def total_mass(scores):
+                total = 0.0
+                for node, value in sorted(scores.items()):
+                    total += value
+                return total
+        """)
+        assert findings == []
+
+    def test_clean_fsum(self):
+        findings = run("""
+            import math
+
+            def norm(weights):
+                return math.fsum(weights.values())
+        """)
+        assert findings == []
+
+    def test_clean_integer_counting_generator(self):
+        findings = run("""
+            def count_positive(scores):
+                return sum(1 for value in scores.values() if value > 0)
+        """)
+        assert findings == []
+
+    def test_clean_loop_without_accumulation(self):
+        findings = run("""
+            def collect(scores):
+                out = {}
+                for node, value in scores.items():
+                    out[node] = value
+                return out
+        """)
+        assert findings == []
+
+
+class TestR3UnseededRandomness:
+    def test_fires_on_module_level_random(self):
+        findings = run("""
+            import random
+
+            def pick(items):
+                return random.choice(items)
+        """)
+        assert rule_ids(findings) == ["R3"]
+
+    def test_fires_on_from_import(self):
+        findings = run("""
+            from random import shuffle
+
+            def scramble(items):
+                shuffle(items)
+        """)
+        assert rule_ids(findings) == ["R3"]
+
+    def test_fires_on_numpy_global_state(self):
+        findings = run("""
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+        """)
+        assert rule_ids(findings) == ["R3"]
+
+    def test_clean_injected_generator(self):
+        findings = run("""
+            import random
+
+            def pick(items, seed):
+                rng = random.Random(seed)
+                return rng.choice(items)
+        """)
+        assert findings == []
+
+    def test_clean_numpy_default_rng(self):
+        findings = run("""
+            import numpy as np
+
+            def noise(n, seed):
+                rng = np.random.default_rng(seed)
+                return rng.random(n)
+        """)
+        assert findings == []
+
+
+class TestR4MutableDefault:
+    def test_fires_on_list_literal_default(self):
+        findings = run("""
+            def append_to(item, bucket=[]):
+                bucket.append(item)
+                return bucket
+        """)
+        assert rule_ids(findings) == ["R4"]
+
+    def test_fires_on_dict_call_default(self):
+        findings = run("""
+            def f(cache=dict()):
+                return cache
+        """)
+        assert rule_ids(findings) == ["R4"]
+
+    def test_clean_none_default(self):
+        findings = run("""
+            def append_to(item, bucket=None):
+                bucket = [] if bucket is None else bucket
+                bucket.append(item)
+                return bucket
+        """)
+        assert findings == []
+
+
+class TestR5UnboundedPropagation:
+    CORE_PATH = "src/repro/core/example.py"
+
+    def test_fires_on_while_true_engine_loop_in_core(self):
+        findings = run("""
+            def run(graph, source):
+                while True:
+                    state = single_source_scores(graph, source)
+        """, path=self.CORE_PATH)
+        assert rule_ids(findings) == ["R5"]
+
+    def test_fires_on_unbounded_engine_while_in_landmarks(self):
+        findings = run("""
+            def run(engine, frontier):
+                while frontier:
+                    frontier = engine.multi_source(frontier, ["t"])
+        """, path="src/repro/landmarks/example.py")
+        assert rule_ids(findings) == ["R5"]
+
+    def test_clean_when_bound_is_referenced(self):
+        findings = run("""
+            def run(graph, source, params):
+                rounds = 0
+                while rounds < params.max_iter:
+                    state = single_source_scores(graph, source)
+                    rounds += 1
+        """, path=self.CORE_PATH)
+        assert findings == []
+
+    def test_clean_outside_guarded_packages(self):
+        findings = run("""
+            def run(graph, source):
+                while True:
+                    state = single_source_scores(graph, source)
+        """, path="src/repro/eval/example.py")
+        assert findings == []
+
+    def test_clean_data_bounded_while(self):
+        findings = run("""
+            def decode(blob):
+                offset = 0
+                while offset < len(blob):
+                    offset += 1
+        """, path=self.CORE_PATH)
+        assert findings == []
+
+
+class TestR6BlindExcept:
+    def test_fires_on_bare_except(self):
+        findings = run("""
+            def f():
+                try:
+                    work()
+                except:
+                    pass
+        """)
+        assert rule_ids(findings) == ["R6"]
+
+    def test_fires_on_swallowed_broad_exception(self):
+        findings = run("""
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+        """)
+        assert rule_ids(findings) == ["R6"]
+
+    def test_clean_specific_exception(self):
+        findings = run("""
+            def f():
+                try:
+                    work()
+                except ValueError:
+                    recover()
+        """)
+        assert findings == []
+
+    def test_clean_broad_exception_that_handles(self):
+        findings = run("""
+            def f(log):
+                try:
+                    work()
+                except Exception as exc:
+                    log.warning("work failed: %s", exc)
+                    raise
+        """)
+        assert findings == []
+
+
+class TestInfrastructure:
+    def test_syntax_error_raises(self):
+        with pytest.raises(SyntaxError):
+            check_source("def broken(:\n")
+
+    def test_findings_are_sorted_and_located(self):
+        findings = run("""
+            def f(depth=None, bucket=[]):
+                return depth or 3
+        """)
+        assert rule_ids(findings) == ["R1", "R4"] or rule_ids(findings) == [
+            "R4", "R1"]
+        assert findings == sorted(findings)
+        assert all(finding.line > 0 for finding in findings)

@@ -1,0 +1,78 @@
+"""Suppression-comment semantics: silencing, justification hygiene
+(R0), and the rule-id checks that keep suppressions honest."""
+
+import textwrap
+
+from repro.analysis import check_source
+
+
+def run(source, path="src/repro/example.py"):
+    return check_source(textwrap.dedent(source), path=path)
+
+
+class TestSuppression:
+    BAD_R1 = """
+        def query(graph, depth=None):
+            depth = depth or 3  # repro: ignore[R1] -- legacy CLI accepts 0 as "use default"
+            return depth
+    """
+
+    def test_justified_suppression_silences_the_finding(self):
+        assert run(self.BAD_R1) == []
+
+    def test_suppression_only_covers_named_rules(self):
+        findings = run("""
+            def query(graph, depth=None):
+                depth = depth or 3  # repro: ignore[R2] -- wrong rule named here on purpose
+                return depth
+        """)
+        assert [f.rule for f in findings] == ["R1"]
+
+    def test_suppression_only_covers_its_own_line(self):
+        findings = run("""
+            def query(graph, depth=None):
+                # repro: ignore[R1] -- comment on the wrong line
+                depth = depth or 3
+                return depth
+        """)
+        assert "R1" in [f.rule for f in findings]
+
+    def test_multiple_rules_in_one_comment(self):
+        findings = run("""
+            def f(bucket=[]):  # repro: ignore[R4,R1] -- fixture exercising multi-rule suppression
+                return bucket
+        """)
+        assert findings == []
+
+
+class TestSuppressionHygiene:
+    def test_missing_justification_is_an_r0_finding(self):
+        findings = run("""
+            def query(graph, depth=None):
+                depth = depth or 3  # repro: ignore[R1]
+                return depth
+        """)
+        assert [f.rule for f in findings] == ["R0"]
+        assert "justification" in findings[0].message
+
+    def test_unknown_rule_id_is_an_r0_finding(self):
+        findings = run("""
+            x = 1  # repro: ignore[R99] -- no such rule
+        """)
+        assert [f.rule for f in findings] == ["R0"]
+        assert "R99" in findings[0].message
+
+    def test_r0_cannot_be_suppressed(self):
+        findings = run("""
+            x = 1  # repro: ignore[R0, R99] -- trying to silence the hygiene check
+        """)
+        assert [f.rule for f in findings] == ["R0"]
+
+    def test_ignore_inside_string_literal_is_not_a_suppression(self):
+        findings = run('''
+            def query(graph, depth=None):
+                note = "# repro: ignore[R1] -- this is data, not a comment"
+                depth = depth or 3
+                return depth, note
+        ''')
+        assert [f.rule for f in findings] == ["R1"]

@@ -1,5 +1,7 @@
 """Tests for the TwitterRank baseline."""
 
+import math
+
 import pytest
 
 from repro.baselines import TwitterRank
@@ -25,7 +27,7 @@ class TestDefaultInterest:
     def test_distributions_sum_to_one(self, star_graph):
         interest = default_topic_interest(star_graph)
         for node, distribution in interest.items():
-            assert sum(distribution.values()) == pytest.approx(1.0)
+            assert math.fsum(distribution.values()) == pytest.approx(1.0)
 
     def test_profile_topics_get_most_mass(self, star_graph):
         interest = default_topic_interest(star_graph, smoothing=0.2)
@@ -42,7 +44,7 @@ class TestDefaultInterest:
 class TestRank:
     def test_scores_form_probability_distribution(self, star_graph):
         ranking = TwitterRank(star_graph).rank("technology")
-        assert sum(ranking.values()) == pytest.approx(1.0, abs=1e-6)
+        assert math.fsum(ranking.values()) == pytest.approx(1.0, abs=1e-6)
         assert all(value >= 0.0 for value in ranking.values())
 
     def test_popular_account_wins(self, star_graph):
@@ -81,7 +83,7 @@ class TestAggregateAndRecommend:
         twitterrank = TwitterRank(star_graph)
         combined = twitterrank.aggregate_rank(
             {"technology": 0.7, "food": 0.3})
-        assert sum(combined.values()) == pytest.approx(1.0, abs=1e-6)
+        assert math.fsum(combined.values()) == pytest.approx(1.0, abs=1e-6)
 
     def test_recommend_excludes_followees(self, star_graph):
         twitterrank = TwitterRank(star_graph)

@@ -7,7 +7,6 @@ from repro import ScoreParams
 from repro.core.exact import adjacency_matrix, single_source_scores
 from repro.core.katz import katz_rank, katz_scores
 from repro.graph.builders import complete_graph, graph_from_edges, path_graph
-from repro.semantics import SimilarityMatrix, web_taxonomy
 
 
 class TestKatzScores:

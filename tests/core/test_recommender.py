@@ -58,7 +58,7 @@ class TestRecommend:
                 for r in recommender.recommend(0, "food", top_n=10)}
         both = {r.node: r.score for r in recommender.recommend(
             0, {"technology": 1.0, "food": 1.0}, top_n=10)}
-        for node, score in both.items():
+        for node, score in sorted(both.items()):
             expected = 0.5 * tech.get(node, 0.0) + 0.5 * food.get(node, 0.0)
             assert score == pytest.approx(expected)
 

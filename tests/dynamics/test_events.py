@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datasets import generate_twitter_graph
-from repro.dynamics import EdgeEvent, EventKind, simulate_churn
+from repro.dynamics import EventKind, simulate_churn
 from repro.errors import ConfigurationError
 from repro.graph.builders import path_graph
 

@@ -66,7 +66,7 @@ class TestApplyAll:
         # follower counts must still be internally consistent
         for node in list(graph.nodes())[:50]:
             recount = {}
-            for _, label in graph.in_neighbors(node).items():
+            for _, label in sorted(graph.in_neighbors(node).items()):
                 for topic in label:
                     recount[topic] = recount.get(topic, 0) + 1
             assert recount == dict(graph.follower_topic_counts(node))

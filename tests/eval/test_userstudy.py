@@ -1,5 +1,7 @@
 """Tests for the simulated user-validation panels."""
 
+import math
+
 import pytest
 
 from repro import Recommender, ScoreParams
@@ -99,7 +101,7 @@ class TestTwitterStudy:
         result = run_twitter_study(graph, web_sim, methods,
                                    topics=("technology", "social"),
                                    num_query_users=3, seed=5)
-        expected = sum(result.mean_marks["Tr"].values()) / 2
+        expected = math.fsum(result.mean_marks["Tr"].values()) / 2
         assert result.overall("Tr") == pytest.approx(expected)
 
 

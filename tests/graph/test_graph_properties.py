@@ -50,7 +50,7 @@ class GraphCounterMachine(RuleBasedStateMachine):
     def follower_counts_match_recount(self):
         for node in NODES:
             recount = {}
-            for _, label in self.graph.in_neighbors(node).items():
+            for _, label in sorted(self.graph.in_neighbors(node).items()):
                 for topic in label:
                     recount[topic] = recount.get(topic, 0) + 1
             assert recount == dict(self.graph.follower_topic_counts(node))

@@ -7,7 +7,7 @@ cross-module contracts the unit tests cannot see.
 
 import pytest
 
-from repro import Recommender, ScoreParams, SimilarityMatrix, web_taxonomy
+from repro import Recommender, ScoreParams
 from repro.baselines import TwitterRank
 from repro.config import EvaluationParams, LandmarkParams
 from repro.datasets import generate_twitter_dataset

@@ -10,7 +10,6 @@ from repro.core.exact import single_source_scores
 from repro.datasets import generate_twitter_graph
 from repro.graph.builders import graph_from_edges, path_graph
 from repro.landmarks import ApproximateRecommender, LandmarkIndex
-from repro.semantics.vocabularies import WEB_TOPICS
 
 
 def _tech_path(length):

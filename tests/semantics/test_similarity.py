@@ -106,3 +106,28 @@ class TestMeasureProperties:
         b = data.draw(st.sampled_from(sorted(parents)))
         assert wu_palmer_similarity(taxonomy, a, a) == 1.0
         assert wu_palmer_similarity(taxonomy, a, b) <= 1.0
+
+
+class TestLinExplicitInformationContent:
+    """Regression for the falsy-or-default (R1) bug class: an explicit
+    ``information_content`` mapping must be honoured even when falsy.
+
+    Before the fix, ``information_content or uniform_information_content``
+    silently replaced an explicitly-passed empty mapping with the
+    structural surrogate — the same silent-fallback shape as the
+    ``query(depth=0)`` bug PR 1 fixed."""
+
+    def test_explicit_mapping_is_used(self, taxonomy):
+        content = {topic: 1.0 for topic in taxonomy.topics}
+        # With uniform IC = 1.0 everywhere, Lin reduces to 2*1/(1+1) = 1
+        # for any pair sharing a non-root subsumer.
+        value = lin_similarity(taxonomy, "sports", "entertainment",
+                               information_content=content)
+        assert value == pytest.approx(1.0)
+
+    def test_explicit_empty_mapping_is_not_silently_replaced(self, taxonomy):
+        # An empty mapping is falsy but explicit; honouring it means the
+        # lookup fails loudly instead of silently recomputing uniform IC.
+        with pytest.raises(KeyError):
+            lin_similarity(taxonomy, "sports", "entertainment",
+                           information_content={})

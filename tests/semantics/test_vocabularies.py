@@ -1,6 +1,5 @@
 """Structural checks of the built-in vocabularies."""
 
-import pytest
 
 from repro.semantics import dblp_taxonomy, web_taxonomy, wu_palmer_similarity
 from repro.semantics.taxonomy import ROOT

@@ -1,5 +1,6 @@
 """Edge-case tests for corners the focused suites don't reach."""
 
+
 import math
 
 import pytest
@@ -73,7 +74,7 @@ class TestTwitterRankDangling:
             [(0, 1, ["technology"])],
             node_topics={0: ["technology"], 1: ["technology"]})
         ranking = TwitterRank(graph).rank("technology")
-        assert sum(ranking.values()) == pytest.approx(1.0, abs=1e-9)
+        assert math.fsum(ranking.values()) == pytest.approx(1.0, abs=1e-9)
         assert ranking[1] > ranking[0]
 
 
