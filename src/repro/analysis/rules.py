@@ -17,6 +17,8 @@ re-learn (see ``docs/ANALYSIS.md`` for the bug behind each one):
   iteration bound.
 - **R6** blind-except: bare ``except:`` or a broad handler that
   swallows the exception.
+- **R7** raw-timing: raw ``time.time()``/``perf_counter()`` reads in
+  ``src/`` outside :mod:`repro.obs` bypass the observability layer.
 
 Rules are pluggable: subclass :class:`Rule`, decorate with
 :func:`register`, and the engine, the CLI rule listing, and the
@@ -571,6 +573,71 @@ class BlindExcept(Rule):
             or (isinstance(stmt, ast.Expr)
                 and isinstance(stmt.value, ast.Constant))
             for stmt in body)
+
+
+# ----------------------------------------------------------------------
+# R7 — raw-timing
+# ----------------------------------------------------------------------
+
+_CLOCK_FUNCTIONS = {"time", "perf_counter", "monotonic", "process_time",
+                    "thread_time", "time_ns", "perf_counter_ns",
+                    "monotonic_ns", "process_time_ns", "thread_time_ns"}
+_OBS_EXEMPT_DIRS = ("obs",)
+
+
+@register
+class RawTiming(Rule):
+    """Raw ``time.*`` clock reads in library code outside ``repro.obs``."""
+
+    id = "R7"
+    name = "raw-timing"
+    description = (
+        "raw time.time()/perf_counter() calls in src/ scatter ad-hoc "
+        "timing that the observability layer cannot see; measure through "
+        "repro.obs (span/timed_span or Stopwatch from repro.obs.clock) "
+        "so every stage shows up in one report.")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        parts = module.path.replace("\\", "/").split("/")
+        if "src" not in parts:
+            return
+        if any(part in _OBS_EXEMPT_DIRS for part in parts):
+            return
+        time_aliases, from_imports = self._imports(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in from_imports:
+                yield self.finding(
+                    module, node,
+                    f"'{from_imports[func.id]}' is a raw clock read; time "
+                    "through repro.obs (span/timed_span or obs.clock) "
+                    "instead")
+            elif (isinstance(func, ast.Attribute)
+                  and isinstance(func.value, ast.Name)
+                  and func.value.id in time_aliases
+                  and func.attr in _CLOCK_FUNCTIONS):
+                yield self.finding(
+                    module, node,
+                    f"'time.{func.attr}' is a raw clock read; time through "
+                    "repro.obs (span/timed_span or obs.clock) instead")
+
+    @staticmethod
+    def _imports(module: ModuleContext) -> tuple:
+        time_aliases: Set[str] = set()
+        from_imports: Dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _CLOCK_FUNCTIONS:
+                        from_imports[alias.asname or alias.name] = (
+                            f"time.{alias.name}")
+        return time_aliases, from_imports
 
 
 def all_rules() -> List[Rule]:

@@ -175,6 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Tr user recommendation (EDBT 2016 reproduction)")
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="enable the observability layer and print a stage/metric "
+             "report to stderr when the command finishes")
     sub = parser.add_subparsers(dest="command", required=True)
 
     generate = sub.add_parser("generate", help="generate a synthetic dataset")
@@ -251,6 +255,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.obs:
+        from . import obs
+
+        obs.enable()
+        try:
+            return args.handler(args)
+        finally:
+            print(obs.render_text(obs.snapshot()), file=sys.stderr)
     return args.handler(args)
 
 

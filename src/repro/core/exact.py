@@ -32,6 +32,7 @@ except ImportError:  # pragma: no cover - exercised on scipy-less installs
 from ..config import ScoreParams
 from ..errors import ConvergenceError
 from ..graph.labeled_graph import LabeledSocialGraph
+from ..obs import runtime as _obs
 from ..semantics.matrix import SimilarityMatrix
 from .scores import AuthorityIndex
 
@@ -170,60 +171,86 @@ def single_source_scores(
     limit = params.max_iter if max_depth is None else max_depth
     iterations = 0
     converged = False
+    residual = 0.0
 
-    for _ in range(limit):
-        next_r: Dict[str, Dict[int, float]] = {topic: {} for topic in topics}
-        next_tb: Dict[int, float] = {}
-        next_tab: Dict[int, float] = {}
-        touched = set(frontier_tb)
-        for topic in topics:
-            touched.update(frontier_r[topic])
-        if absorbing:
-            touched = {
-                walker for walker in touched
-                if walker == source or walker not in absorbing
-            }
-        if not touched:
-            converged = True
-            break
-        for walker in sorted(touched):
-            tb_mass = frontier_tb.get(walker, 0.0)
-            tab_mass = frontier_tab.get(walker, 0.0)
-            r_masses = [frontier_r[topic].get(walker, 0.0) for topic in topics]
-            for neighbor, label in sorted(graph.out_neighbors(walker).items()):
-                if tb_mass:
-                    next_tb[neighbor] = next_tb.get(neighbor, 0.0) + beta * tb_mass
-                if tab_mass:
-                    next_tab[neighbor] = (
-                        next_tab.get(neighbor, 0.0) + alphabeta * tab_mass)
-                for topic, r_mass in zip(topics, r_masses):
-                    increment = beta * r_mass
-                    if tab_mass and label:
-                        best = cache.max_similarity(label, topic)
-                        if best:
-                            auth_value = authority.auth(neighbor, topic)
-                            if auth_value:
-                                increment += (tab_mass * edge_factor
-                                              * best * auth_value)
-                    if increment:
-                        bucket = next_r[topic]
-                        bucket[neighbor] = bucket.get(neighbor, 0.0) + increment
-        iterations += 1
-        new_mass = math.fsum(
-            math.fsum(bucket.values()) for bucket in next_r.values())
-        new_mass += math.fsum(next_tb.values())
-        for node, value in sorted(next_tb.items()):
-            cumulative_tb[node] = cumulative_tb.get(node, 0.0) + value
-        for node, value in sorted(next_tab.items()):
-            cumulative_tab[node] = cumulative_tab.get(node, 0.0) + value
-        for topic in topics:
-            bucket = cumulative_scores[topic]
-            for node, value in sorted(next_r[topic].items()):
-                bucket[node] = bucket.get(node, 0.0) + value
-        frontier_r, frontier_tb, frontier_tab = next_r, next_tb, next_tab
-        if new_mass < params.tolerance:
-            converged = True
-            break
+    with _obs.span("exact.single_source") as _root:
+        if _root:
+            _root.set(source=source, topics=len(topics), depth_limit=limit,
+                      absorbing=len(absorbing) if absorbing else 0)
+        for _ in range(limit):
+            with _obs.span("exact.iteration") as _step:
+                next_r: Dict[str, Dict[int, float]] = {
+                    topic: {} for topic in topics}
+                next_tb: Dict[int, float] = {}
+                next_tab: Dict[int, float] = {}
+                touched = set(frontier_tb)
+                for topic in topics:
+                    touched.update(frontier_r[topic])
+                if absorbing:
+                    touched = {
+                        walker for walker in touched
+                        if walker == source or walker not in absorbing
+                    }
+                if not touched:
+                    converged = True
+                    if _step:
+                        _step.set(residual=0.0, frontier_size=0)
+                    break
+                for walker in sorted(touched):
+                    tb_mass = frontier_tb.get(walker, 0.0)
+                    tab_mass = frontier_tab.get(walker, 0.0)
+                    r_masses = [frontier_r[topic].get(walker, 0.0)
+                                for topic in topics]
+                    for neighbor, label in sorted(
+                            graph.out_neighbors(walker).items()):
+                        if tb_mass:
+                            next_tb[neighbor] = (
+                                next_tb.get(neighbor, 0.0) + beta * tb_mass)
+                        if tab_mass:
+                            next_tab[neighbor] = (
+                                next_tab.get(neighbor, 0.0)
+                                + alphabeta * tab_mass)
+                        for topic, r_mass in zip(topics, r_masses):
+                            increment = beta * r_mass
+                            if tab_mass and label:
+                                best = cache.max_similarity(label, topic)
+                                if best:
+                                    auth_value = authority.auth(neighbor,
+                                                                topic)
+                                    if auth_value:
+                                        increment += (tab_mass * edge_factor
+                                                      * best * auth_value)
+                            if increment:
+                                bucket = next_r[topic]
+                                bucket[neighbor] = (
+                                    bucket.get(neighbor, 0.0) + increment)
+                iterations += 1
+                new_mass = math.fsum(
+                    math.fsum(bucket.values()) for bucket in next_r.values())
+                new_mass += math.fsum(next_tb.values())
+                for node, value in sorted(next_tb.items()):
+                    cumulative_tb[node] = cumulative_tb.get(node, 0.0) + value
+                for node, value in sorted(next_tab.items()):
+                    cumulative_tab[node] = (
+                        cumulative_tab.get(node, 0.0) + value)
+                for topic in topics:
+                    bucket = cumulative_scores[topic]
+                    for node, value in sorted(next_r[topic].items()):
+                        bucket[node] = bucket.get(node, 0.0) + value
+                frontier_r, frontier_tb, frontier_tab = (
+                    next_r, next_tb, next_tab)
+                residual = new_mass
+                if _step:
+                    _step.set(residual=new_mass,
+                              frontier_size=len(touched))
+                if new_mass < params.tolerance:
+                    converged = True
+                    break
+        if _root:
+            _root.set(iterations=iterations, converged=converged,
+                      residual=residual)
+        _obs.count("exact.calls_total")
+        _obs.count("exact.iterations_total", iterations)
 
     if max_depth is None and not converged:
         remaining = math.fsum(

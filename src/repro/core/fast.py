@@ -38,6 +38,7 @@ except ImportError:  # pragma: no cover - exercised on scipy-less installs
 from ..config import ENGINE_CHOICES, ScoreParams
 from ..errors import ConfigurationError, ConvergenceError, NodeNotFoundError
 from ..graph.labeled_graph import LabeledSocialGraph
+from ..obs import runtime as _obs
 from ..semantics.matrix import SimilarityMatrix
 from .exact import ScoreState
 from .scores import AuthorityIndex
@@ -203,7 +204,12 @@ class SparseEngine:
         n = len(self._nodes)
         batch = len(positions)
         adjacency = self._adjacency
-        semantic = [self._semantic_matrix(topic) for topic in topics]
+        with _obs.span("sparse.semantic_build") as _sem:
+            if _sem:
+                _sem.set(topics=len(topics),
+                         built=sum(1 for topic in topics
+                                   if topic not in self._semantic_cache))
+            semantic = [self._semantic_matrix(topic) for topic in topics]
         position_array = np.asarray(positions)
 
         absorb_mask = None
@@ -227,53 +233,69 @@ class SparseEngine:
         converged = np.zeros(batch, dtype=bool)
         active = np.ones(batch, dtype=bool)
 
-        for _ in range(limit):
-            live = np.nonzero(active)[0]
-            if live.size == 0:
-                break
-            frontier_tb = tb[:, live]
-            frontier_tab = tab[:, live]
-            frontier_r = [block[:, live] for block in r]
-            if absorb_mask is not None:
-                columns = np.arange(live.size)
-                source_rows = position_array[live]
-                masked_tb = frontier_tb * absorb_mask[:, None]
-                masked_tab = frontier_tab * absorb_mask[:, None]
-                # each column's own source always propagates
-                masked_tb[source_rows, columns] = \
-                    frontier_tb[source_rows, columns]
-                masked_tab[source_rows, columns] = \
-                    frontier_tab[source_rows, columns]
-                frontier_tb, frontier_tab = masked_tb, masked_tab
-                masked_r = []
-                for block in frontier_r:
-                    masked = block * absorb_mask[:, None]
-                    masked[source_rows, columns] = \
-                        block[source_rows, columns]
-                    masked_r.append(masked)
-                frontier_r = masked_r
-            next_tb = beta * (adjacency @ frontier_tb)
-            next_tab = alphabeta * (adjacency @ frontier_tab)
-            next_r = [
-                beta * (adjacency @ frontier_r[i])
-                + beta * alpha * (semantic[i] @ frontier_tab)
-                for i in range(len(topics))
-            ]
-            iterations[live] += 1
-            new_mass = next_tb.sum(axis=0)
-            for block in next_r:
-                new_mass = new_mass + block.sum(axis=0)
-            cumulative_tb[:, live] += next_tb
-            cumulative_tab[:, live] += next_tab
-            for i in range(len(topics)):
-                cumulative_r[i][:, live] += next_r[i]
-            tb[:, live] = next_tb
-            tab[:, live] = next_tab
-            for i in range(len(topics)):
-                r[i][:, live] = next_r[i]
-            done = new_mass < params.tolerance
-            converged[live[done]] = True
-            active[live[done]] = False
+        with _obs.span("sparse.multi_source") as _root:
+            if _root:
+                _root.set(batch=batch, topics=len(topics), depth_limit=limit)
+            for _ in range(limit):
+                live = np.nonzero(active)[0]
+                if live.size == 0:
+                    break
+                with _obs.span("sparse.iteration") as _step:
+                    if _step:
+                        _step.set(live_columns=int(live.size))
+                    frontier_tb = tb[:, live]
+                    frontier_tab = tab[:, live]
+                    frontier_r = [block[:, live] for block in r]
+                    if absorb_mask is not None:
+                        columns = np.arange(live.size)
+                        source_rows = position_array[live]
+                        masked_tb = frontier_tb * absorb_mask[:, None]
+                        masked_tab = frontier_tab * absorb_mask[:, None]
+                        # each column's own source always propagates
+                        masked_tb[source_rows, columns] = \
+                            frontier_tb[source_rows, columns]
+                        masked_tab[source_rows, columns] = \
+                            frontier_tab[source_rows, columns]
+                        frontier_tb, frontier_tab = masked_tb, masked_tab
+                        masked_r = []
+                        for block in frontier_r:
+                            masked = block * absorb_mask[:, None]
+                            masked[source_rows, columns] = \
+                                block[source_rows, columns]
+                            masked_r.append(masked)
+                        frontier_r = masked_r
+                    next_tb = beta * (adjacency @ frontier_tb)
+                    next_tab = alphabeta * (adjacency @ frontier_tab)
+                    next_r = [
+                        beta * (adjacency @ frontier_r[i])
+                        + beta * alpha * (semantic[i] @ frontier_tab)
+                        for i in range(len(topics))
+                    ]
+                    iterations[live] += 1
+                    new_mass = next_tb.sum(axis=0)
+                    for block in next_r:
+                        new_mass = new_mass + block.sum(axis=0)
+                    cumulative_tb[:, live] += next_tb
+                    cumulative_tab[:, live] += next_tab
+                    for i in range(len(topics)):
+                        cumulative_r[i][:, live] += next_r[i]
+                    tb[:, live] = next_tb
+                    tab[:, live] = next_tab
+                    for i in range(len(topics)):
+                        r[i][:, live] = next_r[i]
+                    done = new_mass < params.tolerance
+                    converged[live[done]] = True
+                    active[live[done]] = False
+                    if _step:
+                        _step.set(residual=float(new_mass.max())
+                                  if live.size else 0.0)
+            rounds = int(iterations.max()) if batch else 0
+            if _root:
+                _root.set(iterations=rounds,
+                          converged_columns=int(converged.sum()))
+            _obs.count("sparse.batches_total")
+            _obs.count("sparse.sources_total", batch)
+            _obs.count("sparse.iterations_total", rounds)
 
         if max_depth is None and not converged.all():
             stuck = [sources[int(i)] for i in np.nonzero(~converged)[0]]
@@ -287,18 +309,21 @@ class SparseEngine:
             return {self._nodes[int(i)]: float(vector[int(i)])
                     for i in indices}
 
-        states: List[ScoreState] = []
-        for column, source in enumerate(sources):
-            scores = {topic: to_dict(cumulative_r[i][:, column])
-                      for i, topic in enumerate(topics)}
-            states.append(ScoreState(
-                source=source,
-                scores=scores,
-                topo_beta=to_dict(cumulative_tb[:, column]),
-                topo_alphabeta=to_dict(cumulative_tab[:, column]),
-                iterations=int(iterations[column]),
-                converged=bool(converged[column]),
-            ))
+        with _obs.span("sparse.collect") as _collect:
+            states: List[ScoreState] = []
+            for column, source in enumerate(sources):
+                scores = {topic: to_dict(cumulative_r[i][:, column])
+                          for i, topic in enumerate(topics)}
+                states.append(ScoreState(
+                    source=source,
+                    scores=scores,
+                    topo_beta=to_dict(cumulative_tb[:, column]),
+                    topo_alphabeta=to_dict(cumulative_tab[:, column]),
+                    iterations=int(iterations[column]),
+                    converged=bool(converged[column]),
+                ))
+            if _collect:
+                _collect.set(states=len(states))
         return states
 
     def invalidate(self) -> None:

@@ -21,9 +21,10 @@ from ..graph.labeled_graph import LabeledSocialGraph
 from ..landmarks.approximate import ApproximateRecommender
 from ..landmarks.index import LandmarkIndex
 from ..landmarks.selection import STRATEGIES, select_landmarks
+from ..obs import Stopwatch
+from ..obs import runtime as _obs
 from ..semantics.matrix import SimilarityMatrix
 from ..utils.rng import SeedLike, rng_from_seed, spawn_rng
-from ..utils.timers import Stopwatch
 from .metrics import kendall_tau_distance
 
 
@@ -77,34 +78,37 @@ def time_selection_strategies(
     max_depth = landmark_params.precompute_depth
     rows: List[SelectionTiming] = []
     for name in names:
-        select_watch = Stopwatch()
-        with select_watch:
-            landmarks = select_landmarks(
-                graph, name, num_landmarks, rng=spawn_rng(rng, name))
-        sample = landmarks[:precompute_sample]
-        build_watch = Stopwatch()
-        if sparse_engine is not None:
-            if sample:
-                with build_watch:
-                    sparse_engine.multi_source(sample, list(topics),
-                                               max_depth=max_depth)
-                per_landmark = build_watch.elapsed / len(sample)
+        with _obs.span("eval.table5_strategy") as _sp:
+            if _sp:
+                _sp.set(strategy=name, landmarks=num_landmarks)
+            select_watch = Stopwatch()
+            with select_watch:
+                landmarks = select_landmarks(
+                    graph, name, num_landmarks, rng=spawn_rng(rng, name))
+            sample = landmarks[:precompute_sample]
+            build_watch = Stopwatch()
+            if sparse_engine is not None:
+                if sample:
+                    with build_watch:
+                        sparse_engine.multi_source(sample, list(topics),
+                                                   max_depth=max_depth)
+                    per_landmark = build_watch.elapsed / len(sample)
+                else:
+                    per_landmark = 0.0
             else:
-                per_landmark = 0.0
-        else:
-            for landmark in sample:
-                with build_watch:
-                    single_source_scores(
-                        graph, landmark, list(topics), similarity,
-                        authority=authority, params=params,
-                        max_depth=max_depth)
-            per_landmark = build_watch.mean_lap
-        rows.append(SelectionTiming(
-            strategy=name,
-            select_ms_per_landmark=(
-                select_watch.elapsed * 1000.0 / num_landmarks),
-            precompute_s_per_landmark=per_landmark,
-        ))
+                for landmark in sample:
+                    with build_watch:
+                        single_source_scores(
+                            graph, landmark, list(topics), similarity,
+                            authority=authority, params=params,
+                            max_depth=max_depth)
+                per_landmark = build_watch.mean_lap
+            rows.append(SelectionTiming(
+                strategy=name,
+                select_ms_per_landmark=(
+                    select_watch.elapsed * 1000.0 / num_landmarks),
+                precompute_s_per_landmark=per_landmark,
+            ))
     return rows
 
 

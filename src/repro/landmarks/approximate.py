@@ -25,6 +25,7 @@ from ..config import LandmarkParams, ScoreParams
 from ..core.exact import ScoreState, _MaxSimCache, single_source_scores
 from ..core.scores import AuthorityIndex
 from ..graph.labeled_graph import LabeledSocialGraph
+from ..obs import runtime as _obs
 from ..semantics.matrix import SimilarityMatrix
 from .index import LandmarkIndex
 
@@ -128,32 +129,49 @@ class ApproximateRecommender:
         """
         exploration_depth = (depth if depth is not None
                              else self.landmark_params.query_depth)
-        state = explore_with_landmarks(
-            self.graph, user, [topic], self._similarity,
-            landmarks=self._landmark_set, params=self.params,
-            depth=exploration_depth, authority=self._authority,
-            sim_cache=self._sim_cache)
+        with _obs.span("approx.query") as _sp:
+            if _sp:
+                _sp.set(user=user, topic=topic, depth=exploration_depth)
+            with _obs.span("approx.explore") as _explore:
+                state = explore_with_landmarks(
+                    self.graph, user, [topic], self._similarity,
+                    landmarks=self._landmark_set, params=self.params,
+                    depth=exploration_depth, authority=self._authority,
+                    sim_cache=self._sim_cache)
+                if _explore:
+                    _explore.set(depth=exploration_depth,
+                                 frontier_size=len(state.topo_alphabeta))
 
-        # Directly-reached nodes keep their exploration score.
-        combined: Dict[int, float] = dict(state.scores.get(topic, {}))
+            with _obs.span("approx.compose") as _compose:
+                # Directly-reached nodes keep their exploration score.
+                combined: Dict[int, float] = dict(state.scores.get(topic, {}))
 
-        encountered: List[int] = []
-        for landmark in self._sorted_landmarks:
-            if landmark == user and exploration_depth > 0:
-                continue
-            topo_ab = state.topo_alphabeta.get(landmark, 0.0)
-            if topo_ab <= 0.0:
-                continue
-            encountered.append(landmark)
-            sigma_to_landmark = state.score(landmark, topic)
-            for entry in self.index.recommendations(landmark, topic):
-                if entry.node == user:
-                    continue
-                contribution = (sigma_to_landmark * entry.topo
-                                + topo_ab * entry.score)
-                if contribution:
-                    combined[entry.node] = (
-                        combined.get(entry.node, 0.0) + contribution)
+                encountered: List[int] = []
+                for landmark in self._sorted_landmarks:
+                    if landmark == user and exploration_depth > 0:
+                        continue
+                    topo_ab = state.topo_alphabeta.get(landmark, 0.0)
+                    if topo_ab <= 0.0:
+                        continue
+                    encountered.append(landmark)
+                    sigma_to_landmark = state.score(landmark, topic)
+                    for entry in self.index.recommendations(landmark, topic):
+                        if entry.node == user:
+                            continue
+                        contribution = (sigma_to_landmark * entry.topo
+                                        + topo_ab * entry.score)
+                        if contribution:
+                            combined[entry.node] = (
+                                combined.get(entry.node, 0.0) + contribution)
+                if _compose:
+                    _compose.set(landmarks_hit=len(encountered),
+                                 candidates=len(combined))
+
+            _obs.count("approx.queries_total")
+            _obs.count("approx.landmarks_encountered_total",
+                       len(encountered))
+            if _sp:
+                _sp.set(landmarks_hit=len(encountered))
         return ApproximateResult(
             scores=combined,
             landmarks_encountered=tuple(encountered),
@@ -164,8 +182,16 @@ class ApproximateRecommender:
                   depth: Optional[int] = None,
                   exclude_followed: bool = True) -> List[Tuple[int, float]]:
         """Top-n approximate recommendations for *user* on *topic*."""
-        result = self.query(user, topic, depth=depth)
-        excluded = {user}
-        if exclude_followed:
-            excluded.update(self.graph.out_neighbors(user))
-        return result.ranked(top_n=top_n, exclude=excluded)
+        with _obs.span("approx.recommend") as _sp:
+            if _sp:
+                _sp.set(user=user, topic=topic, top_n=top_n)
+            result = self.query(user, topic, depth=depth)
+            with _obs.span("approx.rank") as _rank:
+                excluded = {user}
+                if exclude_followed:
+                    excluded.update(self.graph.out_neighbors(user))
+                ranked = result.ranked(top_n=top_n, exclude=excluded)
+                if _rank:
+                    _rank.set(candidates=len(result.scores),
+                              returned=len(ranked))
+        return ranked

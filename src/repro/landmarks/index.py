@@ -28,8 +28,8 @@ from ..core.exact import ScoreState, _MaxSimCache, single_source_scores
 from ..core.fast import SparseEngine, resolve_engine
 from ..core.scores import AuthorityIndex
 from ..graph.labeled_graph import LabeledSocialGraph
+from ..obs import runtime as _obs
 from ..semantics.matrix import SimilarityMatrix
-from ..utils.timers import Stopwatch
 
 
 @dataclass(frozen=True)
@@ -135,14 +135,20 @@ class LandmarkIndex:
         max_depth = landmark_params.precompute_depth
         topic_list = list(topics)
 
-        if resolved == "sparse":
-            cls._build_sparse(index, graph, list(landmarks), topic_list,
-                              similarity, shared_authority,
-                              engine_params.batch_size, max_depth)
-        else:
-            cls._build_dict(index, graph, list(landmarks), topic_list,
-                            similarity, shared_authority,
-                            engine_params.workers, max_depth)
+        with _obs.span("landmarks.build") as _sp:
+            if _sp:
+                _sp.set(landmarks=len(landmarks), topics=len(topic_list),
+                        engine=resolved, top_n=landmark_params.top_n)
+            if resolved == "sparse":
+                cls._build_sparse(index, graph, list(landmarks), topic_list,
+                                  similarity, shared_authority,
+                                  engine_params.batch_size, max_depth)
+            else:
+                cls._build_dict(index, graph, list(landmarks), topic_list,
+                                similarity, shared_authority,
+                                engine_params.workers, max_depth)
+            _obs.count("landmarks.builds_total")
+            _obs.count("landmarks.built_total", len(landmarks))
         return index
 
     @staticmethod
@@ -175,8 +181,10 @@ class LandmarkIndex:
 
         def run_one(landmark: int) -> Tuple[Dict[str, List[LandmarkEntry]],
                                             float]:
-            watch = Stopwatch()
+            watch = _obs.timed_span("landmarks.build_one")
             with watch:
+                if watch:
+                    watch.set(landmark=landmark)
                 state = single_source_scores(
                     graph, landmark, topics, similarity,
                     authority=authority, params=index.params,
@@ -208,8 +216,10 @@ class LandmarkIndex:
         top_n = index.landmark_params.top_n
         for start in range(0, len(landmarks), batch_size):
             block = landmarks[start:start + batch_size]
-            watch = Stopwatch()
+            watch = _obs.timed_span("landmarks.build_batch")
             with watch:
+                if watch:
+                    watch.set(batch=len(block))
                 states = engine.multi_source(block, topics,
                                              max_depth=max_depth)
                 for landmark, state in zip(block, states):

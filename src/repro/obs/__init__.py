@@ -1,0 +1,79 @@
+"""repro.obs — metrics, spans, and stage profiling for the Tr pipeline.
+
+A dependency-free observability layer (see ``docs/OBSERVABILITY.md``):
+
+- :class:`MetricsRegistry` with counters, gauges, and fixed-bucket
+  histograms whose output is deterministic;
+- :class:`Tracer`/:class:`Span` context-manager spans with parent
+  links, wall time, and attached attributes;
+- a process-wide switch (:func:`enable` / :func:`disable`) whose
+  disabled default makes every instrumentation point a no-op;
+- exporters and the ``python -m repro.obs`` report/gate CLI that back
+  the CI ``bench-smoke`` job.
+
+Instrumented library code imports :mod:`repro.obs.runtime` and calls
+``runtime.span(...)`` / ``runtime.count(...)``; application code
+enables the layer, runs a workload, and reads :func:`snapshot`.
+"""
+
+from .clock import Stopwatch, format_duration, now
+from .export import build_report, read_json, render_text, write_json
+from .gate import check_regression
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+# NOTE: the *function* ``runtime.get_runtime`` is deliberately not
+# re-exported under the name ``runtime`` — that would shadow the
+# ``repro.obs.runtime`` submodule attribute that instrumented modules
+# bind via ``from ..obs import runtime as _obs``.
+from .runtime import (
+    NOOP_SPAN,
+    ObsRuntime,
+    count,
+    disable,
+    enable,
+    gauge,
+    get_runtime,
+    is_enabled,
+    observe,
+    snapshot,
+    span,
+    span_trees,
+    timed_span,
+)
+from .trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "ObsRuntime",
+    "Span",
+    "Stopwatch",
+    "Tracer",
+    "build_report",
+    "check_regression",
+    "count",
+    "disable",
+    "enable",
+    "format_duration",
+    "gauge",
+    "get_runtime",
+    "is_enabled",
+    "now",
+    "observe",
+    "read_json",
+    "render_text",
+    "snapshot",
+    "span",
+    "span_trees",
+    "timed_span",
+    "write_json",
+]

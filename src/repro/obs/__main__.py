@@ -1,0 +1,116 @@
+"""``python -m repro.obs`` — run, render, and gate bench reports.
+
+Subcommands::
+
+    python -m repro.obs                      # run smoke workload, text report
+    python -m repro.obs run --json BENCH_ci.json
+    python -m repro.obs report BENCH_ci.json
+    python -m repro.obs check BENCH_ci.json benchmarks/baseline_ci.json
+
+``run`` executes the pinned CI smoke workload (see
+:mod:`repro.obs.workload`) with the observability layer enabled and
+prints per-stage timings; ``--json`` additionally writes the report
+consumed by the CI gate. ``check`` is the gate itself: exit 1 on a
+gross stage-time regression against the checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .export import read_json, render_text, write_json
+from .gate import (
+    DEFAULT_FACTOR,
+    DEFAULT_MIN_SECONDS,
+    check_regression,
+    describe_pass,
+)
+from .workload import SMOKE_DEFAULTS, run_smoke
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    report = run_smoke(nodes=args.nodes, seed=args.seed,
+                       landmarks=args.landmarks, top_n=args.top_n,
+                       queries=args.queries, engine=args.engine)
+    print(render_text(report))
+    if args.json:
+        written = write_json(report, args.json)
+        print(f"\nwrote {args.json} ({written} bytes)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(render_text(read_json(args.report)))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    current = read_json(args.report)
+    baseline = read_json(args.baseline)
+    problems = check_regression(current, baseline, factor=args.factor,
+                                min_seconds=args.min_seconds)
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        print(f"{len(problems)} gate violation(s) against {args.baseline}",
+              file=sys.stderr)
+        return 1
+    print(describe_pass(current, baseline))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argparse tree for the obs CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="observability reports for the Tr pipeline")
+    sub = parser.add_subparsers(dest="command")
+
+    run = sub.add_parser(
+        "run", help="run the pinned smoke workload with obs enabled")
+    run.add_argument("--nodes", type=int, default=SMOKE_DEFAULTS["nodes"])
+    run.add_argument("--seed", type=int, default=SMOKE_DEFAULTS["seed"])
+    run.add_argument("--landmarks", type=int,
+                     default=SMOKE_DEFAULTS["landmarks"])
+    run.add_argument("--top-n", type=int, dest="top_n",
+                     default=SMOKE_DEFAULTS["top_n"])
+    run.add_argument("--queries", type=int,
+                     default=SMOKE_DEFAULTS["queries"])
+    run.add_argument("--engine", choices=("auto", "dict", "sparse"),
+                     default=SMOKE_DEFAULTS["engine"])
+    run.add_argument("--json", default="",
+                     help="also write the bench report to this path")
+    run.set_defaults(handler=_cmd_run)
+
+    report = sub.add_parser("report", help="render an existing bench report")
+    report.add_argument("report")
+    report.set_defaults(handler=_cmd_report)
+
+    check = sub.add_parser(
+        "check", help="fail on gross stage-time regressions vs a baseline")
+    check.add_argument("report")
+    check.add_argument("baseline")
+    check.add_argument("--factor", type=float, default=DEFAULT_FACTOR,
+                       help="budget multiplier over the baseline "
+                            "(default %(default)s)")
+    check.add_argument("--min-seconds", type=float, dest="min_seconds",
+                       default=DEFAULT_MIN_SECONDS,
+                       help="noise floor applied to baseline stage times "
+                            "(default %(default)s)")
+    check.set_defaults(handler=_cmd_check)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; a bare invocation runs the smoke workload."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        args = parser.parse_args(["run"])
+    return int(args.handler(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Wall-clock primitives of the observability layer.
+
+This module is the **only** place in ``src/`` that is allowed to call
+``time.perf_counter`` directly (rule R7 of :mod:`repro.analysis`
+enforces that). Everything else times itself through
+:class:`Stopwatch`, :func:`repro.obs.runtime.span`, or
+:func:`repro.obs.runtime.timed_span`, so stage timings stay visible to
+the metrics registry and the CI bench gate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+
+def now() -> float:
+    """Monotonic wall-clock reading (seconds, arbitrary epoch)."""
+    return time.perf_counter()
+
+
+class Stopwatch:
+    """Accumulating stopwatch with context-manager support.
+
+    Example:
+        >>> watch = Stopwatch()
+        >>> with watch:
+        ...     _ = sum(range(10))
+        >>> watch.elapsed >= 0.0
+        True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.laps: List[float] = []
+        self._started: Optional[float] = None
+
+    def start(self) -> "Stopwatch":
+        """Begin a lap; returns self for chaining."""
+        if self._started is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop and return the duration of the lap just finished."""
+        if self._started is None:
+            raise RuntimeError("stopwatch is not running")
+        lap = time.perf_counter() - self._started
+        self._started = None
+        self.elapsed += lap
+        self.laps.append(lap)
+        return lap
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def mean_lap(self) -> float:
+        """Average lap duration (0.0 when no lap completed)."""
+        if not self.laps:
+            return 0.0
+        return self.elapsed / len(self.laps)
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with a unit that keeps 2-4 significant digits."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rem:04.1f}s"

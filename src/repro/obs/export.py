@@ -1,0 +1,102 @@
+"""Render an observability snapshot as JSON or a text report.
+
+The JSON form (``BENCH_ci.json``) is the artifact the CI bench-smoke
+job uploads and the regression gate consumes; see
+``docs/OBSERVABILITY.md`` for the schema and how to read it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .clock import format_duration
+
+#: Schema version of the bench report JSON.
+REPORT_VERSION = 1
+
+
+def build_report(snapshot: Dict[str, Any],
+                 workload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Wrap a runtime snapshot into the versioned bench-report form."""
+    return {
+        "version": REPORT_VERSION,
+        "workload": dict(workload) if workload is not None else {},
+        "stages": snapshot.get("stages", {}),
+        "counters": snapshot.get("counters", {}),
+        "gauges": snapshot.get("gauges", {}),
+        "histograms": snapshot.get("histograms", {}),
+    }
+
+
+def write_json(report: Dict[str, Any], path: Union[str, Path]) -> int:
+    """Write *report* to *path*; returns the number of bytes written."""
+    blob = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    target = Path(path)
+    target.write_text(blob, encoding="utf-8")
+    return len(blob)
+
+
+def read_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a report written by :func:`write_json`.
+
+    Raises:
+        ValueError: if the file is not a bench report (no ``version``).
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "version" not in data:
+        raise ValueError(f"{path} is not a bench report (missing 'version')")
+    return data
+
+
+def render_text(report: Dict[str, Any]) -> str:
+    """Human-readable stage/counter report (the ``python -m repro.obs``
+    default output)."""
+    lines = []
+    workload = report.get("workload") or {}
+    if workload:
+        knobs = " ".join(f"{key}={workload[key]}"
+                         for key in sorted(workload))
+        lines.append(f"workload: {knobs}")
+        lines.append("")
+
+    stages = report.get("stages") or {}
+    if stages:
+        name_width = max(len(name) for name in stages)
+        lines.append(f"{'stage':<{name_width}}  {'calls':>7} "
+                     f"{'total':>10} {'mean':>10} {'max':>10}")
+        for name, entry in sorted(
+                stages.items(), key=lambda kv: -kv[1]["seconds"]):
+            lines.append(
+                f"{name:<{name_width}}  {int(entry['calls']):>7} "
+                f"{format_duration(entry['seconds']):>10} "
+                f"{format_duration(entry['mean']):>10} "
+                f"{format_duration(entry['max']):>10}")
+    else:
+        lines.append("no spans recorded (is the obs layer enabled?)")
+
+    counters = report.get("counters") or {}
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name} = {counters[name]:g}")
+
+    gauges = report.get("gauges") or {}
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name} = {gauges[name]:g}")
+
+    histograms = report.get("histograms") or {}
+    if histograms:
+        lines.append("")
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+            lines.append(f"  {name}: n={hist['count']} "
+                         f"mean={format_duration(max(mean, 0.0))}")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""The CI regression gate: compare a bench report against a baseline.
+
+``python -m repro.obs check BENCH_ci.json benchmarks/baseline_ci.json``
+exits non-zero when a stage got *grossly* slower (default: more than
+2x the baseline) or disappeared entirely (instrumentation rot is a
+regression too). Stages whose baseline time is below the noise floor
+are compared against the floor instead, so micro-stages cannot flap
+the gate on scheduler jitter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Baseline stage times below this many seconds are lifted to it
+#: before applying the factor — avoids 2x-of-2ms false alarms.
+DEFAULT_MIN_SECONDS = 0.05
+
+#: A stage fails when current > factor * max(baseline, min_seconds).
+DEFAULT_FACTOR = 2.0
+
+
+def check_regression(current: Dict[str, Any], baseline: Dict[str, Any],
+                     factor: float = DEFAULT_FACTOR,
+                     min_seconds: float = DEFAULT_MIN_SECONDS) -> List[str]:
+    """Return one problem string per gate violation (empty = pass).
+
+    Checks, per baseline stage:
+
+    - the stage still exists in the current report (a missing stage
+      means an instrumentation point was lost);
+    - its total time is within ``factor`` of the baseline, after
+      lifting tiny baselines to ``min_seconds``.
+
+    Counters are compared for *presence* only — their values may
+    legitimately change when algorithms change, but a vanished counter
+    means the metric was unwired.
+    """
+    if factor <= 1.0:
+        raise ValueError(f"factor must be > 1.0, got {factor}")
+    problems: List[str] = []
+
+    base_stages = baseline.get("stages") or {}
+    cur_stages = current.get("stages") or {}
+    for name in sorted(base_stages):
+        base_entry = base_stages[name]
+        cur_entry = cur_stages.get(name)
+        if cur_entry is None:
+            problems.append(
+                f"stage {name!r} present in baseline but missing from the "
+                f"current report — instrumentation removed?")
+            continue
+        budget = factor * max(float(base_entry["seconds"]), min_seconds)
+        seconds = float(cur_entry["seconds"])
+        if seconds > budget:
+            problems.append(
+                f"stage {name!r} regressed: {seconds:.4f}s vs baseline "
+                f"{float(base_entry['seconds']):.4f}s "
+                f"(budget {budget:.4f}s = {factor:g}x with "
+                f"{min_seconds:g}s floor)")
+
+    base_counters = baseline.get("counters") or {}
+    cur_counters = current.get("counters") or {}
+    for name in sorted(base_counters):
+        if name not in cur_counters:
+            problems.append(
+                f"counter {name!r} present in baseline but missing from "
+                f"the current report — metric unwired?")
+    return problems
+
+
+def describe_pass(current: Dict[str, Any], baseline: Dict[str, Any]) -> str:
+    """One-line summary printed when the gate passes."""
+    cur = current.get("stages") or {}
+    base = baseline.get("stages") or {}
+    shared = sorted(set(cur) & set(base))
+    worst_name, worst_ratio = "", 0.0
+    for name in shared:
+        base_seconds = max(float(base[name]["seconds"]), 1e-9)
+        ratio = float(cur[name]["seconds"]) / base_seconds
+        if ratio > worst_ratio:
+            worst_name, worst_ratio = name, ratio
+    if not shared:
+        return "gate passed (no shared stages)"
+    return (f"gate passed: {len(shared)} stages within budget; worst "
+            f"{worst_name} at {worst_ratio:.2f}x baseline")

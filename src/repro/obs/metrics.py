@@ -1,0 +1,185 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+The registry is deliberately boring: plain Python objects, no
+background threads, no dependencies. Two properties matter for the CI
+bench harness built on top:
+
+- **Deterministic output.** Histogram bucket boundaries are fixed at
+  creation (default :data:`DEFAULT_LATENCY_BUCKETS`), snapshots list
+  every metric in sorted name order, and counter values are exact
+  integers/floats accumulated in call order — the same workload on the
+  same seed produces byte-identical counter sections.
+- **Cheap updates.** A counter increment is one dict lookup and one
+  addition; a histogram observation is one :func:`bisect.bisect_left`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram boundaries (seconds): ~100us to 10s, the range a
+#: propagation stage can plausibly occupy. Fixed so that two runs — or
+#: two machines — bucket identical observations identically.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value (requests served, iterations run)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value (cache occupancy, engine selection)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-boundary histogram of float observations.
+
+    ``boundaries`` are *upper* bucket bounds; an observation lands in
+    the first bucket whose bound is ``>= value``, or in the implicit
+    overflow bucket past the last bound. ``counts`` therefore has
+    ``len(boundaries) + 1`` entries. Because the boundaries never move,
+    bucketing is a pure function of the observed values — the
+    determinism the bench-trajectory diffing relies on.
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "count", "total")
+
+    def __init__(self, name: str,
+                 boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError(
+                f"histogram {name!r} needs at least one bucket boundary")
+        if list(bounds) != sorted(bounds):
+            raise ValueError(
+                f"histogram {name!r} boundaries must be sorted: {bounds}")
+        self.name = name
+        self.boundaries: Tuple[float, ...] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics.
+
+    Names are dotted strings (``"approx.queries_total"``). Re-requesting
+    a name returns the existing instrument; requesting an existing name
+    as a *different* kind raises ``ValueError`` — silently shadowing a
+    counter with a gauge would corrupt the report.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_unique(self, name: str, kind: str) -> None:
+        owners = {"counter": self._counters, "gauge": self._gauges,
+                  "histogram": self._histograms}
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}")
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter *name*."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_unique(name, "counter")
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge *name*."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_unique(name, "gauge")
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  boundaries: Optional[Sequence[float]] = None) -> Histogram:
+        """Get or create the histogram *name*.
+
+        ``boundaries`` applies on first creation only; a later caller
+        passing different boundaries for the same name raises
+        ``ValueError`` (two shapes of the same histogram cannot merge).
+        """
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_unique(name, "histogram")
+            instrument = self._histograms[name] = Histogram(
+                name, boundaries if boundaries is not None
+                else DEFAULT_LATENCY_BUCKETS)
+        elif (boundaries is not None
+              and tuple(float(b) for b in boundaries)
+              != instrument.boundaries):
+            raise ValueError(
+                f"histogram {name!r} already exists with boundaries "
+                f"{instrument.boundaries}")
+        return instrument
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic dict form of every metric, sorted by name."""
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {
+                name: {
+                    "boundaries": list(hist.boundaries),
+                    "counts": list(hist.counts),
+                    "count": hist.count,
+                    "sum": hist.total,
+                }
+                for name, hist in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (a fresh registry for a fresh run)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -1,0 +1,193 @@
+"""The global observability switch and its no-op fast path.
+
+Instrumented code throughout the library calls the module-level
+helpers here (:func:`span`, :func:`timed_span`, :func:`count`,
+:func:`gauge`, :func:`observe`). By default the layer is **disabled**:
+:func:`span` returns the shared :data:`NOOP_SPAN` singleton (no
+allocation, no clock read) and the metric helpers return without
+touching a registry, so the hot paths pay one function call and a
+truthiness check — nothing measurable (``tests/obs/test_noop.py``
+holds this to zero net allocations).
+
+Enable it for a run with::
+
+    from repro import obs
+    obs.enable()          # fresh tracer + registry
+    ...workload...
+    report = obs.snapshot()
+
+or from the command line with ``repro --obs ...`` /
+``REPRO_OBS=1`` in the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Sequence, Union
+
+from .clock import now
+from .metrics import MetricsRegistry
+from .trace import Span, Tracer
+
+
+class _NoopSpan:
+    """Falsy, stateless stand-in for :class:`Span` when obs is off.
+
+    A single shared instance is returned from every disabled
+    :func:`span` call; entering, exiting, and :meth:`set` do nothing.
+    """
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        return 0.0
+
+
+#: The shared disabled-mode span. Identity-comparable: callers may
+#: check ``span_obj is NOOP_SPAN``; hot paths should just rely on its
+#: falsiness (``if span_obj: span_obj.set(...)``).
+NOOP_SPAN = _NoopSpan()
+
+
+class _TimedOnly:
+    """Falsy timer for call sites whose elapsed time is *data*.
+
+    ``LandmarkIndex.build`` must fill ``build_seconds`` (Table 5)
+    whether or not observability is enabled, so :func:`timed_span`
+    hands out this minimal timer in disabled mode: it reads the clock
+    but records nothing anywhere.
+    """
+
+    __slots__ = ("_start", "elapsed")
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __enter__(self) -> "_TimedOnly":
+        self._start = now()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = now() - self._start
+
+    def set(self, **attrs: Any) -> "_TimedOnly":
+        return self
+
+
+#: Anything the instrumentation helpers can hand back.
+SpanLike = Union[Span, _NoopSpan, _TimedOnly]
+
+
+class ObsRuntime:
+    """One enable/disable switch plus its tracer and registry."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+
+    def reset(self) -> None:
+        self.tracer.reset()
+        self.metrics.reset()
+
+
+_RUNTIME = ObsRuntime()
+
+
+def get_runtime() -> ObsRuntime:
+    """The process-wide runtime (mostly for tests)."""
+    return _RUNTIME
+
+
+def is_enabled() -> bool:
+    """Whether instrumentation currently records anything."""
+    return _RUNTIME.enabled
+
+
+def enable(reset: bool = True) -> ObsRuntime:
+    """Turn the layer on; by default with a fresh tracer and registry."""
+    if reset:
+        _RUNTIME.reset()
+    _RUNTIME.enabled = True
+    return _RUNTIME
+
+
+def disable() -> None:
+    """Turn the layer off (recorded spans/metrics are kept)."""
+    _RUNTIME.enabled = False
+
+
+def span(name: str, **attrs: Any) -> SpanLike:
+    """A recording span when enabled, :data:`NOOP_SPAN` otherwise."""
+    if not _RUNTIME.enabled:
+        return NOOP_SPAN
+    return _RUNTIME.tracer.span(name, **attrs)
+
+
+def timed_span(name: str, **attrs: Any) -> SpanLike:
+    """Like :func:`span`, but always measures ``elapsed``.
+
+    Use where the wall time is a return value (per-landmark build
+    seconds), not just telemetry.
+    """
+    if not _RUNTIME.enabled:
+        return _TimedOnly()
+    return _RUNTIME.tracer.span(name, **attrs)
+
+
+def count(name: str, amount: float = 1) -> None:
+    """Increment counter *name* (no-op when disabled)."""
+    if _RUNTIME.enabled:
+        _RUNTIME.metrics.counter(name).inc(amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge *name* (no-op when disabled)."""
+    if _RUNTIME.enabled:
+        _RUNTIME.metrics.gauge(name).set(value)
+
+
+def observe(name: str, value: float,
+            boundaries: Optional[Sequence[float]] = None) -> None:
+    """Record *value* into histogram *name* (no-op when disabled)."""
+    if _RUNTIME.enabled:
+        _RUNTIME.metrics.histogram(name, boundaries).observe(value)
+
+
+def snapshot() -> Dict[str, Any]:
+    """Stages + metrics of everything recorded since :func:`enable`."""
+    metric_view = _RUNTIME.metrics.snapshot()
+    return {
+        "stages": _RUNTIME.tracer.aggregate(),
+        "counters": metric_view["counters"],
+        "gauges": metric_view["gauges"],
+        "histograms": metric_view["histograms"],
+    }
+
+
+def span_trees() -> list:
+    """Finished root spans as JSON-ready dicts (see :meth:`Span.to_dict`)."""
+    return [root.to_dict() for root in _RUNTIME.tracer.finished]
+
+
+# Opt in from the environment: REPRO_OBS=1 python -m ... instruments
+# any entry point without code changes.
+if os.environ.get("REPRO_OBS", "").strip().lower() in {"1", "true", "yes", "on"}:
+    enable()

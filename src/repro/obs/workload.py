@@ -1,0 +1,115 @@
+"""The pinned CI smoke workload.
+
+A small, fully-seeded end-to-end run that exercises every instrumented
+stage — exact power iteration, landmark preprocessing (Algorithm 1),
+and the landmark-accelerated query path (Algorithm 2) — with the
+observability layer enabled, and returns the bench report that
+``python -m repro.obs run --json BENCH_ci.json`` writes for CI.
+
+Everything is deterministic except the timings: same seed, same
+machine → identical counters and stage call counts, so PR-over-PR
+diffs of ``BENCH_ci.json`` isolate *time* changes from *work* changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from . import runtime as rt
+from .export import build_report
+
+#: Knobs of the pinned CI workload. Changing any of these invalidates
+#: ``benchmarks/baseline_ci.json`` — regenerate it in the same commit
+#: (see docs/OBSERVABILITY.md).
+SMOKE_DEFAULTS: Dict[str, Any] = {
+    "nodes": 800,
+    "seed": 7,
+    "landmarks": 24,
+    "top_n": 50,
+    "queries": 8,
+    "engine": "auto",
+}
+
+
+def _pick_query_nodes(graph: Any, landmarks: List[int],
+                      queries: int) -> List[int]:
+    """Deterministic query set: lowest-id non-landmark nodes that
+    actually have somewhere to explore."""
+    excluded = set(landmarks)
+    eligible = sorted(
+        node for node in graph.nodes()
+        if graph.out_degree(node) >= 2 and node not in excluded)
+    return eligible[:queries]
+
+
+def run_smoke(nodes: int = 0, seed: int = 0, landmarks: int = 0,
+              top_n: int = 0, queries: int = 0,
+              engine: str = "") -> Dict[str, Any]:
+    """Run the smoke workload with obs enabled; returns the report.
+
+    Any argument left at its falsy default is replaced by the pinned
+    value from :data:`SMOKE_DEFAULTS` (explicit zeros are not
+    meaningful for any of these knobs).
+    """
+    # Imports are deferred so `import repro.obs` stays dependency-free
+    # and cycle-free (core/landmarks import repro.obs at module load).
+    from ..core.exact import single_source_scores
+    from ..core.scores import AuthorityIndex
+    from ..datasets import generate_twitter_graph
+    from ..landmarks.approximate import ApproximateRecommender
+    from ..landmarks.index import LandmarkIndex
+    from ..landmarks.selection import select_landmarks
+    from ..config import LandmarkParams, ScoreParams
+    from ..semantics import SimilarityMatrix, web_taxonomy
+
+    nodes = nodes if nodes else int(SMOKE_DEFAULTS["nodes"])
+    seed = seed if seed else int(SMOKE_DEFAULTS["seed"])
+    landmarks = landmarks if landmarks else int(SMOKE_DEFAULTS["landmarks"])
+    top_n = top_n if top_n else int(SMOKE_DEFAULTS["top_n"])
+    queries = queries if queries else int(SMOKE_DEFAULTS["queries"])
+    engine = engine if engine else str(SMOKE_DEFAULTS["engine"])
+
+    was_enabled = rt.is_enabled()
+    rt.enable(reset=True)
+    try:
+        with rt.span("workload.setup") as setup_span:
+            graph = generate_twitter_graph(nodes, seed=seed)
+            similarity = SimilarityMatrix.from_taxonomy(web_taxonomy())
+            topics = sorted(graph.topics())
+            topic = "technology" if "technology" in topics else topics[0]
+            params = ScoreParams()
+            authority = AuthorityIndex(graph)
+            if setup_span:
+                setup_span.set(nodes=graph.num_nodes,
+                               edges=graph.num_edges, topic=topic)
+
+        chosen = select_landmarks(graph, "In-Deg", landmarks, rng=seed)
+        query_nodes = _pick_query_nodes(graph, chosen, queries)
+
+        # Stage 1 — exact power iteration, run to convergence.
+        for query in query_nodes:
+            single_source_scores(graph, query, [topic], similarity,
+                                 authority=authority, params=params)
+
+        # Stage 2 — Algorithm 1 landmark preprocessing.
+        index = LandmarkIndex.build(
+            graph, chosen, [topic], similarity, params=params,
+            landmark_params=LandmarkParams(num_landmarks=landmarks,
+                                           top_n=top_n),
+            authority=authority, engine=engine)
+
+        # Stage 3 — Algorithm 2 landmark-accelerated queries.
+        recommender = ApproximateRecommender(graph, similarity, index,
+                                             authority=authority)
+        for query in query_nodes:
+            recommender.recommend(query, topic, top_n=10)
+
+        report = build_report(rt.snapshot(), workload={
+            "nodes": nodes, "seed": seed, "landmarks": landmarks,
+            "top_n": top_n, "queries": len(query_nodes),
+            "engine": index.engine_used, "topic": topic,
+        })
+    finally:
+        if not was_enabled:
+            rt.disable()
+    return report

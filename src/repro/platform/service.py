@@ -21,6 +21,7 @@ from ..graph.labeled_graph import LabeledSocialGraph
 from ..landmarks.approximate import ApproximateRecommender
 from ..landmarks.index import LandmarkIndex
 from ..landmarks.selection import select_landmarks
+from ..obs import runtime as _obs
 from ..semantics.matrix import SimilarityMatrix
 from .accounts import Account, AccountRegistry
 from .timeline import Post, TimelineStore
@@ -182,30 +183,49 @@ class MicroblogPlatform:
             self.graph, self.similarity, index)
         self._maintainer = EagerMaintainer(
             self.graph, index, topics, self.similarity, self.params)
+        _obs.count("platform.landmarks_enabled_total")
         return index
 
     def who_to_follow(self, account: Ref, topic: str, top_n: int = 5,
                       ) -> List[WhoToFollowResult]:
         """Topic-conditioned account suggestions (the WTF endpoint)."""
-        user = self._resolve(account)
-        if self._approximate is not None:
-            ranked = self._approximate.recommend(
-                user.account_id, topic, top_n=top_n)
-        else:
-            if self._recommender is None:
-                self._recommender = Recommender(
-                    self.graph, self.similarity, self.params)
-            ranked = [
-                (item.node, item.score)
-                for item in self._recommender.recommend(
-                    user.account_id, topic, top_n=top_n)
-            ]
-        results = []
-        for node, score in ranked:
-            suggested = self.accounts.by_id(node)
-            results.append(WhoToFollowResult(
-                handle=suggested.handle, account_id=node, score=score,
-                topics=tuple(sorted(self.graph.node_topics(node)))))
+        with _obs.span("platform.who_to_follow") as _sp:
+            user = self._resolve(account)
+            engine = ("approximate" if self._approximate is not None
+                      else "exact")
+            if _sp:
+                _sp.set(topic=topic, top_n=top_n, engine=engine)
+            _obs.count("platform.wtf_requests_total")
+            _obs.count(f"platform.wtf_served_by_{engine}_total")
+            _obs.gauge("platform.wtf_engine_approximate",
+                       1.0 if engine == "approximate" else 0.0)
+            with _obs.span("platform.rank") as _rank:
+                if self._approximate is not None:
+                    ranked = self._approximate.recommend(
+                        user.account_id, topic, top_n=top_n)
+                else:
+                    cached = self._recommender is not None
+                    _obs.gauge("platform.exact_recommender_cached",
+                               1.0 if cached else 0.0)
+                    if self._recommender is None:
+                        self._recommender = Recommender(
+                            self.graph, self.similarity, self.params)
+                    ranked = [
+                        (item.node, item.score)
+                        for item in self._recommender.recommend(
+                            user.account_id, topic, top_n=top_n)
+                    ]
+                if _rank:
+                    _rank.set(returned=len(ranked))
+            with _obs.span("platform.hydrate") as _hydrate:
+                results = []
+                for node, score in ranked:
+                    suggested = self.accounts.by_id(node)
+                    results.append(WhoToFollowResult(
+                        handle=suggested.handle, account_id=node, score=score,
+                        topics=tuple(sorted(self.graph.node_topics(node)))))
+                if _hydrate:
+                    _hydrate.set(results=len(results))
         return results
 
     def _invalidate(self) -> None:

@@ -299,6 +299,65 @@ class TestR6BlindExcept:
         assert findings == []
 
 
+class TestR7RawTiming:
+    def test_fires_on_perf_counter_attribute_call_in_src(self):
+        findings = run("""
+            import time
+
+            def work():
+                start = time.perf_counter()
+                return time.perf_counter() - start
+        """)
+        assert rule_ids(findings) == ["R7", "R7"]
+        assert "perf_counter" in findings[0].message
+
+    def test_fires_on_time_time_and_from_import(self):
+        findings = run("""
+            from time import monotonic
+
+            def stamp():
+                return monotonic()
+        """)
+        assert rule_ids(findings) == ["R7"]
+        assert "time.monotonic" in findings[0].message
+
+    def test_clean_inside_obs_package(self):
+        findings = run("""
+            import time
+
+            def now():
+                return time.perf_counter()
+        """, path="src/repro/obs/clock.py")
+        assert findings == []
+
+    def test_clean_outside_src(self):
+        findings = run("""
+            import time
+
+            def test_something():
+                return time.perf_counter()
+        """, path="tests/core/test_example.py")
+        assert findings == []
+
+    def test_clean_non_clock_time_attribute(self):
+        findings = run("""
+            import time
+
+            def nap():
+                time.sleep(0.1)
+        """)
+        assert findings == []
+
+    def test_suppression_comment_silences(self):
+        findings = run("""
+            import time
+
+            def work():
+                return time.perf_counter()  # repro: ignore[R7] -- boot-time stamp predates obs.enable()
+        """)
+        assert findings == []
+
+
 class TestInfrastructure:
     def test_syntax_error_raises(self):
         with pytest.raises(SyntaxError):

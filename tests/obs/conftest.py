@@ -1,0 +1,17 @@
+"""Obs tests toggle the process-wide runtime; always restore it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime as rt
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled_around_each_test():
+    """Every test starts and ends with a disabled, empty runtime."""
+    rt.disable()
+    rt.get_runtime().reset()
+    yield
+    rt.disable()
+    rt.get_runtime().reset()

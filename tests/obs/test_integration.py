@@ -1,0 +1,113 @@
+"""End-to-end: who-to-follow emits the documented span tree and counters."""
+
+import pytest
+
+from repro.obs import runtime as rt
+from repro.platform import MicroblogPlatform
+
+
+def names(tree):
+    """Flatten a span-tree dict into depth-first span names."""
+    out = [tree["name"]]
+    for child in tree["children"]:
+        out.extend(names(child))
+    return out
+
+
+def find(tree, name):
+    if tree["name"] == name:
+        return tree
+    for child in tree["children"]:
+        found = find(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+@pytest.fixture()
+def platform(web_sim):
+    platform = MicroblogPlatform(web_sim)
+    handles = [f"user{i}" for i in range(12)]
+    for handle in handles:
+        platform.register(handle, topics=("technology",))
+    # A ring plus spokes so everyone has somewhere to explore.
+    for i in range(12):
+        platform.follow(handles[i], handles[(i + 1) % 12])
+        platform.follow(handles[i], handles[(i + 5) % 12])
+    return platform
+
+
+class TestWhoToFollowSpanTree:
+    def test_exact_path_tree_and_counters(self, platform):
+        rt.enable()
+        platform.who_to_follow("user0", "technology", top_n=3)
+        trees = rt.span_trees()
+        assert len(trees) == 1
+        root = trees[0]
+        assert root["name"] == "platform.who_to_follow"
+        assert root["attributes"]["engine"] == "exact"
+        assert [child["name"] for child in root["children"]] == [
+            "platform.rank", "platform.hydrate"]
+        # The exact path runs the power iteration inside the rank span.
+        rank = find(root, "platform.rank")
+        assert "exact.single_source" in names(rank)
+        assert "exact.iteration" in names(rank)
+
+        snap = rt.snapshot()
+        assert snap["counters"]["platform.wtf_requests_total"] == 1
+        assert snap["counters"]["platform.wtf_served_by_exact_total"] == 1
+        assert snap["gauges"]["platform.wtf_engine_approximate"] == 0.0
+        assert "platform.wtf_served_by_approximate_total" not in (
+            snap["counters"])
+
+    def test_approximate_path_tree_and_counters(self, platform):
+        platform.enable_landmarks(num_landmarks=4, seed=3)
+        rt.enable()
+        platform.who_to_follow("user0", "technology", top_n=3)
+        trees = rt.span_trees()
+        assert len(trees) == 1
+        root = trees[0]
+        assert root["attributes"]["engine"] == "approximate"
+
+        # The documented tree, top to bottom.
+        rank = find(root, "platform.rank")
+        assert rank is not None
+        recommend = find(rank, "approx.recommend")
+        assert recommend is not None
+        query = find(recommend, "approx.query")
+        assert query is not None
+        assert [child["name"] for child in query["children"]] == [
+            "approx.explore", "approx.compose"]
+        assert find(recommend, "approx.rank") is not None
+        assert find(root, "platform.hydrate") is not None
+
+        # Exploration is depth-limited and absorbed at landmarks.
+        explore = find(query, "approx.explore")
+        assert explore["attributes"]["depth"] == 2
+        assert "exact.single_source" in names(explore)
+        assert query["attributes"]["landmarks_hit"] >= 1
+
+        snap = rt.snapshot()
+        assert snap["counters"]["platform.wtf_requests_total"] == 1
+        assert snap["counters"][
+            "platform.wtf_served_by_approximate_total"] == 1
+        assert snap["counters"]["approx.queries_total"] == 1
+        assert snap["counters"]["approx.landmarks_encountered_total"] >= 1
+        assert snap["gauges"]["platform.wtf_engine_approximate"] == 1.0
+
+    def test_repeated_requests_accumulate_stage_stats(self, platform):
+        rt.enable()
+        for _ in range(3):
+            platform.who_to_follow("user1", "technology", top_n=2)
+        stages = rt.snapshot()["stages"]
+        assert stages["platform.who_to_follow"]["calls"] == 3
+        assert stages["platform.rank"]["calls"] == 3
+        assert stages["platform.hydrate"]["calls"] == 3
+        assert rt.snapshot()["counters"]["platform.wtf_requests_total"] == 3
+
+    def test_disabled_platform_emits_nothing(self, platform):
+        results = platform.who_to_follow("user0", "technology", top_n=3)
+        assert results  # the endpoint itself still works
+        snap = rt.snapshot()
+        assert snap["stages"] == {}
+        assert snap["counters"] == {}

@@ -1,0 +1,115 @@
+"""Counters, gauges, and the deterministic fixed-bucket histogram."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_rejects_negative_increment(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("occupancy")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogramDeterminism:
+    def test_bucketing_is_a_pure_function_of_values(self):
+        """Identical observations bucket identically, run after run."""
+        values = [0.00004, 0.0001, 0.00011, 0.3, 42.0, 0.0499, 0.05]
+        snapshots = []
+        for _ in range(3):
+            hist = Histogram("latency")
+            for value in values:
+                hist.observe(value)
+            snapshots.append(list(hist.counts))
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+    def test_boundary_value_lands_in_its_own_bucket(self):
+        """An observation equal to a bound goes to that bound's bucket."""
+        hist = Histogram("h", boundaries=(1.0, 2.0))
+        hist.observe(1.0)   # == first bound
+        hist.observe(1.5)   # between -> second bucket
+        hist.observe(2.0)   # == second bound
+        hist.observe(9.0)   # overflow
+        assert hist.counts == [1, 2, 1]
+
+    def test_counts_has_overflow_bucket(self):
+        hist = Histogram("h", boundaries=DEFAULT_LATENCY_BUCKETS)
+        assert len(hist.counts) == len(DEFAULT_LATENCY_BUCKETS) + 1
+
+    def test_mean_and_count(self):
+        hist = Histogram("h", boundaries=(1.0,))
+        assert hist.mean == 0.0
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.count == 2
+        assert hist.mean == 3.0
+
+    def test_rejects_empty_and_unsorted_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=())
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(2.0, 1.0))
+
+    def test_conflicting_boundaries_for_same_name_raise(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", boundaries=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", boundaries=(5.0,))
+        # Same boundaries (or none) are fine.
+        assert registry.histogram("h") is registry.histogram(
+            "h", boundaries=(1.0, 2.0))
+
+
+class TestRegistry:
+    def test_cross_kind_name_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_snapshot_is_sorted_and_json_shaped(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc(2)
+        registry.counter("a_total").inc()
+        registry.gauge("g").set(7)
+        registry.histogram("h", boundaries=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a_total", "b_total"]
+        assert snap["counters"]["b_total"] == 2
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"] == {
+            "boundaries": [1.0], "counts": [1, 0], "count": 1, "sum": 0.5}
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+        assert registry.counter("x").value == 0

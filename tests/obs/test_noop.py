@@ -1,0 +1,91 @@
+"""Disabled-mode behaviour: one shared falsy span, no recorded state,
+and no allocations on the hot path."""
+
+import tracemalloc
+
+from repro.obs import NOOP_SPAN
+from repro.obs import runtime as rt
+
+
+class TestNoopSpan:
+    def test_disabled_by_default_here(self):
+        assert not rt.is_enabled()
+
+    def test_span_returns_the_shared_singleton(self):
+        first = rt.span("exact.single_source", source=1)
+        second = rt.span("approx.query")
+        assert first is NOOP_SPAN
+        assert second is NOOP_SPAN
+
+    def test_noop_span_is_falsy_and_inert(self):
+        span = rt.span("anything")
+        assert not span
+        with span as entered:
+            assert entered is span
+            # The guarded-attribute idiom: this branch must not run.
+            assert not entered
+        assert span.set(depth=2) is span
+        assert span.elapsed == 0.0
+
+    def test_nothing_is_recorded_while_disabled(self):
+        with rt.span("stage", depth=2):
+            rt.count("stage.calls_total")
+            rt.gauge("stage.level", 3.0)
+            rt.observe("stage.seconds", 0.01)
+        snap = rt.snapshot()
+        assert snap["stages"] == {}
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+        assert rt.span_trees() == []
+
+    def test_timed_span_still_measures_when_disabled(self):
+        """build_seconds is *data* (Table 5), not telemetry — it must be
+        measured whether or not obs is on."""
+        watch = rt.timed_span("landmarks.build_one")
+        assert not watch
+        with watch:
+            sum(range(1000))
+        assert watch.elapsed > 0.0
+
+    def test_hot_path_allocates_nothing_when_disabled(self):
+        def hot_loop(n):
+            for _ in range(n):
+                with rt.span("exact.iteration") as span:
+                    if span:
+                        span.set(residual=0.0)
+                rt.count("exact.iterations_total")
+
+        hot_loop(100)  # warm up caches, bytecode, etc.
+        tracemalloc.start()
+        try:
+            before, _ = tracemalloc.get_traced_memory()
+            hot_loop(1000)
+            after, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        # The singleton span and early-return metric helpers must not
+        # allocate per call; allow a little slack for interpreter noise.
+        assert after - before < 512
+
+
+class TestEnableDisable:
+    def test_enable_records_and_disable_stops(self):
+        rt.enable()
+        with rt.span("stage"):
+            rt.count("stage.calls_total")
+        rt.disable()
+        with rt.span("stage"):                # no-op again
+            rt.count("stage.calls_total")
+        snap = rt.snapshot()
+        assert snap["stages"]["stage"]["calls"] == 1
+        assert snap["counters"]["stage.calls_total"] == 1
+
+    def test_enable_resets_by_default(self):
+        rt.enable()
+        rt.count("x_total")
+        rt.enable(reset=False)
+        rt.count("y_total")
+        assert rt.snapshot()["counters"] == {"x_total": 1, "y_total": 1}
+        rt.enable()
+        assert rt.snapshot()["counters"] == {}

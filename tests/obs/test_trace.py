@@ -1,0 +1,114 @@
+"""Span nesting, attribute capture, and stage aggregation."""
+
+import threading
+
+from repro.obs import Tracer
+
+
+class TestSpanNesting:
+    def test_nested_spans_link_parent_and_children(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            with tracer.span("sibling") as sibling:
+                pass
+        assert inner.parent is outer
+        assert sibling.parent is outer
+        assert outer.children == [inner, sibling]
+        # Only the root lands in finished; children hang off it.
+        assert tracer.finished == [outer]
+
+    def test_walk_is_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        assert [span.name for span in a.walk()] == ["a", "b", "c", "d"]
+
+    def test_elapsed_is_positive_and_contains_children(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert 0.0 < inner.elapsed <= outer.elapsed
+
+    def test_span_survives_exception_and_still_finishes(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [root.name for root in tracer.finished] == ["outer"]
+        assert tracer.current() is None
+
+
+class TestSpanAttributes:
+    def test_constructor_and_set_attributes_merge(self):
+        tracer = Tracer()
+        with tracer.span("query", depth=2) as span:
+            span.set(landmarks_hit=5, frontier_size=17)
+        assert span.attributes == {
+            "depth": 2, "landmarks_hit": 5, "frontier_size": 17}
+
+    def test_to_dict_is_json_ready(self):
+        tracer = Tracer()
+        with tracer.span("outer", k=1):
+            with tracer.span("inner"):
+                pass
+        tree = tracer.finished[0].to_dict()
+        assert tree["name"] == "outer"
+        assert tree["attributes"] == {"k": 1}
+        assert [child["name"] for child in tree["children"]] == ["inner"]
+        assert tree["seconds"] > 0.0
+
+
+class TestAggregate:
+    def test_aggregate_groups_by_name_sorted(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("b.stage"):
+                pass
+        with tracer.span("a.stage"):
+            pass
+        stats = tracer.aggregate()
+        assert list(stats) == ["a.stage", "b.stage"]
+        assert stats["b.stage"]["calls"] == 3
+        entry = stats["b.stage"]
+        assert entry["min"] <= entry["mean"] <= entry["max"]
+        assert abs(entry["mean"] - entry["seconds"] / 3) < 1e-12
+
+    def test_reset_clears_finished_roots(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.finished == []
+        assert tracer.aggregate() == {}
+
+
+class TestThreadSafety:
+    def test_worker_thread_spans_become_their_own_roots(self):
+        """The dict engine fans builds out over threads; a span opened
+        on a worker must not become a child of the main thread's span."""
+        tracer = Tracer()
+
+        def work():
+            with tracer.span("worker.build"):
+                pass
+
+        with tracer.span("main.build") as main_span:
+            threads = [threading.Thread(target=work) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert main_span.children == []
+        names = sorted(root.name for root in tracer.finished)
+        assert names == ["main.build"] + ["worker.build"] * 4

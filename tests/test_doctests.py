@@ -12,9 +12,9 @@ import repro.core.recommender
 import repro.graph.builders
 import repro.graph.distance_oracle
 import repro.graph.labeled_graph
+import repro.obs.clock
 import repro.semantics.matrix
 import repro.semantics.taxonomy
-import repro.utils.timers
 
 MODULES = [
     repro.graph.labeled_graph,
@@ -23,7 +23,7 @@ MODULES = [
     repro.semantics.taxonomy,
     repro.semantics.matrix,
     repro.core.recommender,
-    repro.utils.timers,
+    repro.obs.clock,
 ]
 
 
