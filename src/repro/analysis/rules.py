@@ -19,6 +19,10 @@ re-learn (see ``docs/ANALYSIS.md`` for the bug behind each one):
   swallows the exception.
 - **R7** raw-timing: raw ``time.time()``/``perf_counter()`` reads in
   ``src/`` outside :mod:`repro.obs` bypass the observability layer.
+- **R8** private-graph-access: reading ``._out``/``._in``/
+  ``._node_topics`` outside ``graph/`` bypasses the
+  :class:`~repro.graph.snapshot.GraphSnapshot` read path and sees
+  mutations mid-propagation.
 
 Rules are pluggable: subclass :class:`Rule`, decorate with
 :func:`register`, and the engine, the CLI rule listing, and the
@@ -638,6 +642,43 @@ class RawTiming(Rule):
                         from_imports[alias.asname or alias.name] = (
                             f"time.{alias.name}")
         return time_aliases, from_imports
+
+
+# ----------------------------------------------------------------------
+# R8 — private-graph-access
+# ----------------------------------------------------------------------
+
+_PRIVATE_GRAPH_ATTRS = {"_out", "_in", "_node_topics"}
+_GRAPH_EXEMPT_DIRS = ("graph",)
+
+
+@register
+class PrivateGraphAccess(Rule):
+    """``._out``/``._in``/``._node_topics`` reads outside ``graph/``."""
+
+    id = "R8"
+    name = "private-graph-access"
+    description = (
+        "touching a graph's private adjacency dicts (._out/._in/"
+        "._node_topics) outside graph/ bypasses the frozen GraphSnapshot "
+        "read path, so the reader can observe a mutation mid-propagation "
+        "and its epoch is unaccounted for; go through graph.snapshot() "
+        "or the public accessors instead.")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        parts = module.path.replace("\\", "/").split("/")
+        if any(part in _GRAPH_EXEMPT_DIRS for part in parts):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in _PRIVATE_GRAPH_ATTRS:
+                continue
+            yield self.finding(
+                module, node,
+                f"'.{node.attr}' reaches into the graph's private "
+                "adjacency state; read through graph.snapshot() (or the "
+                "public accessors) so the access is epoch-consistent")
 
 
 def all_rules() -> List[Rule]:

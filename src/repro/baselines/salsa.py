@@ -27,24 +27,29 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import ConfigurationError, NodeNotFoundError
-from ..graph.labeled_graph import LabeledSocialGraph
+from ..graph.snapshot import GraphLike, as_snapshot
 
 
 class SalsaRecommender:
     """Circle-of-trust + bipartite SALSA user recommendation.
 
     Args:
-        graph: The follow graph.
+        graph: The follow graph (or a prebuilt snapshot). SALSA keeps
+            no per-graph caches, so each call resolves a fresh snapshot
+            from a live graph — there is nothing to ``invalidate``.
         circle_size: Hubs kept from the egocentric walk (production
             uses ~500; scale down with the graph).
         restart: Restart probability of the personalised walk.
         walk_iterations: Power-iteration steps for the walk.
         salsa_iterations: SALSA alternation steps.
+        allow_stale: When *graph* is a snapshot, keep serving it after
+            the underlying graph mutates.
     """
 
-    def __init__(self, graph: LabeledSocialGraph, circle_size: int = 50,
+    def __init__(self, graph: GraphLike, circle_size: int = 50,
                  restart: float = 0.15, walk_iterations: int = 20,
-                 salsa_iterations: int = 20) -> None:
+                 salsa_iterations: int = 20,
+                 allow_stale: bool = False) -> None:
         if circle_size < 1:
             raise ConfigurationError(
                 f"circle_size must be >= 1, got {circle_size}")
@@ -56,6 +61,10 @@ class SalsaRecommender:
         self.restart = restart
         self.walk_iterations = walk_iterations
         self.salsa_iterations = salsa_iterations
+        self.allow_stale = allow_stale
+
+    def _resolve(self):
+        return as_snapshot(self.graph, self.allow_stale)
 
     # ------------------------------------------------------------------
     def circle_of_trust(self, user: int) -> List[int]:
@@ -64,13 +73,14 @@ class SalsaRecommender:
         The walk follows out-edges (who the user reads); the user is
         included implicitly as a hub but never recommended.
         """
-        if user not in self.graph:
+        view = self._resolve()
+        if user not in view:
             raise NodeNotFoundError(user)
         mass: Dict[int, float] = {user: 1.0}
         for _ in range(self.walk_iterations):
             spread: Dict[int, float] = {}
             for node, value in sorted(mass.items()):
-                followees = self.graph.out_neighbors(node)
+                followees = view.out_neighbors(node)
                 if not followees:
                     spread[user] = spread.get(user, 0.0) + value
                     continue
@@ -96,7 +106,7 @@ class SalsaRecommender:
         scores = self.scores(user)
         excluded: Set[int] = {user}
         if exclude_followed:
-            excluded.update(self.graph.out_neighbors(user))
+            excluded.update(self._resolve().out_neighbors(user))
         pool = set(candidates) if candidates is not None else None
         ranked = [
             (node, value) for node, value in scores.items()
@@ -108,12 +118,13 @@ class SalsaRecommender:
     def scores(self, user: int) -> Dict[int, float]:
         """Authority-side SALSA scores over the egocentric bipartite
         graph (hubs = circle of trust, authorities = their followees)."""
+        view = self._resolve()
         hubs = self.circle_of_trust(user)
         hub_set = set(hubs)
         # bipartite edges: hub -> followee
         edges: List[Tuple[int, int]] = []
         for hub in hubs:
-            for followee in self.graph.out_neighbors(hub):
+            for followee in view.out_neighbors(hub):
                 edges.append((hub, followee))
         if not edges:
             return {}

@@ -26,12 +26,12 @@ import math
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..errors import ConfigurationError
-from ..graph.labeled_graph import LabeledSocialGraph
+from ..graph.snapshot import GraphLike, as_snapshot
 
 TopicInterest = Mapping[int, Mapping[str, float]]
 
 
-def default_topic_interest(graph: LabeledSocialGraph,
+def default_topic_interest(graph: GraphLike,
                            smoothing: float = 0.3,
                            ) -> Dict[int, Dict[str, float]]:
     """Smoothed interest distribution over each node's profile.
@@ -43,12 +43,13 @@ def default_topic_interest(graph: LabeledSocialGraph,
     whole vocabulary. Nodes with an empty profile get the uniform
     background only.
     """
-    vocabulary = sorted(graph.topics())
+    view = as_snapshot(graph, allow_stale=True)
+    vocabulary = sorted(view.topics())
     background = smoothing / len(vocabulary) if vocabulary else 0.0
     interest: Dict[int, Dict[str, float]] = {}
-    for node in graph.nodes():
+    for node in view.nodes():
         distribution = {topic: background for topic in vocabulary}
-        profile = graph.node_topics(node)
+        profile = view.node_topics(node)
         if profile:
             share = (1.0 - smoothing) / len(profile)
             for topic in profile:
@@ -61,23 +62,29 @@ class TwitterRank:
     """Topic-sensitive influence ranking.
 
     Args:
-        graph: The follow graph (edge u→v means u follows v).
+        graph: The follow graph (edge u→v means u follows v), or a
+            prebuilt :class:`~repro.graph.snapshot.GraphSnapshot`. A
+            snapshot is pinned at construction; after mutating a live
+            graph call :meth:`invalidate` to re-pin.
         topic_interest: Row-stochastic-ish per-node topic distributions
             ``DT'`` (rows are normalised internally).
         tweet_counts: Per-node publication volume ``|T_j|`` (default 1).
         gamma: Damping factor (0.85 in the original paper).
         tolerance: L1 convergence threshold per topic.
         max_iter: Iteration cap.
+        allow_stale: Keep ranking on the pinned snapshot after the
+            graph mutates instead of raising ``StaleSnapshotError``.
     """
 
     def __init__(
         self,
-        graph: LabeledSocialGraph,
+        graph: GraphLike,
         topic_interest: Optional[TopicInterest] = None,
         tweet_counts: Optional[Mapping[int, int]] = None,
         gamma: float = 0.85,
         tolerance: float = 1e-10,
         max_iter: int = 100,
+        allow_stale: bool = False,
     ) -> None:
         if not 0.0 < gamma < 1.0:
             raise ConfigurationError(f"gamma must be in (0, 1), got {gamma}")
@@ -85,14 +92,22 @@ class TwitterRank:
         self.gamma = gamma
         self.tolerance = tolerance
         self.max_iter = max_iter
-        raw_interest = (dict(topic_interest) if topic_interest is not None
-                        else default_topic_interest(graph))
-        self._interest = {
-            node: self._normalise(dict(raw_interest.get(node, {})))
-            for node in graph.nodes()
-        }
+        self.allow_stale = allow_stale
+        self._view = as_snapshot(graph, allow_stale)
+        self._supplied_interest = (dict(topic_interest)
+                                   if topic_interest is not None else None)
         self._tweets = dict(tweet_counts) if tweet_counts else {}
         self._rank_cache: Dict[str, Dict[int, float]] = {}
+        self._bind_interest()
+
+    def _bind_interest(self) -> None:
+        raw_interest = (self._supplied_interest
+                        if self._supplied_interest is not None
+                        else default_topic_interest(self._view))
+        self._interest = {
+            node: self._normalise(dict(raw_interest.get(node, {})))
+            for node in self._view.nodes()
+        }
 
     @staticmethod
     def _normalise(distribution: Dict[str, float]) -> Dict[str, float]:
@@ -115,27 +130,28 @@ class TwitterRank:
         """``E_t``: interest-in-*topic* mass per node, normalised."""
         raw = {
             node: self._interest[node].get(topic, 0.0)
-            for node in self.graph.nodes()
+            for node in self._view.nodes()
         }
         total = math.fsum(raw.values())
         if total <= 0.0:
             # Nobody is interested in the topic: fall back to uniform,
             # like standard PageRank on an empty personalisation vector.
-            n = self.graph.num_nodes
+            n = self._view.num_nodes
             return {node: 1.0 / n for node in raw}
         return {node: value / total for node, value in raw.items()}
 
     def rank(self, topic: str) -> Dict[int, float]:
         """The stationary TwitterRank vector ``TR_t`` for *topic*."""
+        self._view.ensure_fresh(self.allow_stale)
         cached = self._rank_cache.get(topic)
         if cached is not None:
             return cached
         teleport = self._teleport_distribution(topic)
         # Pre-build per-follower transition rows (sparse).
         transitions: Dict[int, List[Tuple[int, float]]] = {}
-        for follower in self.graph.nodes():
+        for follower in self._view.nodes():
             row = []
-            for followee in self.graph.out_neighbors(follower):
+            for followee in self._view.out_neighbors(follower):
                 weight = (self._tweet_count(followee)
                           * self._topical_similarity(follower, followee, topic))
                 if weight > 0.0:
@@ -197,7 +213,7 @@ class TwitterRank:
         """Top-n accounts by ``TR_t``, excluding the user's followees."""
         excluded = {user}
         if exclude_followed:
-            excluded.update(self.graph.out_neighbors(user))
+            excluded.update(self._view.out_neighbors(user))
         pool = set(candidates) if candidates is not None else None
         ranking = [
             (node, value) for node, value in self.rank(topic).items()
@@ -207,5 +223,7 @@ class TwitterRank:
         return ranking[:top_n]
 
     def invalidate(self) -> None:
-        """Drop cached rankings after a graph mutation."""
+        """Re-pin the snapshot and drop cached rankings after a mutation."""
+        self._view = as_snapshot(self.graph, allow_stale=True)
         self._rank_cache.clear()
+        self._bind_interest()

@@ -31,7 +31,7 @@ except ImportError:  # pragma: no cover - exercised on scipy-less installs
 
 from ..config import ScoreParams
 from ..errors import ConvergenceError
-from ..graph.labeled_graph import LabeledSocialGraph
+from ..graph.snapshot import GraphLike, GraphSnapshot, as_snapshot
 from ..obs import runtime as _obs
 from ..semantics.matrix import SimilarityMatrix
 from .scores import AuthorityIndex
@@ -113,7 +113,7 @@ class _MaxSimCache:
 
 
 def single_source_scores(
-    graph: LabeledSocialGraph,
+    graph: GraphLike,
     source: int,
     topics: Sequence[str],
     similarity: SimilarityMatrix,
@@ -122,17 +122,21 @@ def single_source_scores(
     max_depth: Optional[int] = None,
     sim_cache: Optional[_MaxSimCache] = None,
     absorbing: Optional[frozenset] = None,
+    allow_stale: bool = False,
 ) -> ScoreState:
     """Propagate Tr scores from *source* (Prop. 1 / Algorithm 1).
 
     Args:
-        graph: The labeled follow graph.
+        graph: The labeled follow graph, or a prebuilt
+            :class:`~repro.graph.snapshot.GraphSnapshot` of it. A live
+            graph reads through its current (always fresh) snapshot.
         source: Query node ``u``.
         topics: Topics to score; may be empty for a pure topological
             (Katz) propagation.
         similarity: Topic-similarity matrix.
-        authority: Authority index; constructed on the fly if omitted
-            (pass a shared one when scoring many sources).
+        authority: Authority index; defaults to the snapshot's shared
+            one, so repeated calls over the same snapshot reuse one
+            warm auth memo.
         params: Decay factors and convergence knobs.
         max_depth: Cap on walk length. ``None`` runs to convergence
             (preprocessing mode); small values (2–3) give the
@@ -143,18 +147,23 @@ def single_source_scores(
             set here: the BFS is pruned at landmarks so that paths
             through them are counted once, by Prop. 4 composition —
             the pruning Section 5.4 credits for the flat query times.
+        allow_stale: Score a snapshot even when its graph has mutated
+            since it was built (eval replays); by default a stale
+            snapshot raises instead of silently serving old scores.
 
     Returns:
         The cumulative :class:`ScoreState`.
 
     Raises:
+        StaleSnapshotError: a stale snapshot without ``allow_stale``.
         ConvergenceError: if ``max_depth`` is ``None`` and the frontier
             mass has not fallen below tolerance after
             ``params.max_iter`` rounds (a symptom of ``β`` violating
             Prop. 3 on this graph).
     """
+    snapshot = as_snapshot(graph, allow_stale)
     if authority is None:
-        authority = AuthorityIndex(graph)
+        authority = snapshot.authority()
     cache = sim_cache if sim_cache is not None else _MaxSimCache(similarity)
     beta = params.beta
     alphabeta = params.edge_decay
@@ -201,8 +210,7 @@ def single_source_scores(
                     tab_mass = frontier_tab.get(walker, 0.0)
                     r_masses = [frontier_r[topic].get(walker, 0.0)
                                 for topic in topics]
-                    for neighbor, label in sorted(
-                            graph.out_neighbors(walker).items()):
+                    for neighbor, label in snapshot.out_items(walker):
                         if tb_mass:
                             next_tb[neighbor] = (
                                 next_tb.get(neighbor, 0.0) + beta * tb_mass)
@@ -271,25 +279,66 @@ def single_source_scores(
 
 
 # ----------------------------------------------------------------------
+# Shared snapshot-backed edge weights
+# ----------------------------------------------------------------------
+
+def semantic_edge_weights(
+    snapshot: GraphSnapshot,
+    similarity: SimilarityMatrix,
+    topic: str,
+    authority: AuthorityIndex,
+) -> np.ndarray:
+    """Per-edge semantic weight ``maxsim(label(w→v), t) · auth(v, t)``.
+
+    One builder for every engine (Eq. 3 × authority, the entries of the
+    per-topic matrix ``S_t``): the similarity is evaluated once per
+    *distinct* label set and broadcast through the snapshot's interned
+    label ids, and authority once per distinct target node. The result
+    is aligned with the snapshot's in-CSR arrays — entry ``k`` weights
+    the edge ``in_indices[k] → in_edge_rows()[k]`` — so
+    ``csr_matrix((weights, in_indices, in_indptr))`` is ``S_t`` sharing
+    the adjacency's sparsity pattern, and
+    ``dense[rows, cols] = weights`` is its dense form.
+    """
+    label_sims = np.empty(len(snapshot.labels))
+    for i, label in enumerate(snapshot.labels):
+        label_sims[i] = (similarity.max_similarity(label, topic)
+                         if label else 0.0)
+    if not len(snapshot.in_label_ids):
+        return np.zeros(0)
+    weights = label_sims[snapshot.in_label_ids]
+    nonzero = np.nonzero(weights)[0]
+    if nonzero.size:
+        rows = snapshot.in_edge_rows()
+        rows_nonzero = rows[nonzero]
+        auth_by_row = np.zeros(len(snapshot))
+        for row in np.unique(rows_nonzero).tolist():
+            auth_by_row[row] = authority.auth(snapshot.node_at(row), topic)
+        weights[nonzero] = weights[nonzero] * auth_by_row[rows_nonzero]
+    return weights
+
+
+# ----------------------------------------------------------------------
 # Matrix form (Equation 6) — ground truth on small graphs
 # ----------------------------------------------------------------------
 
-def _node_index(graph: LabeledSocialGraph) -> Tuple[list, Dict[int, int]]:
-    nodes = sorted(graph.nodes())
-    return nodes, {node: i for i, node in enumerate(nodes)}
+def _node_index(graph: GraphLike) -> Tuple[list, Dict[int, int]]:
+    snapshot = as_snapshot(graph, allow_stale=True)
+    return list(snapshot.node_ids), snapshot.position
 
 
-def adjacency_matrix(graph: LabeledSocialGraph) -> np.ndarray:
+def adjacency_matrix(graph: GraphLike) -> np.ndarray:
     """Dense adjacency with ``A[v][u] = 1`` iff u follows v (paper's A)."""
-    nodes, index = _node_index(graph)
-    matrix = np.zeros((len(nodes), len(nodes)))
-    for source, target, _ in graph.edges():
-        matrix[index[target], index[source]] = 1.0
+    snapshot = as_snapshot(graph, allow_stale=True)
+    n = len(snapshot)
+    matrix = np.zeros((n, n))
+    if snapshot.num_edges:
+        matrix[snapshot.in_edge_rows(), snapshot.in_indices] = 1.0
     return matrix
 
 
 def matrix_scores(
-    graph: LabeledSocialGraph,
+    graph: GraphLike,
     source: int,
     topic: str,
     similarity: SimilarityMatrix,
@@ -302,23 +351,24 @@ def matrix_scores(
     ``R_t = (I − βA)^{-1} · βα · S_t · T_{αβ}``
     where ``S_t[v][w] = maxsim(label(w→v), t) · auth(v, t)`` on edges.
 
-    Intended for validation and small graphs — O(n³).
+    Intended for validation and small graphs — O(n³). Accepts stale
+    snapshots without complaint: the ground-truth solver is exactly
+    what eval replays run against a pinned pre-mutation view.
 
     Raises:
         ConvergenceError: if either system matrix is singular, i.e. the
             decay factor sits outside Prop. 3's region.
     """
+    snapshot = as_snapshot(graph, allow_stale=True)
     if authority is None:
-        authority = AuthorityIndex(graph)
-    nodes, index = _node_index(graph)
+        authority = snapshot.authority()
+    nodes, index = list(snapshot.node_ids), snapshot.position
     n = len(nodes)
-    adjacency = adjacency_matrix(graph)
+    adjacency = adjacency_matrix(snapshot)
     semantic = np.zeros((n, n))
-    for walker, neighbor, label in graph.edges():
-        best = similarity.max_similarity(label, topic)
-        if best:
-            semantic[index[neighbor], index[walker]] = (
-                best * authority.auth(neighbor, topic))
+    if snapshot.num_edges:
+        semantic[snapshot.in_edge_rows(), snapshot.in_indices] = (
+            semantic_edge_weights(snapshot, similarity, topic, authority))
 
     unit = np.zeros(n)
     unit[index[source]] = 1.0
@@ -354,44 +404,39 @@ def matrix_scores(
 # Proposition 3 — convergence condition
 # ----------------------------------------------------------------------
 
-def spectral_radius(graph: LabeledSocialGraph, iterations: int = 100,
+def spectral_radius(graph: GraphLike, iterations: int = 100,
                     seed: int = 0) -> float:
     """Estimate ``σ_max(A)`` with the power method on the adjacency.
 
-    Works on the sparse adjacency directly (no dense matrix), so it is
-    usable on the benchmark-scale graphs. Deterministic for a given
-    seed; accuracy improves with *iterations*. When scipy is available
-    the edge list is materialised once as a CSR matrix and every power
-    step is a sparse mat-vec; without scipy each step re-walks
-    ``graph.edges()`` in pure Python.
+    Works on the snapshot's CSR arrays directly (no dense matrix), so
+    it is usable on the benchmark-scale graphs. Deterministic for a
+    given seed; accuracy improves with *iterations*. When scipy is
+    available the in-adjacency arrays back a CSR matrix with no edge
+    loop and every power step is a sparse mat-vec; without scipy each
+    step is one vectorised scatter-add over the same arrays.
     """
-    nodes = list(graph.nodes())
-    if not nodes:
+    snapshot = as_snapshot(graph, allow_stale=True)
+    n = len(snapshot)
+    if n == 0:
         return 0.0
     rng = np.random.default_rng(seed)
-    position = {node: i for i, node in enumerate(nodes)}
-    vector = rng.random(len(nodes)) + 0.1
+    vector = rng.random(n) + 0.1
     vector /= np.linalg.norm(vector)
 
+    rows = snapshot.in_edge_rows()
+    cols = snapshot.in_indices
     adjacency = None
     if _scipy_sparse is not None:
-        rows = []
-        cols = []
-        for walker, neighbor, _ in graph.edges():
-            rows.append(position[neighbor])
-            cols.append(position[walker])
         adjacency = _scipy_sparse.csr_matrix(
-            (np.ones(len(rows)), (rows, cols)),
-            shape=(len(nodes), len(nodes)))
+            (np.ones(len(cols)), cols, snapshot.in_indptr), shape=(n, n))
 
     estimate = 0.0
     for _ in range(iterations):
         if adjacency is not None:
             output = adjacency @ vector
         else:
-            output = np.zeros(len(nodes))
-            for walker, neighbor, _ in graph.edges():
-                output[position[neighbor]] += vector[position[walker]]
+            output = np.zeros(n)
+            np.add.at(output, rows, vector[cols])
         norm = float(np.linalg.norm(output))
         if norm == 0.0:
             return 0.0  # nilpotent adjacency (DAG): radius 0
@@ -400,7 +445,7 @@ def spectral_radius(graph: LabeledSocialGraph, iterations: int = 100,
     return estimate
 
 
-def verify_convergence_condition(graph: LabeledSocialGraph,
+def verify_convergence_condition(graph: GraphLike,
                                  params: ScoreParams,
                                  iterations: int = 100) -> bool:
     """Check Prop. 3: ``β < 1 / σ_max(A)`` (sufficient for convergence)."""
@@ -410,7 +455,7 @@ def verify_convergence_condition(graph: LabeledSocialGraph,
     return params.beta < 1.0 / radius
 
 
-def max_beta(graph: LabeledSocialGraph, iterations: int = 100) -> float:
+def max_beta(graph: GraphLike, iterations: int = 100) -> float:
     """Largest admissible β on this graph per Prop. 3 (∞ → returns inf)."""
     radius = spectral_radius(graph, iterations=iterations)
     if radius == 0.0:

@@ -38,9 +38,10 @@ except ImportError:  # pragma: no cover - exercised on scipy-less installs
 from ..config import ENGINE_CHOICES, ScoreParams
 from ..errors import ConfigurationError, ConvergenceError, NodeNotFoundError
 from ..graph.labeled_graph import LabeledSocialGraph
+from ..graph.snapshot import GraphLike, as_snapshot
 from ..obs import runtime as _obs
 from ..semantics.matrix import SimilarityMatrix
-from .exact import ScoreState
+from .exact import ScoreState, semantic_edge_weights
 from .scores import AuthorityIndex
 
 
@@ -72,23 +73,35 @@ def resolve_engine(name: str) -> str:
 
 
 class SparseEngine:
-    """Reusable CSR-based Tr propagation for one (graph, similarity).
+    """Reusable CSR-based Tr propagation for one (snapshot, similarity).
+
+    The engine is a thin wrapper over a
+    :class:`~repro.graph.snapshot.GraphSnapshot`: the adjacency CSR
+    *shares* the snapshot's in-adjacency arrays (construction runs no
+    Python-level edge loop), and per-topic semantic matrices are built
+    from the shared :func:`~repro.core.exact.semantic_edge_weights`
+    and cached by interned topic id. Every scoring call re-checks the
+    snapshot's epoch, so mutating the graph without
+    :meth:`invalidate` fails loudly instead of serving stale scores.
 
     Args:
-        graph: The labeled follow graph (snapshot — mutate the graph,
-            rebuild the engine).
+        graph: The labeled follow graph, or a prebuilt snapshot of it.
         similarity: Topic-similarity matrix.
         params: Decay/convergence parameters.
-        authority: Optional shared authority cache.
+        authority: Optional shared authority cache; defaults to the
+            snapshot's shared one.
+        allow_stale: Keep scoring a snapshot whose graph has moved on
+            (eval replays) instead of raising ``StaleSnapshotError``.
 
     Raises:
         ConfigurationError: when scipy is not installed.
     """
 
-    def __init__(self, graph: LabeledSocialGraph,
+    def __init__(self, graph: GraphLike,
                  similarity: SimilarityMatrix,
                  params: ScoreParams = ScoreParams(),
-                 authority: Optional[AuthorityIndex] = None) -> None:
+                 authority: Optional[AuthorityIndex] = None,
+                 allow_stale: bool = False) -> None:
         if _sparse is None:
             raise ConfigurationError(
                 "the sparse engine requires scipy; install it or use "
@@ -96,50 +109,50 @@ class SparseEngine:
         self.graph = graph
         self.similarity = similarity
         self.params = params
-        self._authority = (authority if authority is not None
-                           else AuthorityIndex(graph))
-        self._nodes: List[int] = sorted(graph.nodes())
-        self._position: Dict[int, int] = {
-            node: i for i, node in enumerate(self._nodes)}
+        self.allow_stale = allow_stale
+        self._authority_shared = authority is None
+        self._bind(as_snapshot(graph, allow_stale), authority)
+
+    def _bind(self, snapshot: Any,
+              authority: Optional[AuthorityIndex]) -> None:
+        """Point the engine at *snapshot*, sharing its arrays."""
+        self.snapshot = snapshot
+        self._authority = (snapshot.authority() if authority is None
+                           else authority)
+        self._nodes: List[int] = list(snapshot.node_ids)
+        self._position: Dict[int, int] = snapshot.position
         n = len(self._nodes)
-        rows: List[int] = []
-        cols: List[int] = []
-        self._edge_labels: List[frozenset] = []
-        for source, target, label in graph.edges():
-            rows.append(self._position[target])
-            cols.append(self._position[source])
-            self._edge_labels.append(label)
-        data = np.ones(len(rows))
         self._adjacency = _sparse.csr_matrix(
-            (data, (rows, cols)), shape=(n, n))
-        self._rows = np.asarray(rows)
-        self._cols = np.asarray(cols)
-        self._semantic_cache: Dict[str, "_sparse.csr_matrix"] = {}
+            (np.ones(len(snapshot.in_indices)), snapshot.in_indices,
+             snapshot.in_indptr), shape=(n, n))
+        # Cached S_t matrices keyed by the snapshot's interned topic
+        # id; query topics outside the snapshot vocabulary get
+        # engine-local negative ids.
+        self._semantic_cache: Dict[int, "_sparse.csr_matrix"] = {}
+        self._extra_topic_ids: Dict[str, int] = {}
+
+    def _topic_key(self, topic: str) -> int:
+        key = self.snapshot.topic_ids.get(topic)
+        if key is None:
+            key = self._extra_topic_ids.get(topic)
+            if key is None:
+                key = -1 - len(self._extra_topic_ids)
+                self._extra_topic_ids[topic] = key
+        return key
 
     # ------------------------------------------------------------------
     def _semantic_matrix(self, topic: str) -> Any:
-        cached = self._semantic_cache.get(topic)
+        key = self._topic_key(topic)
+        cached = self._semantic_cache.get(key)
         if cached is not None:
             return cached
-        weights = np.empty(len(self._edge_labels))
-        auth_cache: Dict[int, float] = {}
-        for index, label in enumerate(self._edge_labels):
-            best = (self.similarity.max_similarity(label, topic)
-                    if label else 0.0)
-            if best:
-                target_position = int(self._rows[index])
-                auth_value = auth_cache.get(target_position)
-                if auth_value is None:
-                    node = self._nodes[target_position]
-                    auth_value = self._authority.auth(node, topic)
-                    auth_cache[target_position] = auth_value
-                weights[index] = best * auth_value
-            else:
-                weights[index] = 0.0
+        snapshot = self.snapshot
+        weights = semantic_edge_weights(snapshot, self.similarity, topic,
+                                        self._authority)
         n = len(self._nodes)
         matrix = _sparse.csr_matrix(
-            (weights, (self._rows, self._cols)), shape=(n, n))
-        self._semantic_cache[topic] = matrix
+            (weights, snapshot.in_indices, snapshot.in_indptr), shape=(n, n))
+        self._semantic_cache[key] = matrix
         return matrix
 
     def single_source(self, source: int, topics: Sequence[str],
@@ -188,6 +201,7 @@ class SparseEngine:
                 least one column has not converged within
                 ``params.max_iter`` rounds.
         """
+        self.snapshot.ensure_fresh(self.allow_stale)
         positions: List[int] = []
         for source in sources:
             position = self._position.get(source)
@@ -208,7 +222,8 @@ class SparseEngine:
             if _sem:
                 _sem.set(topics=len(topics),
                          built=sum(1 for topic in topics
-                                   if topic not in self._semantic_cache))
+                                   if self._topic_key(topic)
+                                   not in self._semantic_cache))
             semantic = [self._semantic_matrix(topic) for topic in topics]
         position_array = np.asarray(positions)
 
@@ -327,6 +342,21 @@ class SparseEngine:
         return states
 
     def invalidate(self) -> None:
-        """Drop the per-topic semantic caches (after authority changes)."""
-        self._semantic_cache.clear()
-        self._authority.invalidate()
+        """Re-bind to the graph's current snapshot, dropping topic caches.
+
+        Constructed from a live graph, the engine re-pins to
+        ``graph.snapshot()`` (a cheap array share — no edge loop) so
+        scoring resumes against the post-mutation state. Constructed
+        from a bare snapshot there is nothing fresher to bind; only the
+        per-topic caches are dropped.
+        """
+        if isinstance(self.graph, LabeledSocialGraph):
+            if self._authority_shared:
+                self._bind(self.graph.snapshot(), None)
+            else:
+                self._authority.invalidate()
+                self._bind(self.graph.snapshot(), self._authority)
+        else:
+            self._semantic_cache.clear()
+            self._extra_topic_ids.clear()
+            self._authority.invalidate()

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 from ..config import ScoreParams, normalize_weights
 from ..errors import ConfigurationError
 from ..graph.labeled_graph import LabeledSocialGraph
+from ..graph.snapshot import GraphLike, as_snapshot
 from ..semantics.matrix import SimilarityMatrix
 from .aggregation import AGGREGATORS, weighted_sum
 from .exact import ScoreState, single_source_scores, _MaxSimCache
@@ -98,15 +99,21 @@ class Recommender:
 
     def __init__(
         self,
-        graph: LabeledSocialGraph,
+        graph: GraphLike,
         similarity: SimilarityMatrix,
         params: ScoreParams = ScoreParams(),
         use_authority: bool = True,
         use_similarity: bool = True,
         engine: str = "dict",
+        allow_stale: bool = False,
     ) -> None:
         """Args:
-            graph: The labeled follow graph.
+            graph: The labeled follow graph, or a prebuilt
+                :class:`~repro.graph.snapshot.GraphSnapshot`. The
+                recommender pins a snapshot at construction; after
+                mutating a live graph, call :meth:`invalidate` to
+                re-pin (scoring against the old pin raises
+                ``StaleSnapshotError``).
             similarity: Topic-similarity matrix.
             params: Decay/convergence knobs.
             use_authority: ``False`` gives the Tr−auth ablation.
@@ -115,6 +122,8 @@ class Recommender:
                 (scipy CSR engine — identical results, amortised
                 mat-vec cost for bulk workloads), or ``"auto"``
                 (sparse when scipy is available, dict otherwise).
+            allow_stale: Keep serving the pinned snapshot after the
+                graph mutates (deliberately lagged serving).
         """
         from .fast import resolve_engine
 
@@ -124,16 +133,19 @@ class Recommender:
         self.use_authority = use_authority
         self.use_similarity = use_similarity
         self.engine = engine
+        self.allow_stale = allow_stale
+        self._snapshot = as_snapshot(graph, allow_stale)
         self._similarity = similarity if use_similarity else _UnitSimilarity(similarity)
-        self._authority = (AuthorityIndex(graph) if use_authority
-                           else _UnitAuthority(graph))
+        self._authority = (self._snapshot.authority() if use_authority
+                           else _UnitAuthority(self._snapshot))
         self._sim_cache = _MaxSimCache(self._similarity)
         self._sparse_engine = None
         if engine == "sparse":
             from .fast import SparseEngine
 
             self._sparse_engine = SparseEngine(
-                graph, self._similarity, params, authority=self._authority)
+                self._snapshot, self._similarity, params,
+                authority=self._authority, allow_stale=allow_stale)
 
     @property
     def variant(self) -> str:
@@ -154,9 +166,10 @@ class Recommender:
             return self._sparse_engine.single_source(
                 user, list(topics), max_depth=max_depth)
         return single_source_scores(
-            self.graph, user, list(topics), self._similarity,
+            self._snapshot, user, list(topics), self._similarity,
             authority=self._authority, params=self.params,
-            max_depth=max_depth, sim_cache=self._sim_cache)
+            max_depth=max_depth, sim_cache=self._sim_cache,
+            allow_stale=self.allow_stale)
 
     def score(self, user: int, candidate: int, topic: str,
               max_depth: Optional[int] = None) -> float:
@@ -202,7 +215,7 @@ class Recommender:
         state = self.state_for(user, list(weights), max_depth=max_depth)
         excluded = {user}
         if exclude_followed:
-            excluded.update(self.graph.out_neighbors(user))
+            excluded.update(self._snapshot.out_neighbors(user))
         pool: Optional[set] = set(candidates) if candidates is not None else None
 
         filtered: Dict[str, Dict[int, float]] = {}
@@ -244,11 +257,15 @@ class Recommender:
         return normalize_weights({topic: 1.0 for topic in topics})
 
     def invalidate(self) -> None:
-        """Refresh caches after the graph was mutated in place."""
-        self._authority.invalidate()
+        """Re-pin the snapshot after the graph was mutated in place."""
+        self._snapshot = as_snapshot(self.graph, allow_stale=True)
+        if self.use_authority:
+            self._authority = self._snapshot.authority()
+        else:
+            self._authority.invalidate()
         if self._sparse_engine is not None:
             from .fast import SparseEngine
 
             self._sparse_engine = SparseEngine(
-                self.graph, self._similarity, self.params,
-                authority=self._authority)
+                self._snapshot, self._similarity, self.params,
+                authority=self._authority, allow_stale=self.allow_stale)

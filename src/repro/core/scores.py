@@ -34,17 +34,35 @@ class AuthorityIndex:
     per-topic popularity, log-smoothed. Both are 0 when nobody follows
     ``u`` on ``t``; local is 1 when ``u`` is followed exclusively on
     ``t``; global is 1 when ``u`` is the most-followed account on ``t``.
+
+    Accepts a live graph or a prebuilt
+    :class:`~repro.graph.snapshot.GraphSnapshot`; either way the
+    follower counts are read from a snapshot (resolved lazily from a
+    live graph), so a propagation never sees counts change mid-run.
+    Prefer ``snapshot.authority()`` to share one warm index across
+    every scorer built from the same snapshot.
     """
 
-    def __init__(self, graph: LabeledSocialGraph) -> None:
+    def __init__(self, graph) -> None:
         self._graph = graph
+        self._view = None
         self._cache: Dict[Tuple[int, str], float] = {}
         self._log_max: Dict[str, float] = {}
+
+    def _resolve(self):
+        """The frozen view counts are read from (snapshot when possible)."""
+        view = self._view
+        if view is None:
+            source = self._graph
+            view = (source.snapshot()
+                    if isinstance(source, LabeledSocialGraph) else source)
+            self._view = view
+        return view
 
     def _log_max_followers(self, topic: str) -> float:
         cached = self._log_max.get(topic)
         if cached is None:
-            cached = math.log1p(self._graph.max_followers_on(topic))
+            cached = math.log1p(self._resolve().max_followers_on(topic))
             self._log_max[topic] = cached
         return cached
 
@@ -54,11 +72,12 @@ class AuthorityIndex:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        followers_on_topic = self._graph.follower_count_on(node, topic)
+        view = self._resolve()
+        followers_on_topic = view.follower_count_on(node, topic)
         if followers_on_topic == 0:
             value = 0.0
         else:
-            total_followers = self._graph.follower_count(node)
+            total_followers = view.follower_count(node)
             local = followers_on_topic / total_followers
             normaliser = self._log_max_followers(topic)
             # followers_on_topic >= 1 implies the global max >= 1 too,
@@ -70,14 +89,15 @@ class AuthorityIndex:
 
     def local_authority(self, node: int, topic: str) -> float:
         """The specialisation factor alone (for ablation studies)."""
-        followers_on_topic = self._graph.follower_count_on(node, topic)
+        view = self._resolve()
+        followers_on_topic = view.follower_count_on(node, topic)
         if followers_on_topic == 0:
             return 0.0
-        return followers_on_topic / self._graph.follower_count(node)
+        return followers_on_topic / view.follower_count(node)
 
     def global_popularity(self, node: int, topic: str) -> float:
         """The popularity factor alone (for ablation studies)."""
-        followers_on_topic = self._graph.follower_count_on(node, topic)
+        followers_on_topic = self._resolve().follower_count_on(node, topic)
         if followers_on_topic == 0:
             return 0.0
         return math.log1p(followers_on_topic) / self._log_max_followers(topic)
@@ -91,13 +111,14 @@ class AuthorityIndex:
         """
         for topic in topics:
             self._log_max_followers(topic)
-            for node in self._graph.nodes():
+            for node in self._resolve().nodes():
                 self.auth(node, topic)
 
     def invalidate(self) -> None:
-        """Drop caches after the underlying graph was mutated."""
+        """Drop caches (and re-resolve the view) after a graph mutation."""
         self._cache.clear()
         self._log_max.clear()
+        self._view = None
 
 
 def edge_relevance(similarity: SimilarityMatrix, edge_topics: Iterable[str],

@@ -23,6 +23,7 @@ from .partition import (
     greedy_partition,
     hash_partition,
     partition_metrics,
+    range_partition,
     topic_partition,
 )
 from .cluster import MessageStats, distributed_single_source_scores
@@ -30,6 +31,7 @@ from .recommend import DistributedLandmarkService, QueryCost
 
 __all__ = [
     "hash_partition",
+    "range_partition",
     "greedy_partition",
     "topic_partition",
     "edge_cut_fraction",

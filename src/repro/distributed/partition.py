@@ -6,12 +6,19 @@ connectivity"):
 
 - :func:`hash_partition` — the baseline every distributed system can
   do: balanced, connectivity-oblivious;
+- :func:`range_partition` — contiguous slices of the snapshot's dense
+  node index: balanced, and shard membership is one integer division,
+  so a router needs no lookup table;
 - :func:`greedy_partition` — Linear Deterministic Greedy (Stanton &
   Kliot): stream nodes, place each where it has the most neighbours,
   damped by a capacity penalty. Connectivity-aware, one pass;
 - :func:`topic_partition` — exploit the labeled graph: co-locate
   accounts publishing on the same topics, since recommendation paths
   are topically homophilous.
+
+Every partitioner reads one frozen :class:`~repro.graph.snapshot.GraphSnapshot`
+(resolved from a live graph on entry), so an assignment is always
+consistent with a single epoch even if the graph mutates concurrently.
 """
 
 from __future__ import annotations
@@ -21,27 +28,47 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..errors import ConfigurationError
-from ..graph.labeled_graph import LabeledSocialGraph
+from ..graph.snapshot import GraphLike, GraphSnapshot, as_snapshot
 from ..graph.traversal import bfs_levels
 from ..utils.rng import SeedLike, rng_from_seed
 
 Assignment = Dict[int, int]
 
 
-def _check_parts(graph: LabeledSocialGraph, num_parts: int) -> None:
+def _check_parts(snapshot: GraphSnapshot, num_parts: int) -> None:
     if num_parts < 1:
         raise ConfigurationError(f"num_parts must be >= 1, got {num_parts}")
-    if graph.num_nodes == 0:
+    if snapshot.num_nodes == 0:
         raise ConfigurationError("cannot partition an empty graph")
 
 
-def hash_partition(graph: LabeledSocialGraph, num_parts: int) -> Assignment:
+def hash_partition(graph: GraphLike, num_parts: int) -> Assignment:
     """Node id modulo *num_parts* — balanced, cut-oblivious."""
-    _check_parts(graph, num_parts)
-    return {node: node % num_parts for node in graph.nodes()}
+    view = as_snapshot(graph, allow_stale=True)
+    _check_parts(view, num_parts)
+    return {node: node % num_parts for node in view.nodes()}
 
 
-def greedy_partition(graph: LabeledSocialGraph, num_parts: int,
+def range_partition(graph: GraphLike, num_parts: int) -> Assignment:
+    """Contiguous ranges of the snapshot's dense node index.
+
+    Node at snapshot position ``i`` (of ``n``) goes to partition
+    ``min(i * num_parts // n, num_parts - 1)`` — balanced to within one
+    node, and a router can locate any account from ``(position, n)``
+    alone. This is the sharding scheme the roadmap earmarks for a
+    distributed serving tier: each shard owns one contiguous slice of
+    every snapshot array.
+    """
+    view = as_snapshot(graph, allow_stale=True)
+    _check_parts(view, num_parts)
+    n = view.num_nodes
+    return {
+        node: min(position * num_parts // n, num_parts - 1)
+        for position, node in enumerate(view.node_ids)
+    }
+
+
+def greedy_partition(graph: GraphLike, num_parts: int,
                      seed: SeedLike = None) -> Assignment:
     """Linear Deterministic Greedy streaming partitioner.
 
@@ -49,9 +76,10 @@ def greedy_partition(graph: LabeledSocialGraph, num_parts: int,
     arrive together); each node goes to the partition maximising
     ``|neighbours already there| · (1 − size/capacity)``.
     """
-    _check_parts(graph, num_parts)
+    view = as_snapshot(graph, allow_stale=True)
+    _check_parts(view, num_parts)
     rng = rng_from_seed(seed)
-    nodes = sorted(graph.nodes())
+    nodes = list(view.node_ids)
     capacity = max(1.0, 1.1 * len(nodes) / num_parts)
 
     # randomized BFS order over weak connectivity
@@ -62,12 +90,12 @@ def greedy_partition(graph: LabeledSocialGraph, num_parts: int,
     for start in shuffled:
         if start in visited:
             continue
-        for node in bfs_levels(graph, start, direction="out"):
+        for node in bfs_levels(view, start, direction="out"):
             if node not in visited:
                 visited.add(node)
                 order.append(node)
         # also pull in pure-follower neighbourhoods
-        for node in bfs_levels(graph, start, direction="in"):
+        for node in bfs_levels(view, start, direction="in"):
             if node not in visited:
                 visited.add(node)
                 order.append(node)
@@ -76,11 +104,11 @@ def greedy_partition(graph: LabeledSocialGraph, num_parts: int,
     sizes = [0] * num_parts
     for node in order:
         neighbour_counts = [0.0] * num_parts
-        for neighbor in graph.out_neighbors(node):
+        for neighbor in view.out_neighbors(node):
             part = assignment.get(neighbor)
             if part is not None:
                 neighbour_counts[part] += 1.0
-        for neighbor in graph.in_neighbors(node):
+        for neighbor in view.in_neighbors(node):
             part = assignment.get(neighbor)
             if part is not None:
                 neighbour_counts[part] += 1.0
@@ -99,7 +127,7 @@ def greedy_partition(graph: LabeledSocialGraph, num_parts: int,
     return assignment
 
 
-def topic_partition(graph: LabeledSocialGraph, num_parts: int,
+def topic_partition(graph: GraphLike, num_parts: int,
                     slack: float = 1.15) -> Assignment:
     """Co-locate accounts by dominant publisher topic.
 
@@ -109,21 +137,22 @@ def topic_partition(graph: LabeledSocialGraph, num_parts: int,
     within *slack* of ideal while same-topic accounts remain as
     co-located as capacity allows.
     """
-    _check_parts(graph, num_parts)
+    view = as_snapshot(graph, allow_stale=True)
+    _check_parts(view, num_parts)
     dominant: Dict[int, str] = {}
-    for node in graph.nodes():
-        profile = sorted(graph.node_topics(node))
+    for node in view.nodes():
+        profile = sorted(view.node_topics(node))
         if profile:
             # most-followed-on topic first, profile order as tie-break
             dominant[node] = max(
                 profile,
-                key=lambda t: (graph.follower_count_on(node, t), t))
+                key=lambda t: (view.follower_count_on(node, t), t))
 
     groups: Dict[str, List[int]] = {}
-    for node in sorted(graph.nodes()):
+    for node in sorted(view.nodes()):
         groups.setdefault(dominant.get(node, ""), []).append(node)
 
-    capacity = max(1.0, slack * graph.num_nodes / num_parts)
+    capacity = max(1.0, slack * view.num_nodes / num_parts)
     sizes = [0] * num_parts
     assignment: Assignment = {}
     ordered_groups = sorted(groups.items(),
@@ -145,14 +174,15 @@ def topic_partition(graph: LabeledSocialGraph, num_parts: int,
 # Metrics
 # ----------------------------------------------------------------------
 
-def edge_cut_fraction(graph: LabeledSocialGraph,
+def edge_cut_fraction(graph: GraphLike,
                       assignment: Assignment) -> float:
     """Fraction of edges whose endpoints live on different partitions."""
-    if graph.num_edges == 0:
+    view = as_snapshot(graph, allow_stale=True)
+    if view.num_edges == 0:
         return 0.0
-    cut = sum(1 for source, target, _ in graph.edges()
+    cut = sum(1 for source, target, _ in view.edges()
               if assignment[source] != assignment[target])
-    return cut / graph.num_edges
+    return cut / view.num_edges
 
 
 def balance(assignment: Assignment) -> float:
@@ -174,7 +204,7 @@ class PartitionMetrics:
     balance: float
 
 
-def partition_metrics(graph: LabeledSocialGraph,
+def partition_metrics(graph: GraphLike,
                       assignment: Assignment) -> PartitionMetrics:
     """Compute both quality metrics in one call."""
     num_parts = max(assignment.values()) + 1 if assignment else 0

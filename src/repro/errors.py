@@ -41,6 +41,25 @@ class DuplicateNodeError(GraphError, ValueError):
         self.node = node
 
 
+class StaleSnapshotError(GraphError):
+    """A scorer was asked to read a snapshot older than its graph.
+
+    Raised by the snapshot-backed read path when the source graph's
+    epoch has advanced past the snapshot's epoch — silently serving
+    pre-mutation scores is worse than failing. Pass ``allow_stale=True``
+    (eval replays, deliberately lagged serving) to read anyway; stale
+    reads are then counted in ``graph.stale_reads_total``.
+    """
+
+    def __init__(self, snapshot_epoch: int, graph_epoch: int) -> None:
+        super().__init__(
+            f"snapshot at epoch {snapshot_epoch} is stale: the graph is at "
+            f"epoch {graph_epoch}; rebuild via graph.snapshot() or pass "
+            f"allow_stale=True to read anyway")
+        self.snapshot_epoch = snapshot_epoch
+        self.graph_epoch = graph_epoch
+
+
 class TaxonomyError(ReproError):
     """Base class for topic-taxonomy errors."""
 

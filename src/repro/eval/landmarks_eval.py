@@ -16,8 +16,7 @@ from typing import Dict, List, Optional, Sequence
 from ..config import LandmarkParams, ScoreParams
 from ..core.exact import single_source_scores
 from ..core.fast import SparseEngine, resolve_engine
-from ..core.scores import AuthorityIndex
-from ..graph.labeled_graph import LabeledSocialGraph
+from ..graph.snapshot import GraphLike, as_snapshot
 from ..landmarks.approximate import ApproximateRecommender
 from ..landmarks.index import LandmarkIndex
 from ..landmarks.selection import STRATEGIES, select_landmarks
@@ -46,7 +45,7 @@ class SelectionTiming:
 
 
 def time_selection_strategies(
-    graph: LabeledSocialGraph,
+    graph: GraphLike,
     topics: Sequence[str],
     similarity: SimilarityMatrix,
     num_landmarks: int = 20,
@@ -71,8 +70,9 @@ def time_selection_strategies(
     rng = rng_from_seed(seed)
     names = list(strategies) if strategies is not None else list(STRATEGIES)
     resolved = resolve_engine(engine)
-    authority = AuthorityIndex(graph)
-    sparse_engine = (SparseEngine(graph, similarity, params,
+    snapshot = as_snapshot(graph)
+    authority = snapshot.authority()
+    sparse_engine = (SparseEngine(snapshot, similarity, params,
                                   authority=authority)
                      if resolved == "sparse" else None)
     max_depth = landmark_params.precompute_depth
@@ -99,7 +99,7 @@ def time_selection_strategies(
                 for landmark in sample:
                     with build_watch:
                         single_source_scores(
-                            graph, landmark, list(topics), similarity,
+                            snapshot, landmark, list(topics), similarity,
                             authority=authority, params=params,
                             max_depth=max_depth)
                 per_landmark = build_watch.mean_lap
@@ -141,7 +141,7 @@ class StrategyQuality:
 
 
 def evaluate_strategy_quality(
-    graph: LabeledSocialGraph,
+    graph: GraphLike,
     topics: Sequence[str],
     similarity: SimilarityMatrix,
     strategy: str,
@@ -167,13 +167,14 @@ def evaluate_strategy_quality(
     """
     rng = rng_from_seed(seed)
     topic = evaluation_topic if evaluation_topic is not None else topics[0]
+    snapshot = as_snapshot(graph)
     landmarks = select_landmarks(graph, strategy, num_landmarks,
                                  rng=spawn_rng(rng, strategy))
-    authority = AuthorityIndex(graph)
+    authority = snapshot.authority()
     indexes: Dict[int, LandmarkIndex] = {}
     for top_n in stored_topns:
         indexes[top_n] = LandmarkIndex.build(
-            graph, landmarks, [topic], similarity, params=params,
+            snapshot, landmarks, [topic], similarity, params=params,
             landmark_params=LandmarkParams(
                 num_landmarks=num_landmarks, top_n=top_n,
                 query_depth=query_depth),
@@ -181,12 +182,12 @@ def evaluate_strategy_quality(
 
     if query_nodes is None:
         eligible = sorted(
-            node for node in graph.nodes()
-            if graph.out_degree(node) >= 2 and node not in set(landmarks))
+            node for node in snapshot.nodes()
+            if snapshot.out_degree(node) >= 2 and node not in set(landmarks))
         query_nodes = rng.sample(eligible, min(num_queries, len(eligible)))
 
     recommenders = {
-        top_n: ApproximateRecommender(graph, similarity, index,
+        top_n: ApproximateRecommender(snapshot, similarity, index,
                                       authority=authority)
         for top_n, index in indexes.items()
     }
@@ -200,7 +201,7 @@ def evaluate_strategy_quality(
     for query in query_nodes:
         with exact_watch:
             exact_state = single_source_scores(
-                graph, query, [topic], similarity, authority=authority,
+                snapshot, query, [topic], similarity, authority=authority,
                 params=params.with_(max_iter=comparison_depth))
         exact_top = [node for node, _ in exact_state.ranked(
             topic, top_n=top_k_compare, exclude=(query,))]

@@ -1,6 +1,7 @@
 """Directed labeled social-graph substrate (Section 3.1 of the paper)."""
 
 from .labeled_graph import LabeledSocialGraph
+from .snapshot import GraphSnapshot, as_snapshot
 from .builders import graph_from_edges, graph_from_records
 from .traversal import bfs_levels, k_vicinity, reachable_set
 from .stats import GraphStats, compute_stats
@@ -8,6 +9,8 @@ from .io import read_edge_list, read_jsonl, write_edge_list, write_jsonl
 
 __all__ = [
     "LabeledSocialGraph",
+    "GraphSnapshot",
+    "as_snapshot",
     "graph_from_edges",
     "graph_from_records",
     "bfs_levels",

@@ -14,13 +14,17 @@ for score updates.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
+from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator,
+                    Mapping, Optional, Tuple)
 
 from ..errors import (
     DuplicateNodeError,
     EdgeNotFoundError,
     NodeNotFoundError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .snapshot import GraphSnapshot
 
 TopicSet = FrozenSet[str]
 _EMPTY: TopicSet = frozenset()
@@ -51,10 +55,17 @@ class LabeledSocialGraph:
         self._num_edges = 0
         # topic -> max_v |Γv(t)|; recomputed lazily after mutations
         self._max_followers_cache: Optional[Dict[str, int]] = None
+        # bumped on every mutation; snapshots carry the epoch they saw
+        self._epoch = 0
+        self._snapshot_cache: Optional["GraphSnapshot"] = None
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _touch(self) -> None:
+        """Record a mutation: bump the epoch (read by snapshots)."""
+        self._epoch += 1
+
     def add_node(self, node: int, topics: Iterable[str] = ()) -> None:
         """Add *node* with publisher-profile *topics*.
 
@@ -67,6 +78,7 @@ class LabeledSocialGraph:
         self._out[node] = {}
         self._in[node] = {}
         self._followers_on[node] = {}
+        self._touch()
 
     def ensure_node(self, node: int, topics: Iterable[str] = ()) -> None:
         """Add *node* if absent; otherwise leave it untouched."""
@@ -77,6 +89,7 @@ class LabeledSocialGraph:
         """Replace the publisher profile of *node*."""
         self._require_node(node)
         self._node_topics[node] = frozenset(topics)
+        self._touch()
 
     def add_edge(self, source: int, target: int,
                  topics: Iterable[str] = ()) -> None:
@@ -105,6 +118,7 @@ class LabeledSocialGraph:
         for topic in sorted(label):
             counts[topic] = counts.get(topic, 0) + 1
         self._max_followers_cache = None
+        self._touch()
 
     def set_edge_topics(self, source: int, target: int,
                         topics: Iterable[str]) -> None:
@@ -131,6 +145,7 @@ class LabeledSocialGraph:
         self._retract_follower_counts(target, label)
         self._num_edges -= 1
         self._max_followers_cache = None
+        self._touch()
         return label
 
     def _retract_follower_counts(self, target: int, label: TopicSet) -> None:
@@ -141,6 +156,29 @@ class LabeledSocialGraph:
                 counts[topic] = remaining
             else:
                 del counts[topic]
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter; snapshots record the epoch they saw."""
+        return self._epoch
+
+    def snapshot(self) -> "GraphSnapshot":
+        """Return a frozen array-backed view of the graph at this epoch.
+
+        The snapshot is cached: repeated calls between mutations return
+        the same object, so scorers constructed from the same graph
+        share one set of CSR arrays and one :class:`AuthorityIndex`.
+        The first call after any mutation rebuilds.
+        """
+        snap = self._snapshot_cache
+        if snap is None or snap.epoch != self._epoch:
+            from .snapshot import GraphSnapshot
+            snap = GraphSnapshot.from_graph(self)
+            self._snapshot_cache = snap
+        return snap
 
     # ------------------------------------------------------------------
     # Inspection
@@ -261,6 +299,7 @@ class LabeledSocialGraph:
             u: dict(counts) for u, counts in self._followers_on.items()
         }
         clone._num_edges = self._num_edges
+        clone._epoch = self._epoch
         return clone
 
     def _require_node(self, node: int) -> None:

@@ -1,0 +1,398 @@
+"""Frozen, epoch-versioned array view of the labeled graph.
+
+Every scorer in the repo — the exact engine, the CSR engine, the
+baselines, landmark preprocessing and queries — is read-only over the
+follow graph, yet each used to re-derive its own view of the mutable
+:class:`~repro.graph.labeled_graph.LabeledSocialGraph` dicts.
+:class:`GraphSnapshot` is the one compact read representation they now
+share:
+
+- a dense node index (sorted node ids ↔ positions ``0..n-1``);
+- CSR out- and in-adjacency (``*_indptr`` / ``*_indices``), each row
+  sorted by neighbour id, with a parallel interned label id per edge;
+- interned topic ids and distinct edge-label sets (the labeling
+  pipeline produces far fewer distinct label sets than edges);
+- per-node per-topic follower counts and the global
+  ``max_v |Γv(t)|`` normaliser — everything the authority score reads.
+
+A snapshot is built once via :meth:`LabeledSocialGraph.snapshot` and
+stamped with the graph's **epoch** (a monotonic mutation counter), so
+consumers can cheaply detect staleness instead of silently serving
+pre-mutation scores: :meth:`ensure_fresh` raises
+:class:`~repro.errors.StaleSnapshotError` unless the caller opts in
+with ``allow_stale=True`` (eval replays, deliberately lagged serving).
+
+The in-adjacency CSR *is* the paper's matrix ``A`` (``A[v, u] = 1``
+iff u follows v): ``csr_matrix((ones, in_indices, in_indptr))`` shares
+these arrays with no Python-level edge loop.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import (Dict, FrozenSet, Iterator, List, Mapping, Optional,
+                    Tuple, Union)
+
+import numpy as np
+
+from ..errors import EdgeNotFoundError, NodeNotFoundError, StaleSnapshotError
+from ..obs import runtime as _obs
+from .labeled_graph import LabeledSocialGraph, TopicSet
+
+GraphLike = Union[LabeledSocialGraph, "GraphSnapshot"]
+
+
+class GraphSnapshot:
+    """Immutable array-backed view of one graph epoch.
+
+    Mirrors the read API of :class:`LabeledSocialGraph` (``nodes``,
+    ``out_neighbors``, ``follower_count_on``, ...) so traversals and
+    scorers accept either interchangeably, and additionally exposes the
+    dense index and CSR arrays for vectorised consumers.
+
+    Build via :meth:`LabeledSocialGraph.snapshot` (cached per epoch) or
+    :meth:`from_graph`; never mutate the arrays.
+    """
+
+    def __init__(self, graph: LabeledSocialGraph) -> None:
+        # Direct access to the graph's internals is the point of this
+        # module: the snapshot is the sanctioned boundary (rule R8
+        # keeps everything outside graph/ on this side of it).
+        node_topics = graph._node_topics
+        node_list = sorted(node_topics)
+        position = {node: i for i, node in enumerate(node_list)}
+
+        label_ids: Dict[TopicSet, int] = {}
+        labels: List[TopicSet] = []
+
+        def intern(label: TopicSet) -> int:
+            lid = label_ids.get(label)
+            if lid is None:
+                lid = len(labels)
+                label_ids[label] = lid
+                labels.append(label)
+            return lid
+
+        out_indptr = [0]
+        out_indices: List[int] = []
+        out_labels: List[int] = []
+        for node in node_list:
+            row = graph._out[node]
+            for neighbor in sorted(row):
+                out_indices.append(position[neighbor])
+                out_labels.append(intern(row[neighbor]))
+            out_indptr.append(len(out_indices))
+
+        in_indptr = [0]
+        in_indices: List[int] = []
+        in_labels: List[int] = []
+        for node in node_list:
+            row = graph._in[node]
+            for follower in sorted(row):
+                in_indices.append(position[follower])
+                in_labels.append(intern(row[follower]))
+            in_indptr.append(len(in_indices))
+
+        vocabulary = set()
+        for profile in node_topics.values():
+            vocabulary |= profile
+        for label in labels:
+            vocabulary |= label
+
+        max_followers: Dict[str, int] = {}
+        for node in node_list:
+            for topic, count in graph._followers_on[node].items():
+                if count > max_followers.get(topic, 0):
+                    max_followers[topic] = count
+
+        #: Node ids in dense-index order (position ``i`` ↔ ``node_ids[i]``).
+        self.node_ids: Tuple[int, ...] = tuple(node_list)
+        #: Node id → dense position. Treat as read-only.
+        self.position: Dict[int, int] = position
+        self.out_indptr = np.asarray(out_indptr, dtype=np.int64)
+        self.out_indices = np.asarray(out_indices, dtype=np.int64)
+        self.out_label_ids = np.asarray(out_labels, dtype=np.int64)
+        self.in_indptr = np.asarray(in_indptr, dtype=np.int64)
+        self.in_indices = np.asarray(in_indices, dtype=np.int64)
+        self.in_label_ids = np.asarray(in_labels, dtype=np.int64)
+        #: Distinct edge-label sets; ``labels[label_id]`` is the frozenset.
+        self.labels: Tuple[TopicSet, ...] = tuple(labels)
+        #: Sorted topic vocabulary (union of node profiles and edge labels).
+        self.topic_list: Tuple[str, ...] = tuple(sorted(vocabulary))
+        #: Topic → interned topic id.
+        self.topic_ids: Dict[str, int] = {
+            topic: i for i, topic in enumerate(self.topic_list)}
+        #: Publisher profiles by dense position.
+        self.profiles: Tuple[TopicSet, ...] = tuple(
+            node_topics[node] for node in node_list)
+        self._follower_counts: Tuple[Dict[str, int], ...] = tuple(
+            dict(graph._followers_on[node]) for node in node_list)
+        self._max_followers = max_followers
+        #: The graph epoch this snapshot captured.
+        self.epoch: int = graph._epoch
+
+        self._graph_ref: Optional["weakref.ref[LabeledSocialGraph]"] = (
+            weakref.ref(graph))
+        n = len(node_list)
+        self._out_items_cache: List[Optional[list]] = [None] * n
+        self._out_map_cache: List[Optional[Dict[int, TopicSet]]] = [None] * n
+        self._in_map_cache: List[Optional[Dict[int, TopicSet]]] = [None] * n
+        self._in_rows: Optional[np.ndarray] = None
+        self._authority = None
+
+    # ------------------------------------------------------------------
+    # Construction & freshness
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: LabeledSocialGraph) -> "GraphSnapshot":
+        """Build a snapshot of *graph* at its current epoch."""
+        with _obs.span("graph.snapshot_build") as _sp:
+            snapshot = cls(graph)
+            if _sp:
+                _sp.set(nodes=snapshot.num_nodes, edges=snapshot.num_edges,
+                        epoch=snapshot.epoch,
+                        distinct_labels=len(snapshot.labels))
+        _obs.count("graph.snapshot_rebuilds_total")
+        _obs.gauge("graph.snapshot_epoch", float(snapshot.epoch))
+        return snapshot
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether the source graph has mutated since this was built.
+
+        A snapshot whose graph was garbage-collected (or that crossed a
+        process boundary via pickle) has no graph to lag behind and is
+        never stale.
+        """
+        graph = self._graph_ref() if self._graph_ref is not None else None
+        return graph is not None and graph.epoch != self.epoch
+
+    def ensure_fresh(self, allow_stale: bool = False) -> "GraphSnapshot":
+        """Assert this snapshot still matches its graph's epoch.
+
+        Args:
+            allow_stale: Read anyway when the graph has moved on; the
+                stale read is counted in ``graph.stale_reads_total``.
+
+        Raises:
+            StaleSnapshotError: stale and ``allow_stale`` is false.
+        """
+        graph = self._graph_ref() if self._graph_ref is not None else None
+        if graph is not None and graph.epoch != self.epoch:
+            if not allow_stale:
+                raise StaleSnapshotError(self.epoch, graph.epoch)
+            _obs.count("graph.stale_reads_total")
+        return self
+
+    # ------------------------------------------------------------------
+    # Dense index
+    # ------------------------------------------------------------------
+    def index_of(self, node: int) -> int:
+        """Dense position of *node* (raises on unknown ids)."""
+        index = self.position.get(node)
+        if index is None:
+            raise NodeNotFoundError(node)
+        return index
+
+    def node_at(self, index: int) -> int:
+        """Node id at dense position *index*."""
+        return self.node_ids[index]
+
+    def in_edge_rows(self) -> np.ndarray:
+        """Row (target position) of every in-CSR edge, lazily cached.
+
+        Aligned with ``in_indices`` / ``in_label_ids``: entry ``k`` is
+        the dense position of the node edge ``k`` points *into*.
+        """
+        rows = self._in_rows
+        if rows is None:
+            rows = np.repeat(np.arange(len(self.node_ids), dtype=np.int64),
+                             np.diff(self.in_indptr))
+            self._in_rows = rows
+        return rows
+
+    def out_items(self, node: int) -> list:
+        """``(neighbor_id, label)`` pairs of *node*, ascending by id.
+
+        The per-node list is materialised once and cached — the hot
+        read of the exact engine's frontier loop (which previously
+        re-sorted a dict view on every visit).
+        """
+        index = self.index_of(node)
+        cached = self._out_items_cache[index]
+        if cached is None:
+            start = int(self.out_indptr[index])
+            stop = int(self.out_indptr[index + 1])
+            node_ids = self.node_ids
+            labels = self.labels
+            cached = [
+                (node_ids[j], labels[l])
+                for j, l in zip(self.out_indices[start:stop].tolist(),
+                                self.out_label_ids[start:stop].tolist())
+            ]
+            self._out_items_cache[index] = cached
+        return cached
+
+    def authority(self):
+        """The shared :class:`~repro.core.scores.AuthorityIndex`.
+
+        One cached instance per snapshot, so every scorer built from
+        the same snapshot reuses one warm auth memo instead of each
+        constructing its own.
+        """
+        authority = self._authority
+        if authority is None:
+            from ..core.scores import AuthorityIndex
+            authority = AuthorityIndex(self)
+            self._authority = authority
+        return authority
+
+    # ------------------------------------------------------------------
+    # Graph-mirroring read API
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of accounts in the snapshot."""
+        return len(self.node_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of follow edges."""
+        return len(self.out_indices)
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.position
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over every account id (ascending)."""
+        return iter(self.node_ids)
+
+    def edges(self) -> Iterator[Tuple[int, int, TopicSet]]:
+        """Yield every edge as ``(source, target, topics)``."""
+        for source in self.node_ids:
+            for target, label in self.out_items(source):
+                yield source, target, label
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether *source* follows *target*."""
+        source_index = self.position.get(source)
+        if source_index is None:
+            return False
+        return target in self._out_map(source_index)
+
+    def node_topics(self, node: int) -> TopicSet:
+        """Publisher profile of *node*."""
+        return self.profiles[self.index_of(node)]
+
+    def edge_topics(self, source: int, target: int) -> TopicSet:
+        """Topic labels of the edge *source* → *target*."""
+        source_index = self.position.get(source)
+        if source_index is not None:
+            label = self._out_map(source_index).get(target)
+            if label is not None:
+                return label
+        raise EdgeNotFoundError(source, target)
+
+    def _out_map(self, index: int) -> Dict[int, TopicSet]:
+        cached = self._out_map_cache[index]
+        if cached is None:
+            cached = dict(self.out_items(self.node_ids[index]))
+            self._out_map_cache[index] = cached
+        return cached
+
+    def _in_map(self, index: int) -> Dict[int, TopicSet]:
+        cached = self._in_map_cache[index]
+        if cached is None:
+            start = int(self.in_indptr[index])
+            stop = int(self.in_indptr[index + 1])
+            node_ids = self.node_ids
+            labels = self.labels
+            cached = {
+                node_ids[j]: labels[l]
+                for j, l in zip(self.in_indices[start:stop].tolist(),
+                                self.in_label_ids[start:stop].tolist())
+            }
+            self._in_map_cache[index] = cached
+        return cached
+
+    def out_neighbors(self, node: int) -> Mapping[int, TopicSet]:
+        """Accounts *node* follows, mapped to the edge labels."""
+        return self._out_map(self.index_of(node))
+
+    def in_neighbors(self, node: int) -> Mapping[int, TopicSet]:
+        """Followers of *node* (Γ_node), mapped to the edge labels."""
+        return self._in_map(self.index_of(node))
+
+    def followers(self, node: int) -> Mapping[int, TopicSet]:
+        """Alias for :meth:`in_neighbors` matching the paper's Γu."""
+        return self.in_neighbors(node)
+
+    def out_degree(self, node: int) -> int:
+        """Number of accounts *node* follows."""
+        index = self.index_of(node)
+        return int(self.out_indptr[index + 1] - self.out_indptr[index])
+
+    def in_degree(self, node: int) -> int:
+        """Number of followers of *node*."""
+        index = self.index_of(node)
+        return int(self.in_indptr[index + 1] - self.in_indptr[index])
+
+    def follower_count(self, node: int) -> int:
+        """``|Γu|`` — total number of followers of *node*."""
+        return self.in_degree(node)
+
+    def follower_count_on(self, node: int, topic: str) -> int:
+        """``|Γu(t)|`` — followers of *node* whose edge carries *topic*."""
+        return self._follower_counts[self.index_of(node)].get(topic, 0)
+
+    def follower_topic_counts(self, node: int) -> Mapping[str, int]:
+        """All per-topic follower counts of *node* (zero counts omitted)."""
+        return self._follower_counts[self.index_of(node)]
+
+    def max_followers_on(self, topic: str) -> int:
+        """``max_v |Γv(t)|`` — global popularity normaliser (Section 3.2)."""
+        return self._max_followers.get(topic, 0)
+
+    def topics(self) -> FrozenSet[str]:
+        """The set of topics appearing on any node or edge."""
+        return frozenset(self.topic_list)
+
+    # ------------------------------------------------------------------
+    # Pickling (the distributed layer ships snapshots across workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["_graph_ref"] = None
+        state["_authority"] = None
+        state["_out_items_cache"] = None
+        state["_out_map_cache"] = None
+        state["_in_map_cache"] = None
+        state["_in_rows"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        n = len(self.node_ids)
+        self._out_items_cache = [None] * n
+        self._out_map_cache = [None] * n
+        self._in_map_cache = [None] * n
+
+    def __repr__(self) -> str:
+        return (f"GraphSnapshot(nodes={self.num_nodes}, "
+                f"edges={self.num_edges}, epoch={self.epoch})")
+
+
+def as_snapshot(source: GraphLike, allow_stale: bool = False) -> GraphSnapshot:
+    """Resolve a graph-or-snapshot argument to a usable snapshot.
+
+    A live graph yields its (cached, always-fresh) current snapshot; a
+    snapshot is returned as-is after an epoch check — stale snapshots
+    raise :class:`~repro.errors.StaleSnapshotError` unless
+    ``allow_stale`` is set.
+    """
+    if isinstance(source, LabeledSocialGraph):
+        return source.snapshot()
+    return source.ensure_fresh(allow_stale)

@@ -24,14 +24,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..config import LandmarkParams, ScoreParams
 from ..core.exact import ScoreState, _MaxSimCache, single_source_scores
 from ..core.scores import AuthorityIndex
-from ..graph.labeled_graph import LabeledSocialGraph
+from ..graph.snapshot import GraphLike, GraphSnapshot, as_snapshot
 from ..obs import runtime as _obs
 from ..semantics.matrix import SimilarityMatrix
 from .index import LandmarkIndex
 
 
 def explore_with_landmarks(
-    graph: LabeledSocialGraph,
+    graph: GraphLike,
     source: int,
     topics: Sequence[str],
     similarity: SimilarityMatrix,
@@ -40,12 +40,13 @@ def explore_with_landmarks(
     depth: int = 2,
     authority: Optional[AuthorityIndex] = None,
     sim_cache: Optional[_MaxSimCache] = None,
+    allow_stale: bool = False,
 ) -> ScoreState:
     """Depth-limited exploration from *source*, absorbed at landmarks."""
     return single_source_scores(
         graph, source, list(topics), similarity, authority=authority,
         params=params, max_depth=depth, sim_cache=sim_cache,
-        absorbing=landmarks)
+        absorbing=landmarks, allow_stale=allow_stale)
 
 
 @dataclass
@@ -86,27 +87,40 @@ class ApproximateRecommender:
 
     def __init__(
         self,
-        graph: LabeledSocialGraph,
+        graph: GraphLike,
         similarity: SimilarityMatrix,
         index: LandmarkIndex,
         params: Optional[ScoreParams] = None,
         landmark_params: Optional[LandmarkParams] = None,
         authority: Optional[AuthorityIndex] = None,
+        allow_stale: bool = False,
     ) -> None:
         self.graph = graph
         self.index = index
         self.params = params if params is not None else index.params
         self.landmark_params = (landmark_params if landmark_params is not None
                                 else index.landmark_params)
+        self.allow_stale = allow_stale
         self._similarity = similarity
+        self._authority_supplied = authority
+        self._view = as_snapshot(graph, allow_stale)
         self._authority = (authority if authority is not None
-                           else AuthorityIndex(graph))
+                           else self._view.authority())
         self._sim_cache = _MaxSimCache(similarity)
         self._landmark_set = frozenset(index.landmarks)
         # Sorted composition order: float accumulation order — and
         # therefore tie-sensitive rankings — stays deterministic across
         # processes (frozenset iteration order depends on the hash seed).
         self._sorted_landmarks = sorted(self._landmark_set)
+
+    def _resolve(self) -> GraphSnapshot:
+        """Current serving snapshot — re-pinned when a live graph moved."""
+        view = as_snapshot(self.graph, self.allow_stale)
+        if view is not self._view:
+            self._view = view
+            if self._authority_supplied is None:
+                self._authority = view.authority()
+        return view
 
     def query(self, user: int, topic: str,
               depth: Optional[int] = None) -> ApproximateResult:
@@ -129,15 +143,16 @@ class ApproximateRecommender:
         """
         exploration_depth = (depth if depth is not None
                              else self.landmark_params.query_depth)
+        view = self._resolve()
         with _obs.span("approx.query") as _sp:
             if _sp:
                 _sp.set(user=user, topic=topic, depth=exploration_depth)
             with _obs.span("approx.explore") as _explore:
                 state = explore_with_landmarks(
-                    self.graph, user, [topic], self._similarity,
+                    view, user, [topic], self._similarity,
                     landmarks=self._landmark_set, params=self.params,
                     depth=exploration_depth, authority=self._authority,
-                    sim_cache=self._sim_cache)
+                    sim_cache=self._sim_cache, allow_stale=self.allow_stale)
                 if _explore:
                     _explore.set(depth=exploration_depth,
                                  frontier_size=len(state.topo_alphabeta))
@@ -189,7 +204,7 @@ class ApproximateRecommender:
             with _obs.span("approx.rank") as _rank:
                 excluded = {user}
                 if exclude_followed:
-                    excluded.update(self.graph.out_neighbors(user))
+                    excluded.update(self._resolve().out_neighbors(user))
                 ranked = result.ranked(top_n=top_n, exclude=excluded)
                 if _rank:
                     _rank.set(candidates=len(result.scores),

@@ -27,7 +27,7 @@ from ..config import EngineParams, LandmarkParams, ScoreParams
 from ..core.exact import ScoreState, _MaxSimCache, single_source_scores
 from ..core.fast import SparseEngine, resolve_engine
 from ..core.scores import AuthorityIndex
-from ..graph.labeled_graph import LabeledSocialGraph
+from ..graph.snapshot import GraphLike, GraphSnapshot, as_snapshot
 from ..obs import runtime as _obs
 from ..semantics.matrix import SimilarityMatrix
 
@@ -75,7 +75,7 @@ class LandmarkIndex:
     @classmethod
     def build(
         cls,
-        graph: LabeledSocialGraph,
+        graph: GraphLike,
         landmarks: Sequence[int],
         topics: Sequence[str],
         similarity: SimilarityMatrix,
@@ -97,7 +97,9 @@ class LandmarkIndex:
         :class:`~repro.errors.ConvergenceError`.
 
         Args:
-            graph: The labeled follow graph.
+            graph: The labeled follow graph, or a prebuilt
+                :class:`~repro.graph.snapshot.GraphSnapshot` — the
+                whole build reads one frozen snapshot either way.
             landmarks: Landmark node ids (from a Table-4 strategy).
             topics: The full topic vocabulary T — preprocessing stores
                 recommendations for *every* topic.
@@ -130,8 +132,9 @@ class LandmarkIndex:
 
         index = cls(params, landmark_params)
         index.engine_used = resolved
+        snapshot = as_snapshot(graph)
         shared_authority = (authority if authority is not None
-                            else AuthorityIndex(graph))
+                            else snapshot.authority())
         max_depth = landmark_params.precompute_depth
         topic_list = list(topics)
 
@@ -140,11 +143,11 @@ class LandmarkIndex:
                 _sp.set(landmarks=len(landmarks), topics=len(topic_list),
                         engine=resolved, top_n=landmark_params.top_n)
             if resolved == "sparse":
-                cls._build_sparse(index, graph, list(landmarks), topic_list,
-                                  similarity, shared_authority,
+                cls._build_sparse(index, snapshot, list(landmarks),
+                                  topic_list, similarity, shared_authority,
                                   engine_params.batch_size, max_depth)
             else:
-                cls._build_dict(index, graph, list(landmarks), topic_list,
+                cls._build_dict(index, snapshot, list(landmarks), topic_list,
                                 similarity, shared_authority,
                                 engine_params.workers, max_depth)
             _obs.count("landmarks.builds_total")
@@ -170,7 +173,7 @@ class LandmarkIndex:
         return per_topic
 
     @classmethod
-    def _build_dict(cls, index: "LandmarkIndex", graph: LabeledSocialGraph,
+    def _build_dict(cls, index: "LandmarkIndex", snapshot: GraphSnapshot,
                     landmarks: List[int], topics: List[str],
                     similarity: SimilarityMatrix,
                     authority: AuthorityIndex, workers: int,
@@ -186,7 +189,7 @@ class LandmarkIndex:
                 if watch:
                     watch.set(landmark=landmark)
                 state = single_source_scores(
-                    graph, landmark, topics, similarity,
+                    snapshot, landmark, topics, similarity,
                     authority=authority, params=index.params,
                     max_depth=max_depth, sim_cache=sim_cache)
                 per_topic = cls._entries_for(state, landmark, topics, top_n)
@@ -205,13 +208,13 @@ class LandmarkIndex:
             index.build_seconds[landmark] = elapsed
 
     @classmethod
-    def _build_sparse(cls, index: "LandmarkIndex", graph: LabeledSocialGraph,
+    def _build_sparse(cls, index: "LandmarkIndex", snapshot: GraphSnapshot,
                       landmarks: List[int], topics: List[str],
                       similarity: SimilarityMatrix,
                       authority: AuthorityIndex, batch_size: int,
                       max_depth: Optional[int]) -> None:
         """Batched CSR build: one mat–mat propagation per block."""
-        engine = SparseEngine(graph, similarity, index.params,
+        engine = SparseEngine(snapshot, similarity, index.params,
                               authority=authority)
         top_n = index.landmark_params.top_n
         for start in range(0, len(landmarks), batch_size):

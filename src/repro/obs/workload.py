@@ -1,8 +1,9 @@
 """The pinned CI smoke workload.
 
 A small, fully-seeded end-to-end run that exercises every instrumented
-stage — exact power iteration, landmark preprocessing (Algorithm 1),
-and the landmark-accelerated query path (Algorithm 2) — with the
+stage — snapshot construction, exact power iteration, landmark
+preprocessing (Algorithm 1), and the landmark-accelerated query path
+(Algorithm 2) — with the
 observability layer enabled, and returns the bench report that
 ``python -m repro.obs run --json BENCH_ci.json`` writes for CI.
 
@@ -54,7 +55,6 @@ def run_smoke(nodes: int = 0, seed: int = 0, landmarks: int = 0,
     # Imports are deferred so `import repro.obs` stays dependency-free
     # and cycle-free (core/landmarks import repro.obs at module load).
     from ..core.exact import single_source_scores
-    from ..core.scores import AuthorityIndex
     from ..datasets import generate_twitter_graph
     from ..landmarks.approximate import ApproximateRecommender
     from ..landmarks.index import LandmarkIndex
@@ -78,28 +78,33 @@ def run_smoke(nodes: int = 0, seed: int = 0, landmarks: int = 0,
             topics = sorted(graph.topics())
             topic = "technology" if "technology" in topics else topics[0]
             params = ScoreParams()
-            authority = AuthorityIndex(graph)
             if setup_span:
                 setup_span.set(nodes=graph.num_nodes,
                                edges=graph.num_edges, topic=topic)
 
-        chosen = select_landmarks(graph, "In-Deg", landmarks, rng=seed)
-        query_nodes = _pick_query_nodes(graph, chosen, queries)
+        # Stage 0 — freeze the read path. Every scorer below shares
+        # this snapshot (and its authority index); the build itself is
+        # the `graph.snapshot_build` stage of the bench report.
+        snapshot = graph.snapshot()
+        authority = snapshot.authority()
+
+        chosen = select_landmarks(snapshot, "In-Deg", landmarks, rng=seed)
+        query_nodes = _pick_query_nodes(snapshot, chosen, queries)
 
         # Stage 1 — exact power iteration, run to convergence.
         for query in query_nodes:
-            single_source_scores(graph, query, [topic], similarity,
+            single_source_scores(snapshot, query, [topic], similarity,
                                  authority=authority, params=params)
 
         # Stage 2 — Algorithm 1 landmark preprocessing.
         index = LandmarkIndex.build(
-            graph, chosen, [topic], similarity, params=params,
+            snapshot, chosen, [topic], similarity, params=params,
             landmark_params=LandmarkParams(num_landmarks=landmarks,
                                            top_n=top_n),
             authority=authority, engine=engine)
 
         # Stage 3 — Algorithm 2 landmark-accelerated queries.
-        recommender = ApproximateRecommender(graph, similarity, index,
+        recommender = ApproximateRecommender(snapshot, similarity, index,
                                              authority=authority)
         for query in query_nodes:
             recommender.recommend(query, topic, top_n=10)

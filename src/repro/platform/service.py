@@ -18,6 +18,7 @@ from ..core.recommender import Recommender
 from ..dynamics.events import EdgeEvent, EventKind
 from ..errors import ConfigurationError
 from ..graph.labeled_graph import LabeledSocialGraph
+from ..graph.snapshot import GraphSnapshot
 from ..landmarks.approximate import ApproximateRecommender
 from ..landmarks.index import LandmarkIndex
 from ..landmarks.selection import select_landmarks
@@ -59,14 +60,40 @@ class MicroblogPlatform:
         platform.who_to_follow("alice", "technology")
     """
 
+    #: Valid ``refresh_policy`` values.
+    REFRESH_POLICIES = ("eager", "on-demand", "every-n")
+
     def __init__(self, similarity: SimilarityMatrix,
                  params: ScoreParams = ScoreParams(),
                  timeline_strategy: str = "push",
-                 timeline_size: int = 200) -> None:
+                 timeline_size: int = 200,
+                 refresh_policy: str = "on-demand",
+                 refresh_interval: int = 10) -> None:
+        """Args:
+            similarity: Topic-similarity matrix for the recommenders.
+            params: Score decay/convergence parameters.
+            timeline_strategy: ``"push"`` or ``"pull"`` fan-out.
+            timeline_size: Per-account home-timeline capacity.
+            refresh_policy: How the serving snapshot tracks mutations —
+                ``"eager"`` re-pins on every mutation, ``"on-demand"``
+                re-pins lazily at the next who-to-follow request, and
+                ``"every-n"`` keeps serving the pinned (stale) snapshot
+                until *refresh_interval* mutations have accumulated.
+            refresh_interval: Mutations per re-pin under ``"every-n"``.
+        """
+        if refresh_policy not in self.REFRESH_POLICIES:
+            known = ", ".join(self.REFRESH_POLICIES)
+            raise ConfigurationError(
+                f"unknown refresh_policy {refresh_policy!r}; known: {known}")
+        if refresh_interval < 1:
+            raise ConfigurationError(
+                f"refresh_interval must be >= 1, got {refresh_interval}")
         self.graph = LabeledSocialGraph()
         self.accounts = AccountRegistry()
         self.similarity = similarity
         self.params = params
+        self.refresh_policy = refresh_policy
+        self.refresh_interval = refresh_interval
         self.timelines = TimelineStore(self.graph,
                                        strategy=timeline_strategy,
                                        timeline_size=timeline_size)
@@ -74,6 +101,8 @@ class MicroblogPlatform:
         self._approximate: Optional[ApproximateRecommender] = None
         self._maintainer = None  # duck-typed: has on_event(EdgeEvent)
         self._event_clock = 0
+        self._pinned: Optional[GraphSnapshot] = None
+        self._events_since_refresh = 0
 
     # ------------------------------------------------------------------
     # Accounts & follows
@@ -188,28 +217,43 @@ class MicroblogPlatform:
 
     def who_to_follow(self, account: Ref, topic: str, top_n: int = 5,
                       ) -> List[WhoToFollowResult]:
-        """Topic-conditioned account suggestions (the WTF endpoint)."""
+        """Topic-conditioned account suggestions (the WTF endpoint).
+
+        Each request pins one :class:`GraphSnapshot` (per the
+        platform's ``refresh_policy``) and ranks, scores, and hydrates
+        against it — concurrent mutations never shift the ground under
+        a request (copy-on-write serving).
+        """
         with _obs.span("platform.who_to_follow") as _sp:
             user = self._resolve(account)
+            snapshot = self._serving_snapshot()
             engine = ("approximate" if self._approximate is not None
                       else "exact")
             if _sp:
-                _sp.set(topic=topic, top_n=top_n, engine=engine)
+                _sp.set(topic=topic, top_n=top_n, engine=engine,
+                        snapshot_epoch=snapshot.epoch)
             _obs.count("platform.wtf_requests_total")
             _obs.count(f"platform.wtf_served_by_{engine}_total")
             _obs.gauge("platform.wtf_engine_approximate",
                        1.0 if engine == "approximate" else 0.0)
             with _obs.span("platform.rank") as _rank:
                 if self._approximate is not None:
+                    if self._approximate.graph is not snapshot:
+                        self._approximate = ApproximateRecommender(
+                            snapshot, self.similarity,
+                            self._approximate.index, params=self.params,
+                            allow_stale=True)
                     ranked = self._approximate.recommend(
                         user.account_id, topic, top_n=top_n)
                 else:
-                    cached = self._recommender is not None
+                    cached = (self._recommender is not None
+                              and self._recommender.graph is snapshot)
                     _obs.gauge("platform.exact_recommender_cached",
                                1.0 if cached else 0.0)
-                    if self._recommender is None:
+                    if not cached:
                         self._recommender = Recommender(
-                            self.graph, self.similarity, self.params)
+                            snapshot, self.similarity, self.params,
+                            allow_stale=True)
                     ranked = [
                         (item.node, item.score)
                         for item in self._recommender.recommend(
@@ -223,13 +267,33 @@ class MicroblogPlatform:
                     suggested = self.accounts.by_id(node)
                     results.append(WhoToFollowResult(
                         handle=suggested.handle, account_id=node, score=score,
-                        topics=tuple(sorted(self.graph.node_topics(node)))))
+                        topics=tuple(sorted(snapshot.node_topics(node)))))
                 if _hydrate:
                     _hydrate.set(results=len(results))
         return results
 
+    # ------------------------------------------------------------------
+    # Serving snapshots
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        """Pin the graph's current snapshot for serving."""
+        self._pinned = self.graph.snapshot()
+        self._events_since_refresh = 0
+
+    def _serving_snapshot(self) -> GraphSnapshot:
+        """The snapshot requests are served from, per the policy."""
+        if self._pinned is None:
+            self._refresh()
+        return self._pinned
+
     def _invalidate(self) -> None:
-        """Graph changed: drop the cached exact recommender's caches."""
-        if self._recommender is not None:
-            self._recommender.invalidate()
-            self._recommender = None
+        """Graph changed: refresh the serving snapshot per the policy."""
+        if self.refresh_policy == "eager":
+            self._refresh()
+        elif self.refresh_policy == "every-n":
+            self._events_since_refresh += 1
+            if (self._pinned is None
+                    or self._events_since_refresh >= self.refresh_interval):
+                self._refresh()
+        else:  # on-demand: re-pin lazily at the next request
+            self._pinned = None

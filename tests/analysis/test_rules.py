@@ -358,6 +358,44 @@ class TestR7RawTiming:
         assert findings == []
 
 
+class TestR8PrivateGraphAccess:
+    def test_fires_on_private_adjacency_read_outside_graph(self):
+        findings = run("""
+            def walk(graph, node):
+                return graph._out[node]
+        """)
+        assert rule_ids(findings) == ["R8"]
+        assert "_out" in findings[0].message
+
+    def test_fires_on_in_and_node_topics(self):
+        findings = run("""
+            def peek(graph, node):
+                return graph._in[node], graph._node_topics[node]
+        """)
+        assert rule_ids(findings) == ["R8", "R8"]
+
+    def test_clean_inside_graph_package(self):
+        findings = run("""
+            def build(graph):
+                return dict(graph._out)
+        """, path="src/repro/graph/snapshot.py")
+        assert findings == []
+
+    def test_clean_public_accessors(self):
+        findings = run("""
+            def walk(graph, node):
+                return graph.out_neighbors(node), graph.node_topics(node)
+        """)
+        assert findings == []
+
+    def test_suppression_comment_silences(self):
+        findings = run("""
+            def debug_dump(graph):
+                return graph._out  # repro: ignore[R8] -- debug dump renders raw adjacency on purpose
+        """)
+        assert findings == []
+
+
 class TestInfrastructure:
     def test_syntax_error_raises(self):
         with pytest.raises(SyntaxError):

@@ -243,11 +243,12 @@ class TestBehaviour:
         graph = generate_twitter_graph(80, seed=303)
         engine = SparseEngine(graph, web_sim, ScoreParams(beta=0.004))
         engine.single_source(0, ["technology"])
-        first = engine._semantic_cache["technology"]
+        key = engine._topic_key("technology")
+        first = engine._semantic_cache[key]
         engine.single_source(1, ["technology"])
-        assert engine._semantic_cache["technology"] is first
+        assert engine._semantic_cache[key] is first
         engine.invalidate()
-        assert "technology" not in engine._semantic_cache
+        assert key not in engine._semantic_cache
 
     def test_bulk_reuse_is_faster_than_dict_engine(self, web_sim):
         """The engine's purpose: amortised bulk propagation."""

@@ -1,0 +1,243 @@
+"""GraphSnapshot: epochs, staleness, copy-on-write, and score parity.
+
+The tentpole contract: every scorer reading through a snapshot must
+produce *bitwise identical* results to the same scorer handed the live
+graph, because the snapshot arrays are built in the same canonical
+(sorted) order the old read paths iterated in.
+"""
+
+import pickle
+
+import pytest
+
+from repro import ScoreParams
+from repro.baselines.twitterrank import TwitterRank
+from repro.core.exact import single_source_scores
+from repro.core.fast import scipy_available
+from repro.core.recommender import Recommender
+from repro.datasets import generate_twitter_graph
+from repro.errors import StaleSnapshotError
+from repro.graph import GraphSnapshot, as_snapshot
+from repro.graph.builders import graph_from_edges
+from repro.landmarks.approximate import ApproximateRecommender
+from repro.landmarks.index import LandmarkIndex
+from repro.landmarks.selection import select_landmarks
+
+
+def small_graph():
+    return graph_from_edges([
+        (1, 2, ["technology"]), (2, 3, ["technology"]),
+        (1, 4, ["food"]), (4, 3, ["bigdata"]),
+    ])
+
+
+class TestEpoch:
+    def test_fresh_graph_starts_at_epoch_zero(self):
+        from repro.graph.labeled_graph import LabeledSocialGraph
+
+        assert LabeledSocialGraph().epoch == 0
+
+    def test_every_mutation_kind_bumps_the_epoch(self):
+        graph = small_graph()
+        before = graph.epoch
+        graph.add_node(10, ["technology"])
+        assert graph.epoch == before + 1
+        graph.set_node_topics(10, ["food"])
+        assert graph.epoch == before + 2
+        graph.add_edge(10, 1, ["food"])
+        assert graph.epoch == before + 3
+        graph.set_edge_topics(10, 1, ["technology"])
+        assert graph.epoch == before + 4
+        graph.remove_edge(10, 1)
+        assert graph.epoch == before + 5
+
+    def test_reads_do_not_bump_the_epoch(self):
+        graph = small_graph()
+        before = graph.epoch
+        graph.out_neighbors(1)
+        graph.node_topics(1)
+        graph.follower_count(3)
+        list(graph.edges())
+        assert graph.epoch == before
+
+    def test_snapshot_is_cached_until_the_next_mutation(self):
+        graph = small_graph()
+        first = graph.snapshot()
+        assert graph.snapshot() is first
+        graph.add_node(99)
+        second = graph.snapshot()
+        assert second is not first
+        assert second.epoch == graph.epoch
+
+    def test_copy_carries_the_epoch(self):
+        graph = small_graph()
+        assert graph.copy().epoch == graph.epoch
+
+
+class TestStaleness:
+    def test_stale_snapshot_raises_on_ensure_fresh(self):
+        graph = small_graph()
+        snap = graph.snapshot()
+        graph.add_edge(3, 1, ["technology"])
+        assert snap.is_stale
+        with pytest.raises(StaleSnapshotError) as exc:
+            snap.ensure_fresh()
+        assert exc.value.snapshot_epoch == snap.epoch
+        assert exc.value.graph_epoch == graph.epoch
+
+    def test_allow_stale_reads_through(self):
+        graph = small_graph()
+        snap = graph.snapshot()
+        graph.add_edge(3, 1, ["technology"])
+        snap.ensure_fresh(allow_stale=True)
+        assert 1 not in snap.out_neighbors(3)
+
+    def test_scoring_on_a_stale_snapshot_raises(self, web_sim):
+        graph = small_graph()
+        snap = graph.snapshot()
+        graph.add_edge(3, 1, ["technology"])
+        with pytest.raises(StaleSnapshotError):
+            single_source_scores(snap, 1, ["technology"], web_sim,
+                                 params=ScoreParams(beta=0.1))
+
+    def test_allow_stale_scores_against_the_old_view(self, web_sim):
+        graph = small_graph()
+        snap = graph.snapshot()
+        expected = single_source_scores(snap, 1, ["technology"], web_sim,
+                                        params=ScoreParams(beta=0.1))
+        graph.add_edge(3, 1, ["technology"])
+        stale = single_source_scores(snap, 1, ["technology"], web_sim,
+                                     params=ScoreParams(beta=0.1),
+                                     allow_stale=True)
+        assert stale.scores == expected.scores
+
+
+class TestCopyOnWrite:
+    def test_mutations_do_not_leak_into_a_pinned_snapshot(self):
+        graph = small_graph()
+        snap = graph.snapshot()
+        nodes_before = set(snap.nodes())
+        edges_before = sorted(snap.edges())
+        graph.add_node(50, ["news"])
+        graph.add_edge(50, 1, ["news"])
+        graph.set_node_topics(1, ["news"])
+        graph.remove_edge(1, 2)
+        assert set(snap.nodes()) == nodes_before
+        assert sorted(snap.edges()) == edges_before
+        assert snap.node_topics(1) == frozenset()
+        assert snap.follower_count_on(1, "news") == 0
+
+    def test_snapshot_mirrors_the_public_graph_api(self):
+        graph = generate_twitter_graph(60, seed=11)
+        snap = graph.snapshot()
+        assert snap.num_nodes == graph.num_nodes
+        assert snap.num_edges == graph.num_edges
+        assert len(snap) == len(graph)
+        assert set(snap.nodes()) == set(graph.nodes())
+        assert sorted(snap.edges()) == sorted(graph.edges())
+        assert snap.topics() == graph.topics()
+        for node in graph.nodes():
+            assert node in snap
+            assert snap.out_neighbors(node) == graph.out_neighbors(node)
+            assert snap.in_neighbors(node) == graph.in_neighbors(node)
+            assert snap.followers(node) == graph.followers(node)
+            assert snap.node_topics(node) == graph.node_topics(node)
+            assert snap.out_degree(node) == graph.out_degree(node)
+            assert snap.in_degree(node) == graph.in_degree(node)
+            assert snap.follower_count(node) == graph.follower_count(node)
+            assert (snap.follower_topic_counts(node)
+                    == graph.follower_topic_counts(node))
+
+
+class TestPickle:
+    def test_round_trip_preserves_structure_and_epoch(self):
+        graph = generate_twitter_graph(40, seed=5)
+        snap = graph.snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert isinstance(clone, GraphSnapshot)
+        assert clone.epoch == snap.epoch
+        assert sorted(clone.edges()) == sorted(snap.edges())
+        assert set(clone.nodes()) == set(snap.nodes())
+
+    def test_unpickled_snapshot_is_never_stale(self):
+        graph = small_graph()
+        snap = graph.snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        graph.add_edge(3, 1, ["technology"])
+        assert snap.is_stale
+        assert not clone.is_stale
+        clone.ensure_fresh()  # does not raise
+
+    def test_unpickled_snapshot_scores_identically(self, web_sim):
+        graph = generate_twitter_graph(40, seed=5)
+        snap = graph.snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        params = ScoreParams(beta=0.02)
+        original = single_source_scores(snap, sorted(graph.nodes())[0],
+                                        ["technology"], web_sim,
+                                        params=params)
+        restored = single_source_scores(clone, sorted(graph.nodes())[0],
+                                        ["technology"], web_sim,
+                                        params=params)
+        assert original.scores == restored.scores
+
+
+class TestAsSnapshot:
+    def test_live_graph_resolves_to_its_cached_snapshot(self):
+        graph = small_graph()
+        assert as_snapshot(graph) is graph.snapshot()
+
+    def test_snapshot_passes_through(self):
+        snap = small_graph().snapshot()
+        assert as_snapshot(snap) is snap
+
+
+class TestScoreParity:
+    """graph-input vs prebuilt-snapshot rankings must be bitwise equal."""
+
+    def test_dict_engine_parity(self, web_sim):
+        graph = generate_twitter_graph(120, seed=21)
+        snap = graph.snapshot()
+        params = ScoreParams(beta=0.01)
+        user = sorted(graph.nodes())[3]
+        from_graph = Recommender(graph, web_sim, params, engine="dict")
+        from_snap = Recommender(snap, web_sim, params, engine="dict")
+        left = from_graph.recommend(user, "technology", top_n=20)
+        right = from_snap.recommend(user, "technology", top_n=20)
+        assert [(r.node, r.score) for r in left] == [
+            (r.node, r.score) for r in right]
+
+    @pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+    def test_sparse_engine_parity(self, web_sim):
+        graph = generate_twitter_graph(120, seed=21)
+        snap = graph.snapshot()
+        params = ScoreParams(beta=0.01)
+        user = sorted(graph.nodes())[3]
+        from_graph = Recommender(graph, web_sim, params, engine="sparse")
+        from_snap = Recommender(snap, web_sim, params, engine="sparse")
+        left = from_graph.recommend(user, "technology", top_n=20)
+        right = from_snap.recommend(user, "technology", top_n=20)
+        assert [(r.node, r.score) for r in left] == [
+            (r.node, r.score) for r in right]
+
+    def test_twitterrank_parity(self):
+        graph = generate_twitter_graph(100, seed=33)
+        snap = graph.snapshot()
+        left = TwitterRank(graph).rank("technology")
+        right = TwitterRank(snap).rank("technology")
+        assert left == right
+
+    def test_landmark_query_parity(self, web_sim):
+        graph = generate_twitter_graph(150, seed=44)
+        snap = graph.snapshot()
+        params = ScoreParams(beta=0.004)
+        landmarks = select_landmarks(graph, "In-Deg", 12, rng=7)
+        topics = sorted(graph.topics())
+        user = sorted(graph.nodes())[30]
+        results = []
+        for source in (graph, snap):
+            index = LandmarkIndex.build(source, landmarks, topics, web_sim,
+                                        params=params)
+            rec = ApproximateRecommender(source, web_sim, index)
+            results.append(rec.recommend(user, "technology", top_n=20))
+        assert results[0] == results[1]

@@ -46,8 +46,9 @@ class TestWhoToFollowSpanTree:
         root = trees[0]
         assert root["name"] == "platform.who_to_follow"
         assert root["attributes"]["engine"] == "exact"
+        # The lazy (on-demand) snapshot pin builds inside the request.
         assert [child["name"] for child in root["children"]] == [
-            "platform.rank", "platform.hydrate"]
+            "graph.snapshot_build", "platform.rank", "platform.hydrate"]
         # The exact path runs the power iteration inside the rank span.
         rank = find(root, "platform.rank")
         assert "exact.single_source" in names(rank)

@@ -88,6 +88,72 @@ class TestWhoToFollow:
         assert all(s.handle != "carol" for s in after)
 
 
+class TestRefreshPolicy:
+    def _seed(self, service):
+        service.register("alice", topics=("technology",))
+        service.register("bob", topics=("technology",))
+        service.register("carol", topics=("technology",))
+        service.register("erin", topics=("technology",))
+        service.follow("alice", "bob")
+        service.follow("bob", "carol")
+        service.follow("erin", "carol")
+
+    def test_unknown_policy_rejected(self, web_sim):
+        with pytest.raises(ConfigurationError):
+            MicroblogPlatform(web_sim, refresh_policy="psychic")
+
+    def test_bad_interval_rejected(self, web_sim):
+        with pytest.raises(ConfigurationError):
+            MicroblogPlatform(web_sim, refresh_policy="every-n",
+                              refresh_interval=0)
+
+    def test_on_demand_serves_fresh_after_mutation(self, web_sim):
+        service = MicroblogPlatform(web_sim, ScoreParams(beta=0.1))
+        self._seed(service)
+        before = service.who_to_follow("alice", "technology")
+        assert any(s.handle == "carol" for s in before)
+        epoch_before = service._pinned.epoch
+        service.follow("alice", "carol")
+        after = service.who_to_follow("alice", "technology")
+        assert all(s.handle != "carol" for s in after)
+        assert service._pinned.epoch > epoch_before
+
+    def test_eager_repins_on_every_mutation(self, web_sim):
+        service = MicroblogPlatform(web_sim, ScoreParams(beta=0.1),
+                                    refresh_policy="eager")
+        self._seed(service)
+        assert service._pinned is not None
+        assert service._pinned.epoch == service.graph.epoch
+        service.follow("alice", "carol")
+        assert service._pinned.epoch == service.graph.epoch
+
+    def test_every_n_serves_stale_until_the_interval(self, web_sim):
+        service = MicroblogPlatform(web_sim, ScoreParams(beta=0.1),
+                                    refresh_policy="every-n",
+                                    refresh_interval=3)
+        self._seed(service)
+        before = service.who_to_follow("alice", "technology")
+        assert any(s.handle == "carol" for s in before)
+        pinned = service._pinned
+        service.follow("alice", "carol")  # 1 of 3: still the old snapshot
+        assert service._pinned is pinned
+        stale = service.who_to_follow("alice", "technology")
+        assert any(s.handle == "carol" for s in stale)
+        service.register("frank", topics=("technology",))  # 2 of 3
+        service.follow("frank", "bob")  # 3 of 3: re-pin
+        assert service._pinned is not pinned
+        fresh = service.who_to_follow("alice", "technology")
+        assert all(s.handle != "carol" for s in fresh)
+
+    def test_requests_pin_one_snapshot(self, web_sim):
+        service = MicroblogPlatform(web_sim, ScoreParams(beta=0.1))
+        self._seed(service)
+        service.who_to_follow("alice", "technology")
+        first = service._pinned
+        service.who_to_follow("erin", "technology")
+        assert service._pinned is first
+
+
 class TestLandmarkMode:
     def test_landmark_service_agrees_with_exact(self, web_sim):
         from repro.datasets import generate_twitter_dataset
