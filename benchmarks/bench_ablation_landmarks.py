@@ -18,7 +18,7 @@ from repro.landmarks import (
     LandmarkIndex,
     select_landmarks,
 )
-from repro.utils.timers import Stopwatch
+from repro.obs.clock import Stopwatch
 
 COUNTS = (10, 25, 50, 100)
 DEPTHS = (1, 2, 3)

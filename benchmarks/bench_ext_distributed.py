@@ -51,10 +51,10 @@ def test_ext_distributed_transfer_costs(benchmark, web_sim):
             entries = 0
             answers = []
             for query in queries:
-                top, cost = service.recommend(query, TOPIC, top_n=10)
-                messages += cost.propagation.remote_values
-                entries += cost.entries_transferred
-                answers.append([n for n, _ in top])
+                response = service.recommend(query, TOPIC, top_n=10)
+                messages += response.cost.propagation.remote_values
+                entries += response.cost.entries_transferred
+                answers.append([n for n, _ in response])
             if reference is None:
                 reference = answers
             else:

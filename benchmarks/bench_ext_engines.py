@@ -11,7 +11,7 @@ from conftest import write_result
 
 from repro.core.exact import single_source_scores
 from repro.core.fast import SparseEngine, scipy_available
-from repro.utils.timers import Stopwatch
+from repro.obs.clock import Stopwatch
 
 TOPIC = "technology"
 NUM_SOURCES = 20

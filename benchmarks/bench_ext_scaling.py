@@ -19,7 +19,7 @@ from repro.landmarks import (
     LandmarkIndex,
     select_landmarks,
 )
-from repro.utils.timers import Stopwatch
+from repro.obs.clock import Stopwatch
 
 TOPIC = "technology"
 SIZES = (1000, 2000, 4000)

@@ -15,7 +15,7 @@ from repro.core.fast import scipy_available
 from repro.eval.landmarks_eval import time_selection_strategies
 from repro.landmarks import LandmarkIndex, select_landmarks
 from repro.landmarks.selection import STRATEGIES
-from repro.utils.timers import Stopwatch
+from repro.obs.clock import Stopwatch
 
 
 def test_table5_selection_and_precompute_times(benchmark, twitter_graph,

@@ -55,10 +55,10 @@ def main():
         messages = entries = 0
         answers = []
         for query in queries:
-            top, cost = service.recommend(query, TOPIC, top_n=10)
-            messages += cost.propagation.remote_values
-            entries += cost.entries_transferred
-            answers.append(tuple(node for node, _ in top))
+            response = service.recommend(query, TOPIC, top_n=10)
+            messages += response.cost.propagation.remote_values
+            entries += response.cost.entries_transferred
+            answers.append(tuple(node for node, _ in response))
         if reference is None:
             reference = answers
         else:

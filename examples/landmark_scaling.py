@@ -30,7 +30,7 @@ from repro.landmarks import (
     save_index,
     select_landmarks,
 )
-from repro.utils.timers import Stopwatch, format_duration
+from repro.obs.clock import Stopwatch, format_duration
 
 NUM_ACCOUNTS = 6000
 NUM_LANDMARKS = 60

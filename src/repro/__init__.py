@@ -17,8 +17,18 @@ Quickstart::
     rec = Recommender(graph, SimilarityMatrix.from_taxonomy(web_taxonomy()))
     for suggestion in rec.recommend(user=0, query="technology", top_n=5):
         print(suggestion.node, suggestion.score)
+
+Every scorer (exact, landmark-approximate, TwitterRank, SALSA, the
+distributed service, and the sharded serving tier) satisfies the
+:class:`repro.api.Recommender` protocol and returns one
+:class:`repro.api.RecommendationResponse` shape.
 """
 
+from .api import (
+    RecommendationRequest,
+    RecommendationResponse,
+    response_from_pairs,
+)
 from .config import (
     EvaluationParams,
     LandmarkParams,
@@ -54,6 +64,9 @@ __all__ = [
     "PAPER_BETA",
     "Recommender",
     "Recommendation",
+    "RecommendationRequest",
+    "RecommendationResponse",
+    "response_from_pairs",
     "AuthorityIndex",
     "single_source_scores",
     "matrix_scores",

@@ -23,6 +23,11 @@ re-learn (see ``docs/ANALYSIS.md`` for the bug behind each one):
   ``._node_topics`` outside ``graph/`` bypasses the
   :class:`~repro.graph.snapshot.GraphSnapshot` read path and sees
   mutations mid-propagation.
+- **R9** tuple-returning-recommend: a ``recommend``-named function in
+  ``src/`` returning bare ``(node, score)`` tuples resurrects the
+  pre-:mod:`repro.api` shape; new entry points must return
+  :class:`~repro.api.RecommendationResponse` (sanctioned deprecation
+  shims carry a suppression).
 
 Rules are pluggable: subclass :class:`Rule`, decorate with
 :func:`register`, and the engine, the CLI rule listing, and the
@@ -679,6 +684,69 @@ class PrivateGraphAccess(Rule):
                 f"'.{node.attr}' reaches into the graph's private "
                 "adjacency state; read through graph.snapshot() (or the "
                 "public accessors) so the access is epoch-consistent")
+
+
+# ----------------------------------------------------------------------
+# R9 — tuple-returning-recommend
+# ----------------------------------------------------------------------
+
+_API_MODULE_FILES = ("api.py",)
+_TUPLE_PAIR_ANNOTATION_RE = re.compile(
+    r"Tuple\[\s*int\s*,\s*(float|int)\s*\]")
+
+
+@register
+class TupleReturningRecommend(Rule):
+    """``recommend``-named functions returning bare ``(node, score)``."""
+
+    id = "R9"
+    name = "tuple-returning-recommend"
+    description = (
+        "a recommend-named function returning bare (node, score) tuples "
+        "resurrects the pre-repro.api surface the serving tier cannot "
+        "sit in front of; return a repro.api.RecommendationResponse "
+        "(sanctioned deprecation shims suppress this on the def line).")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        parts = module.path.replace("\\", "/").split("/")
+        if "src" not in parts:
+            return
+        if parts[-1] in _API_MODULE_FILES:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not node.name.startswith("recommend"):
+                continue
+            if (self._pair_annotation(node.returns)
+                    or self._returns_pair_literal(node)):
+                yield self.finding(
+                    module, node,
+                    f"'{node.name}' returns bare (node, score) tuples; new "
+                    "recommendation entry points must return a "
+                    "repro.api.RecommendationResponse (wrap via "
+                    "response_from_pairs)")
+
+    @staticmethod
+    def _pair_annotation(annotation: Optional[ast.expr]) -> bool:
+        return bool(
+            _TUPLE_PAIR_ANNOTATION_RE.search(_annotation_text(annotation)))
+
+    @staticmethod
+    def _returns_pair_literal(func: ast.FunctionDef) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            if isinstance(value, ast.Tuple) and len(value.elts) == 2:
+                return True
+            if isinstance(value, ast.List) and any(
+                    isinstance(el, ast.Tuple) for el in value.elts):
+                return True
+            if (isinstance(value, ast.ListComp)
+                    and isinstance(value.elt, ast.Tuple)):
+                return True
+        return False
 
 
 def all_rules() -> List[Rule]:

@@ -24,8 +24,10 @@ corner in comparative experiments.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
+from ..api import (RecommendationRequest, RecommendationResponse,
+                   response_from_pairs, warn_legacy)
 from ..errors import ConfigurationError, NodeNotFoundError
 from ..graph.snapshot import GraphLike, as_snapshot
 
@@ -63,17 +65,18 @@ class SalsaRecommender:
         self.salsa_iterations = salsa_iterations
         self.allow_stale = allow_stale
 
-    def _resolve(self):
-        return as_snapshot(self.graph, self.allow_stale)
+    def _resolve(self, allow_stale: Optional[bool] = None):
+        return as_snapshot(self.graph, bool(allow_stale) or self.allow_stale)
 
     # ------------------------------------------------------------------
-    def circle_of_trust(self, user: int) -> List[int]:
+    def circle_of_trust(self, user: int, *,
+                        allow_stale: Optional[bool] = None) -> List[int]:
         """Top-k accounts by egocentric (restarting) random walk.
 
         The walk follows out-edges (who the user reads); the user is
         included implicitly as a hub but never recommended.
         """
-        view = self._resolve()
+        view = self._resolve(allow_stale)
         if user not in view:
             raise NodeNotFoundError(user)
         mass: Dict[int, float] = {user: 1.0}
@@ -98,15 +101,46 @@ class SalsaRecommender:
         return [user] + circle
 
     # ------------------------------------------------------------------
-    def recommend(self, user: int, top_n: int = 10,
+    def recommend(self, user: int, topic: Union[str, int, None] = None,  # repro: ignore[R9] -- sanctioned deprecation shim for the pre-repro.api tuple shape
+                  top_n: int = 10, *, allow_stale: bool = False,
                   exclude_followed: bool = True,
                   candidates: Optional[List[int]] = None,
-                  ) -> List[Tuple[int, float]]:
-        """Top-n authorities of the user's egocentric SALSA."""
-        scores = self.scores(user)
+                  ) -> Union[RecommendationResponse, List[Tuple[int, float]]]:
+        """Top-n authorities of the user's egocentric SALSA.
+
+        Implements the :class:`repro.api.Recommender` protocol. SALSA is
+        purely structural, so *topic* is accepted for interface
+        uniformity and ignored; it is still recorded on the request.
+
+        Legacy call shapes — no topic at all, or the pre-redesign
+        positional ``top_n`` in the topic slot — keep returning the old
+        ``(node, score)`` tuple list but emit a ``DeprecationWarning``.
+        """
+        if topic is None or isinstance(topic, int):
+            warn_legacy("SalsaRecommender.recommend without a topic",
+                        "SalsaRecommender.recommend(user, topic, ...)")
+            legacy_top_n = topic if isinstance(topic, int) else top_n
+            return self._ranked_pairs(
+                user, legacy_top_n, allow_stale=allow_stale,
+                exclude_followed=exclude_followed, candidates=candidates)
+        ranked = self._ranked_pairs(
+            user, top_n, allow_stale=allow_stale,
+            exclude_followed=exclude_followed, candidates=candidates)
+        request = RecommendationRequest(
+            user=user, topic=topic, top_n=top_n, allow_stale=allow_stale)
+        return response_from_pairs(
+            request, ranked, engine="salsa",
+            snapshot_epoch=self._resolve(allow_stale).epoch)
+
+    def _ranked_pairs(self, user: int, top_n: int, *,
+                      allow_stale: bool = False,
+                      exclude_followed: bool = True,
+                      candidates: Optional[List[int]] = None,
+                      ) -> List[Tuple[int, float]]:
+        scores = self.scores(user, allow_stale=allow_stale)
         excluded: Set[int] = {user}
         if exclude_followed:
-            excluded.update(self._resolve().out_neighbors(user))
+            excluded.update(self._resolve(allow_stale).out_neighbors(user))
         pool = set(candidates) if candidates is not None else None
         ranked = [
             (node, value) for node, value in scores.items()
@@ -115,11 +149,12 @@ class SalsaRecommender:
         ranked.sort(key=lambda kv: (-kv[1], kv[0]))
         return ranked[:top_n]
 
-    def scores(self, user: int) -> Dict[int, float]:
+    def scores(self, user: int, *,
+               allow_stale: Optional[bool] = None) -> Dict[int, float]:
         """Authority-side SALSA scores over the egocentric bipartite
         graph (hubs = circle of trust, authorities = their followees)."""
-        view = self._resolve()
-        hubs = self.circle_of_trust(user)
+        view = self._resolve(allow_stale)
+        hubs = self.circle_of_trust(user, allow_stale=allow_stale)
         hub_set = set(hubs)
         # bipartite edges: hub -> followee
         edges: List[Tuple[int, int]] = []

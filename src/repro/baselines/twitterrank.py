@@ -25,6 +25,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from ..api import (RecommendationRequest, RecommendationResponse,
+                   response_from_pairs, warn_legacy)
 from ..errors import ConfigurationError
 from ..graph.snapshot import GraphLike, as_snapshot
 
@@ -140,9 +142,16 @@ class TwitterRank:
             return {node: 1.0 / n for node in raw}
         return {node: value / total for node, value in raw.items()}
 
-    def rank(self, topic: str) -> Dict[int, float]:
-        """The stationary TwitterRank vector ``TR_t`` for *topic*."""
-        self._view.ensure_fresh(self.allow_stale)
+    def rank(self, topic: str,
+             allow_stale: Optional[bool] = None) -> Dict[int, float]:
+        """The stationary TwitterRank vector ``TR_t`` for *topic*.
+
+        Args:
+            topic: The topic to rank on.
+            allow_stale: Per-call staleness override (``None`` defers
+                to the constructor flag).
+        """
+        self._view.ensure_fresh(bool(allow_stale) or self.allow_stale)
         cached = self._rank_cache.get(topic)
         if cached is not None:
             return cached
@@ -206,21 +215,42 @@ class TwitterRank:
                 combined[node] = combined.get(node, 0.0) + weight * value
         return combined
 
-    def recommend(self, user: int, topic: str, top_n: int = 10,
+    def recommend(self, user: int, topic: str, top_n: int = 10, *,
+                  allow_stale: bool = False,
                   exclude_followed: bool = True,
                   candidates: Optional[Iterable[int]] = None,
-                  ) -> List[Tuple[int, float]]:
-        """Top-n accounts by ``TR_t``, excluding the user's followees."""
+                  ) -> RecommendationResponse:
+        """Top-n accounts by ``TR_t``, excluding the user's followees.
+
+        Implements the :class:`repro.api.Recommender` protocol; the old
+        tuple-list shape survives on :meth:`recommend_pairs` (deprecated).
+        """
         excluded = {user}
         if exclude_followed:
             excluded.update(self._view.out_neighbors(user))
         pool = set(candidates) if candidates is not None else None
         ranking = [
-            (node, value) for node, value in self.rank(topic).items()
+            (node, value)
+            for node, value in self.rank(topic, allow_stale=allow_stale).items()
             if node not in excluded and (pool is None or node in pool)
         ]
         ranking.sort(key=lambda kv: (-kv[1], kv[0]))
-        return ranking[:top_n]
+        request = RecommendationRequest(
+            user=user, topic=topic, top_n=top_n, allow_stale=allow_stale)
+        return response_from_pairs(
+            request, ranking[:top_n], engine="twitterrank",
+            snapshot_epoch=self._view.epoch)
+
+    def recommend_pairs(self, user: int, topic: str, top_n: int = 10,  # repro: ignore[R9] -- sanctioned deprecation shim for the pre-repro.api tuple shape
+                        exclude_followed: bool = True,
+                        candidates: Optional[Iterable[int]] = None,
+                        ) -> List[Tuple[int, float]]:
+        """Deprecated tuple-returning shim for the pre-``repro.api`` shape."""
+        warn_legacy("TwitterRank.recommend_pairs", "TwitterRank.recommend")
+        response = self.recommend(user, topic, top_n=top_n,
+                                  exclude_followed=exclude_followed,
+                                  candidates=candidates)
+        return response.pairs()
 
     def invalidate(self) -> None:
         """Re-pin the snapshot and drop cached rankings after a mutation."""

@@ -8,6 +8,7 @@ Subcommands::
     repro evaluate graph.jsonl --methods Tr,Katz,TwitterRank
     repro landmarks graph.jsonl --strategy In-Deg --count 50 --out index.rplm
     repro partition graph.jsonl --parts 4 --strategy greedy
+    repro shard graph.jsonl --user 42 --topic technology --shards 4
     repro churn graph.jsonl --events 500 --seed 3 --out churned.jsonl
 """
 
@@ -155,6 +156,31 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from .distributed.sharded import ShardedPlatform
+
+    graph = read_jsonl(args.graph)
+    similarity = _similarity_for(args.taxonomy)
+    landmarks = select_landmarks(graph, args.strategy, args.count,
+                                 rng=args.seed)
+    topics = sorted(graph.topics())
+    index = LandmarkIndex.build(
+        graph, landmarks, topics, similarity,
+        landmark_params=LandmarkParams(num_landmarks=args.count,
+                                       top_n=args.top))
+    platform = ShardedPlatform.build(graph, similarity, index, args.shards)
+    response = platform.recommend(args.user, args.topic, top_n=args.top_n)
+    home = platform.router.shard_of(args.user)
+    print(f"shards={platform.num_shards} epoch={platform.epoch} "
+          f"home_shard={home} degraded={response.degraded}")
+    if not len(response):
+        print("no recommendation found")
+        return 1
+    for position, item in enumerate(response, start=1):
+        print(f"{position:3d}. account {item.node:8d} score={item.score:.6g}")
+    return 0
+
+
 def _cmd_churn(args: argparse.Namespace) -> int:
     from .dynamics import GraphStream, simulate_churn
 
@@ -240,6 +266,24 @@ def build_parser() -> argparse.ArgumentParser:
                            default="greedy")
     partition.add_argument("--seed", type=int, default=0)
     partition.set_defaults(handler=_cmd_partition)
+
+    shard = sub.add_parser(
+        "shard", help="serve one recommendation through the sharded tier")
+    shard.add_argument("graph")
+    shard.add_argument("--user", type=int, required=True)
+    shard.add_argument("--topic", required=True)
+    shard.add_argument("--shards", type=int, default=4)
+    shard.add_argument("--top-n", type=int, default=10)
+    shard.add_argument("--strategy", default="In-Deg",
+                       help="landmark selection strategy")
+    shard.add_argument("--count", type=int, default=20,
+                       help="number of landmarks")
+    shard.add_argument("--top", type=int, default=100,
+                       help="entries kept per landmark list")
+    shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument("--taxonomy", choices=("web", "dblp"),
+                       default="web")
+    shard.set_defaults(handler=_cmd_shard)
 
     churn = sub.add_parser("churn",
                            help="apply follow/unfollow churn to a graph")

@@ -157,15 +157,18 @@ class SparseEngine:
 
     def single_source(self, source: int, topics: Sequence[str],
                       max_depth: Optional[int] = None,
-                      absorbing: Optional[frozenset] = None) -> ScoreState:
+                      absorbing: Optional[frozenset] = None,
+                      allow_stale: Optional[bool] = None) -> ScoreState:
         """Vectorised equivalent of
         :func:`repro.core.exact.single_source_scores`."""
         return self.multi_source([source], topics, max_depth=max_depth,
-                                 absorbing=absorbing)[0]
+                                 absorbing=absorbing,
+                                 allow_stale=allow_stale)[0]
 
     def multi_source(self, sources: Sequence[int], topics: Sequence[str],
                      max_depth: Optional[int] = None,
                      absorbing: Optional[frozenset] = None,
+                     allow_stale: Optional[bool] = None,
                      ) -> List[ScoreState]:
         """Propagate a block of B sources simultaneously.
 
@@ -191,6 +194,8 @@ class SparseEngine:
             absorbing: Nodes whose mass is not propagated further —
                 each column's own source always propagates, matching
                 the reference engine.
+            allow_stale: Per-call staleness override; ``None`` keeps
+                the engine's construction-time setting.
 
         Returns:
             One :class:`ScoreState` per source, in input order.
@@ -201,7 +206,8 @@ class SparseEngine:
                 least one column has not converged within
                 ``params.max_iter`` rounds.
         """
-        self.snapshot.ensure_fresh(self.allow_stale)
+        self.snapshot.ensure_fresh(
+            self.allow_stale if allow_stale is None else allow_stale)
         positions: List[int] = []
         for source in sources:
             position = self._position.get(source)

@@ -1,9 +1,16 @@
-"""Public recommendation API.
+"""The exact Tr recommender.
 
 :class:`Recommender` wraps the exact propagation engine behind the
 interface the paper describes in Section 3.2: given a user and a query
 ``Q = {t1, ..., tn}`` (optionally weighted), return the top-n accounts
 by the weighted linear combination of per-topic Tr scores.
+
+:meth:`Recommender.recommend` implements the unified
+:class:`repro.api.Recommender` protocol and returns a
+:class:`repro.api.RecommendationResponse`; the full-featured ranking
+call (multi-topic queries, candidate pools, metasearch aggregation
+rules) lives on :meth:`Recommender.rank`, which returns the plain
+ranked list of :class:`repro.api.Recommendation` items.
 
 The two ablated variants evaluated in Figure 4 are exposed as
 constructor flags:
@@ -16,9 +23,10 @@ constructor flags:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..api import (Recommendation, RecommendationRequest,
+                   RecommendationResponse, warn_legacy)
 from ..config import ScoreParams, normalize_weights
 from ..errors import ConfigurationError
 from ..graph.labeled_graph import LabeledSocialGraph
@@ -62,21 +70,6 @@ class _UnitSimilarity:
         for _ in topics:
             return 1.0
         return 0.0
-
-
-@dataclass(frozen=True)
-class Recommendation:
-    """One recommended account.
-
-    Attributes:
-        node: The recommended account id.
-        score: Weighted combined score over the query topics.
-        per_topic: Breakdown ``topic → σ(u, node, topic)``.
-    """
-
-    node: int
-    score: float
-    per_topic: Dict[str, float] = field(default_factory=dict)
 
 
 class Recommender:
@@ -160,16 +153,19 @@ class Recommender:
 
     # ------------------------------------------------------------------
     def state_for(self, user: int, topics: Sequence[str],
-                  max_depth: Optional[int] = None) -> ScoreState:
+                  max_depth: Optional[int] = None,
+                  allow_stale: Optional[bool] = None) -> ScoreState:
         """Raw propagation state — building block for evaluation code."""
+        effective = bool(allow_stale) or self.allow_stale
         if self._sparse_engine is not None:
             return self._sparse_engine.single_source(
-                user, list(topics), max_depth=max_depth)
+                user, list(topics), max_depth=max_depth,
+                allow_stale=effective)
         return single_source_scores(
             self._snapshot, user, list(topics), self._similarity,
             authority=self._authority, params=self.params,
             max_depth=max_depth, sim_cache=self._sim_cache,
-            allow_stale=self.allow_stale)
+            allow_stale=effective)
 
     def score(self, user: int, candidate: int, topic: str,
               max_depth: Optional[int] = None) -> float:
@@ -186,8 +182,80 @@ class Recommender:
         exclude_followed: bool = True,
         candidates: Optional[Iterable[int]] = None,
         aggregation: str = "weighted",
-    ) -> list[Recommendation]:
+        *,
+        allow_stale: bool = False,
+    ) -> RecommendationResponse:
         """Top-n accounts for *user* on *query* (Section 3.2).
+
+        This is the :class:`repro.api.Recommender` protocol entry point
+        and returns a :class:`~repro.api.RecommendationResponse`. The
+        full-featured ranking surface (multi-topic queries, candidate
+        pools, metasearch aggregation) lives on :meth:`rank`; calling
+        ``recommend`` with those legacy shapes still works but emits a
+        :class:`DeprecationWarning` pointing at ``rank``.
+
+        Args:
+            user: The account to recommend to.
+            query: The query topic. (Legacy: a sequence of topics or a
+                topic → weight mapping is still accepted — use
+                :meth:`rank` for multi-topic queries instead.)
+            top_n: Number of recommendations.
+            max_depth: Walk-length cap (``None`` = run to convergence).
+            exclude_followed: Drop the user and accounts already
+                followed — a recommender should not suggest existing
+                followees.
+            candidates: Legacy candidate-pool restriction — use
+                :meth:`rank` instead.
+            aggregation: Legacy aggregation-rule selector — use
+                :meth:`rank` instead.
+            allow_stale: Serve from the pinned snapshot even if the
+                graph has since mutated, instead of raising
+                :class:`~repro.errors.StaleSnapshotError`.
+
+        Raises:
+            NodeNotFoundError: if *user* is not in the graph.
+            UnknownTopicError: if a query topic is not in the matrix.
+            ConfigurationError: on an unknown aggregation rule.
+        """
+        if not isinstance(query, str):
+            warn_legacy("Recommender.recommend with a multi-topic query",
+                        "Recommender.rank")
+        if candidates is not None:
+            warn_legacy("Recommender.recommend(candidates=...)",
+                        "Recommender.rank")
+        if aggregation != "weighted":
+            warn_legacy("Recommender.recommend(aggregation=...)",
+                        "Recommender.rank")
+        ranked = self.rank(
+            user, query, top_n=top_n, max_depth=max_depth,
+            exclude_followed=exclude_followed, candidates=candidates,
+            aggregation=aggregation, allow_stale=allow_stale)
+        topic = (query if isinstance(query, str)
+                 else "+".join(sorted(self._query_weights(query))))
+        request = RecommendationRequest(
+            user=user, topic=topic, top_n=top_n, allow_stale=allow_stale,
+            depth=max_depth)
+        return RecommendationResponse(
+            request=request,
+            recommendations=tuple(ranked),
+            engine="exact",
+            snapshot_epoch=self._snapshot.epoch,
+        )
+
+    def rank(
+        self,
+        user: int,
+        query: Query,
+        top_n: int = 10,
+        max_depth: Optional[int] = None,
+        exclude_followed: bool = True,
+        candidates: Optional[Iterable[int]] = None,
+        aggregation: str = "weighted",
+        allow_stale: Optional[bool] = None,
+    ) -> List[Recommendation]:
+        """Ranked :class:`~repro.api.Recommendation` list for *user*.
+
+        The full-featured ranking surface behind :meth:`recommend`:
 
         Args:
             user: The account to recommend to.
@@ -205,6 +273,8 @@ class Recommender:
                 query weights), or one of the metasearch rules from
                 :mod:`repro.core.aggregation`: ``"combsum"``,
                 ``"combmnz"``, ``"borda"``, ``"rrf"``.
+            allow_stale: Per-call staleness override (``None`` defers
+                to the constructor flag).
 
         Raises:
             NodeNotFoundError: if *user* is not in the graph.
@@ -212,7 +282,8 @@ class Recommender:
             ConfigurationError: on an unknown aggregation rule.
         """
         weights = self._query_weights(query)
-        state = self.state_for(user, list(weights), max_depth=max_depth)
+        state = self.state_for(user, list(weights), max_depth=max_depth,
+                               allow_stale=allow_stale)
         excluded = {user}
         if exclude_followed:
             excluded.update(self._snapshot.out_neighbors(user))

@@ -13,7 +13,11 @@ transfer costs." This subpackage implements that simulation:
   (:mod:`cluster`);
 - a distributed landmark service where remote landmark lookups cost
   transfer units, so landmark placement strategies can be compared
-  (:mod:`recommend`).
+  (:mod:`recommend`);
+- a sharded serving tier on contiguous range partitions — integer-
+  division routing, scatter-gather execution, simulated failures and
+  deadlines, results bitwise-identical to the single-machine
+  recommender (:mod:`sharded`).
 """
 
 from .partition import (
@@ -28,6 +32,14 @@ from .partition import (
 )
 from .cluster import MessageStats, distributed_single_source_scores
 from .recommend import DistributedLandmarkService, QueryCost
+from .sharded import (
+    ShardChannel,
+    ShardedPlatform,
+    ShardRouter,
+    ShardSpec,
+    ShardWorker,
+    shard_bounds,
+)
 
 __all__ = [
     "hash_partition",
@@ -42,4 +54,10 @@ __all__ = [
     "MessageStats",
     "DistributedLandmarkService",
     "QueryCost",
+    "shard_bounds",
+    "ShardSpec",
+    "ShardRouter",
+    "ShardChannel",
+    "ShardWorker",
+    "ShardedPlatform",
 ]

@@ -58,6 +58,15 @@ def range_partition(graph: GraphLike, num_parts: int) -> Assignment:
     alone. This is the sharding scheme the roadmap earmarks for a
     distributed serving tier: each shard owns one contiguous slice of
     every snapshot array.
+
+    Edge case: when ``num_parts > num_nodes``, exactly
+    ``num_parts − num_nodes`` partitions receive *no* nodes (they are
+    spread through the range, not necessarily trailing). The assignment
+    is still valid (every node lands on a non-empty shard, and the
+    division above never routes a real position to an empty one), but
+    serving tiers must not treat empty shards as routable —
+    :class:`~repro.distributed.sharded.ShardRouter` raises
+    :class:`~repro.errors.ConfigurationError` if asked to route to one.
     """
     view = as_snapshot(graph, allow_stale=True)
     _check_parts(view, num_parts)

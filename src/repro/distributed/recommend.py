@@ -13,9 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..api import (RecommendationRequest, RecommendationResponse,
+                   response_from_pairs, warn_legacy)
 from ..config import LandmarkParams, ScoreParams
 from ..core.scores import AuthorityIndex
 from ..graph.labeled_graph import LabeledSocialGraph
+from ..graph.snapshot import GraphLike, as_snapshot
 from ..landmarks.index import LandmarkIndex
 from ..semantics.matrix import SimilarityMatrix
 from .cluster import MessageStats, distributed_single_source_scores
@@ -56,7 +59,7 @@ class DistributedLandmarkService:
 
     def __init__(
         self,
-        graph: LabeledSocialGraph,
+        graph: GraphLike,
         assignment: Assignment,
         similarity: SimilarityMatrix,
         index: LandmarkIndex,
@@ -86,6 +89,18 @@ class DistributedLandmarkService:
     def query(self, user: int, topic: str,
               depth: Optional[int] = None,
               ) -> Tuple[Dict[int, float], QueryCost]:
+        """Deprecated: use :meth:`recommend` (or :meth:`scores_with_cost`).
+
+        Returns the old ``(scores, cost)`` tuple for pre-``repro.api``
+        call sites.
+        """
+        warn_legacy("DistributedLandmarkService.query",
+                    "DistributedLandmarkService.recommend")
+        return self.scores_with_cost(user, topic, depth=depth)
+
+    def scores_with_cost(self, user: int, topic: str,
+                         depth: Optional[int] = None,
+                         ) -> Tuple[Dict[int, float], QueryCost]:
         """Approximate scores plus the network cost of obtaining them.
 
         An explicit ``depth=0`` runs zero exploration rounds
@@ -133,13 +148,25 @@ class DistributedLandmarkService:
         )
         return combined, cost
 
-    def recommend(self, user: int, topic: str, top_n: int = 10,
-                  depth: Optional[int] = None,
-                  ) -> Tuple[List[Tuple[int, float]], QueryCost]:
-        """Top-n recommendations plus their network cost."""
-        scores, cost = self.query(user, topic, depth=depth)
-        excluded = {user} | set(self.graph.out_neighbors(user))
+    def recommend(self, user: int, topic: str, top_n: int = 10, *,
+                  allow_stale: bool = False,
+                  depth: Optional[int] = None) -> RecommendationResponse:
+        """Top-n recommendations with network cost on ``response.cost``.
+
+        Implements the :class:`repro.api.Recommender` protocol; the old
+        ``(ranking, cost)`` tuple shape survives on the deprecated
+        :meth:`query` shim (which returns raw scores) — migrated call
+        sites read ``response.pairs()`` and ``response.cost``.
+        """
+        view = as_snapshot(self.graph, allow_stale)
+        scores, cost = self.scores_with_cost(user, topic, depth=depth)
+        excluded = {user} | set(view.out_neighbors(user))
         ranked = [(node, value) for node, value in scores.items()
                   if node not in excluded and value > 0.0]
         ranked.sort(key=lambda kv: (-kv[1], kv[0]))
-        return ranked[:top_n], cost
+        request = RecommendationRequest(
+            user=user, topic=topic, top_n=top_n, allow_stale=allow_stale,
+            depth=depth)
+        return response_from_pairs(
+            request, ranked[:top_n], engine="distributed",
+            snapshot_epoch=view.epoch, cost=cost)

@@ -1,0 +1,733 @@
+"""Sharded serving tier over contiguous range partitions.
+
+The paper's future-work paragraph says scaling ``Tr`` means splitting
+the graph and keeping recommendation traffic local. This module is that
+serving tier, built on the pieces earlier PRs laid down:
+
+- the frozen :class:`~repro.graph.snapshot.GraphSnapshot` pins one
+  epoch of CSR arrays that every shard slices;
+- :func:`~repro.distributed.partition.range_partition` defines the
+  shard scheme — node at dense position ``i`` of ``n`` lives on shard
+  ``min(i * P // n, P − 1)``, so :class:`ShardRouter` resolves any
+  account with **one integer division and no lookup table**;
+- :func:`~repro.distributed.cluster.distributed_single_source_scores`
+  runs the Pregel-style depth-k exploration (bit-identical to the
+  single-machine engine) with cross-shard message accounting;
+- landmark inverted lists are *homed*: each
+  :class:`ShardWorker` owns the lists of the landmarks in its range,
+  and remote lists travel through an accounted, deadline-checked,
+  retry-bounded :class:`ShardChannel`.
+
+Query execution is scatter-gather (:class:`ShardedPlatform.serve`):
+route the request to its home shard, explore the k-vicinity locally,
+fetch the lists of encountered remote landmarks over the channel,
+compose Proposition 4 exactly as the single-machine
+:class:`~repro.landmarks.ApproximateRecommender`, and merge per-shard
+top-n partial rankings with :class:`~repro.utils.topk.TopK`. With all
+shards healthy the ranking is **bitwise-identical** to the
+single-machine recommender (parity-tested for 1, 2, and 7 shards):
+each shard's local top-n provably contains every one of its members of
+the global top-n, so the merged top-n equals the global top-n.
+
+Failure semantics (all simulated and deterministic — the channel uses
+a seeded RNG and a virtual millisecond clock, never the wall clock):
+
+- home shard down → :class:`~repro.errors.ShardDownError` (there is
+  nothing to degrade to);
+- remote shard down, or unreachable after the retry budget, or the
+  request's simulated deadline exhausted mid-gather → the response
+  degrades to what the healthy shards can answer and is flagged
+  ``degraded=True`` (exploration treats the lost shard's nodes as
+  absorbing, its homed landmark lists are skipped, and its candidates
+  drop out of the merge);
+- epoch mismatch — the pinned snapshot lagging its live graph, or any
+  worker pinned to a different epoch than the router — raises
+  :class:`~repro.errors.StaleSnapshotError` unless the request sets
+  ``allow_stale=True``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import (Dict, Iterator, List, Mapping, Optional, Sequence,
+                    Set, Tuple)
+
+from ..api import (RecommendationRequest, RecommendationResponse,
+                   response_from_pairs)
+from ..config import LandmarkParams, ScoreParams
+from ..core.scores import AuthorityIndex
+from ..errors import (ChannelError, ConfigurationError, DeadlineExceededError,
+                      ShardDownError, StaleSnapshotError)
+from ..graph.labeled_graph import TopicSet
+from ..graph.snapshot import GraphLike, GraphSnapshot, as_snapshot
+from ..landmarks.index import LandmarkEntry, LandmarkIndex
+from ..obs import runtime as _obs
+from ..semantics.matrix import SimilarityMatrix
+from ..utils.topk import TopK
+from .cluster import distributed_single_source_scores
+from .recommend import QueryCost
+
+__all__ = [
+    "ShardSpec",
+    "shard_bounds",
+    "ShardRouter",
+    "ShardChannel",
+    "ShardWorker",
+    "ShardedPlatform",
+]
+
+
+# ----------------------------------------------------------------------
+# Router
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's contiguous slice of the dense node index.
+
+    Attributes:
+        shard_id: Shard number in ``0..num_shards-1``.
+        lo: First owned dense position (inclusive).
+        hi: One past the last owned dense position (exclusive).
+    """
+
+    shard_id: int
+    lo: int
+    hi: int
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of accounts this shard owns."""
+        return self.hi - self.lo
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the shard owns no nodes (``num_shards > num_nodes``)."""
+        return self.hi <= self.lo
+
+
+def shard_bounds(num_nodes: int, num_shards: int) -> List[ShardSpec]:
+    """Contiguous position ranges matching :func:`range_partition`.
+
+    Shard ``s`` owns positions ``[⌈s·n/P⌉, ⌈(s+1)·n/P⌉)`` — exactly the
+    preimage of ``i ↦ min(i·P // n, P−1)``, so a worker built from
+    these bounds agrees with the router's division on every node. When
+    ``num_shards > num_nodes``, ``num_shards − num_nodes`` of the
+    shards are empty (see the :func:`range_partition` docstring); they
+    are constructed but not routable.
+    """
+    if num_shards < 1:
+        raise ConfigurationError(
+            f"num_shards must be >= 1, got {num_shards}")
+    if num_nodes < 1:
+        raise ConfigurationError("cannot shard an empty graph")
+    return [
+        ShardSpec(
+            shard_id=shard,
+            lo=(shard * num_nodes + num_shards - 1) // num_shards,
+            hi=((shard + 1) * num_nodes + num_shards - 1) // num_shards,
+        )
+        for shard in range(num_shards)
+    ]
+
+
+class ShardRouter:
+    """Resolve accounts to shards with one integer division.
+
+    The snapshot's dense index is the routing function: account →
+    position (one dict lookup the snapshot already maintains) →
+    ``min(position * num_shards // num_nodes, num_shards − 1)``. No
+    routing table exists anywhere in the tier.
+    """
+
+    def __init__(self, snapshot: GraphSnapshot, num_shards: int) -> None:
+        self.specs = shard_bounds(snapshot.num_nodes, num_shards)
+        self.num_shards = num_shards
+        self.num_nodes = snapshot.num_nodes
+        self._snapshot = snapshot
+
+    def shard_of(self, node: int) -> int:
+        """Home shard of *node* (raises ``NodeNotFoundError`` on unknown)."""
+        position = self._snapshot.index_of(node)
+        return min(position * self.num_shards // self.num_nodes,
+                   self.num_shards - 1)
+
+    def route(self, shard_id: int) -> ShardSpec:
+        """The spec of *shard_id*, refusing unroutable shards.
+
+        Raises:
+            ConfigurationError: *shard_id* is out of range, or the
+                shard is empty (``num_shards > num_nodes`` leaves some
+                shards with no nodes — no request can ever
+                legitimately land there).
+        """
+        if not 0 <= shard_id < self.num_shards:
+            raise ConfigurationError(
+                f"shard {shard_id} does not exist "
+                f"(num_shards={self.num_shards})")
+        spec = self.specs[shard_id]
+        if spec.is_empty:
+            raise ConfigurationError(
+                f"shard {shard_id} is empty: num_shards={self.num_shards} "
+                f"exceeds num_nodes={self.num_nodes}, so trailing shards "
+                f"own no nodes and are not routable")
+        return spec
+
+    def assignment(self) -> Mapping[int, int]:
+        """Node → shard mapping computed on demand — still no table."""
+        return _RouterAssignment(self)
+
+
+class _RouterAssignment(Mapping[int, int]):
+    """Lazy ``Assignment`` view over the router's division.
+
+    The propagation engine wants a ``node → partition`` mapping; this
+    satisfies the ``Mapping`` contract by *computing* each lookup from
+    the dense position, preserving the tier's no-lookup-table property.
+    """
+
+    def __init__(self, router: ShardRouter) -> None:
+        self._router = router
+
+    def __getitem__(self, node: int) -> int:
+        return self._router.shard_of(node)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._router._snapshot.position
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._router._snapshot.node_ids)
+
+    def __len__(self) -> int:
+        return self._router.num_nodes
+
+
+# ----------------------------------------------------------------------
+# Simulated channel + per-request clock
+# ----------------------------------------------------------------------
+
+class _RequestClock:
+    """Virtual per-request millisecond clock.
+
+    All latency in this tier is *simulated* (charged per channel hop),
+    so runs are deterministic and the obs layer's no-wall-clock rule
+    (R7) holds. ``charge`` raises once the request's deadline budget is
+    exhausted.
+    """
+
+    def __init__(self, deadline_ms: Optional[float]) -> None:
+        self.deadline_ms = deadline_ms
+        self.elapsed_ms = 0.0
+
+    def charge(self, ms: float) -> None:
+        self.elapsed_ms += ms
+        if self.deadline_ms is not None and self.elapsed_ms > self.deadline_ms:
+            raise DeadlineExceededError(self.deadline_ms, self.elapsed_ms)
+
+
+class ShardChannel:
+    """Simulated cross-shard link with injectable flakiness.
+
+    Every fetch charges ``latency_ms`` of virtual time to the request
+    clock and fails with probability ``failure_rate`` (seeded RNG, so a
+    given request sequence is reproducible). The platform retries
+    failed fetches up to its retry budget.
+    """
+
+    def __init__(self, latency_ms: float = 1.0, failure_rate: float = 0.0,
+                 seed: int = 0) -> None:
+        if latency_ms < 0.0:
+            raise ConfigurationError(
+                f"latency_ms must be >= 0, got {latency_ms}")
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ConfigurationError(
+                f"failure_rate must be in [0, 1], got {failure_rate}")
+        self.latency_ms = latency_ms
+        self.failure_rate = failure_rate
+        self.fetches_total = 0
+        self.failures_total = 0
+        self._rng = random.Random(seed)
+
+    def fetch(self, worker: "ShardWorker", landmark: int, topic: str,
+              clock: _RequestClock, attempt: int) -> List[LandmarkEntry]:
+        """One fetch attempt of a landmark's inverted list.
+
+        Raises:
+            DeadlineExceededError: the request budget ran out.
+            ShardDownError: the target worker is marked down.
+            ChannelError: the simulated link dropped this attempt.
+        """
+        clock.charge(self.latency_ms)
+        self.fetches_total += 1
+        if worker.down:
+            raise ShardDownError(worker.spec.shard_id)
+        if self.failure_rate and self._rng.random() < self.failure_rate:
+            self.failures_total += 1
+            raise ChannelError(worker.spec.shard_id, attempt)
+        return worker.landmark_entries(landmark, topic)
+
+
+# ----------------------------------------------------------------------
+# Worker
+# ----------------------------------------------------------------------
+
+class ShardWorker:
+    """One shard: a contiguous slice of the snapshot plus homed lists.
+
+    The worker owns rebased copies of its CSR rows (``out_indptr``
+    starts at 0, ``out_indices`` still hold global dense positions —
+    edges may point anywhere), its own :class:`AuthorityIndex`
+    instance, and the inverted lists of every landmark whose home
+    position falls in its range. Adjacency reads for non-owned nodes
+    are refused — cross-shard data moves only through the platform's
+    channel.
+    """
+
+    def __init__(self, snapshot: GraphSnapshot, spec: ShardSpec,
+                 index: LandmarkIndex, router: ShardRouter,
+                 authority: Optional[AuthorityIndex] = None) -> None:
+        self.spec = spec
+        self.epoch = snapshot.epoch
+        self._snapshot = snapshot
+        lo, hi = spec.lo, spec.hi
+        self.node_ids: Tuple[int, ...] = snapshot.node_ids[lo:hi]
+        edge_lo = int(snapshot.out_indptr[lo])
+        edge_hi = int(snapshot.out_indptr[hi])
+        #: This shard's CSR rows, rebased so row ``i`` is local node ``i``.
+        self.out_indptr = snapshot.out_indptr[lo:hi + 1] - edge_lo
+        self.out_indices = snapshot.out_indices[edge_lo:edge_hi]
+        self.out_label_ids = snapshot.out_label_ids[edge_lo:edge_hi]
+        #: Per-shard authority cache (scores are snapshot-global, the
+        #: memo is shard-private).
+        self.authority = (authority if authority is not None
+                          else AuthorityIndex(snapshot))
+        #: Landmarks homed here, with their inverted lists.
+        self.landmarks: Tuple[int, ...] = tuple(
+            landmark for landmark in sorted(index.landmarks)
+            if router.shard_of(landmark) == spec.shard_id)
+        self._lists: Dict[int, Dict[str, List[LandmarkEntry]]] = {
+            landmark: {
+                topic: list(index.recommendations(landmark, topic))
+                for topic in index.topics_of(landmark)
+            }
+            for landmark in self.landmarks
+        }
+        self.down = False
+        self.requests_total = 0
+        self.queue_depth = 0
+        self._row_cache: Dict[int, Dict[int, TopicSet]] = {}
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of accounts this worker owns."""
+        return len(self.node_ids)
+
+    def owns(self, node: int) -> bool:
+        """Whether *node*'s home position falls in this shard's range."""
+        position = self._snapshot.position.get(node)
+        return (position is not None
+                and self.spec.lo <= position < self.spec.hi)
+
+    def out_neighbors(self, node: int) -> Mapping[int, TopicSet]:
+        """Adjacency of an *owned* node, read from the shard's own rows.
+
+        Identical content to the full snapshot's row (same ids, same
+        interned labels), which is what makes shard-side exploration
+        bit-exact. Raises :class:`ConfigurationError` for non-owned
+        nodes — the worker has no rows for them.
+        """
+        cached = self._row_cache.get(node)
+        if cached is not None:
+            return cached
+        position = self._snapshot.index_of(node)
+        if not self.spec.lo <= position < self.spec.hi:
+            raise ConfigurationError(
+                f"shard {self.spec.shard_id} does not own node {node} "
+                f"(position {position} outside [{self.spec.lo}, "
+                f"{self.spec.hi}))")
+        local = position - self.spec.lo
+        start = int(self.out_indptr[local])
+        stop = int(self.out_indptr[local + 1])
+        node_ids = self._snapshot.node_ids
+        labels = self._snapshot.labels
+        row = {
+            node_ids[j]: labels[l]
+            for j, l in zip(self.out_indices[start:stop].tolist(),
+                            self.out_label_ids[start:stop].tolist())
+        }
+        self._row_cache[node] = row
+        return row
+
+    def landmark_entries(self, landmark: int,
+                         topic: str) -> List[LandmarkEntry]:
+        """Inverted list of a landmark homed on this shard.
+
+        Raises :class:`ConfigurationError` when asked for a landmark
+        homed elsewhere — list reads never silently cross shards.
+        """
+        lists = self._lists.get(landmark)
+        if lists is None:
+            raise ConfigurationError(
+                f"landmark {landmark} is not homed on shard "
+                f"{self.spec.shard_id}")
+        return lists.get(topic, [])
+
+
+class _ShardedGraphView:
+    """Graph facade routing adjacency reads to the owning worker.
+
+    The propagation engine only ever calls ``out_neighbors``; each call
+    lands on exactly one worker's sliced rows, so a traversal that
+    crosses a shard boundary reads the *target* shard's rows for the
+    next hop — matching how a real deployment walks a partitioned
+    graph. Down shards are made absorbing by the platform before the
+    engine runs, so their rows are never read.
+    """
+
+    def __init__(self, workers: Sequence[ShardWorker],
+                 router: ShardRouter) -> None:
+        self._workers = workers
+        self._router = router
+
+    def out_neighbors(self, node: int) -> Mapping[int, TopicSet]:
+        worker = self._workers[self._router.shard_of(node)]
+        if worker.down:
+            raise ShardDownError(worker.spec.shard_id)
+        return worker.out_neighbors(node)
+
+
+# ----------------------------------------------------------------------
+# Platform
+# ----------------------------------------------------------------------
+
+class ShardedPlatform:
+    """Scatter-gather recommendation serving over range shards.
+
+    Implements the :class:`repro.api.Recommender` protocol. Build with
+    :meth:`build`::
+
+        platform = ShardedPlatform.build(graph, sim, index, num_shards=4)
+        response = platform.recommend(user, "technology", top_n=10)
+
+    With every shard healthy the response ranking is bitwise-identical
+    to :class:`~repro.landmarks.ApproximateRecommender` over the same
+    index; ``response.cost`` carries the cross-shard traffic the same
+    request paid (a :class:`~repro.distributed.QueryCost`).
+    """
+
+    def __init__(
+        self,
+        snapshot: GraphSnapshot,
+        router: ShardRouter,
+        workers: Sequence[ShardWorker],
+        similarity: SimilarityMatrix,
+        index: LandmarkIndex,
+        params: Optional[ScoreParams] = None,
+        landmark_params: Optional[LandmarkParams] = None,
+        channel: Optional[ShardChannel] = None,
+        deadline_ms: float = 50.0,
+        max_retries: int = 2,
+    ) -> None:
+        if deadline_ms <= 0.0:
+            raise ConfigurationError(
+                f"deadline_ms must be > 0, got {deadline_ms}")
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}")
+        self.router = router
+        self.workers = list(workers)
+        self.index = index
+        self.params = params if params is not None else index.params
+        self.landmark_params = (landmark_params if landmark_params is not None
+                                else index.landmark_params)
+        self.channel = channel if channel is not None else ShardChannel()
+        self.deadline_ms = deadline_ms
+        self.max_retries = max_retries
+        self._snapshot = snapshot
+        self._similarity = similarity
+        self._view = _ShardedGraphView(self.workers, router)
+        self._assignment = router.assignment()
+        self._landmark_set = frozenset(index.landmarks)
+        # Globally sorted composition order — the same float
+        # accumulation order as ApproximateRecommender, which is what
+        # keeps the sharded ranking bitwise-identical to it.
+        self._sorted_landmarks = sorted(self._landmark_set)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: GraphLike,
+        similarity: SimilarityMatrix,
+        index: LandmarkIndex,
+        num_shards: int,
+        *,
+        params: Optional[ScoreParams] = None,
+        landmark_params: Optional[LandmarkParams] = None,
+        authority: Optional[AuthorityIndex] = None,
+        channel: Optional[ShardChannel] = None,
+        deadline_ms: float = 50.0,
+        max_retries: int = 2,
+        allow_stale: bool = False,
+    ) -> "ShardedPlatform":
+        """Pin a snapshot, cut it into *num_shards* ranges, start workers.
+
+        Args:
+            graph: Live graph or prebuilt snapshot to serve from.
+            similarity: Topic-similarity matrix shared by all shards.
+            index: Landmark index whose lists get homed per shard.
+            num_shards: Number of contiguous range shards.
+            params: Propagation knobs (default: the index's).
+            landmark_params: Exploration knobs (default: the index's).
+            authority: Share one authority cache across workers instead
+                of one instance per shard.
+            channel: Cross-shard link simulation (default: reliable,
+                1 ms per fetch).
+            deadline_ms: Default per-request simulated latency budget.
+            max_retries: Re-attempts per failed remote fetch.
+            allow_stale: Accept a snapshot whose graph already moved on.
+        """
+        snapshot = as_snapshot(graph, allow_stale)
+        router = ShardRouter(snapshot, num_shards)
+        workers = [
+            ShardWorker(snapshot, spec, index, router, authority=authority)
+            for spec in router.specs
+        ]
+        return cls(snapshot, router, workers, similarity, index,
+                   params=params, landmark_params=landmark_params,
+                   channel=channel, deadline_ms=deadline_ms,
+                   max_retries=max_retries)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Number of shards (including empty, unroutable ones)."""
+        return self.router.num_shards
+
+    @property
+    def epoch(self) -> int:
+        """The pinned snapshot epoch every shard serves."""
+        return self._snapshot.epoch
+
+    def mark_down(self, shard_id: int) -> None:
+        """Simulate an outage of *shard_id*."""
+        self.workers[self.router.route(shard_id).shard_id].down = True
+
+    def mark_up(self, shard_id: int) -> None:
+        """Bring a downed shard back."""
+        self.workers[self.router.route(shard_id).shard_id].down = False
+
+    def _check_epochs(self, allow_stale: bool) -> None:
+        self._snapshot.ensure_fresh(allow_stale)
+        for worker in self.workers:
+            if worker.epoch != self._snapshot.epoch and not allow_stale:
+                raise StaleSnapshotError(worker.epoch, self._snapshot.epoch)
+
+    def _down_shards(self) -> Set[int]:
+        return {worker.spec.shard_id for worker in self.workers
+                if worker.down}
+
+    def _fetch_remote(self, worker: ShardWorker, landmark: int, topic: str,
+                      clock: _RequestClock) -> Optional[List[LandmarkEntry]]:
+        """Fetch with bounded retry; ``None`` = shard unreachable."""
+        for attempt in range(1, self.max_retries + 2):
+            try:
+                return self.channel.fetch(worker, landmark, topic,
+                                          clock, attempt)
+            except ChannelError:
+                _obs.count("shard.retries_total")
+            except ShardDownError:
+                return None
+        return None
+
+    # ------------------------------------------------------------------
+    def recommend(self, user: int, topic: str, top_n: int = 10, *,
+                  allow_stale: bool = False,
+                  depth: Optional[int] = None,
+                  deadline_ms: Optional[float] = None,
+                  ) -> RecommendationResponse:
+        """Top-n suggestions via scatter-gather over the shards."""
+        request = RecommendationRequest(
+            user=user, topic=topic, top_n=top_n, allow_stale=allow_stale,
+            depth=depth, deadline_ms=deadline_ms)
+        return self.serve(request)
+
+    def serve(self, request: RecommendationRequest) -> RecommendationResponse:
+        """Execute one :class:`RecommendationRequest` end to end.
+
+        Raises:
+            StaleSnapshotError: epoch mismatch and ``allow_stale`` unset.
+            ShardDownError: the *home* shard is down.
+            NodeNotFoundError: unknown user.
+        """
+        self._check_epochs(request.allow_stale)
+        home_id = self.router.route(self.router.shard_of(request.user)).shard_id
+        home = self.workers[home_id]
+        if home.down:
+            raise ShardDownError(home_id)
+
+        exploration_depth = (request.depth if request.depth is not None
+                             else self.landmark_params.query_depth)
+        budget = (request.deadline_ms if request.deadline_ms is not None
+                  else self.deadline_ms)
+        clock = _RequestClock(budget)
+        down = self._down_shards()
+        degraded = bool(down)
+        unreachable: Set[int] = set()
+
+        home.requests_total += 1
+        home.queue_depth += 1
+        _obs.count("shard.requests_total")
+        _obs.gauge(f"shard.{home_id}.queue_depth", float(home.queue_depth))
+        try:
+            with _obs.span("shard.serve") as _sp:
+                if _sp:
+                    _sp.set(user=request.user, topic=request.topic,
+                            home=home_id, shards=self.num_shards)
+                state, stats = self._explore(
+                    request, home, exploration_depth, down)
+                combined, cost_parts, degraded = self._compose(
+                    request, state, home_id, exploration_depth,
+                    clock, down, unreachable, degraded)
+                ranked = self._merge(request, home, combined,
+                                     down | unreachable)
+                if _sp:
+                    _sp.set(degraded=degraded, returned=len(ranked),
+                            elapsed_ms=clock.elapsed_ms)
+        finally:
+            home.queue_depth -= 1
+            _obs.gauge(f"shard.{home_id}.queue_depth",
+                       float(home.queue_depth))
+
+        if degraded:
+            _obs.count("shard.degraded_total")
+        local, remote, shipped = cost_parts
+        cost = QueryCost(propagation=stats, remote_landmarks=remote,
+                         local_landmarks=local, entries_transferred=shipped)
+        return response_from_pairs(
+            request, ranked, engine="sharded",
+            snapshot_epoch=self._snapshot.epoch, degraded=degraded,
+            cost=cost)
+
+    # ------------------------------------------------------------------
+    def _explore(self, request: RecommendationRequest, home: ShardWorker,
+                 exploration_depth: int, down: Set[int]):
+        """Depth-k exploration from the home shard, landmark-absorbed.
+
+        Down shards' nodes are added to the absorbing set: mass still
+        *reaches* them (computing an edge only reads the sender's row)
+        but the walk never expands from them, so no down-shard row is
+        ever read.
+        """
+        absorbing = self._landmark_set
+        if down:
+            lost: Set[int] = set()
+            for shard_id in down:
+                lost.update(self.workers[shard_id].node_ids)
+            absorbing = frozenset(absorbing | lost)
+        with _obs.span("shard.explore") as _sp:
+            state, stats = distributed_single_source_scores(
+                self._view, self._assignment, request.user, [request.topic],
+                self._similarity, authority=home.authority,
+                params=self.params, max_depth=exploration_depth,
+                absorbing=absorbing)
+            if _sp:
+                _sp.set(depth=exploration_depth,
+                        supersteps=stats.supersteps,
+                        remote_messages=stats.remote_messages)
+        return state, stats
+
+    def _compose(self, request: RecommendationRequest, state, home_id: int,
+                 exploration_depth: int, clock: _RequestClock,
+                 down: Set[int], unreachable: Set[int], degraded: bool):
+        """Proposition-4 composition, fetching remote lists as needed.
+
+        Iterates landmarks in global sorted order — the exact float
+        accumulation order of the single-machine recommender.
+        """
+        user, topic = request.user, request.topic
+        combined: Dict[int, float] = dict(state.scores.get(topic, {}))
+        local = remote = shipped = 0
+        deadline_hit = False
+        with _obs.span("shard.compose") as _sp:
+            for landmark in self._sorted_landmarks:
+                if landmark == user and exploration_depth > 0:
+                    continue
+                topo_ab = state.topo_alphabeta.get(landmark, 0.0)
+                if topo_ab <= 0.0:
+                    continue
+                owner = self.router.shard_of(landmark)
+                if owner == home_id:
+                    entries = self.workers[home_id].landmark_entries(
+                        landmark, topic)
+                    local += 1
+                else:
+                    if owner in down or owner in unreachable or deadline_hit:
+                        degraded = True
+                        continue
+                    try:
+                        entries = self._fetch_remote(
+                            self.workers[owner], landmark, topic, clock)
+                    except DeadlineExceededError:
+                        _obs.count("shard.deadline_exceeded_total")
+                        deadline_hit = True
+                        degraded = True
+                        continue
+                    if entries is None:
+                        unreachable.add(owner)
+                        degraded = True
+                        continue
+                    remote += 1
+                    shipped += len(entries)
+                    _obs.count("shard.remote_fetches_total")
+                sigma_to_landmark = state.score(landmark, topic)
+                for entry in entries:
+                    if entry.node == user:
+                        continue
+                    contribution = (sigma_to_landmark * entry.topo
+                                    + topo_ab * entry.score)
+                    if contribution:
+                        combined[entry.node] = (
+                            combined.get(entry.node, 0.0) + contribution)
+            if _sp:
+                _sp.set(local_landmarks=local, remote_landmarks=remote,
+                        entries=shipped, candidates=len(combined))
+        return combined, (local, remote, shipped), degraded
+
+    def _merge(self, request: RecommendationRequest, home: ShardWorker,
+               combined: Dict[int, float],
+               lost: Set[int]) -> List[Tuple[int, float]]:
+        """Merge per-shard top-n partial rankings into the final top-n.
+
+        Each healthy shard reduces its owned candidates to a local
+        top-n; the gather side merges the partials. A candidate in the
+        global top-n ranks at least as high among its own shard's
+        candidates, so every global winner survives its shard's cut —
+        the merged result equals the unsharded ranking bitwise.
+        Candidates owned by down or unreachable shards have no shard to
+        answer for them and drop out (the degraded path).
+        """
+        excluded = {request.user}
+        excluded.update(home.out_neighbors(request.user))
+        with _obs.span("shard.merge") as _sp:
+            partials: Dict[int, TopK] = {}
+            for node, value in combined.items():
+                if node in excluded or value <= 0.0:
+                    continue
+                owner = self.router.shard_of(node)
+                if owner in lost:
+                    continue
+                per_shard = partials.get(owner)
+                if per_shard is None:
+                    per_shard = partials[owner] = TopK(request.top_n)
+                per_shard.set(node, value)
+            gathered: TopK = TopK(request.top_n)
+            for owner in sorted(partials):
+                for node, value in partials[owner].best():
+                    gathered.set(node, value)
+            ranked = gathered.best()
+            if _sp:
+                _sp.set(shards_answering=len(partials),
+                        returned=len(ranked))
+        return ranked

@@ -60,6 +60,51 @@ class StaleSnapshotError(GraphError):
         self.graph_epoch = graph_epoch
 
 
+class ShardError(ReproError):
+    """Base class for errors raised by the sharded serving tier."""
+
+
+class ShardDownError(ShardError):
+    """A request was routed to a shard that is marked down.
+
+    Raised when the *home* shard of a request is unavailable — with no
+    home shard there is nothing to degrade to. A *remote* shard being
+    down degrades the response instead (``degraded=True``).
+    """
+
+    def __init__(self, shard_id: int) -> None:
+        super().__init__(
+            f"shard {shard_id} is down; the request cannot be served "
+            f"(home-shard outage has no degraded fallback)")
+        self.shard_id = shard_id
+
+
+class ChannelError(ShardError):
+    """One simulated cross-shard fetch failed (timeout/drop).
+
+    Transient by design: callers retry up to the platform's retry
+    budget before declaring the target shard unreachable for the
+    remainder of the request.
+    """
+
+    def __init__(self, shard_id: int, attempt: int) -> None:
+        super().__init__(
+            f"fetch from shard {shard_id} failed (attempt {attempt})")
+        self.shard_id = shard_id
+        self.attempt = attempt
+
+
+class DeadlineExceededError(ShardError):
+    """A request's simulated latency budget ran out mid-flight."""
+
+    def __init__(self, deadline_ms: float, elapsed_ms: float) -> None:
+        super().__init__(
+            f"request deadline of {deadline_ms:g}ms exceeded after "
+            f"{elapsed_ms:g}ms of simulated channel latency")
+        self.deadline_ms = deadline_ms
+        self.elapsed_ms = elapsed_ms
+
+
 class TaxonomyError(ReproError):
     """Base class for topic-taxonomy errors."""
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..api import (RecommendationRequest, RecommendationResponse,
+                   response_from_pairs, warn_legacy)
 from ..config import LandmarkParams, ScoreParams
 from ..core.exact import ScoreState, _MaxSimCache, single_source_scores
 from ..core.scores import AuthorityIndex
@@ -123,7 +125,8 @@ class ApproximateRecommender:
         return view
 
     def query(self, user: int, topic: str,
-              depth: Optional[int] = None) -> ApproximateResult:
+              depth: Optional[int] = None,
+              allow_stale: Optional[bool] = None) -> ApproximateResult:
         """Compute approximate scores of every candidate for *user*.
 
         Args:
@@ -140,10 +143,17 @@ class ApproximateRecommender:
                 makes that exactly the precomputed recommendations);
                 at ``depth>=1`` the user's own landmark is skipped as
                 always.
+            allow_stale: Per-call staleness override (``None`` defers
+                to the constructor flag).
         """
         exploration_depth = (depth if depth is not None
                              else self.landmark_params.query_depth)
-        view = self._resolve()
+        effective_stale = bool(allow_stale) or self.allow_stale
+        view = as_snapshot(self.graph, effective_stale)
+        if view is not self._view:
+            self._view = view
+            if self._authority_supplied is None:
+                self._authority = view.authority()
         with _obs.span("approx.query") as _sp:
             if _sp:
                 _sp.set(user=user, topic=topic, depth=exploration_depth)
@@ -152,7 +162,7 @@ class ApproximateRecommender:
                     view, user, [topic], self._similarity,
                     landmarks=self._landmark_set, params=self.params,
                     depth=exploration_depth, authority=self._authority,
-                    sim_cache=self._sim_cache, allow_stale=self.allow_stale)
+                    sim_cache=self._sim_cache, allow_stale=effective_stale)
                 if _explore:
                     _explore.set(depth=exploration_depth,
                                  frontier_size=len(state.topo_alphabeta))
@@ -193,20 +203,42 @@ class ApproximateRecommender:
             exploration=state,
         )
 
-    def recommend(self, user: int, topic: str, top_n: int = 10,
+    def recommend(self, user: int, topic: str, top_n: int = 10, *,
+                  allow_stale: bool = False,
                   depth: Optional[int] = None,
-                  exclude_followed: bool = True) -> List[Tuple[int, float]]:
-        """Top-n approximate recommendations for *user* on *topic*."""
+                  exclude_followed: bool = True) -> RecommendationResponse:
+        """Top-n approximate recommendations for *user* on *topic*.
+
+        Implements the :class:`repro.api.Recommender` protocol; the old
+        tuple-list shape survives on :meth:`recommend_pairs` (deprecated).
+        """
         with _obs.span("approx.recommend") as _sp:
             if _sp:
                 _sp.set(user=user, topic=topic, top_n=top_n)
-            result = self.query(user, topic, depth=depth)
+            result = self.query(user, topic, depth=depth,
+                                allow_stale=allow_stale)
             with _obs.span("approx.rank") as _rank:
                 excluded = {user}
                 if exclude_followed:
-                    excluded.update(self._resolve().out_neighbors(user))
+                    excluded.update(self._view.out_neighbors(user))
                 ranked = result.ranked(top_n=top_n, exclude=excluded)
                 if _rank:
                     _rank.set(candidates=len(result.scores),
                               returned=len(ranked))
-        return ranked
+        request = RecommendationRequest(
+            user=user, topic=topic, top_n=top_n, allow_stale=allow_stale,
+            depth=depth)
+        return response_from_pairs(
+            request, ranked, engine="approximate",
+            snapshot_epoch=self._view.epoch)
+
+    def recommend_pairs(self, user: int, topic: str, top_n: int = 10,  # repro: ignore[R9] -- sanctioned deprecation shim for the pre-repro.api tuple shape
+                        depth: Optional[int] = None,
+                        exclude_followed: bool = True
+                        ) -> List[Tuple[int, float]]:
+        """Deprecated tuple-returning shim for the pre-``repro.api`` shape."""
+        warn_legacy("ApproximateRecommender.recommend_pairs",
+                    "ApproximateRecommender.recommend")
+        response = self.recommend(user, topic, top_n=top_n, depth=depth,
+                                  exclude_followed=exclude_followed)
+        return response.pairs()

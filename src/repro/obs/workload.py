@@ -109,6 +109,18 @@ def run_smoke(nodes: int = 0, seed: int = 0, landmarks: int = 0,
         for query in query_nodes:
             recommender.recommend(query, topic, top_n=10)
 
+        # Stage 4 — the same queries through the sharded serving tier
+        # (scatter-gather over 4 range shards; answers are
+        # bitwise-identical to stage 3, so the stage isolates routing
+        # and merge overhead).
+        from ..distributed.sharded import ShardedPlatform
+
+        platform = ShardedPlatform.build(
+            snapshot, similarity, index, num_shards=4, params=params,
+            authority=authority)
+        for query in query_nodes:
+            platform.recommend(query, topic, top_n=10)
+
         report = build_report(rt.snapshot(), workload={
             "nodes": nodes, "seed": seed, "landmarks": landmarks,
             "top_n": top_n, "queries": len(query_nodes),

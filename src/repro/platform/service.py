@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..api import RecommendationResponse
 from ..config import LandmarkParams, ScoreParams
 from ..core.recommender import Recommender
 from ..dynamics.events import EdgeEvent, EventKind
@@ -215,6 +216,42 @@ class MicroblogPlatform:
         _obs.count("platform.landmarks_enabled_total")
         return index
 
+    def _serve_response(self, user_id: int, topic: str, top_n: int,
+                        snapshot: GraphSnapshot) -> RecommendationResponse:
+        """Rank against *snapshot* with whichever engine is attached."""
+        if self._approximate is not None:
+            if self._approximate.graph is not snapshot:
+                self._approximate = ApproximateRecommender(
+                    snapshot, self.similarity,
+                    self._approximate.index, params=self.params,
+                    allow_stale=True)
+            return self._approximate.recommend(user_id, topic, top_n=top_n)
+        cached = (self._recommender is not None
+                  and self._recommender.graph is snapshot)
+        _obs.gauge("platform.exact_recommender_cached",
+                   1.0 if cached else 0.0)
+        if not cached:
+            self._recommender = Recommender(
+                snapshot, self.similarity, self.params,
+                allow_stale=True)
+        return self._recommender.recommend(user_id, topic, top_n=top_n)
+
+    def recommend(self, user: Ref, topic: str, top_n: int = 10, *,
+                  allow_stale: bool = False) -> RecommendationResponse:
+        """The raw :class:`repro.api.Recommender` protocol endpoint.
+
+        :meth:`who_to_follow` hydrates this response into display rows;
+        callers composing services (or the sharded tier's parity tests)
+        consume it directly. Staleness is governed by the platform's
+        ``refresh_policy`` — each request is served from the pinned
+        snapshot, so *allow_stale* is accepted for protocol conformity
+        and has nothing further to relax.
+        """
+        account = self._resolve(user)
+        snapshot = self._serving_snapshot()
+        return self._serve_response(account.account_id, topic, top_n,
+                                    snapshot)
+
     def who_to_follow(self, account: Ref, topic: str, top_n: int = 5,
                       ) -> List[WhoToFollowResult]:
         """Topic-conditioned account suggestions (the WTF endpoint).
@@ -222,7 +259,10 @@ class MicroblogPlatform:
         Each request pins one :class:`GraphSnapshot` (per the
         platform's ``refresh_policy``) and ranks, scores, and hydrates
         against it — concurrent mutations never shift the ground under
-        a request (copy-on-write serving).
+        a request (copy-on-write serving). The ranking itself flows
+        through :meth:`recommend` (one unified
+        :class:`~repro.api.RecommendationResponse` shape, whichever
+        engine serves it).
         """
         with _obs.span("platform.who_to_follow") as _sp:
             user = self._resolve(account)
@@ -237,37 +277,19 @@ class MicroblogPlatform:
             _obs.gauge("platform.wtf_engine_approximate",
                        1.0 if engine == "approximate" else 0.0)
             with _obs.span("platform.rank") as _rank:
-                if self._approximate is not None:
-                    if self._approximate.graph is not snapshot:
-                        self._approximate = ApproximateRecommender(
-                            snapshot, self.similarity,
-                            self._approximate.index, params=self.params,
-                            allow_stale=True)
-                    ranked = self._approximate.recommend(
-                        user.account_id, topic, top_n=top_n)
-                else:
-                    cached = (self._recommender is not None
-                              and self._recommender.graph is snapshot)
-                    _obs.gauge("platform.exact_recommender_cached",
-                               1.0 if cached else 0.0)
-                    if not cached:
-                        self._recommender = Recommender(
-                            snapshot, self.similarity, self.params,
-                            allow_stale=True)
-                    ranked = [
-                        (item.node, item.score)
-                        for item in self._recommender.recommend(
-                            user.account_id, topic, top_n=top_n)
-                    ]
+                response = self._serve_response(
+                    user.account_id, topic, top_n, snapshot)
                 if _rank:
-                    _rank.set(returned=len(ranked))
+                    _rank.set(returned=len(response))
             with _obs.span("platform.hydrate") as _hydrate:
                 results = []
-                for node, score in ranked:
-                    suggested = self.accounts.by_id(node)
+                for item in response:
+                    suggested = self.accounts.by_id(item.node)
                     results.append(WhoToFollowResult(
-                        handle=suggested.handle, account_id=node, score=score,
-                        topics=tuple(sorted(snapshot.node_topics(node)))))
+                        handle=suggested.handle, account_id=item.node,
+                        score=item.score,
+                        topics=tuple(sorted(
+                            snapshot.node_topics(item.node)))))
                 if _hydrate:
                     _hydrate.set(results=len(results))
         return results

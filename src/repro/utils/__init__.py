@@ -1,15 +1,17 @@
-"""Shared utilities: deterministic RNG helpers, timers, varint codec."""
+"""Shared utilities: deterministic RNG helpers, varint codec, top-k.
+
+Timing primitives (``Stopwatch``, ``format_duration``) live in
+:mod:`repro.obs.clock`; the ``repro.utils.timers`` shim that used to
+re-export them here has been removed.
+"""
 
 from .rng import rng_from_seed, spawn_rng
-from .timers import Stopwatch, format_duration
 from .varint import decode_uvarint, decode_uvarint_list, encode_uvarint, encode_uvarint_list
 from .topk import TopK
 
 __all__ = [
     "rng_from_seed",
     "spawn_rng",
-    "Stopwatch",
-    "format_duration",
     "encode_uvarint",
     "decode_uvarint",
     "encode_uvarint_list",

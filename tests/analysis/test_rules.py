@@ -396,6 +396,74 @@ class TestR8PrivateGraphAccess:
         assert findings == []
 
 
+class TestR9TupleReturningRecommend:
+    def test_fires_on_pair_list_annotation(self):
+        findings = run("""
+            from typing import List, Tuple
+
+            def recommend(user: int, topic: str) -> List[Tuple[int, float]]:
+                return []
+        """)
+        assert rule_ids(findings) == ["R9"]
+        assert "RecommendationResponse" in findings[0].message
+
+    def test_fires_on_method_named_recommend_pairs(self):
+        findings = run("""
+            class Scorer:
+                def recommend_pairs(self, user, topic, top_n=10):
+                    return [(node, score) for node, score in ()]
+        """)
+        assert rule_ids(findings) == ["R9"]
+
+    def test_fires_on_bare_tuple_return(self):
+        findings = run("""
+            def recommend(user, topic):
+                ranking = []
+                cost = 0
+                return ranking, cost
+        """)
+        assert rule_ids(findings) == ["R9"]
+
+    def test_clean_response_returning_recommend(self):
+        findings = run("""
+            from repro.api import RecommendationResponse, response_from_pairs
+
+            def recommend(user, topic, top_n=10) -> RecommendationResponse:
+                return response_from_pairs(None, [], engine="x")
+        """)
+        assert findings == []
+
+    def test_clean_inside_api_module(self):
+        findings = run("""
+            def recommend(user, topic):
+                return [(1, 0.5)]
+        """, path="src/repro/api.py")
+        assert findings == []
+
+    def test_clean_outside_src(self):
+        findings = run("""
+            def recommend(user, topic):
+                return [(1, 0.5)]
+        """, path="tests/test_example.py")
+        assert findings == []
+
+    def test_non_recommend_names_are_not_flagged(self):
+        findings = run("""
+            from typing import List, Tuple
+
+            def ranked_pairs(user) -> List[Tuple[int, float]]:
+                return [(1, 0.5)]
+        """)
+        assert findings == []
+
+    def test_suppression_comment_silences(self):
+        findings = run("""
+            def recommend_pairs(self, user, topic):  # repro: ignore[R9] -- sanctioned deprecation shim for the pre-repro.api tuple shape
+                return [(n, s) for n, s in ()]
+        """)
+        assert findings == []
+
+
 class TestInfrastructure:
     def test_syntax_error_raises(self):
         with pytest.raises(SyntaxError):

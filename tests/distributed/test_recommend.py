@@ -42,8 +42,8 @@ class TestAnswerEquivalence:
                  and n not in set(index.landmarks)][:5]
         for user in users:
             expected = single.recommend(user, TOPIC, top_n=10)
-            got, _ = service.recommend(user, TOPIC, top_n=10)
-            assert [n for n, _ in got] == [n for n, _ in expected]
+            got = service.recommend(user, TOPIC, top_n=10)
+            assert got.nodes() == expected.nodes()
             for (_, ours), (_, theirs) in zip(got, expected):
                 assert ours == pytest.approx(theirs)
 
@@ -57,9 +57,10 @@ class TestAnswerEquivalence:
         user = next(n for n in graph.nodes()
                     if graph.out_degree(n) >= 3
                     and n not in set(index.landmarks))
-        first, _ = hash_service.recommend(user, TOPIC, top_n=10)
-        second, _ = greedy_service.recommend(user, TOPIC, top_n=10)
+        first = hash_service.recommend(user, TOPIC, top_n=10)
+        second = greedy_service.recommend(user, TOPIC, top_n=10)
         assert first == second
+        assert first.pairs() == second.pairs()
 
 
 class TestCostAccounting:
@@ -68,7 +69,7 @@ class TestCostAccounting:
         service = DistributedLandmarkService(
             graph, hash_partition(graph, 1), web_sim, index)
         user = next(n for n in graph.nodes() if graph.out_degree(n) >= 3)
-        _, cost = service.recommend(user, TOPIC)
+        cost = service.recommend(user, TOPIC).cost
         assert cost.propagation.remote_messages == 0
         assert cost.remote_landmarks == 0
         assert cost.entries_transferred == 0
@@ -80,7 +81,7 @@ class TestCostAccounting:
         service = DistributedLandmarkService(graph, assignment, web_sim,
                                              index)
         user = max(graph.nodes(), key=graph.out_degree)
-        _, cost = service.recommend(user, TOPIC)
+        cost = service.recommend(user, TOPIC).cost
         encountered = cost.local_landmarks + cost.remote_landmarks
         assert encountered >= 1
         # entries only shipped for remote landmarks
@@ -97,10 +98,10 @@ class TestCostAccounting:
         greedy_service = DistributedLandmarkService(
             graph, greedy_partition(graph, 4, seed=3), web_sim, index)
         hash_cost = sum(
-            hash_service.recommend(u, TOPIC)[1].propagation.remote_values
+            hash_service.recommend(u, TOPIC).cost.propagation.remote_values
             for u in users)
         greedy_cost = sum(
-            greedy_service.recommend(u, TOPIC)[1].propagation.remote_values
+            greedy_service.recommend(u, TOPIC).cost.propagation.remote_values
             for u in users)
         assert greedy_cost < hash_cost
 
