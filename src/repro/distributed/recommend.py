@@ -18,8 +18,12 @@ from ..api import (RecommendationRequest, RecommendationResponse,
 from ..config import LandmarkParams, ScoreParams
 from ..core.scores import AuthorityIndex
 from ..graph.labeled_graph import LabeledSocialGraph
-from ..graph.snapshot import GraphLike, as_snapshot
+from ..graph.snapshot import GraphLike, GraphSnapshot, as_snapshot
 from ..landmarks.index import LandmarkIndex
+from ..landmarks.query_engine import (LandmarkVectorCache, LandmarkVectors,
+                                      compose_landmark_contributions,
+                                      resolve_query_engine,
+                                      vectors_from_entries)
 from ..semantics.matrix import SimilarityMatrix
 from .cluster import MessageStats, distributed_single_source_scores
 from .partition import Assignment
@@ -66,6 +70,7 @@ class DistributedLandmarkService:
         params: Optional[ScoreParams] = None,
         landmark_params: Optional[LandmarkParams] = None,
         authority: Optional[AuthorityIndex] = None,
+        query_engine: str = "auto",
     ) -> None:
         self.graph = graph
         self.assignment = assignment
@@ -81,10 +86,26 @@ class DistributedLandmarkService:
         # resulting tie-sensitive rankings — deterministic across
         # processes, matching ApproximateRecommender.
         self._sorted_landmarks = sorted(self._landmark_set)
+        #: Composition engine ("dict" reference loop or "sparse"
+        #: scatter-add); answers and cost accounting are identical.
+        self.query_engine = resolve_query_engine(query_engine)
+        self._vector_cache = LandmarkVectorCache()
 
     def landmark_home(self, landmark: int) -> int:
         """Partition that stores a landmark's inverted lists."""
         return self.assignment[landmark]
+
+    def _vectors_for(self, view: GraphSnapshot, landmark: int,
+                     topic: str) -> LandmarkVectors:
+        """Cached array form of one landmark list, keyed by epoch+version."""
+        version = self.index.version_of(landmark, topic)
+
+        def build() -> LandmarkVectors:
+            entries = self.index.recommendations(landmark, topic)
+            return vectors_from_entries(view, entries, version)
+
+        return self._vector_cache.get_or_build(
+            view.epoch, landmark, topic, version, build)
 
     def query(self, user: int, topic: str,
               depth: Optional[int] = None,
@@ -115,31 +136,50 @@ class DistributedLandmarkService:
             max_depth=exploration_depth, absorbing=self._landmark_set)
 
         home = self.assignment[user]
-        combined: Dict[int, float] = dict(state.scores.get(topic, {}))
         remote = 0
         local = 0
         entries_shipped = 0
-        for landmark in self._sorted_landmarks:
-            if landmark == user and exploration_depth > 0:
-                continue
-            topo_ab = state.topo_alphabeta.get(landmark, 0.0)
-            if topo_ab <= 0.0:
-                continue
-            entries = self.index.recommendations(landmark, topic)
-            if self.landmark_home(landmark) == home:
-                local += 1
-            else:
-                remote += 1
-                entries_shipped += len(entries)
-            sigma_to_landmark = state.score(landmark, topic)
-            for entry in entries:
-                if entry.node == user:
+        if self.query_engine == "sparse":
+            view = as_snapshot(self.graph, allow_stale=True)
+            hits: List[Tuple[float, float, LandmarkVectors]] = []
+            for landmark in self._sorted_landmarks:
+                if landmark == user and exploration_depth > 0:
                     continue
-                contribution = (sigma_to_landmark * entry.topo
-                                + topo_ab * entry.score)
-                if contribution:
-                    combined[entry.node] = (
-                        combined.get(entry.node, 0.0) + contribution)
+                topo_ab = state.topo_alphabeta.get(landmark, 0.0)
+                if topo_ab <= 0.0:
+                    continue
+                vectors = self._vectors_for(view, landmark, topic)
+                if self.landmark_home(landmark) == home:
+                    local += 1
+                else:
+                    remote += 1
+                    entries_shipped += len(vectors)
+                hits.append((state.score(landmark, topic), topo_ab, vectors))
+            combined = compose_landmark_contributions(
+                view, state.scores.get(topic, {}), hits, user)
+        else:
+            combined = dict(state.scores.get(topic, {}))
+            for landmark in self._sorted_landmarks:
+                if landmark == user and exploration_depth > 0:
+                    continue
+                topo_ab = state.topo_alphabeta.get(landmark, 0.0)
+                if topo_ab <= 0.0:
+                    continue
+                entries = self.index.recommendations(landmark, topic)
+                if self.landmark_home(landmark) == home:
+                    local += 1
+                else:
+                    remote += 1
+                    entries_shipped += len(entries)
+                sigma_to_landmark = state.score(landmark, topic)
+                for entry in entries:
+                    if entry.node == user:
+                        continue
+                    contribution = (sigma_to_landmark * entry.topo
+                                    + topo_ab * entry.score)
+                    if contribution:
+                        combined[entry.node] = (
+                            combined.get(entry.node, 0.0) + contribution)
         cost = QueryCost(
             propagation=stats,
             remote_landmarks=remote,

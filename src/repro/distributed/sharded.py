@@ -62,6 +62,10 @@ from ..errors import (ChannelError, ConfigurationError, DeadlineExceededError,
 from ..graph.labeled_graph import TopicSet
 from ..graph.snapshot import GraphLike, GraphSnapshot, as_snapshot
 from ..landmarks.index import LandmarkEntry, LandmarkIndex
+from ..landmarks.query_engine import (LandmarkVectorCache, LandmarkVectors,
+                                      compose_landmark_contributions,
+                                      resolve_query_engine,
+                                      vectors_from_entries)
 from ..obs import runtime as _obs
 from ..semantics.matrix import SimilarityMatrix
 from ..utils.topk import TopK
@@ -267,6 +271,24 @@ class ShardChannel:
             raise ChannelError(worker.spec.shard_id, attempt)
         return worker.landmark_entries(landmark, topic)
 
+    def fetch_vectors(self, worker: "ShardWorker", landmark: int, topic: str,
+                      clock: _RequestClock, attempt: int) -> LandmarkVectors:
+        """Vectorised twin of :meth:`fetch` — same cost and failure model.
+
+        The charge → down-check → flakiness sequence is identical (one
+        RNG draw per attempt either way), so a request pays the same
+        simulated latency and sees the same simulated failures no
+        matter which query engine composes it.
+        """
+        clock.charge(self.latency_ms)
+        self.fetches_total += 1
+        if worker.down:
+            raise ShardDownError(worker.spec.shard_id)
+        if self.failure_rate and self._rng.random() < self.failure_rate:
+            self.failures_total += 1
+            raise ChannelError(worker.spec.shard_id, attempt)
+        return worker.landmark_vectors(landmark, topic)
+
 
 # ----------------------------------------------------------------------
 # Worker
@@ -317,6 +339,10 @@ class ShardWorker:
         self.requests_total = 0
         self.queue_depth = 0
         self._row_cache: Dict[int, Dict[int, TopicSet]] = {}
+        # Vectorised views of the homed lists. The worker's list copies
+        # are frozen at construction (epoch-pinned), so the version
+        # component is always 0 — only the epoch key matters here.
+        self._vector_cache = LandmarkVectorCache()
 
     @property
     def num_nodes(self) -> int:
@@ -373,6 +399,23 @@ class ShardWorker:
                 f"{self.spec.shard_id}")
         return lists.get(topic, [])
 
+    def landmark_vectors(self, landmark: int, topic: str) -> LandmarkVectors:
+        """Vectorised view of a homed landmark's inverted list.
+
+        Same homing contract as :meth:`landmark_entries`; the arrays
+        are built once per ``(landmark, topic)`` and cached (the
+        worker's list copies never change within its pinned epoch).
+        """
+        lists = self._lists.get(landmark)
+        if lists is None:
+            raise ConfigurationError(
+                f"landmark {landmark} is not homed on shard "
+                f"{self.spec.shard_id}")
+        return self._vector_cache.get_or_build(
+            self.epoch, landmark, topic, 0,
+            lambda: vectors_from_entries(
+                self._snapshot, lists.get(topic, []), 0))
+
 
 class _ShardedGraphView:
     """Graph facade routing adjacency reads to the owning worker.
@@ -428,6 +471,7 @@ class ShardedPlatform:
         channel: Optional[ShardChannel] = None,
         deadline_ms: float = 50.0,
         max_retries: int = 2,
+        query_engine: str = "auto",
     ) -> None:
         if deadline_ms <= 0.0:
             raise ConfigurationError(
@@ -444,6 +488,11 @@ class ShardedPlatform:
         self.channel = channel if channel is not None else ShardChannel()
         self.deadline_ms = deadline_ms
         self.max_retries = max_retries
+        #: Composition engine: ``"sparse"`` gathers vectorised lists
+        #: (:meth:`ShardChannel.fetch_vectors`) and composes with one
+        #: scatter-add; ``"dict"`` keeps the reference entry loop.
+        #: Identical answers, identical simulated channel traffic.
+        self.query_engine = resolve_query_engine(query_engine)
         self._snapshot = snapshot
         self._similarity = similarity
         self._view = _ShardedGraphView(self.workers, router)
@@ -470,6 +519,7 @@ class ShardedPlatform:
         deadline_ms: float = 50.0,
         max_retries: int = 2,
         allow_stale: bool = False,
+        query_engine: str = "auto",
     ) -> "ShardedPlatform":
         """Pin a snapshot, cut it into *num_shards* ranges, start workers.
 
@@ -487,6 +537,9 @@ class ShardedPlatform:
             deadline_ms: Default per-request simulated latency budget.
             max_retries: Re-attempts per failed remote fetch.
             allow_stale: Accept a snapshot whose graph already moved on.
+            query_engine: ``"auto"`` / ``"dict"`` / ``"sparse"`` —
+                which Proposition-4 composition path serves requests
+                (answers are bitwise-identical either way).
         """
         snapshot = as_snapshot(graph, allow_stale)
         router = ShardRouter(snapshot, num_shards)
@@ -497,7 +550,7 @@ class ShardedPlatform:
         return cls(snapshot, router, workers, similarity, index,
                    params=params, landmark_params=landmark_params,
                    channel=channel, deadline_ms=deadline_ms,
-                   max_retries=max_retries)
+                   max_retries=max_retries, query_engine=query_engine)
 
     # ------------------------------------------------------------------
     @property
@@ -535,6 +588,21 @@ class ShardedPlatform:
             try:
                 return self.channel.fetch(worker, landmark, topic,
                                           clock, attempt)
+            except ChannelError:
+                _obs.count("shard.retries_total")
+            except ShardDownError:
+                return None
+        return None
+
+    def _fetch_remote_vectors(
+            self, worker: ShardWorker, landmark: int, topic: str,
+            clock: _RequestClock) -> Optional[LandmarkVectors]:
+        """Vectorised :meth:`_fetch_remote` — same retry budget and
+        accounting, so both engines pay identical simulated traffic."""
+        for attempt in range(1, self.max_retries + 2):
+            try:
+                return self.channel.fetch_vectors(worker, landmark, topic,
+                                                  clock, attempt)
             except ChannelError:
                 _obs.count("shard.retries_total")
             except ShardDownError:
@@ -587,9 +655,14 @@ class ShardedPlatform:
                             home=home_id, shards=self.num_shards)
                 state, stats = self._explore(
                     request, home, exploration_depth, down)
-                combined, cost_parts, degraded = self._compose(
-                    request, state, home_id, exploration_depth,
-                    clock, down, unreachable, degraded)
+                if self.query_engine == "sparse":
+                    combined, cost_parts, degraded = self._compose_vectorized(
+                        request, state, home_id, exploration_depth,
+                        clock, down, unreachable, degraded)
+                else:
+                    combined, cost_parts, degraded = self._compose(
+                        request, state, home_id, exploration_depth,
+                        clock, down, unreachable, degraded)
                 ranked = self._merge(request, home, combined,
                                      down | unreachable)
                 if _sp:
@@ -690,6 +763,60 @@ class ShardedPlatform:
                     if contribution:
                         combined[entry.node] = (
                             combined.get(entry.node, 0.0) + contribution)
+            if _sp:
+                _sp.set(local_landmarks=local, remote_landmarks=remote,
+                        entries=shipped, candidates=len(combined))
+        return combined, (local, remote, shipped), degraded
+
+    def _compose_vectorized(self, request: RecommendationRequest, state,
+                            home_id: int, exploration_depth: int,
+                            clock: _RequestClock, down: Set[int],
+                            unreachable: Set[int], degraded: bool):
+        """Vectorised :meth:`_compose` — bitwise-identical answers.
+
+        The control flow (sorted-landmark order, down / unreachable /
+        deadline handling, retry accounting) is exactly the reference
+        loop's; only the per-entry arithmetic moves into one
+        concatenated scatter-add over the gathered landmark vectors.
+        """
+        user, topic = request.user, request.topic
+        local = remote = shipped = 0
+        deadline_hit = False
+        with _obs.span("shard.compose") as _sp:
+            hits: List[Tuple[float, float, LandmarkVectors]] = []
+            for landmark in self._sorted_landmarks:
+                if landmark == user and exploration_depth > 0:
+                    continue
+                topo_ab = state.topo_alphabeta.get(landmark, 0.0)
+                if topo_ab <= 0.0:
+                    continue
+                owner = self.router.shard_of(landmark)
+                if owner == home_id:
+                    vectors = self.workers[home_id].landmark_vectors(
+                        landmark, topic)
+                    local += 1
+                else:
+                    if owner in down or owner in unreachable or deadline_hit:
+                        degraded = True
+                        continue
+                    try:
+                        vectors = self._fetch_remote_vectors(
+                            self.workers[owner], landmark, topic, clock)
+                    except DeadlineExceededError:
+                        _obs.count("shard.deadline_exceeded_total")
+                        deadline_hit = True
+                        degraded = True
+                        continue
+                    if vectors is None:
+                        unreachable.add(owner)
+                        degraded = True
+                        continue
+                    remote += 1
+                    shipped += len(vectors)
+                    _obs.count("shard.remote_fetches_total")
+                hits.append((state.score(landmark, topic), topo_ab, vectors))
+            combined = compose_landmark_contributions(
+                self._snapshot, state.scores.get(topic, {}), hits, user)
             if _sp:
                 _sp.set(local_landmarks=local, remote_landmarks=remote,
                         entries=shipped, candidates=len(combined))

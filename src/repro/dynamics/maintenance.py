@@ -9,8 +9,9 @@ paper's future-work section opens:
 - :class:`BatchMaintainer` — mark such landmarks dirty, rebuild them
   together once the dirty fraction crosses a threshold (amortises the
   Algorithm-1 runs);
-- :class:`TTLMaintainer` — ignore events entirely, rebuild every
-  landmark whose lists are older than a fixed event count;
+- :class:`TTLMaintainer` — ignore event contents entirely, refresh each
+  landmark once per fixed event window, spreading the rebuilds
+  round-robin across the window instead of bursting them all at once;
 - :class:`NoOpMaintainer` — the do-nothing baseline, quantifying how
   stale an unmaintained index becomes.
 
@@ -181,7 +182,17 @@ class BatchMaintainer(_BaseMaintainer):
 
 
 class TTLMaintainer(_BaseMaintainer):
-    """Rebuild every landmark each *ttl_events* events, round-robin."""
+    """Rebuild every landmark each *ttl_events* events, round-robin.
+
+    Each landmark is refreshed once per *ttl_events*-event window, but
+    the work is spread evenly across the window instead of rebuilding
+    the whole set in one burst: after ``e`` events exactly
+    ``⌊|Λ|·e / ttl_events⌋`` rebuilds have run, taken from a rotating
+    cursor over the sorted landmark list.  Amortised cost is therefore
+    ``|Λ| / ttl_events`` rebuilds per event with per-tick batches of at
+    most ``⌈|Λ| / ttl_events⌉`` — no latency spike every *ttl_events*
+    events, same freshness guarantee.
+    """
 
     def __init__(self, graph, index, topics, similarity,
                  params: Optional[ScoreParams] = None,
@@ -191,11 +202,26 @@ class TTLMaintainer(_BaseMaintainer):
                 f"ttl_events must be >= 1, got {ttl_events}")
         super().__init__(graph, index, topics, similarity, params)
         self.ttl_events = ttl_events
+        # Deterministic rotation order; the cursor wraps so every
+        # landmark is hit exactly once per ttl window.
+        self._order: List[int] = sorted(self.index.landmarks)
+        self._cursor = 0
+        self._scheduled_done = 0
 
     def on_event(self, event: EdgeEvent) -> None:  # noqa: D102
         self.stats.events_seen += 1
-        if self.stats.events_seen % self.ttl_events == 0:
-            self.rebuild(sorted(self.index.landmarks))
+        if not self._order:
+            return
+        due = (len(self._order) * self.stats.events_seen) // self.ttl_events
+        todo = due - self._scheduled_done
+        if todo <= 0:
+            return
+        batch: List[int] = []
+        for _ in range(todo):
+            batch.append(self._order[self._cursor])
+            self._cursor = (self._cursor + 1) % len(self._order)
+        self._scheduled_done += todo
+        self.rebuild(batch)
 
 
 def measure_staleness(

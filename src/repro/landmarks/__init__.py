@@ -3,6 +3,14 @@
 from .selection import STRATEGIES, select_landmarks
 from .index import LandmarkEntry, LandmarkIndex
 from .approximate import ApproximateRecommender, explore_with_landmarks
+from .query_engine import (
+    LandmarkVectorCache,
+    LandmarkVectors,
+    QueryEngine,
+    compose_landmark_contributions,
+    resolve_query_engine,
+    vectors_from_entries,
+)
 from .storage import load_index, save_index
 
 __all__ = [
@@ -12,6 +20,12 @@ __all__ = [
     "LandmarkEntry",
     "ApproximateRecommender",
     "explore_with_landmarks",
+    "LandmarkVectorCache",
+    "LandmarkVectors",
+    "QueryEngine",
+    "compose_landmark_contributions",
+    "resolve_query_engine",
+    "vectors_from_entries",
     "save_index",
     "load_index",
 ]

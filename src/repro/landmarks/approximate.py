@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..api import (RecommendationRequest, RecommendationResponse,
                    response_from_pairs, warn_legacy)
 from ..config import LandmarkParams, ScoreParams
@@ -30,6 +32,11 @@ from ..graph.snapshot import GraphLike, GraphSnapshot, as_snapshot
 from ..obs import runtime as _obs
 from ..semantics.matrix import SimilarityMatrix
 from .index import LandmarkIndex
+from .query_engine import (DenseExploration, LandmarkVectorCache,
+                           LandmarkVectors, QueryEngine,
+                           StackedLandmarkLists, compose_stacked,
+                           dense_scores_to_dict, resolve_query_engine,
+                           stack_landmark_vectors, vectors_from_entries)
 
 
 def explore_with_landmarks(
@@ -96,6 +103,8 @@ class ApproximateRecommender:
         landmark_params: Optional[LandmarkParams] = None,
         authority: Optional[AuthorityIndex] = None,
         allow_stale: bool = False,
+        query_engine: str = "auto",
+        vector_cache: Optional[LandmarkVectorCache] = None,
     ) -> None:
         self.graph = graph
         self.index = index
@@ -103,6 +112,11 @@ class ApproximateRecommender:
         self.landmark_params = (landmark_params if landmark_params is not None
                                 else index.landmark_params)
         self.allow_stale = allow_stale
+        #: Concrete query engine: ``"sparse"`` (the vectorised
+        #: :class:`~repro.landmarks.query_engine.QueryEngine`) or
+        #: ``"dict"`` (the reference path). Both answer bitwise
+        #: identically; ``"auto"`` resolves to ``"sparse"``.
+        self.query_engine = resolve_query_engine(query_engine)
         self._similarity = similarity
         self._authority_supplied = authority
         self._view = as_snapshot(graph, allow_stale)
@@ -114,15 +128,47 @@ class ApproximateRecommender:
         # therefore tie-sensitive rankings — stays deterministic across
         # processes (frozenset iteration order depends on the hash seed).
         self._sorted_landmarks = sorted(self._landmark_set)
+        self._vector_cache = (vector_cache if vector_cache is not None
+                              else LandmarkVectorCache())
+        self._engine_impl: Optional[QueryEngine] = None
+        # topic -> stacked composition arrays; validated per query
+        # against (snapshot epoch, index mutation count).
+        self._stacked: Dict[str, StackedLandmarkLists] = {}
 
-    def _resolve(self) -> GraphSnapshot:
-        """Current serving snapshot — re-pinned when a live graph moved."""
-        view = as_snapshot(self.graph, self.allow_stale)
+    def _resolve(self, allow_stale: Optional[bool] = None) -> GraphSnapshot:
+        """Current serving snapshot — re-pinned when a live graph moved.
+
+        Args:
+            allow_stale: Per-call staleness override; ``None`` defers
+                to the constructor flag.
+        """
+        effective = (self.allow_stale if allow_stale is None
+                     else bool(allow_stale))
+        view = as_snapshot(self.graph, effective)
         if view is not self._view:
             self._view = view
             if self._authority_supplied is None:
                 self._authority = view.authority()
         return view
+
+    def _engine_for(self, view: GraphSnapshot) -> QueryEngine:
+        """The vectorised engine pinned to *view* (rebuilt on re-pin)."""
+        impl = self._engine_impl
+        if impl is None or impl.snapshot is not view:
+            impl = QueryEngine(view, self._similarity, self.params,
+                               authority=self._authority,
+                               sim_cache=self._sim_cache)
+            self._engine_impl = impl
+        return impl
+
+    def _vectors_for(self, view: GraphSnapshot, landmark: int,
+                     topic: str) -> LandmarkVectors:
+        """Cached vectorised view of one inverted list."""
+        version = self.index.version_of(landmark, topic)
+        return self._vector_cache.get_or_build(
+            view.epoch, landmark, topic, version,
+            lambda: vectors_from_entries(
+                view, self.index.recommendations(landmark, topic), version))
 
     def query(self, user: int, topic: str,
               depth: Optional[int] = None,
@@ -148,86 +194,241 @@ class ApproximateRecommender:
         """
         exploration_depth = (depth if depth is not None
                              else self.landmark_params.query_depth)
-        effective_stale = bool(allow_stale) or self.allow_stale
-        view = as_snapshot(self.graph, effective_stale)
-        if view is not self._view:
-            self._view = view
-            if self._authority_supplied is None:
-                self._authority = view.authority()
-        with _obs.span("approx.query") as _sp:
+        effective_stale = (self.allow_stale if allow_stale is None
+                           else bool(allow_stale))
+        view = self._resolve(effective_stale)
+        if self.query_engine == "sparse":
+            dense, combined_dense, extra_scores, encountered = (
+                self._query_core(view, user, topic, exploration_depth))
+            combined = dense_scores_to_dict(view, combined_dense)
+            for node, value in extra_scores.items():
+                combined[node] = value
+            state = dense.to_state(view, topic)
+        else:
+            with _obs.span("approx.query") as _sp:
+                if _sp:
+                    _sp.set(user=user, topic=topic, depth=exploration_depth,
+                            engine=self.query_engine)
+                combined, encountered, state = self._query_dict(
+                    view, user, topic, exploration_depth, effective_stale)
+                _obs.count("approx.queries_total")
+                _obs.count("approx.landmarks_encountered_total",
+                           len(encountered))
+                if _sp:
+                    _sp.set(landmarks_hit=len(encountered))
             if _sp:
-                _sp.set(user=user, topic=topic, depth=exploration_depth)
-            with _obs.span("approx.explore") as _explore:
-                state = explore_with_landmarks(
-                    view, user, [topic], self._similarity,
-                    landmarks=self._landmark_set, params=self.params,
-                    depth=exploration_depth, authority=self._authority,
-                    sim_cache=self._sim_cache, allow_stale=effective_stale)
-                if _explore:
-                    _explore.set(depth=exploration_depth,
-                                 frontier_size=len(state.topo_alphabeta))
-
-            with _obs.span("approx.compose") as _compose:
-                # Directly-reached nodes keep their exploration score.
-                combined: Dict[int, float] = dict(state.scores.get(topic, {}))
-
-                encountered: List[int] = []
-                for landmark in self._sorted_landmarks:
-                    if landmark == user and exploration_depth > 0:
-                        continue
-                    topo_ab = state.topo_alphabeta.get(landmark, 0.0)
-                    if topo_ab <= 0.0:
-                        continue
-                    encountered.append(landmark)
-                    sigma_to_landmark = state.score(landmark, topic)
-                    for entry in self.index.recommendations(landmark, topic):
-                        if entry.node == user:
-                            continue
-                        contribution = (sigma_to_landmark * entry.topo
-                                        + topo_ab * entry.score)
-                        if contribution:
-                            combined[entry.node] = (
-                                combined.get(entry.node, 0.0) + contribution)
-                if _compose:
-                    _compose.set(landmarks_hit=len(encountered),
-                                 candidates=len(combined))
-
-            _obs.count("approx.queries_total")
-            _obs.count("approx.landmarks_encountered_total",
-                       len(encountered))
-            if _sp:
-                _sp.set(landmarks_hit=len(encountered))
+                _obs.observe("approx.query_seconds", _sp.elapsed)
         return ApproximateResult(
             scores=combined,
             landmarks_encountered=tuple(encountered),
             exploration=state,
         )
 
+    def _query_dict(
+        self, view: GraphSnapshot, user: int, topic: str,
+        exploration_depth: int, effective_stale: bool,
+    ) -> Tuple[Dict[int, float], List[int], ScoreState]:
+        """Reference query path: dict explore + entry-by-entry compose."""
+        with _obs.span("approx.explore") as _explore:
+            state = explore_with_landmarks(
+                view, user, [topic], self._similarity,
+                landmarks=self._landmark_set, params=self.params,
+                depth=exploration_depth, authority=self._authority,
+                sim_cache=self._sim_cache, allow_stale=effective_stale)
+            if _explore:
+                _explore.set(depth=exploration_depth,
+                             frontier_size=len(state.topo_alphabeta))
+        if _explore:
+            _obs.observe("approx.explore_seconds", _explore.elapsed)
+
+        with _obs.span("approx.compose") as _compose:
+            # Directly-reached nodes keep their exploration score.
+            combined: Dict[int, float] = dict(state.scores.get(topic, {}))
+
+            encountered: List[int] = []
+            for landmark in self._sorted_landmarks:
+                if landmark == user and exploration_depth > 0:
+                    continue
+                topo_ab = state.topo_alphabeta.get(landmark, 0.0)
+                if topo_ab <= 0.0:
+                    continue
+                encountered.append(landmark)
+                sigma_to_landmark = state.score(landmark, topic)
+                for entry in self.index.recommendations(landmark, topic):
+                    if entry.node == user:
+                        continue
+                    contribution = (sigma_to_landmark * entry.topo
+                                    + topo_ab * entry.score)
+                    if contribution:
+                        combined[entry.node] = (
+                            combined.get(entry.node, 0.0) + contribution)
+            if _compose:
+                _compose.set(landmarks_hit=len(encountered),
+                             candidates=len(combined))
+        if _compose:
+            _obs.observe("approx.compose_seconds", _compose.elapsed)
+        return combined, encountered, state
+
+    def _stacked_for(self, view: GraphSnapshot,
+                     topic: str) -> StackedLandmarkLists:
+        """Cached whole-index composition stack for *topic*.
+
+        Invalidated by epoch bumps (the graph mutated and the serving
+        layer re-pinned) and by any ``set_recommendations`` on the
+        index (tracked through its O(1) mutation counter); rebuilt
+        through the per-landmark :class:`LandmarkVectorCache` so the
+        hit/miss counters and per-list version checks stay live.
+        """
+        mutations = self.index.mutation_count
+        stacked = self._stacked.get(topic)
+        if (stacked is not None and stacked.epoch == view.epoch
+                and stacked.mutations == mutations):
+            return stacked
+        stacked = stack_landmark_vectors(
+            view, self._sorted_landmarks,
+            lambda landmark: self._vectors_for(view, landmark, topic),
+            mutations)
+        self._stacked[topic] = stacked
+        return stacked
+
+    def _query_core(
+        self, view: GraphSnapshot, user: int, topic: str,
+        exploration_depth: int,
+    ) -> Tuple[DenseExploration, np.ndarray, Dict[int, float], List[int]]:
+        """Batched query path — bitwise-identical to :meth:`_query_dict`.
+
+        The exploration runs as array rounds over the snapshot's CSR
+        arrays, and the Proposition-4 composition is one concatenated
+        scatter-add over the cached stacked landmark vectors (see
+        :mod:`repro.landmarks.query_engine` for the parity argument).
+        Returns the dense exploration, the dense combined scores, the
+        off-snapshot side-channel scores, and the hit landmarks —
+        without materialising any per-node dict.
+        """
+        engine = self._engine_for(view)
+        with _obs.span("approx.query") as _sp:
+            if _sp:
+                _sp.set(user=user, topic=topic, depth=exploration_depth,
+                        engine=self.query_engine)
+            with _obs.span("approx.explore") as _explore:
+                dense = engine.explore(user, topic, exploration_depth,
+                                       absorbing=self._landmark_set)
+                if _explore:
+                    _explore.set(
+                        depth=exploration_depth,
+                        frontier_size=int(
+                            np.count_nonzero(dense.topo_alphabeta)))
+            if _explore:
+                _obs.observe("approx.explore_seconds", _explore.elapsed)
+
+            with _obs.span("approx.compose") as _compose:
+                stacked = self._stacked_for(view, topic)
+                combined_dense, extra_scores, encountered = compose_stacked(
+                    stacked, dense.scores, dense.topo_alphabeta, user,
+                    skip_user_landmark=exploration_depth > 0)
+                if _compose:
+                    _compose.set(
+                        landmarks_hit=len(encountered),
+                        candidates=(int(np.count_nonzero(combined_dense))
+                                    + len(extra_scores)))
+            if _compose:
+                _obs.observe("approx.compose_seconds", _compose.elapsed)
+            _obs.count("approx.queries_total")
+            _obs.count("approx.landmarks_encountered_total",
+                       len(encountered))
+            if _sp:
+                _sp.set(landmarks_hit=len(encountered))
+        if _sp:
+            _obs.observe("approx.query_seconds", _sp.elapsed)
+        return dense, combined_dense, extra_scores, encountered
+
+    def _rank_dense(
+        self, view: GraphSnapshot, engine: QueryEngine,
+        combined_dense: np.ndarray, extra_scores: Dict[int, float],
+        user: int, top_n: Optional[int], exclude_followed: bool,
+    ) -> List[Tuple[int, float]]:
+        """Array-side ranking, identical to :meth:`ApproximateResult.ranked`.
+
+        ``np.lexsort`` with keys ``(node, -score)`` sorts by descending
+        score with ties broken by ascending node id — the reference
+        sort key ``(-score, node)`` exactly (float negation is exact).
+        """
+        mask = combined_dense > 0.0
+        position = view.position
+        pos = position.get(user)
+        if pos is not None:
+            mask[pos] = False
+        if exclude_followed:
+            for neighbor in view.out_neighbors(user):
+                npos = position.get(neighbor)
+                if npos is not None:
+                    mask[npos] = False
+        candidate_positions = np.nonzero(mask)[0]
+        nodes = engine.node_ids_array[candidate_positions]
+        scores = combined_dense[candidate_positions]
+        if extra_scores:
+            # Off-snapshot nodes can never be the user or a followee
+            # (both live in the snapshot), so only the >0 filter —
+            # already guaranteed by the compose side-channel — applies.
+            nodes = np.concatenate(
+                (nodes, np.fromiter(extra_scores.keys(), dtype=np.int64,
+                                    count=len(extra_scores))))
+            scores = np.concatenate(
+                (scores, np.fromiter(extra_scores.values(), dtype=np.float64,
+                                     count=len(extra_scores))))
+        order = np.lexsort((nodes, -scores))
+        if top_n is not None:
+            order = order[:top_n]
+        return [(int(nodes[i]), float(scores[i])) for i in order]
+
     def recommend(self, user: int, topic: str, top_n: int = 10, *,
-                  allow_stale: bool = False,
+                  allow_stale: Optional[bool] = None,
                   depth: Optional[int] = None,
                   exclude_followed: bool = True) -> RecommendationResponse:
         """Top-n approximate recommendations for *user* on *topic*.
 
         Implements the :class:`repro.api.Recommender` protocol; the old
         tuple-list shape survives on :meth:`recommend_pairs` (deprecated).
+        ``allow_stale=None`` defers to the constructor flag, matching
+        :meth:`query`.
         """
+        effective_stale = (self.allow_stale if allow_stale is None
+                           else bool(allow_stale))
         with _obs.span("approx.recommend") as _sp:
             if _sp:
                 _sp.set(user=user, topic=topic, top_n=top_n)
-            result = self.query(user, topic, depth=depth,
-                                allow_stale=allow_stale)
-            with _obs.span("approx.rank") as _rank:
-                excluded = {user}
-                if exclude_followed:
-                    excluded.update(self._view.out_neighbors(user))
-                ranked = result.ranked(top_n=top_n, exclude=excluded)
-                if _rank:
-                    _rank.set(candidates=len(result.scores),
-                              returned=len(ranked))
+            if self.query_engine == "sparse":
+                # Dense fast path: explore + compose + rank stay in
+                # arrays end to end; no per-node dict is built.
+                exploration_depth = (
+                    depth if depth is not None
+                    else self.landmark_params.query_depth)
+                view = self._resolve(effective_stale)
+                _, combined_dense, extra_scores, _ = self._query_core(
+                    view, user, topic, exploration_depth)
+                with _obs.span("approx.rank") as _rank:
+                    ranked = self._rank_dense(
+                        view, self._engine_for(view), combined_dense,
+                        extra_scores, user, top_n, exclude_followed)
+                    if _rank:
+                        _rank.set(
+                            candidates=(int(np.count_nonzero(combined_dense))
+                                        + len(extra_scores)),
+                            returned=len(ranked))
+            else:
+                result = self.query(user, topic, depth=depth,
+                                    allow_stale=effective_stale)
+                with _obs.span("approx.rank") as _rank:
+                    excluded = {user}
+                    if exclude_followed:
+                        excluded.update(self._view.out_neighbors(user))
+                    ranked = result.ranked(top_n=top_n, exclude=excluded)
+                    if _rank:
+                        _rank.set(candidates=len(result.scores),
+                                  returned=len(ranked))
         request = RecommendationRequest(
-            user=user, topic=topic, top_n=top_n, allow_stale=allow_stale,
-            depth=depth)
+            user=user, topic=topic, top_n=top_n,
+            allow_stale=effective_stale, depth=depth)
         return response_from_pairs(
             request, ranked, engine="approximate",
             snapshot_epoch=self._view.epoch)

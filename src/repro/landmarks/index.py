@@ -63,6 +63,15 @@ class LandmarkIndex:
         self.landmark_params = landmark_params
         # λ -> topic -> entries sorted by descending score
         self._lists: Dict[int, Dict[str, List[LandmarkEntry]]] = {}
+        # (λ, topic) -> replacement count; bumped by every
+        # set_recommendations so vectorised views of a list (the
+        # query-path LandmarkVectorCache) can detect in-place refreshes
+        # that happen without an epoch change.
+        self._versions: Dict[Tuple[int, str], int] = {}
+        # Total set_recommendations calls across all lists — an O(1)
+        # freshness check for whole-index derived structures (the
+        # query path's stacked composition arrays).
+        self._mutations = 0
         #: Per-landmark wall-clock spent in Algorithm 1, for Table 5.
         #: Batched engines attribute each batch's elapsed time evenly
         #: across its landmarks.
@@ -255,8 +264,35 @@ class LandmarkIndex:
 
     def set_recommendations(self, landmark: int, topic: str,
                             entries: Iterable[LandmarkEntry]) -> None:
-        """Install entries directly (used by the storage loader)."""
+        """Install entries directly (storage loader, maintainers).
+
+        Every call bumps the list's version (:meth:`version_of`), which
+        invalidates any cached vectorised view of the previous list.
+        """
         self._lists.setdefault(landmark, {})[topic] = list(entries)
+        key = (landmark, topic)
+        self._versions[key] = self._versions.get(key, 0) + 1
+        self._mutations += 1
+
+    def version_of(self, landmark: int, topic: str) -> int:
+        """Replacement count of one list (0 until first refreshed).
+
+        Engine builds write lists in place without touching versions;
+        only :meth:`set_recommendations` bumps them. The pair
+        ``(snapshot.epoch, version_of(λ, t))`` therefore uniquely
+        identifies a list's content for caching purposes.
+        """
+        return self._versions.get((landmark, topic), 0)
+
+    @property
+    def mutation_count(self) -> int:
+        """Total :meth:`set_recommendations` calls, across all lists.
+
+        A single integer that changes whenever *any* list changes —
+        derived whole-index structures compare it (together with the
+        snapshot epoch) instead of re-checking every per-list version.
+        """
+        return self._mutations
 
     @property
     def storage_bytes(self) -> int:

@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 from .export import read_json, render_text, write_json
 from .gate import (
     DEFAULT_FACTOR,
+    DEFAULT_MIN_LATENCY_SECONDS,
     DEFAULT_MIN_SECONDS,
     check_regression,
     describe_pass,
@@ -33,11 +34,20 @@ from .workload import SMOKE_DEFAULTS, run_smoke
 def _cmd_run(args: argparse.Namespace) -> int:
     report = run_smoke(nodes=args.nodes, seed=args.seed,
                        landmarks=args.landmarks, top_n=args.top_n,
-                       queries=args.queries, engine=args.engine)
+                       queries=args.queries, engine=args.engine,
+                       query_reps=args.query_reps)
     print(render_text(report))
     if args.json:
         written = write_json(report, args.json)
         print(f"\nwrote {args.json} ({written} bytes)")
+    if args.latency_json:
+        artifact = {
+            "version": report["version"],
+            "workload": report["workload"],
+            "latency": report.get("latency", {}),
+        }
+        written = write_json(artifact, args.latency_json)
+        print(f"wrote {args.latency_json} ({written} bytes)")
     return 0
 
 
@@ -50,7 +60,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
     current = read_json(args.report)
     baseline = read_json(args.baseline)
     problems = check_regression(current, baseline, factor=args.factor,
-                                min_seconds=args.min_seconds)
+                                min_seconds=args.min_seconds,
+                                min_latency_seconds=args.min_latency_seconds)
     if problems:
         for problem in problems:
             print(f"REGRESSION: {problem}", file=sys.stderr)
@@ -80,8 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
                      default=SMOKE_DEFAULTS["queries"])
     run.add_argument("--engine", choices=("auto", "dict", "sparse"),
                      default=SMOKE_DEFAULTS["engine"])
+    run.add_argument("--query-reps", type=int, dest="query_reps",
+                     default=SMOKE_DEFAULTS["query_reps"],
+                     help="timed repetitions of each query per engine "
+                          "in the latency stage (default %(default)s)")
     run.add_argument("--json", default="",
                      help="also write the bench report to this path")
+    run.add_argument("--latency-json", dest="latency_json", default="",
+                     help="also write just the workload + latency "
+                          "section to this path (the CI latency "
+                          "artifact)")
     run.set_defaults(handler=_cmd_run)
 
     report = sub.add_parser("report", help="render an existing bench report")
@@ -99,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default=DEFAULT_MIN_SECONDS,
                        help="noise floor applied to baseline stage times "
                             "(default %(default)s)")
+    check.add_argument("--min-latency-seconds", type=float,
+                       dest="min_latency_seconds",
+                       default=DEFAULT_MIN_LATENCY_SECONDS,
+                       help="noise floor applied to baseline query "
+                            "latency p50/p99 (default %(default)s)")
     check.set_defaults(handler=_cmd_check)
     return parser
 

@@ -18,8 +18,15 @@ REPORT_VERSION = 1
 
 
 def build_report(snapshot: Dict[str, Any],
-                 workload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    """Wrap a runtime snapshot into the versioned bench-report form."""
+                 workload: Optional[Dict[str, Any]] = None,
+                 latency: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Wrap a runtime snapshot into the versioned bench-report form.
+
+    ``latency`` maps stage names to per-query latency summaries
+    (``{count, p50, p99, mean, qps}`` — see
+    :func:`repro.obs.workload._latency_summary`); the CI gate holds
+    p50/p99 against the baseline.
+    """
     return {
         "version": REPORT_VERSION,
         "workload": dict(workload) if workload is not None else {},
@@ -27,6 +34,7 @@ def build_report(snapshot: Dict[str, Any],
         "counters": snapshot.get("counters", {}),
         "gauges": snapshot.get("gauges", {}),
         "histograms": snapshot.get("histograms", {}),
+        "latency": dict(latency) if latency is not None else {},
     }
 
 
@@ -89,6 +97,21 @@ def render_text(report: Dict[str, Any]) -> str:
         lines.append("gauges:")
         for name in sorted(gauges):
             lines.append(f"  {name} = {gauges[name]:g}")
+
+    latency = report.get("latency") or {}
+    if latency:
+        lines.append("")
+        name_width = max(len(name) for name in latency)
+        lines.append(f"{'latency':<{name_width}}  {'count':>7} "
+                     f"{'p50':>10} {'p99':>10} {'mean':>10} {'qps':>10}")
+        for name in sorted(latency):
+            entry = latency[name]
+            lines.append(
+                f"{name:<{name_width}}  {int(entry['count']):>7} "
+                f"{format_duration(entry['p50']):>10} "
+                f"{format_duration(entry['p99']):>10} "
+                f"{format_duration(entry['mean']):>10} "
+                f"{entry['qps']:>10.0f}")
 
     histograms = report.get("histograms") or {}
     if histograms:

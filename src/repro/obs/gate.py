@@ -5,7 +5,9 @@ exits non-zero when a stage got *grossly* slower (default: more than
 2x the baseline) or disappeared entirely (instrumentation rot is a
 regression too). Stages whose baseline time is below the noise floor
 are compared against the floor instead, so micro-stages cannot flap
-the gate on scheduler jitter.
+the gate on scheduler jitter. Per-query latency summaries from the
+bench-smoke query stage are gated the same way on their p50 and p99,
+with a tighter (per-query) noise floor.
 """
 
 from __future__ import annotations
@@ -19,10 +21,19 @@ DEFAULT_MIN_SECONDS = 0.05
 #: A stage fails when current > factor * max(baseline, min_seconds).
 DEFAULT_FACTOR = 2.0
 
+#: Noise floor for per-query latency percentiles (p50/p99). Smoke
+#: queries run in the hundreds of microseconds, so the floor is far
+#: tighter than the stage floor but still generous against scheduler
+#: jitter: a query path must get *grossly* slower (past
+#: factor × max(baseline, 5ms)) to trip the gate.
+DEFAULT_MIN_LATENCY_SECONDS = 0.005
+
 
 def check_regression(current: Dict[str, Any], baseline: Dict[str, Any],
                      factor: float = DEFAULT_FACTOR,
-                     min_seconds: float = DEFAULT_MIN_SECONDS) -> List[str]:
+                     min_seconds: float = DEFAULT_MIN_SECONDS,
+                     min_latency_seconds: float = DEFAULT_MIN_LATENCY_SECONDS,
+                     ) -> List[str]:
     """Return one problem string per gate violation (empty = pass).
 
     Checks, per baseline stage:
@@ -31,6 +42,12 @@ def check_regression(current: Dict[str, Any], baseline: Dict[str, Any],
       means an instrumentation point was lost);
     - its total time is within ``factor`` of the baseline, after
       lifting tiny baselines to ``min_seconds``.
+
+    Per baseline ``latency`` entry (the bench-smoke query stage):
+
+    - the entry still exists in the current report;
+    - its p50 and p99 are within ``factor`` of the baseline, after
+      lifting tiny baselines to ``min_latency_seconds``.
 
     Counters are compared for *presence* only — their values may
     legitimately change when algorithms change, but a vanished counter
@@ -58,6 +75,28 @@ def check_regression(current: Dict[str, Any], baseline: Dict[str, Any],
                 f"{float(base_entry['seconds']):.4f}s "
                 f"(budget {budget:.4f}s = {factor:g}x with "
                 f"{min_seconds:g}s floor)")
+
+    base_latency = baseline.get("latency") or {}
+    cur_latency = current.get("latency") or {}
+    for name in sorted(base_latency):
+        base_entry = base_latency[name]
+        cur_entry = cur_latency.get(name)
+        if cur_entry is None:
+            problems.append(
+                f"latency {name!r} present in baseline but missing from "
+                f"the current report — query stage removed?")
+            continue
+        for quantile in ("p50", "p99"):
+            base_value = float(base_entry[quantile])
+            budget = factor * max(base_value, min_latency_seconds)
+            value = float(cur_entry[quantile])
+            if value > budget:
+                problems.append(
+                    f"latency {name!r} {quantile} regressed: "
+                    f"{value * 1e3:.3f}ms vs baseline "
+                    f"{base_value * 1e3:.3f}ms (budget "
+                    f"{budget * 1e3:.3f}ms = {factor:g}x with "
+                    f"{min_latency_seconds * 1e3:g}ms floor)")
 
     base_counters = baseline.get("counters") or {}
     cur_counters = current.get("counters") or {}

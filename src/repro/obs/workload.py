@@ -14,6 +14,7 @@ diffs of ``BENCH_ci.json`` isolate *time* changes from *work* changes.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, List
 
 from . import runtime as rt
@@ -23,13 +24,38 @@ from .export import build_report
 #: ``benchmarks/baseline_ci.json`` — regenerate it in the same commit
 #: (see docs/OBSERVABILITY.md).
 SMOKE_DEFAULTS: Dict[str, Any] = {
-    "nodes": 800,
+    "nodes": 1200,
     "seed": 7,
     "landmarks": 24,
-    "top_n": 50,
+    "top_n": 100,
     "queries": 8,
+    "query_reps": 25,
     "engine": "auto",
 }
+
+
+def _latency_summary(samples: List[float]) -> Dict[str, float]:
+    """p50/p99/mean/qps over raw per-query latency samples.
+
+    Percentile index is ``ceil(q·n) - 1`` (nearest-rank, clamped), so
+    small sample sets stay well-defined and deterministic.
+    """
+    ordered = sorted(samples)
+    n = len(ordered)
+    if n == 0:
+        return {"count": 0, "p50": 0.0, "p99": 0.0, "mean": 0.0, "qps": 0.0}
+
+    def pick(q: float) -> float:
+        return ordered[min(max(math.ceil(q * n) - 1, 0), n - 1)]
+
+    total = sum(ordered)
+    return {
+        "count": n,
+        "p50": pick(0.50),
+        "p99": pick(0.99),
+        "mean": total / n,
+        "qps": (n / total) if total > 0.0 else 0.0,
+    }
 
 
 def _pick_query_nodes(graph: Any, landmarks: List[int],
@@ -45,12 +71,18 @@ def _pick_query_nodes(graph: Any, landmarks: List[int],
 
 def run_smoke(nodes: int = 0, seed: int = 0, landmarks: int = 0,
               top_n: int = 0, queries: int = 0,
-              engine: str = "") -> Dict[str, Any]:
+              engine: str = "", query_reps: int = 0) -> Dict[str, Any]:
     """Run the smoke workload with obs enabled; returns the report.
 
     Any argument left at its falsy default is replaced by the pinned
     value from :data:`SMOKE_DEFAULTS` (explicit zeros are not
     meaningful for any of these knobs).
+
+    The Algorithm-2 stage runs each query ``query_reps`` times through
+    *both* query engines (``dict`` reference and ``sparse``
+    vectorised) and reports per-engine p50/p99/mean/qps under the
+    ``latency`` report section — the numbers the CI gate holds against
+    ``benchmarks/baseline_ci.json``.
     """
     # Imports are deferred so `import repro.obs` stays dependency-free
     # and cycle-free (core/landmarks import repro.obs at module load).
@@ -68,6 +100,8 @@ def run_smoke(nodes: int = 0, seed: int = 0, landmarks: int = 0,
     top_n = top_n if top_n else int(SMOKE_DEFAULTS["top_n"])
     queries = queries if queries else int(SMOKE_DEFAULTS["queries"])
     engine = engine if engine else str(SMOKE_DEFAULTS["engine"])
+    query_reps = (query_reps if query_reps
+                  else int(SMOKE_DEFAULTS["query_reps"]))
 
     was_enabled = rt.is_enabled()
     rt.enable(reset=True)
@@ -103,11 +137,31 @@ def run_smoke(nodes: int = 0, seed: int = 0, landmarks: int = 0,
                                            top_n=top_n),
             authority=authority, engine=engine)
 
-        # Stage 3 — Algorithm 2 landmark-accelerated queries.
-        recommender = ApproximateRecommender(snapshot, similarity, index,
-                                             authority=authority)
-        for query in query_nodes:
-            recommender.recommend(query, topic, top_n=10)
+        # Stage 3 — Algorithm 2 landmark-accelerated queries, timed
+        # per-query through both engines. The dict reference engine and
+        # the sparse vectorised engine answer bitwise-identically
+        # (pinned by the parity tests), so the latency section isolates
+        # the composition-engine speedup from any answer change.
+        latencies: Dict[str, List[float]] = {}
+        for engine_name in ("dict", "sparse"):
+            recommender = ApproximateRecommender(
+                snapshot, similarity, index, authority=authority,
+                query_engine=engine_name)
+            # one untimed pass warms the engine's per-snapshot caches
+            # (CSR views, landmark vectors, stacked composition arrays)
+            for query in query_nodes:
+                recommender.recommend(query, topic, top_n=10)
+            samples: List[float] = []
+            stage = f"workload.query.{engine_name}"
+            for _ in range(query_reps):
+                for query in query_nodes:
+                    watch = rt.timed_span(stage)
+                    with watch:
+                        recommender.recommend(query, topic, top_n=10)
+                    samples.append(watch.elapsed)
+            latencies[stage] = samples
+        latency = {name: _latency_summary(samples)
+                   for name, samples in latencies.items()}
 
         # Stage 4 — the same queries through the sharded serving tier
         # (scatter-gather over 4 range shards; answers are
@@ -124,8 +178,9 @@ def run_smoke(nodes: int = 0, seed: int = 0, landmarks: int = 0,
         report = build_report(rt.snapshot(), workload={
             "nodes": nodes, "seed": seed, "landmarks": landmarks,
             "top_n": top_n, "queries": len(query_nodes),
+            "query_reps": query_reps,
             "engine": index.engine_used, "topic": topic,
-        })
+        }, latency=latency)
     finally:
         if not was_enabled:
             rt.disable()

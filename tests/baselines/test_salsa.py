@@ -45,25 +45,31 @@ class TestCircleOfTrust:
 
 
 class TestRecommend:
+    # SALSA is structural; the topic is recorded on the request only.
+    TOPIC = "technology"
+
     def test_recommends_community_authority(self, two_communities):
         """12 is followed by 0's trusted circle but not by 0 — the
         canonical WTF recommendation."""
-        results = SalsaRecommender(two_communities).recommend(0, top_n=3)
+        results = SalsaRecommender(two_communities).recommend(
+            0, self.TOPIC, top_n=3).pairs()
         assert results
         assert results[0][0] == 12
 
     def test_excludes_followed_and_self(self, two_communities):
-        results = SalsaRecommender(two_communities).recommend(0, top_n=10)
+        results = SalsaRecommender(two_communities).recommend(
+            0, self.TOPIC, top_n=10).pairs()
         nodes = {node for node, _ in results}
         assert not nodes & {0, 1, 2, 10, 11}
 
     def test_candidate_pool_restriction(self, two_communities):
         results = SalsaRecommender(two_communities).recommend(
-            0, top_n=10, candidates=[12, 20])
+            0, self.TOPIC, top_n=10, candidates=[12, 20]).pairs()
         assert {node for node, _ in results} <= {12, 20}
 
     def test_scores_descending(self, two_communities):
-        results = SalsaRecommender(two_communities).recommend(0, top_n=10)
+        results = SalsaRecommender(two_communities).recommend(
+            0, self.TOPIC, top_n=10).pairs()
         values = [score for _, score in results]
         assert values == sorted(values, reverse=True)
 
@@ -72,14 +78,14 @@ class TestRecommend:
         graph = generate_twitter_graph(300, seed=402)
         salsa = SalsaRecommender(graph, circle_size=20)
         users = [n for n in graph.nodes() if graph.out_degree(n) >= 5][:6]
-        heads = {tuple(n for n, _ in salsa.recommend(u, top_n=3))
+        heads = {tuple(salsa.recommend(u, self.TOPIC, top_n=3).nodes())
                  for u in users}
         assert len(heads) > 1
 
     def test_isolated_user_gets_nothing(self):
         graph = graph_from_edges([(1, 2)])
         graph.add_node(9)
-        assert SalsaRecommender(graph).recommend(9) == []
+        assert SalsaRecommender(graph).recommend(9, self.TOPIC).pairs() == []
 
 
 class TestValidation:

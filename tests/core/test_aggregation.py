@@ -129,7 +129,7 @@ class TestRecommenderIntegration:
         ])
         recommender = Recommender(graph, web_sim, ScoreParams(beta=0.2))
         for name in AGGREGATORS:
-            results = recommender.recommend(
+            results = recommender.rank(
                 0, ["technology", "bigdata"], top_n=5, aggregation=name)
             assert results, name
 
@@ -141,4 +141,4 @@ class TestRecommenderIntegration:
         graph = graph_from_edges([(0, 1, ["technology"])])
         recommender = Recommender(graph, web_sim, ScoreParams(beta=0.2))
         with pytest.raises(ConfigurationError):
-            recommender.recommend(0, "technology", aggregation="magic")
+            recommender.rank(0, "technology", aggregation="magic")

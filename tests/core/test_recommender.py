@@ -47,7 +47,7 @@ class TestRecommend:
 
     def test_candidate_pool_restriction(self, world):
         _, recommender = world
-        results = recommender.recommend(0, "technology", candidates=[2])
+        results = recommender.rank(0, "technology", candidates=[2])
         assert [r.node for r in results] == [2]
 
     def test_multi_topic_query_combines_linearly(self, world):
@@ -56,7 +56,7 @@ class TestRecommend:
                 for r in recommender.recommend(0, "technology", top_n=10)}
         food = {r.node: r.score
                 for r in recommender.recommend(0, "food", top_n=10)}
-        both = {r.node: r.score for r in recommender.recommend(
+        both = {r.node: r.score for r in recommender.rank(
             0, {"technology": 1.0, "food": 1.0}, top_n=10)}
         for node, score in sorted(both.items()):
             expected = 0.5 * tech.get(node, 0.0) + 0.5 * food.get(node, 0.0)
@@ -64,7 +64,7 @@ class TestRecommend:
 
     def test_per_topic_breakdown_present(self, world):
         _, recommender = world
-        results = recommender.recommend(0, ["technology", "food"], top_n=5)
+        results = recommender.rank(0, ["technology", "food"], top_n=5)
         assert all(r.per_topic for r in results)
 
     def test_unknown_user_raises(self, world):
@@ -80,12 +80,12 @@ class TestRecommend:
     def test_empty_query_rejected(self, world):
         _, recommender = world
         with pytest.raises(ConfigurationError):
-            recommender.recommend(0, [])
+            recommender.rank(0, [])
 
     def test_negative_weights_rejected(self, world):
         _, recommender = world
         with pytest.raises(ConfigurationError):
-            recommender.recommend(0, {"technology": -1.0})
+            recommender.rank(0, {"technology": -1.0})
 
     def test_score_single_pair(self, world):
         _, recommender = world

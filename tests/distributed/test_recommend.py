@@ -47,6 +47,39 @@ class TestAnswerEquivalence:
             for (_, ours), (_, theirs) in zip(got, expected):
                 assert ours == pytest.approx(theirs)
 
+    def test_query_engines_agree_bitwise(self, world, web_sim):
+        """The sparse compose path changes latency, never answers or
+        the network-cost model."""
+        graph, index = world
+        assignment = hash_partition(graph, 4)
+        by_engine = {
+            engine: DistributedLandmarkService(graph, assignment, web_sim,
+                                               index, query_engine=engine)
+            for engine in ("dict", "sparse")
+        }
+        users = [n for n in graph.nodes()
+                 if graph.out_degree(n) >= 3
+                 and n not in set(index.landmarks)][:5]
+        for user in users:
+            for depth in (0, 1, None):
+                scores_dict, cost_dict = (
+                    by_engine["dict"].scores_with_cost(user, TOPIC,
+                                                       depth=depth))
+                scores_sparse, cost_sparse = (
+                    by_engine["sparse"].scores_with_cost(user, TOPIC,
+                                                         depth=depth))
+                assert cost_dict == cost_sparse
+                # compare over the union: the engines may differ only
+                # in whether they *store* an exactly-zero entry
+                for node in set(scores_dict) | set(scores_sparse):
+                    assert (scores_sparse.get(node, 0.0)
+                            == scores_dict.get(node, 0.0))
+                ranked_dict = by_engine["dict"].recommend(user, TOPIC,
+                                                          top_n=10)
+                ranked_sparse = by_engine["sparse"].recommend(user, TOPIC,
+                                                              top_n=10)
+                assert ranked_dict.pairs() == ranked_sparse.pairs()
+
     def test_partitioner_choice_does_not_change_answers(self, world,
                                                         web_sim):
         graph, index = world

@@ -123,6 +123,35 @@ class TestParity:
             assert got.engine == "sharded"
             assert got.snapshot_epoch == platform.epoch
 
+    @pytest.mark.parametrize("num_shards", [1, 2, 7])
+    def test_query_engines_agree_bitwise(self, world, web_sim, query_users,
+                                         num_shards):
+        """dict-composed and sparse-composed shards return identical
+        answers and identical cost accounting, both equal to the
+        single-machine reference path."""
+        graph, index = world
+        reference = ApproximateRecommender(graph, web_sim, index,
+                                           params=PARAMS,
+                                           query_engine="dict")
+        by_engine = {
+            engine: ShardedPlatform.build(graph, web_sim, index, num_shards,
+                                          params=PARAMS, query_engine=engine)
+            for engine in ("dict", "sparse")
+        }
+        assert by_engine["sparse"].query_engine == "sparse"
+        for user in query_users:
+            expected = reference.recommend(user, TOPIC, top_n=10)
+            responses = {engine: platform.recommend(user, TOPIC, top_n=10)
+                         for engine, platform in by_engine.items()}
+            for engine, got in responses.items():
+                assert got.pairs() == expected.pairs(), (engine, user)
+            cost_dict = responses["dict"].cost
+            cost_sparse = responses["sparse"].cost
+            assert (cost_dict.local_landmarks, cost_dict.remote_landmarks,
+                    cost_dict.entries_transferred) == (
+                cost_sparse.local_landmarks, cost_sparse.remote_landmarks,
+                cost_sparse.entries_transferred)
+
     def test_cost_accounting_populated(self, world, web_sim, query_users):
         graph, index = world
         platform = ShardedPlatform.build(graph, web_sim, index, 4,

@@ -132,9 +132,52 @@ class TestTTLMaintainer:
         stream = GraphStream(graph)
         stream.subscribe(maintainer.on_event)
         stream.apply_all(simulate_churn(graph, 120, seed=6))
-        # at least two full refresh rounds in ~120 applied events
+        # at least two full refresh rounds' worth in ~120 applied events
         assert maintainer.stats.rebuild_rounds >= 2
         assert maintainer.stats.landmarks_rebuilt >= 2 * len(index)
+
+    def test_amortised_cost_is_size_over_ttl(self, world, web_sim):
+        """The schedule pays |Λ|/ttl rebuilds per event — never a burst
+        of the whole landmark set at once."""
+        graph, index = world
+        ttl = 50
+        maintainer = TTLMaintainer(graph, index, [TOPIC], web_sim, PARAMS,
+                                   ttl_events=ttl)
+        stream = GraphStream(graph)
+        stream.subscribe(maintainer.on_event)
+        stream.apply_all(simulate_churn(graph, 120, seed=6))
+        events = maintainer.stats.events_seen
+        assert events >= ttl
+        # exactly floor(|Λ|·e / ttl) rebuilds after e events
+        expected = (len(index) * events) // ttl
+        assert maintainer.stats.landmarks_rebuilt == expected
+        assert maintainer.stats.rebuilds_per_event == pytest.approx(
+            len(index) / ttl, rel=0.25)
+        # one full ttl window has elapsed, so every landmark got a turn
+        assert maintainer.rebuilt_ever == set(index.landmarks)
+
+    def test_batches_bounded_and_round_robin(self, world, web_sim):
+        """Per-tick batches never exceed ⌈|Λ|/ttl⌉ and walk the sorted
+        landmark list with a wrapping cursor."""
+        import math
+
+        from repro.dynamics.events import EdgeEvent, EventKind
+
+        graph, index = world
+        ttl = 3
+        maintainer = TTLMaintainer(graph, index, [TOPIC], web_sim, PARAMS,
+                                   ttl_events=ttl)
+        batches = []
+        maintainer.rebuild = batches.append  # record schedule, skip work
+        for tick in range(6):
+            maintainer.on_event(EdgeEvent(EventKind.FOLLOW, 9001, 9002,
+                                          ("technology",), tick))
+        cap = math.ceil(len(index) / ttl)
+        assert batches and all(len(batch) <= cap for batch in batches)
+        flat = [lm for batch in batches for lm in batch]
+        assert len(flat) == (len(index) * 6) // ttl
+        order = sorted(index.landmarks)
+        assert flat == [order[i % len(order)] for i in range(len(flat))]
 
     def test_ttl_validation(self, world, web_sim):
         graph, index = world
@@ -164,3 +207,26 @@ class TestRebuildCorrectness:
             assert [e.node for e in maintained] == [e.node for e in rebuilt]
             for ours, theirs in zip(maintained, rebuilt):
                 assert ours.score == pytest.approx(theirs.score)
+
+    def test_rebuild_bitwise_matches_fresh_dict_build(self, world, web_sim):
+        """Entries written by ``rebuild`` are bitwise-identical to a
+        fresh dict-engine build — same propagation, same accumulation
+        order, byte-for-byte the same floats."""
+        graph, index = world
+        maintainer = NoOpMaintainer(graph, index, [TOPIC], web_sim, PARAMS)
+        stream = GraphStream(graph)
+        stream.subscribe(maintainer.on_event)
+        stream.apply_all(simulate_churn(graph, 80, seed=11))
+        maintainer.rebuild(sorted(index.landmarks))
+        scratch = LandmarkIndex.build(
+            graph, list(index.landmarks), [TOPIC], web_sim, params=PARAMS,
+            landmark_params=index.landmark_params, engine="dict")
+        for landmark in index.landmarks:
+            maintained = index.recommendations(landmark, TOPIC)
+            rebuilt = scratch.recommendations(landmark, TOPIC)
+            assert len(maintained) == len(rebuilt)
+            for ours, theirs in zip(maintained, rebuilt):
+                assert ours.node == theirs.node
+                assert ours.score == theirs.score
+                assert ours.topo == theirs.topo
+                assert ours.topo_ab == theirs.topo_ab

@@ -10,7 +10,7 @@ from repro.obs.export import REPORT_VERSION
 from repro.obs.workload import run_smoke
 
 
-def tiny_report(stage_seconds):
+def tiny_report(stage_seconds, latency=None):
     """A minimal valid report with the given {stage: seconds}."""
     return {
         "version": REPORT_VERSION,
@@ -23,6 +23,12 @@ def tiny_report(stage_seconds):
         "counters": {"exact.calls_total": 1},
         "gauges": {},
         "histograms": {},
+        "latency": {
+            name: {"count": 10, "p50": p50, "p99": p50 * 2.0,
+                   "mean": p50, "qps": 1.0 / p50}
+            for name, p50 in (latency if latency is not None
+                              else {}).items()
+        },
     }
 
 
@@ -88,20 +94,58 @@ class TestRegressionGate:
         problems = check_regression(current, baseline)
         assert any("exact.calls_total" in p for p in problems)
 
+    def test_latency_within_budget_passes(self):
+        baseline = tiny_report({}, latency={"workload.query.sparse": 0.010})
+        current = tiny_report({}, latency={"workload.query.sparse": 0.018})
+        assert check_regression(current, baseline) == []
+
+    def test_latency_beyond_factor_fails_on_p50_and_p99(self):
+        baseline = tiny_report({}, latency={"workload.query.sparse": 0.010})
+        current = tiny_report({}, latency={"workload.query.sparse": 0.050})
+        problems = check_regression(current, baseline, factor=2.0)
+        assert len(problems) == 2
+        assert any("p50" in p for p in problems)
+        assert any("p99" in p for p in problems)
+
+    def test_latency_noise_floor_shields_microsecond_queries(self):
+        """Sub-floor query latencies compare against the floor, so a
+        200us -> 900us wobble cannot flap the gate."""
+        baseline = tiny_report({}, latency={"workload.query.sparse": 0.0002})
+        current = tiny_report({}, latency={"workload.query.sparse": 0.0009})
+        assert check_regression(current, baseline,
+                                min_latency_seconds=0.005) == []
+
+    def test_missing_latency_entry_fails(self):
+        baseline = tiny_report({}, latency={"workload.query.sparse": 0.010})
+        current = tiny_report({})
+        problems = check_regression(current, baseline)
+        assert any("workload.query.sparse" in p for p in problems)
+
 
 class TestSmokeWorkload:
     def test_smoke_covers_all_three_pipeline_stages(self):
-        report = run_smoke(nodes=120, landmarks=8, queries=3)
+        report = run_smoke(nodes=120, landmarks=8, queries=3, query_reps=2)
         stages = report["stages"]
         assert "exact.single_source" in stages
         assert "landmarks.build" in stages
         assert "approx.recommend" in stages
-        assert report["counters"]["approx.queries_total"] == 3
+        # both engines: one warmup pass + query_reps timed passes each
+        assert report["counters"]["approx.queries_total"] == 2 * (1 + 2) * 3
         assert report["workload"]["nodes"] == 120
 
+    def test_smoke_reports_per_engine_query_latency(self):
+        report = run_smoke(nodes=120, landmarks=8, queries=3, query_reps=2)
+        latency = report["latency"]
+        assert set(latency) == {"workload.query.dict",
+                                "workload.query.sparse"}
+        for entry in latency.values():
+            assert entry["count"] == 2 * 3
+            assert 0.0 < entry["p50"] <= entry["p99"]
+            assert entry["qps"] > 0.0
+
     def test_smoke_counters_are_deterministic(self):
-        first = run_smoke(nodes=120, landmarks=8, queries=3)
-        second = run_smoke(nodes=120, landmarks=8, queries=3)
+        first = run_smoke(nodes=120, landmarks=8, queries=3, query_reps=2)
+        second = run_smoke(nodes=120, landmarks=8, queries=3, query_reps=2)
         assert first["counters"] == second["counters"]
         assert first["workload"] == second["workload"]
         calls = {name: entry["calls"]
@@ -115,10 +159,16 @@ class TestCli:
     def test_run_writes_report_and_check_passes_against_itself(
             self, tmp_path, capsys):
         bench = tmp_path / "BENCH_ci.json"
+        latency = tmp_path / "latency_ci.json"
         assert main(["run", "--nodes", "120", "--landmarks", "8",
-                     "--queries", "3", "--json", str(bench)]) == 0
+                     "--queries", "3", "--query-reps", "2",
+                     "--json", str(bench),
+                     "--latency-json", str(latency)]) == 0
         report = read_json(bench)
         assert report["version"] == REPORT_VERSION
+        artifact = read_json(latency)
+        assert artifact["latency"] == report["latency"]
+        assert "stages" not in artifact
         assert main(["check", str(bench), str(bench)]) == 0
         out = capsys.readouterr().out
         assert "gate passed" in out
