@@ -1,34 +1,71 @@
 """Repo-specific static analysis: custom AST lints for the repro tree.
 
-``python -m repro.analysis [paths]`` runs six rules that encode the
-invariants this codebase keeps re-learning by fixing bugs — falsy
-``or``-fallbacks on numeric parameters, nondeterministic set/dict
-iteration feeding float accumulation, unseeded randomness, mutable
-defaults, unbounded propagation loops, and blind exception handlers.
-See ``docs/ANALYSIS.md`` for each rule's motivating bug, the
-``# repro: ignore[RULE] -- why`` suppression syntax, and how to add a
-rule.
+``python -m repro.analysis [paths]`` runs two passes. The **per-file
+pass** (rules ``R1``–``R9``) encodes the invariants this codebase
+keeps re-learning by fixing bugs — falsy ``or``-fallbacks on numeric
+parameters, nondeterministic set/dict iteration feeding float
+accumulation, unseeded randomness, mutable defaults, unbounded
+propagation loops, blind exception handlers, raw clock reads, private
+graph access, and tuple-returning recommenders. The **project pass**
+(rules ``W1``–``W4``) parses the whole package once, resolves imports
+and name bindings into an import graph and a conservative call graph,
+and checks the cross-module invariants no single file can see:
+package layering against the checked-in ``layers.toml``, dropped
+``allow_stale``-style flags at call boundaries, exception contracts
+on the serving surface, and dead public API. See ``docs/ANALYSIS.md``
+for each rule's motivating bug, the ``# repro: ignore[RULE] -- why``
+suppression syntax, and how to add a rule.
 
 Public surface:
 
-- :func:`check_source` / :func:`check_paths` — run the pass in-process
-  (the test fixtures drive rules through :func:`check_source`);
+- :func:`check_source` / :func:`check_paths` — run the pass
+  in-process (the test fixtures drive rules through
+  :func:`check_source`);
+- :func:`run_analysis` — both passes plus cache statistics
+  (:class:`AnalysisRun`);
 - :class:`Finding` — one violation;
 - :class:`Rule` / :func:`register` / :data:`REGISTRY` — the plug-in
-  point for new rules.
+  point for per-file rules;
+- :class:`ProjectRule` / :func:`register_project` /
+  :data:`PROJECT_REGISTRY` — the plug-in point for whole-program
+  rules (driven by :func:`run_project_rules` over
+  :class:`ModuleSummary` facts).
 """
 
-from .engine import check_file, check_paths, check_source
+from .engine import (AnalysisRun, UnknownRuleError, check_file, check_paths,
+                     check_source, iter_python_files, run_analysis)
 from .findings import Finding
+from .modgraph import ModuleSummary, summarize_module
+from .project import (PROJECT_REGISTRY, LayersConfig, LayersConfigError,
+                      ProjectRule, all_project_rules, load_layers_config,
+                      register_project, render_layering_dag,
+                      run_project_rules)
 from .rules import REGISTRY, Rule, all_rules, register
+from .sarif import render_sarif
 
 __all__ = [
+    "AnalysisRun",
     "Finding",
+    "LayersConfig",
+    "LayersConfigError",
+    "ModuleSummary",
+    "PROJECT_REGISTRY",
+    "ProjectRule",
     "REGISTRY",
     "Rule",
+    "UnknownRuleError",
+    "all_project_rules",
     "all_rules",
     "check_file",
     "check_paths",
     "check_source",
+    "iter_python_files",
+    "load_layers_config",
     "register",
+    "register_project",
+    "render_layering_dag",
+    "render_sarif",
+    "run_analysis",
+    "run_project_rules",
+    "summarize_module",
 ]

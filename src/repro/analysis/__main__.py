@@ -2,18 +2,26 @@
 
 Exit codes: 0 — clean; 1 — findings; 2 — usage error. CI runs this as
 a hard gate (see ``.github/workflows/ci.yml``), so a new violation of
-any rule fails the build exactly like a failing test.
+any rule — per-file ``R*`` or whole-program ``W*`` — fails the build
+exactly like a failing test. ``--cache`` turns on the incremental
+cache (content-hash-keyed; warm runs re-parse only changed files) and
+``--sarif`` writes a SARIF 2.1.0 report for GitHub code-scanning
+annotations alongside whichever ``--format`` goes to stdout.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional
 
-from .engine import check_paths
+from .cache import DEFAULT_CACHE_PATH
+from .engine import UnknownRuleError, run_analysis, validate_select
+from .project import LayersConfigError
 from .report import render_json, render_rule_list, render_text
-from .rules import REGISTRY
+from .sarif import render_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -25,11 +33,22 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (json is stable for CI consumption)")
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format on stdout (json and sarif are stable for "
+             "CI consumption)")
+    parser.add_argument(
+        "--sarif", metavar="PATH",
+        help="additionally write a SARIF 2.1.0 report to PATH (for "
+             "GitHub code-scanning upload)")
     parser.add_argument(
         "--select", metavar="RULES",
-        help="comma-separated rule ids to run, e.g. R1,R2 (default: all)")
+        help="comma-separated rule ids to run, e.g. R1,W2 (default: all)")
+    parser.add_argument(
+        "--cache", metavar="PATH", nargs="?", const=DEFAULT_CACHE_PATH,
+        default=None,
+        help="enable the incremental cache at PATH (default when the "
+             f"flag is given without a value: {DEFAULT_CACHE_PATH}); "
+             "warm runs re-parse only files whose content changed")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit")
@@ -48,22 +67,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     if options.select:
         select = [part.strip() for part in options.select.split(",")
                   if part.strip()]
-        unknown = [rule_id for rule_id in select if rule_id not in REGISTRY]
-        if unknown:
-            print(f"unknown rule id(s): {', '.join(unknown)} "
-                  f"(known: {', '.join(sorted(REGISTRY))})", file=sys.stderr)
+        try:
+            validate_select(select)
+        except UnknownRuleError as exc:
+            print(str(exc), file=sys.stderr)
             return 2
 
+    started = time.perf_counter()  # repro: ignore[R7] -- the analyzer times itself for the CI warm/cold line; it must not depend on repro.obs
     try:
-        findings = check_paths(options.paths, select=select)
+        run = run_analysis(
+            options.paths, select=select,
+            cache_path=Path(options.cache) if options.cache else None)
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    except UnknownRuleError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except LayersConfigError as exc:
+        print(f"layering config error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started  # repro: ignore[R7] -- paired read for the self-timing line above
 
+    findings = run.findings
+    if options.sarif:
+        Path(options.sarif).write_text(render_sarif(findings) + "\n",
+                                       encoding="utf-8")
     if options.format == "json":
         print(render_json(findings))
+    elif options.format == "sarif":
+        print(render_sarif(findings))
     else:
         print(render_text(findings))
+    if options.cache:
+        print(f"analyzed {len(run.files)} files in {elapsed:.3f}s "
+              f"(cache: {run.cache_hits} hits, {run.cache_misses} misses, "
+              f"{run.parsed} parsed)", file=sys.stderr)
     return 1 if findings else 0
 
 

@@ -1,0 +1,121 @@
+"""Content-hash-keyed incremental cache for the analysis pass.
+
+Parsing and summarizing every module is the expensive part of a run;
+the findings and the :class:`~repro.analysis.modgraph.ModuleSummary`
+of a file are pure functions of its bytes. The cache persists both,
+keyed by SHA-256 of the file contents, to
+``.repro-analysis-cache.json`` (or any path the caller picks), so a
+warm run re-parses only the modules whose bytes changed — the
+whole-program rules then rebuild their graphs from cached summaries.
+
+Soundness: the key is the content hash, so editing a file (including
+its suppression comments) always misses; the cache version, the
+summary schema version, and the Python minor version (AST shapes
+differ) are part of the envelope, so stale formats are discarded
+wholesale rather than misread.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from .findings import Finding
+from .modgraph import SUMMARY_VERSION, ModuleSummary
+
+#: Bump on any change to the entry layout.
+CACHE_VERSION = 1
+
+#: Default on-disk location, relative to the working directory.
+DEFAULT_CACHE_PATH = ".repro-analysis-cache.json"
+
+
+def content_digest(data: bytes) -> str:
+    """Hex SHA-256 of a file's bytes — the cache key."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def _envelope_key() -> str:
+    version = sys.version_info
+    return f"{CACHE_VERSION}/{SUMMARY_VERSION}/py{version[0]}.{version[1]}"
+
+
+class AnalysisCache:
+    """Per-file findings + summaries, persisted across runs.
+
+    Attributes:
+        hits: Files served from cache this run.
+        misses: Files that had to be parsed this run.
+    """
+
+    def __init__(self, path: Optional[Path]) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._touched: Dict[str, Dict[str, Any]] = {}
+        if path is None or not path.exists():
+            return
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return  # unreadable cache == cold cache
+        if not isinstance(payload, dict):
+            return
+        if payload.get("envelope") != _envelope_key():
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def lookup(self, path: str, digest: str) -> Optional[
+            Tuple[List[Finding], Optional[ModuleSummary]]]:
+        """Cached (findings, summary) for *path* at *digest*, if fresh.
+
+        Counts a hit or a miss; a hit also marks the entry live so
+        :meth:`save` retains it.
+        """
+        entry = self._entries.get(path)
+        if entry is None or entry.get("digest") != digest:
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding(**record) for record in entry["findings"]]
+            raw_summary = entry["summary"]
+            summary = (ModuleSummary.from_dict(raw_summary)
+                       if raw_summary is not None else None)
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touched[path] = entry
+        return findings, summary
+
+    def store(self, path: str, digest: str, findings: List[Finding],
+              summary: Optional[ModuleSummary]) -> None:
+        """Record the freshly computed facts for *path*."""
+        entry = {
+            "digest": digest,
+            "findings": [finding.to_dict() for finding in findings],
+            "summary": summary.to_dict() if summary is not None else None,
+        }
+        self._entries[path] = entry
+        self._touched[path] = entry
+
+    def save(self) -> None:
+        """Persist entries touched this run (dead paths are pruned)."""
+        if self.path is None:
+            return
+        payload = {
+            "envelope": _envelope_key(),
+            "entries": dict(sorted(self._touched.items())),
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                encoding="utf-8")
+        except OSError:
+            pass  # a cache that cannot be written is just a cold cache

@@ -4,27 +4,88 @@ The engine is deliberately small — rules do the analysis, this module
 does I/O, suppression filtering, and the ``R0`` suppression-hygiene
 findings (a suppression missing its justification, or naming an
 unknown rule, is itself an unsuppressible finding).
+
+Two passes run over the input set:
+
+1. the **per-file pass** (rules ``R1``…, :mod:`repro.analysis.rules`)
+   lints each file in isolation;
+2. the **project pass** (rules ``W1``…,
+   :mod:`repro.analysis.project`) assembles every file's
+   :class:`~repro.analysis.modgraph.ModuleSummary` into import and
+   call graphs and checks whole-program invariants.
+
+Both passes share the incremental cache
+(:mod:`repro.analysis.cache`): per-file findings and summaries are
+pure functions of a file's bytes, so a warm run re-parses only the
+files whose content hash changed.
 """
 
 from __future__ import annotations
 
 import ast
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from .cache import AnalysisCache, content_digest
 from .findings import Finding
+from .modgraph import ModuleSummary, summarize_module
+from .project import PROJECT_REGISTRY, run_project_rules
 from .rules import REGISTRY, ModuleContext, Rule, all_rules
 from .suppress import hygiene_messages, parse_suppressions
+
+
+class UnknownRuleError(ValueError):
+    """A rule id was selected that no registry knows.
+
+    Attributes:
+        unknown: The offending ids, in the order given.
+        known: Every valid id (per-file and project rules).
+    """
+
+    def __init__(self, unknown: Sequence[str], known: Sequence[str]) -> None:
+        self.unknown = list(unknown)
+        self.known = sorted(known)
+        super().__init__(
+            f"unknown rule id(s): {', '.join(self.unknown)} "
+            f"(known: {', '.join(self.known)})")
+
+
+def known_rule_ids() -> List[str]:
+    """Every selectable rule id: per-file ``R*`` plus project ``W*``."""
+    return sorted(list(REGISTRY) + list(PROJECT_REGISTRY))
+
+
+def validate_select(select: Sequence[str]) -> None:
+    """Raise :class:`UnknownRuleError` on ids no registry knows."""
+    unknown = [rule_id for rule_id in select
+               if rule_id not in REGISTRY and rule_id not in PROJECT_REGISTRY]
+    if unknown:
+        raise UnknownRuleError(unknown, known_rule_ids())
 
 
 def check_source(source: str, path: str = "<string>",
                  rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
     """Lint a source string; returns unsuppressed findings, sorted.
 
+    Runs the per-file rules only — project rules need the whole
+    package and are driven through :func:`run_analysis`.
+
     Raises:
         SyntaxError: if *source* does not parse — a file the linter
             cannot read must fail loudly, not pass silently.
     """
+    findings, _ = _analyze_source(source, path=path, rules=rules,
+                                  want_summary=False)
+    return findings
+
+
+def _analyze_source(
+        source: str, path: str,
+        rules: Optional[Sequence[Rule]] = None,
+        want_summary: bool = True,
+) -> Tuple[List[Finding], Optional[ModuleSummary]]:
+    """One parse feeding both the per-file rules and the summary."""
     tree = ast.parse(source, filename=path)
     module = ModuleContext(path=path, source=source, tree=tree)
     active = list(rules) if rules is not None else all_rules()
@@ -32,7 +93,7 @@ def check_source(source: str, path: str = "<string>",
     # R0 is a legal id to *name* (the hygiene docs mention it) but
     # suppressing it has no effect: R0 findings are added after the
     # suppression filter below.
-    known = ["R0"] + list(REGISTRY)
+    known = ["R0"] + known_rule_ids()
 
     findings: List[Finding] = []
     for rule in active:
@@ -47,7 +108,9 @@ def check_source(source: str, path: str = "<string>",
         for message in hygiene_messages(suppression, known):
             findings.append(Finding(path=path, line=suppression.line, col=0,
                                     rule="R0", message=message))
-    return sorted(findings)
+    summary = summarize_module(source, path, tree=tree) if want_summary \
+        else None
+    return sorted(findings), summary
 
 
 def check_file(path: Path,
@@ -62,36 +125,126 @@ def check_file(path: Path,
 
 
 def iter_python_files(paths: Iterable[str]) -> List[Path]:
-    """Expand files/directories into a sorted list of ``*.py`` files."""
+    """Expand files/directories into a sorted list of ``*.py`` files.
+
+    Overlapping inputs (``src src/repro``, a directory plus a file
+    inside it, the same path twice) are deduplicated by resolved
+    path, so no file is ever linted — or double-reported — twice.
+    """
     files: List[Path] = []
+    seen: Set[Path] = set()
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
+            candidates = sorted(path.rglob("*.py"))
         elif path.suffix == ".py":
-            files.append(path)
+            candidates = [path]
         else:
             raise FileNotFoundError(f"not a python file or directory: {raw}")
-    return files
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return sorted(files)
+
+
+@dataclass
+class AnalysisRun:
+    """Everything one :func:`run_analysis` invocation produced.
+
+    Attributes:
+        findings: Sorted, unsuppressed findings from both passes.
+        files: The deduplicated input set.
+        parsed: Files actually parsed this run (cache misses).
+        cache_hits: Files served from the incremental cache.
+        cache_misses: Files the cache could not serve.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    files: List[Path] = field(default_factory=list)
+    parsed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def run_analysis(paths: Iterable[str],
+                 select: Optional[Sequence[str]] = None,
+                 cache_path: Optional[Path] = None) -> AnalysisRun:
+    """Run both passes over every python file under *paths*.
+
+    Args:
+        paths: Files or directories.
+        select: Rule ids to report (default: all, per-file and
+            project). The per-file pass always computes all rules so
+            the cache stores complete results; *select* filters what
+            is reported.
+        cache_path: Incremental-cache location; None disables caching.
+
+    Raises:
+        UnknownRuleError: if *select* names an unregistered rule.
+        LayersConfigError: if the layering config is unreadable or
+            cyclic.
+    """
+    if select is not None:
+        validate_select(select)
+    run = AnalysisRun(files=iter_python_files(paths))
+    cache = AnalysisCache(cache_path)
+    selected_file_rules = None if select is None else \
+        [rule_id for rule_id in select if rule_id in REGISTRY]
+    selected_project_rules = None if select is None else \
+        [rule_id for rule_id in select if rule_id in PROJECT_REGISTRY]
+
+    summaries: List[ModuleSummary] = []
+    per_file: List[Finding] = []
+    for path in run.files:
+        path_key = str(path)
+        data = path.read_bytes()
+        digest = content_digest(data)
+        cached = cache.lookup(path_key, digest)
+        if cached is not None:
+            findings, summary = cached
+        else:
+            run.parsed += 1
+            source = data.decode("utf-8")
+            try:
+                findings, summary = _analyze_source(source, path=path_key)
+            except SyntaxError as exc:
+                findings = [Finding(
+                    path=path_key, line=exc.lineno or 1, col=0, rule="R0",
+                    message=f"file does not parse: {exc.msg}")]
+                summary = None
+            cache.store(path_key, digest, findings, summary)
+        if summary is not None:
+            summaries.append(summary)
+        if selected_file_rules is None:
+            per_file.extend(findings)
+        else:
+            wanted = set(selected_file_rules) | {"R0"}
+            per_file.extend(f for f in findings if f.rule in wanted)
+
+    run.cache_hits = cache.hits
+    run.cache_misses = cache.misses
+
+    project_findings: List[Finding] = []
+    if selected_project_rules is None or selected_project_rules:
+        project_findings = run_project_rules(
+            summaries, select=selected_project_rules)
+
+    cache.save()
+    run.findings = sorted(per_file + project_findings)
+    return run
 
 
 def check_paths(paths: Iterable[str],
                 select: Optional[Sequence[str]] = None) -> List[Finding]:
-    """Lint every python file under *paths*.
+    """Lint every python file under *paths* (both passes).
 
     Args:
         paths: Files or directories.
         select: Rule ids to run (default: all registered rules).
 
     Raises:
-        KeyError: if *select* names an unregistered rule.
+        UnknownRuleError: if *select* names an unregistered rule.
     """
-    if select is not None:
-        rules: Optional[List[Rule]] = [REGISTRY[rule_id]()
-                                       for rule_id in select]
-    else:
-        rules = None
-    findings: List[Finding] = []
-    for path in iter_python_files(paths):
-        findings.extend(check_file(path, rules=rules))
-    return sorted(findings)
+    return run_analysis(paths, select=select).findings

@@ -1,0 +1,615 @@
+"""Per-module summaries for the whole-program analysis pass.
+
+The project rules (W1–W4, :mod:`repro.analysis.project`) never touch an
+AST: they consume :class:`ModuleSummary` facts extracted here, one
+summary per file. A summary is a pure function of the file's bytes, is
+JSON-round-trippable, and is therefore the unit the incremental cache
+(:mod:`repro.analysis.cache`) persists — a warm run rebuilds the import
+graph and call graph from cached summaries without re-parsing a single
+unchanged module.
+
+What a summary records:
+
+- **imports** — every ``import``/``from ... import``, resolved to a
+  dotted ``repro.*`` target where possible, flagged ``deferred`` when
+  it executes inside a function (or under ``TYPE_CHECKING``) — the
+  sanctioned cycle-breaking idiom W1 treats separately;
+- **functions / classes** — parameters, decorators, call sites (with
+  the keyword names passed and the exception types the enclosing
+  ``try`` blocks catch), and the exception names each function can
+  raise past its own handlers;
+- **refs** — every name the module mentions, split into body
+  references and import references so W4 can discount pure
+  ``__init__`` re-exports;
+- **suppressions** — the file's ``# repro: ignore[...]`` comments, so
+  cached project findings are filtered without re-tokenizing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .suppress import parse_suppressions
+
+#: Bump when the summary shape changes; part of the cache key so stale
+#: cache files from older versions of the analyzer are ignored.
+SUMMARY_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement, resolved as far as the AST allows.
+
+    Attributes:
+        target: Dotted module the statement names (``repro.graph``;
+            relative imports are resolved against the importing
+            module). Non-``repro`` targets are recorded too — W1
+            ignores them, but the call-graph binding logic needs them.
+        names: For ``from X import a, b`` the imported names; empty
+            for a plain ``import X``.
+        line: 1-based line of the statement.
+        deferred: True when the import executes inside a function
+            body or under ``if TYPE_CHECKING:`` — i.e. not at module
+            load time.
+    """
+
+    target: str
+    names: Tuple[str, ...]
+    line: int
+    deferred: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"target": self.target, "names": list(self.names),
+                "line": self.line, "deferred": self.deferred}
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ImportEdge":
+        return ImportEdge(target=data["target"], names=tuple(data["names"]),
+                          line=data["line"], deferred=data["deferred"])
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body.
+
+    Attributes:
+        callee: Dotted text of the called expression (``"f"``,
+            ``"self.recommend"``, ``"module.Class"``); empty when the
+            callee is not a name/attribute chain.
+        line: 1-based line of the call.
+        keywords: Keyword-argument names passed explicitly.
+        has_star_kwargs: Whether the call passes ``**something``.
+        arg_names: Plain variable names appearing anywhere in the
+            argument expressions — ``f(allow_stale)`` forwards the
+            flag positionally and W2 must see that.
+        caught: Exception type names caught by ``try`` blocks
+            enclosing this call (within the same function) whose
+            handlers actually recover (no bare ``raise``).
+    """
+
+    callee: str
+    line: int
+    keywords: Tuple[str, ...]
+    has_star_kwargs: bool
+    arg_names: Tuple[str, ...]
+    caught: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"callee": self.callee, "line": self.line,
+                "keywords": list(self.keywords),
+                "has_star_kwargs": self.has_star_kwargs,
+                "arg_names": list(self.arg_names),
+                "caught": list(self.caught)}
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "CallSite":
+        return CallSite(callee=data["callee"], line=data["line"],
+                        keywords=tuple(data["keywords"]),
+                        has_star_kwargs=data["has_star_kwargs"],
+                        arg_names=tuple(data["arg_names"]),
+                        caught=tuple(data["caught"]))
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """One function or method, flattened (nested defs fold into it)."""
+
+    qualname: str
+    name: str
+    line: int
+    params: Tuple[str, ...]
+    has_kwargs: bool
+    decorators: Tuple[str, ...]
+    raises: Tuple[str, ...]
+    calls: Tuple[CallSite, ...]
+    refs: Tuple[str, ...]
+    is_public: bool
+
+    def accepts(self, param: str) -> bool:
+        """Whether *param* is an explicitly named parameter."""
+        return param in self.params
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"qualname": self.qualname, "name": self.name,
+                "line": self.line, "params": list(self.params),
+                "has_kwargs": self.has_kwargs,
+                "decorators": list(self.decorators),
+                "raises": list(self.raises),
+                "calls": [call.to_dict() for call in self.calls],
+                "refs": list(self.refs), "is_public": self.is_public}
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "FunctionSummary":
+        return FunctionSummary(
+            qualname=data["qualname"], name=data["name"], line=data["line"],
+            params=tuple(data["params"]), has_kwargs=data["has_kwargs"],
+            decorators=tuple(data["decorators"]), raises=tuple(data["raises"]),
+            calls=tuple(CallSite.from_dict(c) for c in data["calls"]),
+            refs=tuple(data["refs"]), is_public=data["is_public"])
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """One top-level class: bases, decorators, and its methods."""
+
+    name: str
+    line: int
+    bases: Tuple[str, ...]
+    decorators: Tuple[str, ...]
+    methods: Tuple[FunctionSummary, ...]
+    is_public: bool
+
+    def method(self, name: str) -> Optional[FunctionSummary]:
+        for candidate in self.methods:
+            if candidate.name == name:
+                return candidate
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "line": self.line,
+                "bases": list(self.bases),
+                "decorators": list(self.decorators),
+                "methods": [m.to_dict() for m in self.methods],
+                "is_public": self.is_public}
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ClassSummary":
+        return ClassSummary(
+            name=data["name"], line=data["line"], bases=tuple(data["bases"]),
+            decorators=tuple(data["decorators"]),
+            methods=tuple(FunctionSummary.from_dict(m)
+                          for m in data["methods"]),
+            is_public=data["is_public"])
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """Everything the project rules need to know about one file."""
+
+    path: str
+    module: Optional[str]
+    is_package_init: bool
+    imports: Tuple[ImportEdge, ...]
+    functions: Tuple[FunctionSummary, ...]
+    classes: Tuple[ClassSummary, ...]
+    bindings: Mapping[str, str] = field(default_factory=dict)
+    body_refs: Tuple[str, ...] = ()
+    import_refs: Tuple[str, ...] = ()
+    exports: Tuple[str, ...] = ()
+    suppressions: Mapping[int, Tuple[Tuple[str, ...], str]] = field(
+        default_factory=dict)
+
+    def all_functions(self) -> List[FunctionSummary]:
+        """Top-level functions plus every method, flattened."""
+        out = list(self.functions)
+        for cls in self.classes:
+            out.extend(cls.methods)
+        return out
+
+    def class_named(self, name: str) -> Optional[ClassSummary]:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path, "module": self.module,
+            "is_package_init": self.is_package_init,
+            "imports": [edge.to_dict() for edge in self.imports],
+            "functions": [f.to_dict() for f in self.functions],
+            "classes": [c.to_dict() for c in self.classes],
+            "bindings": dict(self.bindings),
+            "body_refs": list(self.body_refs),
+            "import_refs": list(self.import_refs),
+            "exports": list(self.exports),
+            "suppressions": {str(line): [list(rules), justification]
+                             for line, (rules, justification)
+                             in self.suppressions.items()},
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ModuleSummary":
+        return ModuleSummary(
+            path=data["path"], module=data["module"],
+            is_package_init=data["is_package_init"],
+            imports=tuple(ImportEdge.from_dict(e) for e in data["imports"]),
+            functions=tuple(FunctionSummary.from_dict(f)
+                            for f in data["functions"]),
+            classes=tuple(ClassSummary.from_dict(c) for c in data["classes"]),
+            bindings=dict(data["bindings"]),
+            body_refs=tuple(data["body_refs"]),
+            import_refs=tuple(data["import_refs"]),
+            exports=tuple(data["exports"]),
+            suppressions={int(line): (tuple(rules), justification)
+                          for line, (rules, justification)
+                          in data["suppressions"].items()})
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+
+def module_name_for_path(path: str) -> Optional[str]:
+    """Dotted module name for *path*, or None outside a ``repro`` tree.
+
+    The package root is located by path segment, so fixture trees like
+    ``<tmp>/repro/core/evil.py`` resolve exactly like
+    ``src/repro/core/exact.py`` does.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if "repro" not in parts:
+        return None
+    start = len(parts) - 1 - parts[::-1].index("repro")
+    dotted = [part for part in parts[start:]]
+    leaf = dotted[-1]
+    if not leaf.endswith(".py"):
+        return None
+    dotted[-1] = leaf[:-3]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+def _dotted_text(node: ast.expr) -> str:
+    """``a.b.c`` for a name/attribute chain; '' for anything else."""
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _exception_name(node: Optional[ast.expr]) -> str:
+    """Type name raised/caught: tail of a dotted chain, '' if opaque."""
+    if node is None:
+        return ""
+    if isinstance(node, ast.Call):
+        node = node.func
+    text = _dotted_text(node)
+    return text.rsplit(".", 1)[-1] if text else ""
+
+
+def _handler_catches(handler: ast.ExceptHandler) -> Tuple[str, ...]:
+    """Exception names a handler catches *and recovers from*.
+
+    A handler whose body re-raises (bare ``raise``) does not stop the
+    exception, so it contributes nothing here.
+    """
+    for stmt in ast.walk(handler):
+        if isinstance(stmt, ast.Raise) and stmt.exc is None:
+            return ()
+    node = handler.type
+    if node is None:
+        return ("BaseException",)
+    if isinstance(node, ast.Tuple):
+        names = tuple(_exception_name(el) for el in node.elts)
+        return tuple(name for name in names if name)
+    name = _exception_name(node)
+    return (name,) if name else ()
+
+
+def _param_names(func: ast.FunctionDef, is_method: bool) -> Tuple[str, ...]:
+    args = func.args
+    names = [arg.arg for arg in args.posonlyargs]
+    names += [arg.arg for arg in args.args]
+    names += [arg.arg for arg in args.kwonlyargs]
+    if is_method and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return tuple(names)
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    text = _dotted_text(test)
+    return text.endswith("TYPE_CHECKING")
+
+
+class _FunctionVisitor:
+    """Collects calls, raises, and refs for one function subtree.
+
+    Nested ``def``s are folded into the enclosing function: their call
+    sites and raises belong, conservatively, to the code object the
+    caller actually invokes.
+    """
+
+    def __init__(self) -> None:
+        self.calls: List[CallSite] = []
+        self.raises: Set[str] = set()
+        self.refs: Set[str] = set()
+
+    def visit(self, body: Sequence[ast.stmt],
+              caught: Tuple[str, ...]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt, caught)
+
+    def _visit_stmt(self, stmt: ast.stmt, caught: Tuple[str, ...]) -> None:
+        if isinstance(stmt, ast.Try):
+            recovered: List[str] = list(caught)
+            for handler in stmt.handlers:
+                recovered.extend(_handler_catches(handler))
+            self.visit(stmt.body, tuple(recovered))
+            for handler in stmt.handlers:
+                self.visit(handler.body, caught)
+            self.visit(stmt.orelse, caught)
+            self.visit(stmt.finalbody, caught)
+            return
+        if isinstance(stmt, ast.Raise):
+            name = _exception_name(stmt.exc)
+            if name and name not in caught:
+                self.raises.add(name)
+            if stmt.exc is not None:
+                self._visit_expr_children(stmt.exc, caught)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.visit(stmt.body, caught)
+            for decorator in stmt.decorator_list:
+                self._visit_expr_children(decorator, caught)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._visit_stmt(child, caught)
+            elif isinstance(child, ast.expr):
+                self._visit_expr_children(child, caught)
+
+    def _visit_expr_children(self, expr: ast.expr,
+                             caught: Tuple[str, ...]) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name):
+                self.refs.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                self.refs.add(node.attr)
+            elif isinstance(node, ast.Call):
+                self._record_call(node, caught)
+
+    def _record_call(self, node: ast.Call, caught: Tuple[str, ...]) -> None:
+        callee = _dotted_text(node.func)
+        keywords = tuple(kw.arg for kw in node.keywords
+                         if kw.arg is not None)
+        has_star = any(kw.arg is None for kw in node.keywords)
+        arg_names: Set[str] = set()
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Name):
+                    arg_names.add(sub.id)
+        self.calls.append(CallSite(
+            callee=callee, line=node.lineno, keywords=keywords,
+            has_star_kwargs=has_star, arg_names=tuple(sorted(arg_names)),
+            caught=caught))
+
+
+def _summarize_function(func: ast.FunctionDef, qualname: str,
+                        is_method: bool) -> FunctionSummary:
+    visitor = _FunctionVisitor()
+    visitor.visit(func.body, ())
+    decorators = tuple(text for text in
+                       (_dotted_text(d.func if isinstance(d, ast.Call) else d)
+                        for d in func.decorator_list) if text)
+    return FunctionSummary(
+        qualname=qualname, name=func.name, line=func.lineno,
+        params=_param_names(func, is_method),
+        has_kwargs=func.args.kwarg is not None,
+        decorators=decorators,
+        raises=tuple(sorted(visitor.raises)),
+        calls=tuple(visitor.calls),
+        refs=tuple(sorted(visitor.refs)),
+        is_public=not func.name.startswith("_"))
+
+
+def _extract_all(body: Sequence[ast.stmt]) -> Tuple[str, ...]:
+    for stmt in body:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+            value: Optional[ast.expr] = stmt.value
+        elif isinstance(stmt, ast.AugAssign):
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "__all__"
+                   for t in targets):
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)):
+            names = [el.value for el in value.elts
+                     if isinstance(el, ast.Constant)
+                     and isinstance(el.value, str)]
+            return tuple(names)
+    return ()
+
+
+def _resolve_relative(module: Optional[str], is_package_init: bool,
+                      level: int, target: Optional[str]) -> str:
+    """Absolute dotted target of a relative import, best effort."""
+    if module is None:
+        return target if target is not None else ""
+    parts = module.split(".")
+    package_parts = parts if is_package_init else parts[:-1]
+    base = package_parts[:len(package_parts) - (level - 1)] if level > 1 \
+        else package_parts
+    if target:
+        base = base + target.split(".")
+    return ".".join(base)
+
+
+def summarize_module(source: str, path: str,
+                     tree: Optional[ast.Module] = None) -> ModuleSummary:
+    """Extract the :class:`ModuleSummary` for one parsed file.
+
+    Args:
+        source: File contents (drives suppression parsing).
+        path: Path string as given to the runner.
+        tree: Pre-parsed AST to reuse; parsed from *source* if absent.
+
+    Raises:
+        SyntaxError: if *source* must be parsed and does not parse.
+    """
+    if tree is None:
+        tree = ast.parse(source, filename=path)
+    is_package_init = path.replace("\\", "/").endswith("__init__.py")
+    module = module_name_for_path(path)
+
+    imports: List[ImportEdge] = []
+    bindings: Dict[str, str] = {}
+    functions: List[FunctionSummary] = []
+    classes: List[ClassSummary] = []
+    body_refs: Set[str] = set()
+    import_refs: Set[str] = set()
+
+    deferred_nodes: Set[int] = set()
+    for node in ast.walk(tree):
+        deferred = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+            or (isinstance(node, ast.If)
+                and _is_type_checking_test(node.test))
+        if deferred:
+            for sub in ast.walk(node):
+                if sub is not node:
+                    deferred_nodes.add(id(sub))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports.append(ImportEdge(
+                    target=alias.name, names=(), line=node.lineno,
+                    deferred=id(node) in deferred_nodes))
+                if id(node) not in deferred_nodes:
+                    bindings[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else
+                        alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                target = _resolve_relative(module, is_package_init,
+                                           node.level, node.module)
+            else:
+                target = node.module if node.module is not None else ""
+            names = tuple(alias.name for alias in node.names)
+            imports.append(ImportEdge(
+                target=target, names=names, line=node.lineno,
+                deferred=id(node) in deferred_nodes))
+            for alias in node.names:
+                import_refs.add(alias.name)
+                if id(node) not in deferred_nodes and target:
+                    bindings[alias.asname or alias.name] = (
+                        f"{target}.{alias.name}")
+
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.append(_summarize_function(stmt, stmt.name, False))
+            bindings[stmt.name] = stmt.name
+        elif isinstance(stmt, ast.ClassDef):
+            methods = tuple(
+                _summarize_function(sub, f"{stmt.name}.{sub.name}", True)
+                for sub in stmt.body
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)))
+            bases = tuple(text for text in
+                          (_dotted_text(b) for b in stmt.bases) if text)
+            decorators = tuple(
+                text for text in
+                (_dotted_text(d.func if isinstance(d, ast.Call) else d)
+                 for d in stmt.decorator_list) if text)
+            classes.append(ClassSummary(
+                name=stmt.name, line=stmt.lineno, bases=bases,
+                decorators=decorators, methods=methods,
+                is_public=not stmt.name.startswith("_")))
+            bindings[stmt.name] = stmt.name
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            body_refs.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            body_refs.add(node.attr)
+
+    suppressions = {
+        suppression.line: (tuple(suppression.rules),
+                           suppression.justification)
+        for suppression in parse_suppressions(source).values()}
+
+    return ModuleSummary(
+        path=path, module=module, is_package_init=is_package_init,
+        imports=tuple(imports), functions=tuple(functions),
+        classes=tuple(classes), bindings=bindings,
+        body_refs=tuple(sorted(body_refs)),
+        import_refs=tuple(sorted(import_refs)),
+        exports=_extract_all(tree.body),
+        suppressions=suppressions)
+
+
+def package_of(module: str) -> Optional[str]:
+    """Top-level ``repro`` subpackage a dotted module belongs to.
+
+    ``repro.core.exact`` → ``core``; ``repro`` itself (the package
+    ``__init__``) → ``root``; non-``repro`` modules → None.
+    """
+    parts = module.split(".")
+    if parts[0] != "repro":
+        return None
+    if len(parts) == 1:
+        return "root"
+    return parts[1]
+
+
+def resolve_import_targets(edge: ImportEdge,
+                           known_modules: Set[str]) -> List[str]:
+    """Most-specific modules an import edge names.
+
+    ``from repro import obs`` resolves to ``repro.obs`` (a known
+    module) rather than the package root; ``from repro.graph.snapshot
+    import GraphSnapshot`` stays pinned to the module because the
+    joined name is not itself a module.
+    """
+    if not edge.names:
+        return [edge.target]
+    resolved: List[str] = []
+    for name in edge.names:
+        joined = f"{edge.target}.{name}"
+        resolved.append(joined if joined in known_modules else edge.target)
+    seen: Set[str] = set()
+    unique: List[str] = []
+    for target in resolved:
+        if target not in seen:
+            seen.add(target)
+            unique.append(target)
+    return unique
+
+
+def collect_refs(summaries: Iterable[ModuleSummary],
+                 count_init_reexports: bool = False) -> Dict[str, Set[str]]:
+    """Name → set of module paths referencing it, across *summaries*.
+
+    Import references inside package ``__init__`` files are excluded
+    unless *count_init_reexports* — a façade re-export alone must not
+    keep a dead API alive (W4).
+    """
+    usage: Dict[str, Set[str]] = {}
+    for summary in summaries:
+        names: Set[str] = set(summary.body_refs)
+        if count_init_reexports or not summary.is_package_init:
+            names.update(summary.import_refs)
+        for name in names:
+            usage.setdefault(name, set()).add(summary.path)
+    return usage

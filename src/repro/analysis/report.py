@@ -7,6 +7,7 @@ from collections import Counter
 from typing import List
 
 from .findings import Finding
+from .project import PROJECT_REGISTRY
 from .rules import REGISTRY
 
 #: Version of the JSON report schema, bumped on breaking changes so CI
@@ -47,6 +48,10 @@ def render_rule_list() -> str:
         rule = REGISTRY[rule_id]
         lines.append(f"{rule_id}  {rule.name}")
         lines.append(f"    {rule.description}")
+    for rule_id in sorted(PROJECT_REGISTRY):
+        project_rule = PROJECT_REGISTRY[rule_id]
+        lines.append(f"{rule_id}  {project_rule.name}")
+        lines.append(f"    {project_rule.description}")
     lines.append("R0  suppression-hygiene")
     lines.append("    raised by the engine itself: a '# repro: ignore[...]' "
                  "comment without a '-- justification', naming an unknown "

@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 renderer for analysis findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub
+code scanning ingests: uploading the file CI produces annotates the
+offending lines directly on the pull request. The renderer emits one
+``run`` with the full rule catalogue (per-file rules, project rules,
+and the engine-level ``R0``) so every result carries its rule's
+description, and one ``result`` per finding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from .findings import Finding
+from .project import PROJECT_REGISTRY
+from .rules import REGISTRY
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_R0_DESCRIPTION = (
+    "suppression hygiene: a '# repro: ignore[...]' comment without a "
+    "justification, naming an unknown rule, or a file that fails to "
+    "parse. Raised by the engine itself; not suppressible.")
+
+
+def _rule_catalogue() -> List[Dict[str, Any]]:
+    catalogue: List[Dict[str, Any]] = []
+    entries: List[Any] = [("R0", "suppression-hygiene", _R0_DESCRIPTION)]
+    for registry in (REGISTRY, PROJECT_REGISTRY):
+        for rule_id in sorted(registry):
+            rule = registry[rule_id]
+            entries.append((rule_id, rule.name, rule.description))
+    for rule_id, name, description in sorted(entries):
+        catalogue.append({
+            "id": rule_id,
+            "name": name,
+            "shortDescription": {"text": name},
+            "fullDescription": {"text": description},
+            "defaultConfiguration": {"level": "error"},
+        })
+    return catalogue
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """One SARIF run covering *findings*, as an indented JSON string."""
+    rules = _rule_catalogue()
+    rule_index = {rule["id"]: position
+                  for position, rule in enumerate(rules)}
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        uri = finding.path.replace("\\", "/")
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-analysis",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -294,7 +294,7 @@ class ShardChannel:
 # Worker
 # ----------------------------------------------------------------------
 
-class ShardWorker:
+class ShardWorker:  # repro: ignore[W4] -- instantiated by ShardedPlatform.build; exported as the per-shard component type (docs/ARCHITECTURE.md)
     """One shard: a contiguous slice of the snapshot plus homed lists.
 
     The worker owns rebased copies of its CSR rows (``out_indptr``

@@ -1,4 +1,8 @@
-"""Follow/unfollow event model and churn simulation.
+"""Churn simulation over the follow/unfollow event model.
+
+The :class:`EdgeEvent`/:class:`EventKind` vocabulary itself lives in
+:mod:`repro.graph.events` (the layer below, shared with the WAL and
+the serving tier) and is re-exported here for compatibility.
 
 Churn mirrors the observation the paper cites: a large share of fresh
 follow links are short-lived. :func:`simulate_churn` produces an event
@@ -13,44 +17,14 @@ stream over an existing graph in which
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..graph.events import EdgeEvent, EventKind
 from ..graph.labeled_graph import LabeledSocialGraph
 from ..utils.rng import SeedLike, rng_from_seed
 
-
-class EventKind(enum.Enum):
-    """What happened to a follow edge."""
-
-    FOLLOW = "follow"
-    UNFOLLOW = "unfollow"
-
-
-@dataclass(frozen=True)
-class EdgeEvent:
-    """One timestamped follow-graph mutation.
-
-    Attributes:
-        kind: Follow or unfollow.
-        source: The follower.
-        target: The followee.
-        topics: Edge label (empty for unfollows).
-        time: Logical timestamp (event index).
-    """
-
-    kind: EventKind
-    source: int
-    target: int
-    topics: Tuple[str, ...]
-    time: int
-
-    @property
-    def is_follow(self) -> bool:
-        """Whether this event creates an edge."""
-        return self.kind is EventKind.FOLLOW
+__all__ = ["EdgeEvent", "EventKind", "simulate_churn"]
 
 
 def simulate_churn(

@@ -12,7 +12,7 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
-class GraphError(ReproError):
+class GraphError(ReproError):  # repro: ignore[W4] -- hierarchy anchor: the documented catch-point for every graph-substrate error
     """Base class for errors raised by the graph substrate."""
 
 
@@ -60,7 +60,7 @@ class StaleSnapshotError(GraphError):
         self.graph_epoch = graph_epoch
 
 
-class ShardError(ReproError):
+class ShardError(ReproError):  # repro: ignore[W4] -- hierarchy anchor: the documented catch-point for every sharded-tier error
     """Base class for errors raised by the sharded serving tier."""
 
 

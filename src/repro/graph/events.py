@@ -1,0 +1,47 @@
+"""Follow/unfollow event model shared across layers.
+
+The event dataclasses live in :mod:`repro.graph` — not in
+:mod:`repro.dynamics`, which *produces* streams of them — because the
+write-ahead log (:mod:`repro.landmarks.wal`) and the serving platform
+also speak this vocabulary. Layering (``docs/ARCHITECTURE.md``,
+``src/repro/analysis/layers.toml``) puts ``graph`` below both, so the
+shared shape sits here and the churn *simulation* stays in
+:mod:`repro.dynamics.events`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class EventKind(enum.Enum):
+    """What happened to a follow edge."""
+
+    FOLLOW = "follow"
+    UNFOLLOW = "unfollow"
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One timestamped follow-graph mutation.
+
+    Attributes:
+        kind: Follow or unfollow.
+        source: The follower.
+        target: The followee.
+        topics: Edge label (empty for unfollows).
+        time: Logical timestamp (event index).
+    """
+
+    kind: EventKind
+    source: int
+    target: int
+    topics: Tuple[str, ...]
+    time: int
+
+    @property
+    def is_follow(self) -> bool:
+        """Whether this event creates an edge."""
+        return self.kind is EventKind.FOLLOW

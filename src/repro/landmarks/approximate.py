@@ -39,7 +39,7 @@ from .query_engine import (DenseExploration, LandmarkVectorCache,
                            stack_landmark_vectors, vectors_from_entries)
 
 
-def explore_with_landmarks(
+def explore_with_landmarks(  # repro: ignore[W4] -- paper Algorithm 2's exploration primitive, exported standalone via repro.landmarks for notebooks and ablations
     graph: GraphLike,
     source: int,
     topics: Sequence[str],
@@ -144,7 +144,7 @@ class ApproximateRecommender:
         """
         effective = (self.allow_stale if allow_stale is None
                      else bool(allow_stale))
-        view = as_snapshot(self.graph, effective)
+        view = as_snapshot(self.graph, allow_stale=effective)
         if view is not self._view:
             self._view = view
             if self._authority_supplied is None:
@@ -196,7 +196,7 @@ class ApproximateRecommender:
                              else self.landmark_params.query_depth)
         effective_stale = (self.allow_stale if allow_stale is None
                            else bool(allow_stale))
-        view = self._resolve(effective_stale)
+        view = self._resolve(allow_stale=effective_stale)
         if self.query_engine == "sparse":
             dense, combined_dense, extra_scores, encountered = (
                 self._query_core(view, user, topic, exploration_depth))
@@ -403,7 +403,7 @@ class ApproximateRecommender:
                 exploration_depth = (
                     depth if depth is not None
                     else self.landmark_params.query_depth)
-                view = self._resolve(effective_stale)
+                view = self._resolve(allow_stale=effective_stale)
                 _, combined_dense, extra_scores, _ = self._query_core(
                     view, user, topic, exploration_depth)
                 with _obs.span("approx.rank") as _rank:

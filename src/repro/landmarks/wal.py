@@ -24,8 +24,8 @@ from pathlib import Path
 from typing import Callable, Iterator, List, Tuple, Union
 
 from ..errors import CorruptRecordError, StorageError
+from ..graph.events import EdgeEvent, EventKind
 from ..utils.varint import decode_uvarint, encode_uvarint
-from ..dynamics.events import EdgeEvent, EventKind
 from .index import LandmarkIndex
 from .storage import load_index, save_index
 

@@ -44,7 +44,7 @@ class Counter:
         self.value += amount
 
 
-class Gauge:
+class Gauge:  # repro: ignore[W4] -- constructed via MetricsRegistry.gauge(); exported so callers can type and isinstance the handle
     """Last-write-wins value (cache occupancy, engine selection)."""
 
     __slots__ = ("name", "value")

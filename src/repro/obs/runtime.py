@@ -95,7 +95,7 @@ class _TimedOnly:
 SpanLike = Union[Span, _NoopSpan, _TimedOnly]
 
 
-class ObsRuntime:
+class ObsRuntime:  # repro: ignore[W4] -- singleton built by get_runtime(); exported so callers can type the runtime handle
     """One enable/disable switch plus its tracer and registry."""
 
     def __init__(self) -> None:

@@ -1,0 +1,158 @@
+"""Incremental cache: warm runs must re-parse only changed modules,
+and cached runs must report byte-identical findings — including the
+whole-program rules, which rebuild their graphs from cached
+summaries."""
+
+import json
+import textwrap
+
+from repro.analysis import run_analysis
+from repro.analysis.cache import (
+    DEFAULT_CACHE_PATH,
+    AnalysisCache,
+    content_digest,
+)
+
+BAD = textwrap.dedent("""
+    def query(graph, depth=None):
+        depth = depth or 3
+        return depth
+""")
+
+CLEAN = textwrap.dedent("""
+    def query(graph, depth=None):
+        depth = depth if depth is not None else 3
+        return depth
+""")
+
+
+def make_tree(tmp_path, count=4):
+    package = tmp_path / "repro" / "core"
+    package.mkdir(parents=True)
+    files = []
+    for index in range(count):
+        target = package / f"mod{index}.py"
+        target.write_text(CLEAN, encoding="utf-8")
+        files.append(target)
+    return tmp_path, files
+
+
+class TestIncrementalRuns:
+    def test_cold_then_warm_hit_counts(self, tmp_path):
+        tree, files = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = run_analysis([str(tree)], cache_path=cache)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == len(files)
+        assert cold.parsed == len(files)
+
+        warm = run_analysis([str(tree)], cache_path=cache)
+        assert warm.cache_hits == len(files)
+        assert warm.cache_misses == 0
+        assert warm.parsed == 0
+        assert warm.findings == cold.findings
+
+    def test_touching_one_file_reparses_only_it(self, tmp_path):
+        tree, files = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        run_analysis([str(tree)], cache_path=cache)
+
+        files[1].write_text(BAD, encoding="utf-8")
+        warm = run_analysis([str(tree)], cache_path=cache)
+        assert warm.parsed == 1
+        assert warm.cache_hits == len(files) - 1
+        assert warm.cache_misses == 1
+        assert [f.rule for f in warm.findings] == ["R1"]
+        assert warm.findings[0].path == str(files[1])
+
+    def test_cached_findings_match_uncached(self, tmp_path):
+        tree, files = make_tree(tmp_path)
+        files[0].write_text(BAD, encoding="utf-8")
+        cache = tmp_path / "cache.json"
+        uncached = run_analysis([str(tree)])
+        run_analysis([str(tree)], cache_path=cache)
+        warm = run_analysis([str(tree)], cache_path=cache)
+        assert warm.findings == uncached.findings
+
+    def test_select_filters_cached_results_without_invalidating(
+            self, tmp_path):
+        tree, files = make_tree(tmp_path)
+        files[0].write_text(BAD, encoding="utf-8")
+        cache = tmp_path / "cache.json"
+        run_analysis([str(tree)], cache_path=cache)
+        # The cache stores all-rule results; a narrower select on a
+        # warm run still hits every entry and filters in memory.
+        warm = run_analysis([str(tree)], select=["R4"], cache_path=cache)
+        assert warm.cache_hits == len(files)
+        assert warm.findings == []
+        warm_r1 = run_analysis([str(tree)], select=["R1"], cache_path=cache)
+        assert warm_r1.cache_hits == len(files)
+        assert [f.rule for f in warm_r1.findings] == ["R1"]
+
+    def test_project_rules_run_from_cached_summaries(self, tmp_path):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        (package / "flags.py").write_text(textwrap.dedent("""
+            def inner(allow_stale=False):
+                return allow_stale
+
+
+            def outer(allow_stale=False):
+                return inner()
+        """), encoding="utf-8")
+        cache = tmp_path / "cache.json"
+        cold = run_analysis([str(tmp_path)], cache_path=cache)
+        warm = run_analysis([str(tmp_path)], cache_path=cache)
+        assert warm.parsed == 0
+        assert [f.rule for f in cold.findings] == ["W2"]
+        assert warm.findings == cold.findings
+
+
+class TestCacheEnvelope:
+    def test_wrong_envelope_is_a_cold_cache(self, tmp_path):
+        tree, files = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        run_analysis([str(tree)], cache_path=cache)
+        payload = json.loads(cache.read_text(encoding="utf-8"))
+        payload["envelope"] = "0/0/py0.0"
+        cache.write_text(json.dumps(payload), encoding="utf-8")
+        warm = run_analysis([str(tree)], cache_path=cache)
+        assert warm.cache_hits == 0
+        assert warm.parsed == len(files)
+
+    def test_corrupt_cache_file_is_a_cold_cache(self, tmp_path):
+        tree, files = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json", encoding="utf-8")
+        warm = run_analysis([str(tree)], cache_path=cache)
+        assert warm.cache_hits == 0
+        assert warm.findings == []
+
+    def test_save_prunes_entries_for_vanished_files(self, tmp_path):
+        tree, files = make_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        run_analysis([str(tree)], cache_path=cache)
+        files[0].unlink()
+        run_analysis([str(tree)], cache_path=cache)
+        payload = json.loads(cache.read_text(encoding="utf-8"))
+        assert str(files[0]) not in payload["entries"]
+        assert len(payload["entries"]) == len(files) - 1
+
+    def test_content_digest_is_stable_sha256(self):
+        assert content_digest(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb924"
+            "27ae41e4649b934ca495991b7852b855")
+
+    def test_disabled_cache_counts_every_file_as_miss(self, tmp_path):
+        tree, files = make_tree(tmp_path)
+        run = run_analysis([str(tree)])
+        assert run.cache_hits == 0
+        assert run.parsed == len(files)
+
+    def test_default_path_constant_is_gitignored_name(self):
+        # CI keys its actions/cache step on this exact file name.
+        assert DEFAULT_CACHE_PATH == ".repro-analysis-cache.json"
+        # A pathless cache never stores and never hits.
+        pathless = AnalysisCache(None)
+        assert pathless.lookup("x", "y") is None
+        assert pathless.misses == 1

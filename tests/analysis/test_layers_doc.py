@@ -1,0 +1,40 @@
+"""The layering DAG in docs/ARCHITECTURE.md is generated, not
+hand-maintained: this test fails whenever ``layers.toml`` and the
+embedded rendering drift apart. Regenerate the block with::
+
+    python -c "from repro.analysis import render_layering_dag; \
+print(render_layering_dag())"
+"""
+
+import re
+from pathlib import Path
+
+from repro.analysis import load_layers_config, render_layering_dag
+
+_BLOCK_RE = re.compile(
+    r"<!-- layers\.toml:begin -->\n```\n(.*?)\n```\n"
+    r"<!-- layers\.toml:end -->",
+    re.DOTALL)
+
+
+def _doc_block():
+    doc = Path(__file__).resolve().parents[2] / "docs" / "ARCHITECTURE.md"
+    match = _BLOCK_RE.search(doc.read_text(encoding="utf-8"))
+    assert match is not None, (
+        "docs/ARCHITECTURE.md lost its layers.toml:begin/end block")
+    return match.group(1)
+
+
+class TestLayersDoc:
+    def test_doc_matches_checked_in_config(self):
+        rendered = render_layering_dag(load_layers_config())
+        assert _doc_block() == rendered, (
+            "docs/ARCHITECTURE.md layering DAG is stale — regenerate "
+            "it from render_layering_dag()")
+
+    def test_rendering_is_deterministic_and_complete(self):
+        config = load_layers_config()
+        rendered = render_layering_dag(config)
+        assert rendered == render_layering_dag(config)
+        for package in config.allowed:
+            assert re.search(rf"^{package}\s+->", rendered, re.M), package

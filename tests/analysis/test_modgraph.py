@@ -1,0 +1,128 @@
+"""Module summaries: the per-file facts the project pass is built on.
+
+These pin the exact shapes the incremental cache serializes — a
+summary must survive ``to_dict``/``from_dict`` unchanged, because warm
+runs feed cached summaries straight into the W rules."""
+
+import textwrap
+
+from repro.analysis.modgraph import (
+    ModuleSummary,
+    module_name_for_path,
+    summarize_module,
+)
+
+
+def summarize(path, source):
+    return summarize_module(textwrap.dedent(source), path)
+
+
+class TestModuleNaming:
+    def test_src_tree_paths(self):
+        assert module_name_for_path("src/repro/core/scoring.py") == \
+            "repro.core.scoring"
+        assert module_name_for_path("src/repro/__init__.py") == "repro"
+        assert module_name_for_path("src/repro/core/__init__.py") == \
+            "repro.core"
+
+    def test_fixture_trees_resolve_like_the_real_one(self):
+        assert module_name_for_path("/tmp/x9/repro/core/evil.py") == \
+            "repro.core.evil"
+
+    def test_paths_outside_the_package_have_no_module(self):
+        assert module_name_for_path("tests/analysis/test_rules.py") is None
+        assert module_name_for_path("scripts/bench.py") is None
+
+
+class TestImportEdges:
+    def test_top_level_and_deferred_imports_are_distinguished(self):
+        summary = summarize("src/repro/core/mod.py", """
+            from repro.graph.snapshot import GraphSnapshot
+
+            def late():
+                from repro.obs import span
+                return span
+        """)
+        by_target = {edge.target: edge for edge in summary.imports}
+        assert not by_target["repro.graph.snapshot"].deferred
+        assert by_target["repro.obs"].deferred
+
+    def test_type_checking_imports_count_as_deferred(self):
+        summary = summarize("src/repro/core/mod.py", """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.graph.snapshot import GraphSnapshot
+        """)
+        edge = [e for e in summary.imports
+                if e.target == "repro.graph.snapshot"][0]
+        assert edge.deferred
+
+    def test_relative_imports_resolve_against_the_module(self):
+        summary = summarize("src/repro/landmarks/wal.py", """
+            from ..graph.events import EdgeEvent
+            from .index import LandmarkIndex
+        """)
+        targets = {edge.target for edge in summary.imports}
+        assert "repro.graph.events" in targets
+        assert "repro.landmarks.index" in targets
+
+
+class TestFunctionFacts:
+    def test_raises_and_caught_are_recorded(self):
+        summary = summarize("src/repro/core/mod.py", """
+            def risky(user):
+                if user < 0:
+                    raise StaleSnapshotError("stale")
+                try:
+                    return helper(user)
+                except (ValueError, ConfigurationError):
+                    return 0
+        """)
+        func = summary.all_functions()[0]
+        assert "StaleSnapshotError" in func.raises
+        call = [c for c in func.calls if c.callee == "helper"][0]
+        assert set(call.caught) >= {"ValueError", "ConfigurationError"}
+
+    def test_call_keywords_and_star_kwargs(self):
+        summary = summarize("src/repro/core/mod.py", """
+            def outer(allow_stale=False, **kw):
+                helper(1, allow_stale=allow_stale)
+                helper(allow_stale)
+                helper(**kw)
+        """)
+        calls = summary.all_functions()[0].calls
+        assert "allow_stale" in calls[0].keywords
+        assert "allow_stale" in calls[1].arg_names
+        assert calls[2].has_star_kwargs
+
+    def test_methods_carry_their_class_qualname(self):
+        summary = summarize("src/repro/core/mod.py", """
+            class Engine:
+                def query(self, user):
+                    return user
+        """)
+        cls = summary.classes[0]
+        assert cls.method("query").qualname == "Engine.query"
+        assert cls.method("query").params == ("user",)
+
+
+class TestRoundTrip:
+    def test_summary_survives_the_cache_serialization(self):
+        summary = summarize("src/repro/core/mod.py", """
+            from repro.graph.snapshot import as_snapshot
+
+            __all__ = ["serve"]
+
+
+            class Engine:
+                def __init__(self, allow_stale=False):
+                    self.allow_stale = allow_stale
+
+
+            def serve(graph, allow_stale=False):
+                view = as_snapshot(graph, allow_stale=allow_stale)  # repro: ignore[R9] -- fixture
+                return view
+        """)
+        restored = ModuleSummary.from_dict(summary.to_dict())
+        assert restored == summary

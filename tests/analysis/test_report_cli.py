@@ -5,8 +5,19 @@ import json
 import textwrap
 from pathlib import Path
 
-from repro.analysis import REGISTRY, check_paths, check_source
+import pytest
+
+from repro.analysis import (
+    PROJECT_REGISTRY,
+    REGISTRY,
+    UnknownRuleError,
+    check_file,
+    check_paths,
+    check_source,
+    iter_python_files,
+)
 from repro.analysis.__main__ import main
+from repro.analysis.engine import known_rule_ids
 from repro.analysis.report import (
     JSON_SCHEMA_VERSION,
     render_json,
@@ -79,9 +90,24 @@ class TestCli:
         assert main([str(bad), "--select", "R4"]) == 0
         assert main([str(bad), "--select", "R1"]) == 1
 
-    def test_unknown_select_is_usage_error(self, tmp_path):
+    def test_unknown_select_is_usage_error(self, tmp_path, capsys):
         bad = self._write(tmp_path, "bad.py", BAD_SNIPPET)
         assert main([str(bad), "--select", "R99"]) == 2
+        err = capsys.readouterr().err.strip()
+        # One line, naming the offender and every valid id (R* and W*).
+        assert len(err.splitlines()) == 1
+        assert "R99" in err
+        for rule_id in known_rule_ids():
+            assert rule_id in err
+        assert "W1" in err
+
+    def test_unknown_select_raises_typed_error_in_process(self, tmp_path):
+        bad = self._write(tmp_path, "bad.py", BAD_SNIPPET)
+        with pytest.raises(UnknownRuleError) as excinfo:
+            check_paths([str(bad)], select=["R1", "R99", "W9"])
+        assert excinfo.value.unknown == ["R99", "W9"]
+        assert set(excinfo.value.known) == \
+            set(REGISTRY) | set(PROJECT_REGISTRY)
 
     def test_missing_path_is_usage_error(self):
         assert main(["does/not/exist"]) == 2
@@ -101,14 +127,46 @@ class TestCli:
         assert [f.rule for f in findings] == ["R1"]
 
 
-class TestRepoGate:
-    def test_src_tree_is_clean(self):
-        """The acceptance criterion: zero unsuppressed findings in src/.
+class TestFileDiscovery:
+    def test_overlapping_inputs_are_deduplicated(self, tmp_path):
+        """src + src/pkg + the file itself must lint the file once."""
+        package = tmp_path / "pkg"
+        package.mkdir()
+        target = package / "mod.py"
+        target.write_text(BAD_SNIPPET, encoding="utf-8")
+        files = iter_python_files(
+            [str(tmp_path), str(package), str(target), str(target)])
+        assert files == [target]
+        # End to end: the finding is reported once, not four times.
+        findings = check_paths(
+            [str(tmp_path), str(package), str(target), str(target)])
+        assert [f.rule for f in findings] == ["R1"]
 
-        Runs from the repo root (tests are executed with the repo as
-        cwd); if this fails, run ``python -m repro.analysis src`` for
-        the offending lines.
+    def test_dedupe_keeps_sorted_order(self, tmp_path):
+        for name in ("b.py", "a.py", "c.py"):
+            (tmp_path / name).write_text("x = 1\n", encoding="utf-8")
+        files = iter_python_files(
+            [str(tmp_path / "c.py"), str(tmp_path), str(tmp_path / "a.py")])
+        assert [f.name for f in files] == ["a.py", "b.py", "c.py"]
+
+    def test_check_file_reports_syntax_error_as_r0(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n", encoding="utf-8")
+        findings = check_file(broken)
+        assert [f.rule for f in findings] == ["R0"]
+        assert "does not parse" in findings[0].message
+
+
+class TestRepoGate:
+    def test_repo_tree_is_clean(self):
+        """The acceptance criterion: zero unsuppressed findings.
+
+        Runs both passes over ``src`` *and* ``tests`` — the same input
+        set CI's hard gate uses (W4's liveness census needs the tests
+        in the set). Runs from the repo root (tests are executed with
+        the repo as cwd); if this fails, run
+        ``python -m repro.analysis src tests`` for the offending lines.
         """
-        src = Path(__file__).resolve().parents[2] / "src"
-        findings = check_paths([str(src)])
+        root = Path(__file__).resolve().parents[2]
+        findings = check_paths([str(root / "src"), str(root / "tests")])
         assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,11 +1,17 @@
 """Per-rule fixtures: each rule must fire on its bad pattern and stay
 silent on the clean rewrite — the contract the CI gate relies on."""
 
+import ast
 import textwrap
 
 import pytest
 
 from repro.analysis import check_source
+from repro.analysis.rules import (
+    is_unordered_iterable,
+    optional_parameters,
+    set_typed_locals,
+)
 
 
 def run(source, path="src/repro/example.py", rules=None):
@@ -478,3 +484,53 @@ class TestInfrastructure:
             "R4", "R1"]
         assert findings == sorted(findings)
         assert all(finding.line > 0 for finding in findings)
+
+
+class TestSharedAstHelpers:
+    """The helpers rules are built from — public so out-of-tree rules
+    (registered via ``repro.analysis.register``) can reuse them."""
+
+    def _func(self, source):
+        tree = ast.parse(textwrap.dedent(source))
+        return [node for node in tree.body
+                if isinstance(node, ast.FunctionDef)][0]
+
+    def test_optional_parameters_covers_defaults_and_annotations(self):
+        func = self._func("""
+            from typing import Optional
+
+            def f(a, b=None, c: Optional[int] = 3, *, d=None, e=7):
+                return a
+        """)
+        assert optional_parameters(func) == {"b", "c", "d"}
+
+    def test_set_typed_locals_tracks_constructors_and_ops(self):
+        func = self._func("""
+            def f(nodes):
+                seen = set()
+                extra = {1, 2}
+                union = seen | extra
+                annotated: Set[int] = set()
+                ordered = sorted(nodes)
+                return seen, union, annotated, ordered
+        """)
+        names = set_typed_locals(func)
+        assert {"seen", "extra", "union", "annotated"} <= names
+        assert "ordered" not in names
+
+    def test_is_unordered_iterable_spares_sorted(self):
+        func = self._func("""
+            def f(mapping, seen):
+                for k in mapping.items():
+                    pass
+                for n in seen:
+                    pass
+                for s in sorted(seen):
+                    pass
+        """)
+        loops = [node for node in ast.walk(func)
+                 if isinstance(node, ast.For)]
+        names = {"seen"}
+        verdicts = [is_unordered_iterable(loop.iter, names)
+                    for loop in loops]
+        assert verdicts == [True, True, False]

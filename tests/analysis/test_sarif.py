@@ -1,0 +1,70 @@
+"""SARIF 2.1.0 output: the shape GitHub code scanning ingests."""
+
+import json
+import textwrap
+
+from repro.analysis import check_source, render_sarif
+from repro.analysis.__main__ import main
+from repro.analysis.project import PROJECT_REGISTRY
+from repro.analysis.rules import REGISTRY
+
+BAD = textwrap.dedent("""
+    def query(graph, depth=None):
+        depth = depth or 3
+        return depth
+""")
+
+
+def _run(findings):
+    payload = json.loads(render_sarif(findings))
+    assert payload["version"] == "2.1.0"
+    (run,) = payload["runs"]
+    return run
+
+
+class TestSarifShape:
+    def test_result_locations_are_one_indexed(self):
+        run = _run(check_source(BAD, path="src/repro/bad.py"))
+        (result,) = run["results"]
+        assert result["ruleId"] == "R1"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/bad.py"
+        assert location["region"]["startLine"] == 3
+        assert location["region"]["startColumn"] >= 1
+
+    def test_rule_index_points_at_the_catalogue(self):
+        run = _run(check_source(BAD, path="bad.py"))
+        (result,) = run["results"]
+        rules = run["tool"]["driver"]["rules"]
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_catalogue_covers_every_registered_rule(self):
+        run = _run([])
+        ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert ids == {"R0"} | set(REGISTRY) | set(PROJECT_REGISTRY)
+        for rule in run["tool"]["driver"]["rules"]:
+            assert rule["fullDescription"]["text"]
+
+    def test_empty_report_is_valid(self):
+        run = _run([])
+        assert run["results"] == []
+
+
+class TestSarifCli:
+    def test_format_sarif_on_stdout(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD, encoding="utf-8")
+        assert main([str(bad), "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"][0]["ruleId"] == "R1"
+
+    def test_sarif_file_written_alongside_text_output(
+            self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD, encoding="utf-8")
+        sarif_path = tmp_path / "out.sarif"
+        assert main([str(bad), "--sarif", str(sarif_path)]) == 1
+        assert "R1" in capsys.readouterr().out  # text still on stdout
+        payload = json.loads(sarif_path.read_text(encoding="utf-8"))
+        assert payload["runs"][0]["results"][0]["ruleId"] == "R1"

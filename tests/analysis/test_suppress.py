@@ -45,6 +45,66 @@ class TestSuppression:
         assert findings == []
 
 
+class TestSuppressionAnchoring:
+    """Which line a suppression must sit on (docs/ANALYSIS.md pins
+    these): findings on a decorated ``def`` anchor at the ``def`` line,
+    and findings inside a multi-line expression anchor at the line of
+    the offending *sub-expression*, not the statement's first line."""
+
+    def test_decorated_def_anchors_at_the_def_line(self):
+        findings = run("""
+            @staticmethod
+            def f(bucket=[]):
+                return bucket
+        """)
+        assert [(f.rule, f.line) for f in findings] == [("R4", 3)]
+
+    def test_suppression_on_the_def_line_silences(self):
+        assert run("""
+            @staticmethod
+            def f(bucket=[]):  # repro: ignore[R4] -- fixture: suppression belongs on the def line
+                return bucket
+        """) == []
+
+    def test_suppression_on_the_decorator_line_does_not(self):
+        findings = run("""
+            @staticmethod  # repro: ignore[R4] -- fixture: wrong line, decorators do not anchor findings
+            def f(bucket=[]):
+                return bucket
+        """)
+        assert [f.rule for f in findings] == ["R4"]
+
+    def test_multiline_expression_anchors_at_the_subexpression(self):
+        findings = run("""
+            def query(graph, depth=None):
+                depth = (
+                    depth or 3
+                )
+                return depth
+        """)
+        # Line 4 is `depth or 3` — not line 3, the statement's start.
+        assert [(f.rule, f.line) for f in findings] == [("R1", 4)]
+
+    def test_suppression_on_statement_first_line_does_not_cover(self):
+        findings = run("""
+            def query(graph, depth=None):
+                depth = (  # repro: ignore[R1] -- fixture: wrong line, the or-expression anchors below
+                    depth or 3
+                )
+                return depth
+        """)
+        assert [f.rule for f in findings] == ["R1"]
+
+    def test_suppression_on_the_subexpression_line_covers(self):
+        assert run("""
+            def query(graph, depth=None):
+                depth = (
+                    depth or 3  # repro: ignore[R1] -- fixture: the anchoring line is the or-expression's
+                )
+                return depth
+        """) == []
+
+
 class TestSuppressionHygiene:
     def test_missing_justification_is_an_r0_finding(self):
         findings = run("""
