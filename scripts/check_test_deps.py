@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Guard: the CI-installed test deps must match pyproject's [test] extra.
+
+The no-scipy CI leg used to hand-maintain its own ``pip install a b c``
+list, which silently drifted whenever the ``[test]`` extra changed in
+``pyproject.toml``. The leg now installs ``.[test]`` and *uninstalls*
+scipy, and this script is the tripwire: it re-reads the extra from
+``pyproject.toml`` and fails the job when the interpreter's installed
+set disagrees with it —
+
+- a dep named in the extra is missing (the install step drifted), or
+- a dep excluded with ``--without`` is still importable (the
+  uninstall step drifted, so the leg is not testing what it claims).
+
+Usage::
+
+    python scripts/check_test_deps.py                # full [test] extra
+    python scripts/check_test_deps.py --without scipy  # the no-scipy leg
+
+Runs on the bare interpreter — stdlib only, no repro import — so it
+works even when the package install itself is broken.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+#: Dist name -> import name, for extras whose PyPI name is not the
+#: module they install. Everything else is assumed to import under
+#: its dist name with ``-`` mapped to ``_``.
+IMPORT_NAMES: Dict[str, str] = {
+    "pytest-benchmark": "pytest_benchmark",
+}
+
+
+def dist_to_module(dist: str) -> str:
+    """Import name for a distribution name from the extra."""
+    return IMPORT_NAMES.get(dist, dist.replace("-", "_"))
+
+
+def parse_requirement_name(requirement: str) -> str:
+    """Bare dist name from a PEP 508 requirement string.
+
+    Strips extras, version specifiers, and environment markers:
+    ``pytest-benchmark[histogram]>=4; python_version < '3.13'`` ->
+    ``pytest-benchmark``.
+    """
+    match = re.match(r"\s*([A-Za-z0-9][A-Za-z0-9._-]*)", requirement)
+    if not match:
+        raise ValueError(f"unparseable requirement: {requirement!r}")
+    return match.group(1)
+
+
+def _fallback_extra(text: str, extra: str) -> List[str]:
+    """Minimal [project.optional-dependencies] reader for pythons
+    without tomllib (3.10): find the section, then the ``extra = [...]``
+    entry. Good enough for the flat single-line lists this repo uses."""
+    section = re.search(
+        r"^\[project\.optional-dependencies\]\s*$(.*?)(?=^\[|\Z)",
+        text, re.M | re.S)
+    if not section:
+        raise SystemExit(
+            "pyproject.toml has no [project.optional-dependencies]")
+    entry = re.search(
+        rf"^{re.escape(extra)}\s*=\s*\[(.*?)\]", section.group(1),
+        re.M | re.S)
+    if not entry:
+        raise SystemExit(f"no {extra!r} extra in pyproject.toml")
+    return re.findall(r"[\"']([^\"']+)[\"']", entry.group(1))
+
+
+def load_extra(pyproject: Path, extra: str = "test") -> List[str]:
+    """The requirement strings of *extra* from *pyproject*."""
+    text = pyproject.read_text(encoding="utf-8")
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # python < 3.11
+        return _fallback_extra(text, extra)
+    data = tomllib.loads(text)
+    try:
+        return list(data["project"]["optional-dependencies"][extra])
+    except KeyError:
+        raise SystemExit(f"no {extra!r} extra in pyproject.toml") from None
+
+
+def check(requirements: Sequence[str],
+          without: Sequence[str] = ()) -> List[str]:
+    """Problem strings for the current interpreter (empty = in sync)."""
+    problems: List[str] = []
+    excluded = {name.lower() for name in without}
+    for requirement in requirements:
+        dist = parse_requirement_name(requirement)
+        module = dist_to_module(dist)
+        installed = importlib.util.find_spec(module) is not None
+        if dist.lower() in excluded:
+            if installed:
+                problems.append(
+                    f"{dist}: excluded via --without but still "
+                    f"importable as {module!r} — the uninstall step "
+                    f"drifted")
+        elif not installed:
+            problems.append(
+                f"{dist}: listed in the extra but not importable as "
+                f"{module!r} — the install step drifted")
+    unknown = excluded - {parse_requirement_name(r).lower()
+                          for r in requirements}
+    for name in sorted(unknown):
+        problems.append(
+            f"{name}: passed to --without but not in the extra — "
+            f"update the CI leg or pyproject.toml")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pyproject",
+                        default=str(Path(__file__).resolve().parent.parent
+                                    / "pyproject.toml"),
+                        help="path to pyproject.toml "
+                             "(default: repo root's)")
+    parser.add_argument("--extra", default="test",
+                        help="optional-dependency group to check "
+                             "(default %(default)s)")
+    parser.add_argument("--without", action="append", default=[],
+                        metavar="DIST",
+                        help="dist that must NOT be installed "
+                             "(repeatable; the no-scipy leg passes "
+                             "--without scipy)")
+    args = parser.parse_args(argv)
+
+    requirements = load_extra(Path(args.pyproject), args.extra)
+    problems = check(requirements, without=args.without)
+    if problems:
+        for problem in problems:
+            print(f"DEPS DRIFT: {problem}", file=sys.stderr)
+        return 1
+    kept = [r for r in requirements
+            if parse_requirement_name(r).lower()
+            not in {w.lower() for w in args.without}]
+    print(f"test deps in sync with pyproject [{args.extra}] extra: "
+          f"{', '.join(kept)}"
+          + (f" (without {', '.join(args.without)})"
+             if args.without else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

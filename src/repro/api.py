@@ -143,6 +143,12 @@ class RecommendationResponse:
         cost: Network-cost accounting for distributed tiers (a
             :class:`~repro.distributed.QueryCost`), ``None`` for
             single-machine scorers.
+        served_epoch: Epoch of the generation that actually answered —
+            during a zero-downtime rollover this can lag
+            the live graph (the old generation keeps serving until the
+            flip); ``None`` for single-machine scorers.
+        hedged: True when at least one remote fetch of this request
+            was hedged to a backup replica (sharded serving only).
     """
 
     request: RecommendationRequest = field(compare=False)
@@ -151,6 +157,8 @@ class RecommendationResponse:
     snapshot_epoch: Optional[int] = field(default=None, compare=False)
     degraded: bool = False
     cost: Optional[object] = field(default=None, compare=False)
+    served_epoch: Optional[int] = field(default=None, compare=False)
+    hedged: bool = field(default=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.recommendations)
@@ -212,6 +220,8 @@ def response_from_pairs(
     degraded: bool = False,
     cost: Optional[object] = None,
     per_topic: Optional[Mapping[int, Dict[str, float]]] = None,
+    served_epoch: Optional[int] = None,
+    hedged: bool = False,
 ) -> RecommendationResponse:
     """Wrap an already-ranked ``(node, score)`` sequence in a response.
 
@@ -231,4 +241,6 @@ def response_from_pairs(
         snapshot_epoch=snapshot_epoch,
         degraded=degraded,
         cost=cost,
+        served_epoch=served_epoch,
+        hedged=hedged,
     )

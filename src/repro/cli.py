@@ -169,12 +169,14 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         landmark_params=LandmarkParams(num_landmarks=args.count,
                                        top_n=args.top))
     platform = ShardedPlatform.build(graph, similarity, index, args.shards,
+                                     replicas=args.replicas,
                                      query_engine=args.query_engine)
     response = platform.recommend(args.user, args.topic, top_n=args.top_n)
     home = platform.router.shard_of(args.user)
-    print(f"shards={platform.num_shards} epoch={platform.epoch} "
-          f"engine={platform.query_engine} "
-          f"home_shard={home} degraded={response.degraded}")
+    print(f"shards={platform.num_shards} replicas={platform.replicas} "
+          f"epoch={platform.epoch} served_epoch={response.served_epoch} "
+          f"engine={platform.query_engine} home_shard={home} "
+          f"degraded={response.degraded} hedged={response.hedged}")
     if not len(response):
         print("no recommendation found")
         return 1
@@ -275,6 +277,9 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--user", type=int, required=True)
     shard.add_argument("--topic", required=True)
     shard.add_argument("--shards", type=int, default=4)
+    shard.add_argument("--replicas", type=int, default=1,
+                       help="replication factor R per shard range "
+                            "(>= 2 enables failover and hedged fetches)")
     shard.add_argument("--top-n", type=int, default=10)
     shard.add_argument("--strategy", default="In-Deg",
                        help="landmark selection strategy")

@@ -15,9 +15,10 @@ transfer costs." This subpackage implements that simulation:
   transfer units, so landmark placement strategies can be compared
   (:mod:`recommend`);
 - a sharded serving tier on contiguous range partitions — integer-
-  division routing, scatter-gather execution, simulated failures and
-  deadlines, results bitwise-identical to the single-machine
-  recommender (:mod:`sharded`).
+  division routing, R-way replica sets with deterministic failover and
+  hedged fetches, zero-downtime epoch rollover, scatter-gather
+  execution, simulated failures and deadlines, results
+  bitwise-identical to the single-machine recommender (:mod:`sharded`).
 """
 
 from .partition import (
@@ -33,6 +34,8 @@ from .partition import (
 from .cluster import MessageStats, distributed_single_source_scores
 from .recommend import DistributedLandmarkService, QueryCost
 from .sharded import (
+    EpochRollover,
+    ReplicaSet,
     ShardChannel,
     ShardedPlatform,
     ShardRouter,
@@ -59,5 +62,7 @@ __all__ = [
     "ShardRouter",
     "ShardChannel",
     "ShardWorker",
+    "ReplicaSet",
+    "EpochRollover",
     "ShardedPlatform",
 ]

@@ -19,15 +19,31 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Protocol, Sequence, Tuple
 
 from ..config import ScoreParams
 from ..core.exact import ScoreState, _MaxSimCache
 from ..core.scores import AuthorityIndex
 from ..errors import ConfigurationError
-from ..graph.labeled_graph import LabeledSocialGraph
+from ..graph.labeled_graph import TopicSet
 from ..semantics.matrix import SimilarityMatrix
 from .partition import Assignment
+
+
+class SupportsOutNeighbors(Protocol):  # repro: ignore[W4] -- typing protocol: names the graph capability distributed_single_source_scores requires, so sharded's replica-routing view type-checks as a valid host
+    """The one graph capability the superstep engine actually reads.
+
+    Satisfied by :class:`~repro.graph.labeled_graph.LabeledSocialGraph`
+    and :class:`~repro.graph.snapshot.GraphSnapshot` directly, and by
+    the sharded tier's replica-routing view — the engine never needs
+    more than each walker's labelled out-row, so any facade that can
+    produce rows (from local storage or from the owning replica) can
+    host a propagation.
+    """
+
+    def out_neighbors(self, node: int) -> Mapping[int, TopicSet]:
+        """Labelled out-edges of *node*."""
+        ...  # pragma: no cover - protocol body
 
 
 @dataclass
@@ -61,7 +77,7 @@ class MessageStats:
 
 
 def distributed_single_source_scores(
-    graph: LabeledSocialGraph,
+    graph: SupportsOutNeighbors,
     assignment: Assignment,
     source: int,
     topics: Sequence[str],

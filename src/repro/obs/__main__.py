@@ -6,12 +6,16 @@ Subcommands::
     python -m repro.obs run --json BENCH_ci.json
     python -m repro.obs report BENCH_ci.json
     python -m repro.obs check BENCH_ci.json benchmarks/baseline_ci.json
+    python -m repro.obs summary BENCH_ci.json --chaos 'verdicts/*.json'
 
 ``run`` executes the pinned CI smoke workload (see
 :mod:`repro.obs.workload`) with the observability layer enabled and
 prints per-stage timings; ``--json`` additionally writes the report
 consumed by the CI gate. ``check`` is the gate itself: exit 1 on a
 gross stage-time regression against the checked-in baseline.
+``summary`` renders the markdown gate summary CI appends to
+``$GITHUB_STEP_SUMMARY`` (optionally folding in chaos-cell verdict
+JSONs).
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .export import read_json, render_text, write_json
+from .export import read_json, render_markdown, render_text, write_json
 from .gate import (
     DEFAULT_FACTOR,
     DEFAULT_MIN_LATENCY_SECONDS,
@@ -53,6 +57,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     print(render_text(read_json(args.report)))
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    import glob
+    import json
+
+    report = read_json(args.report)
+    chaos = None
+    if args.chaos:
+        chaos = []
+        for pattern in args.chaos:
+            for path in sorted(glob.glob(pattern)):
+                loaded = json.loads(
+                    open(path, encoding="utf-8").read())
+                chaos.extend(loaded if isinstance(loaded, list)
+                             else [loaded])
+    markdown = render_markdown(report, chaos=chaos)
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as handle:
+            handle.write(markdown)
+    else:
+        print(markdown)
     return 0
 
 
@@ -106,6 +133,18 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="render an existing bench report")
     report.add_argument("report")
     report.set_defaults(handler=_cmd_report)
+
+    summary = sub.add_parser(
+        "summary", help="render the markdown gate summary "
+                        "(for $GITHUB_STEP_SUMMARY)")
+    summary.add_argument("report")
+    summary.add_argument("--chaos", action="append", metavar="GLOB",
+                         help="chaos verdict JSON(s) to fold in; "
+                              "repeatable, glob patterns allowed")
+    summary.add_argument("--out", default="",
+                         help="append the markdown to this file instead "
+                              "of stdout")
+    summary.set_defaults(handler=_cmd_summary)
 
     check = sub.add_parser(
         "check", help="fail on gross stage-time regressions vs a baseline")

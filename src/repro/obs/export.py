@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from .clock import format_duration
 
@@ -122,4 +122,84 @@ def render_text(report: Dict[str, Any]) -> str:
             mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
             lines.append(f"  {name}: n={hist['count']} "
                          f"mean={format_duration(max(mean, 0.0))}")
+    return "\n".join(lines)
+
+
+def render_markdown(report: Dict[str, Any],
+                    chaos: Optional[Sequence[Dict[str, Any]]] = None) -> str:
+    """GitHub-flavoured gate summary for ``$GITHUB_STEP_SUMMARY``.
+
+    Tables the bench stages, the per-engine query-latency p50/p99, the
+    rollover gauges, and (when *chaos* verdict dicts are passed — the
+    JSON the chaos-matrix cells upload) a per-cell chaos verdict row,
+    so a reviewer reads the whole gate without downloading artifacts.
+    """
+    lines: List[str] = ["## Bench gate summary", ""]
+    workload = report.get("workload") or {}
+    if workload:
+        knobs = " · ".join(f"{key}={workload[key]}"
+                           for key in sorted(workload))
+        lines += [f"_Workload: {knobs}_", ""]
+
+    stages = report.get("stages") or {}
+    if stages:
+        lines += [
+            "### Stages",
+            "",
+            "| stage | calls | total | mean | max |",
+            "| --- | ---: | ---: | ---: | ---: |",
+        ]
+        for name, entry in sorted(
+                stages.items(), key=lambda kv: -kv[1]["seconds"]):
+            lines.append(
+                f"| `{name}` | {int(entry['calls'])} "
+                f"| {format_duration(entry['seconds'])} "
+                f"| {format_duration(entry['mean'])} "
+                f"| {format_duration(entry['max'])} |")
+        lines.append("")
+
+    latency = report.get("latency") or {}
+    if latency:
+        lines += [
+            "### Query latency",
+            "",
+            "| engine | count | p50 | p99 | mean | qps |",
+            "| --- | ---: | ---: | ---: | ---: | ---: |",
+        ]
+        for name in sorted(latency):
+            entry = latency[name]
+            lines.append(
+                f"| `{name}` | {int(entry['count'])} "
+                f"| {format_duration(entry['p50'])} "
+                f"| {format_duration(entry['p99'])} "
+                f"| {format_duration(entry['mean'])} "
+                f"| {entry['qps']:.0f} |")
+        lines.append("")
+
+    gauges = report.get("gauges") or {}
+    rollover = {name: value for name, value in sorted(gauges.items())
+                if name.startswith("workload.rollover.")}
+    if rollover:
+        lines += ["### Rollover", ""]
+        for name, value in rollover.items():
+            lines.append(f"- `{name}` = {value:g}")
+        lines.append("")
+
+    if chaos is not None:
+        lines += [
+            "### Chaos verdicts",
+            "",
+            "| cell | det | engines | stale | degraded | verdict |",
+            "| --- | --- | --- | ---: | ---: | --- |",
+        ]
+        for verdict in chaos:
+            mark = "✅" if verdict.get("passed") else "❌"
+            lines.append(
+                f"| `{verdict.get('cell', '?')}` "
+                f"| {'yes' if verdict.get('deterministic') else 'NO'} "
+                f"| {'agree' if verdict.get('engines_agree') else 'DISAGREE'} "
+                f"| {verdict.get('stale_errors', '?')} "
+                f"| {verdict.get('degraded_responses', '?')} "
+                f"| {mark} |")
+        lines.append("")
     return "\n".join(lines)

@@ -2,8 +2,9 @@
 
 A small, fully-seeded end-to-end run that exercises every instrumented
 stage — snapshot construction, exact power iteration, landmark
-preprocessing (Algorithm 1), and the landmark-accelerated query path
-(Algorithm 2) — with the
+preprocessing (Algorithm 1), the landmark-accelerated query path
+(Algorithm 2), sharded serving, and a replicated zero-downtime epoch
+rollover under churn — with the
 observability layer enabled, and returns the bench report that
 ``python -m repro.obs run --json BENCH_ci.json`` writes for CI.
 
@@ -174,6 +175,45 @@ def run_smoke(nodes: int = 0, seed: int = 0, landmarks: int = 0,
             authority=authority)
         for query in query_nodes:
             platform.recommend(query, topic, top_n=10)
+
+        # Stage 5 — zero-downtime epoch rollover under load. A
+        # replicated platform serves while seeded churn bumps the
+        # epoch; the next generation warms beside the old one and the
+        # router flips once every replica is ready. One replica is
+        # slowed beforehand so the hedged-fetch path is exercised too.
+        # The stage gauges how fast a fresh epoch becomes servable
+        # (events/sec from first event applied to post-flip answers)
+        # and the hedge win rate over the whole replicated run.
+        from ..dynamics import GraphStream, simulate_churn
+
+        replicated = ShardedPlatform.build(
+            graph, similarity, index, num_shards=4, replicas=2,
+            params=params)
+        for _ in range(2):  # per-replica latency history for hedging
+            for query in query_nodes:
+                replicated.recommend(query, topic, top_n=10)
+        replicated.channel.set_replica_latency(1, 0, 25.0)
+        for query in query_nodes:
+            replicated.recommend(query, topic, top_n=10)
+
+        stream = GraphStream(graph)
+        churn_events = 30
+        watch = rt.timed_span("workload.rollover")
+        with watch:
+            applied = stream.apply_all(
+                simulate_churn(graph, churn_events, seed=seed))
+            rollover = replicated.begin_rollover()
+            for query in query_nodes:  # old epoch serves through the warm
+                replicated.recommend(query, topic, top_n=10)
+            rollover.flip()
+            for query in query_nodes:  # fresh epoch, zero downtime
+                replicated.recommend(query, topic, top_n=10)
+        channel = replicated.channel
+        rt.gauge("workload.rollover.events_per_sec",
+                 (applied / watch.elapsed) if watch.elapsed > 0 else 0.0)
+        rt.gauge("workload.rollover.hedge_win_rate",
+                 (channel.hedges_won / channel.hedges_sent)
+                 if channel.hedges_sent else 0.0)
 
         report = build_report(rt.snapshot(), workload={
             "nodes": nodes, "seed": seed, "landmarks": landmarks,

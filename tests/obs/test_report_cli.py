@@ -6,7 +6,7 @@ import pytest
 
 from repro.obs import build_report, check_regression, read_json, render_text, write_json
 from repro.obs.__main__ import main
-from repro.obs.export import REPORT_VERSION
+from repro.obs.export import REPORT_VERSION, render_markdown
 from repro.obs.workload import run_smoke
 
 
@@ -58,6 +58,58 @@ class TestExportRoundTrip:
         text = render_text(tiny_report({"exact.single_source": 0.25}))
         assert "exact.single_source" in text
         assert "exact.calls_total = 1" in text
+
+
+class TestMarkdownSummary:
+    def test_tables_stages_latency_and_rollover_gauges(self):
+        report = tiny_report({"exact.single_source": 0.25},
+                             latency={"workload.query.sparse": 0.002})
+        report["gauges"] = {"workload.rollover.events_per_sec": 250.0,
+                            "workload.rollover.hedge_win_rate": 1.0,
+                            "graph.snapshot_epoch": 3.0}
+        markdown = render_markdown(report)
+        assert "## Bench gate summary" in markdown
+        assert "| `exact.single_source` | 1 " in markdown
+        assert "| `workload.query.sparse` | 10 " in markdown
+        assert "`workload.rollover.events_per_sec` = 250" in markdown
+        # non-rollover gauges stay out of the summary
+        assert "graph.snapshot_epoch" not in markdown
+        assert "Chaos verdicts" not in markdown
+
+    def test_chaos_verdict_rows(self):
+        report = tiny_report({"exact.single_source": 0.25})
+        chaos = [{"cell": "r2-none-seed7", "passed": True,
+                  "deterministic": True, "engines_agree": True,
+                  "stale_errors": 0, "degraded_responses": 0},
+                 {"cell": "r1-down-replica-seed7", "passed": False,
+                  "deterministic": False, "engines_agree": True,
+                  "stale_errors": 2, "degraded_responses": 5}]
+        markdown = render_markdown(report, chaos=chaos)
+        assert "### Chaos verdicts" in markdown
+        assert "| `r2-none-seed7` | yes | agree | 0 | 0 | ✅ |" in markdown
+        assert "| `r1-down-replica-seed7` | NO | agree | 2 | 5 | ❌ |" \
+            in markdown
+
+    def test_summary_subcommand_appends_to_out_file(self, tmp_path):
+        report_path = tmp_path / "bench.json"
+        write_json(tiny_report({"exact.single_source": 0.25}), report_path)
+        verdicts = tmp_path / "chaos-r2-none.json"
+        verdicts.write_text(json.dumps([{"cell": "r2-none-seed7",
+                                         "passed": True,
+                                         "deterministic": True,
+                                         "engines_agree": True,
+                                         "stale_errors": 0,
+                                         "degraded_responses": 0}]))
+        out = tmp_path / "summary.md"
+        out.write_text("# prior content\n")
+        code = main(["summary", str(report_path),
+                     "--chaos", str(tmp_path / "chaos-*.json"),
+                     "--out", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("# prior content\n")  # appends, not clobbers
+        assert "## Bench gate summary" in text
+        assert "r2-none-seed7" in text
 
 
 class TestRegressionGate:

@@ -1,0 +1,86 @@
+"""The CI test-deps drift guard (``scripts/check_test_deps.py``).
+
+The script lives outside ``src`` (it must run on the bare interpreter
+before the package installs), so it is loaded here by file path.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (Path(__file__).resolve().parent.parent
+           / "scripts" / "check_test_deps.py")
+_spec = importlib.util.spec_from_file_location("check_test_deps", _SCRIPT)
+deps = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(deps)
+
+
+class TestParsing:
+    def test_requirement_name_strips_specifiers(self):
+        assert deps.parse_requirement_name("pytest") == "pytest"
+        assert deps.parse_requirement_name("scipy>=1.10") == "scipy"
+        assert deps.parse_requirement_name(
+            "pytest-benchmark[histogram]>=4; python_version < '3.13'"
+        ) == "pytest-benchmark"
+
+    def test_dist_to_module_maps_known_renames(self):
+        assert deps.dist_to_module("pytest-benchmark") == "pytest_benchmark"
+        assert deps.dist_to_module("some-other-dist") == "some_other_dist"
+
+    def test_load_extra_reads_repo_pyproject(self):
+        extra = deps.load_extra(_SCRIPT.parent.parent / "pyproject.toml")
+        assert "pytest" in extra
+        assert "scipy" in extra
+
+    def test_fallback_parser_agrees_with_tomllib(self):
+        pyproject = _SCRIPT.parent.parent / "pyproject.toml"
+        text = pyproject.read_text(encoding="utf-8")
+        assert deps._fallback_extra(text, "test") \
+            == deps.load_extra(pyproject)
+
+    def test_load_extra_unknown_group_exits(self, tmp_path):
+        stub = tmp_path / "pyproject.toml"
+        stub.write_text("[project.optional-dependencies]\n"
+                        "test = [\"pytest\"]\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            deps.load_extra(stub, "nope")
+
+
+class TestCheck:
+    def test_in_sync_set_has_no_problems(self):
+        assert deps.check(["pytest", "pytest-benchmark"]) == []
+
+    def test_missing_dep_is_flagged_as_install_drift(self):
+        problems = deps.check(["pytest", "definitely-not-a-real-dist"])
+        assert len(problems) == 1
+        assert "install step drifted" in problems[0]
+
+    def test_excluded_but_installed_is_flagged_as_uninstall_drift(self):
+        problems = deps.check(["pytest"], without=["pytest"])
+        assert len(problems) == 1
+        assert "uninstall step drifted" in problems[0]
+
+    def test_excluded_and_absent_passes(self):
+        assert deps.check(["pytest", "definitely-not-a-real-dist"],
+                          without=["definitely-not-a-real-dist"]) == []
+
+    def test_unknown_exclusion_is_flagged(self):
+        problems = deps.check(["pytest"], without=["scipy"])
+        assert problems and "not in the extra" in problems[0]
+
+
+class TestMain:
+    def test_ok_exit_zero(self, tmp_path, capsys):
+        stub = tmp_path / "pyproject.toml"
+        stub.write_text("[project.optional-dependencies]\n"
+                        "test = [\"pytest\"]\n", encoding="utf-8")
+        assert deps.main(["--pyproject", str(stub)]) == 0
+        assert "in sync" in capsys.readouterr().out
+
+    def test_drift_exit_one(self, tmp_path, capsys):
+        stub = tmp_path / "pyproject.toml"
+        stub.write_text("[project.optional-dependencies]\n"
+                        "test = [\"no-such-dist-xyz\"]\n", encoding="utf-8")
+        assert deps.main(["--pyproject", str(stub)]) == 1
+        assert "DEPS DRIFT" in capsys.readouterr().err
