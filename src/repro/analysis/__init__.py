@@ -37,7 +37,8 @@ from .engine import (AnalysisRun, UnknownRuleError, check_file, check_paths,
 from .findings import Finding
 from .modgraph import ModuleSummary, summarize_module
 from .project import (PROJECT_REGISTRY, LayersConfig, LayersConfigError,
-                      ProjectRule, all_project_rules, load_layers_config,
+                      ProjectRule, all_project_rules, layer_of,
+                      load_layers_config,
                       register_project, render_layering_dag,
                       run_project_rules)
 from .rules import REGISTRY, Rule, all_rules, register
@@ -60,6 +61,7 @@ __all__ = [
     "check_paths",
     "check_source",
     "iter_python_files",
+    "layer_of",
     "load_layers_config",
     "register",
     "register_project",

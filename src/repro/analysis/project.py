@@ -66,7 +66,7 @@ class LayersConfig:
 
 
 _SECTION_RE = re.compile(r"^\[([A-Za-z0-9_\-]+)\]$")
-_ENTRY_RE = re.compile(r"^\"?([A-Za-z0-9_\-]+)\"?\s*=\s*(\[.*\])$")
+_ENTRY_RE = re.compile(r"^\"?([A-Za-z0-9_\-.]+)\"?\s*=\s*(\[.*\])$")
 
 
 def load_layers_config(path: Optional[Path] = None) -> LayersConfig:
@@ -166,6 +166,27 @@ def _find_cycle(
             if found is not None:
                 return found
     return None
+
+
+def layer_of(module: str, config: LayersConfig) -> Optional[str]:
+    """Layer a dotted module belongs to.
+
+    The longest dotted prefix declared in ``[layers]`` wins
+    (``repro.graph.storage`` → ``graph.storage`` when that layer is
+    declared), falling back to the top-level subpackage. Nested layers
+    let a subpackage carve out an inner seam with its own, tighter
+    dependency contract while undeclared sibling modules keep the
+    enclosing package's layer.
+    """
+    package = package_of(module)
+    if package is None:
+        return None
+    parts = module.split(".")[1:]
+    for depth in range(len(parts), 1, -1):
+        candidate = ".".join(parts[:depth])
+        if candidate in config.allowed:
+            return candidate
+    return package
 
 
 def render_layering_dag(config: Optional[LayersConfig] = None) -> str:
@@ -465,7 +486,7 @@ class LayeringRule(ProjectRule):
         config = project.layers
         for module in sorted(project.package_modules):
             summary = project.package_modules[module]
-            source_pkg = package_of(module)
+            source_pkg = layer_of(module, config)
             if source_pkg is None:
                 continue
             if source_pkg not in config.allowed:
@@ -480,7 +501,7 @@ class LayeringRule(ProjectRule):
                     continue
                 for target in resolve_import_targets(
                         edge, project.known_modules):
-                    target_pkg = package_of(target)
+                    target_pkg = layer_of(target, config)
                     if target_pkg is None or target_pkg == source_pkg:
                         continue
                     if target_pkg in config.allowed[source_pkg]:

@@ -3,6 +3,7 @@
 from .text import TOPIC_KEYWORDS, generate_tweet, generate_tweets
 from .twitter import TwitterConfig, TwitterDataset, generate_twitter_dataset, generate_twitter_graph
 from .dblp import DblpConfig, DblpDataset, generate_dblp_dataset, generate_dblp_graph
+from .streaming import StreamStats, generate_twitter_snapshot_stream, read_stream_stats
 
 __all__ = [
     "TOPIC_KEYWORDS",
@@ -16,4 +17,7 @@ __all__ = [
     "DblpDataset",
     "generate_dblp_graph",
     "generate_dblp_dataset",
+    "StreamStats",
+    "generate_twitter_snapshot_stream",
+    "read_stream_stats",
 ]

@@ -1,0 +1,706 @@
+"""Out-of-core streaming variant of the Twitter-shaped generator.
+
+:func:`generate_twitter_snapshot_stream` emits a graph with the same
+statistical shape as :mod:`repro.datasets.twitter` — Zipf topic
+popularity, homophily, preferential attachment with Pareto-tailed
+fitness, triadic closure, low reciprocity — but writes edges straight
+into the on-disk snapshot format (:mod:`repro.graph.storage`) without
+ever holding a full edge list in memory, so million-node graphs
+generate within a bounded footprint:
+
+- **Phase A** samples every account's publisher profile and interest
+  set into compact topic-id bitmask arrays and seeds the
+  preferential-attachment pools (growable int32 arrays).
+- **Phase B** walks nodes in ascending id order, draws each node's
+  followees (closure consults a bounded ring of recently-emitted
+  rows), interns edge labels, and appends the sorted out-CSR rows
+  chunk by chunk through a :class:`SnapshotWriter`. Every
+  ``checkpoint_every`` nodes the writer state, RNG state, counters and
+  pending reciprocal edges are checkpointed to
+  ``<dir>/checkpoint.json`` — an interrupted run resumes from there
+  (phase A is deterministic and merely replayed).
+- **Phase C** transposes the out-CSR into the in-CSR with a bounded
+  number of target-range passes over the emitted files (each pass
+  selects, sorts and appends one contiguous slice of targets), and
+  derives the per-topic follower-count CSR and global maxima from the
+  same pass — then finalises the checksummed header.
+
+Reciprocity differs from the in-RAM generator in one necessary way:
+edges are emitted in ascending source order, so a reciprocal follow
+``v -> u`` with ``v > u`` is queued and emitted when ``v``'s row is
+reached, while ``v < u`` (the row already shipped) is dropped and
+counted in :attr:`StreamStats.dropped_reciprocal`.
+
+Everything is driven by one seeded :class:`random.Random`; the same
+seed and knobs produce a byte-identical snapshot directory (modulo the
+header's insertion-ordered metadata), interrupted or not.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..graph.storage import ARRAY_DTYPE, SnapshotWriter, read_header
+from ..utils.rng import SeedLike, rng_from_seed
+from .twitter import TwitterConfig, _sample_topics, _zipf_weights
+
+PathLike = Union[str, Path]
+
+_CHECKPOINT_NAME = "checkpoint.json"
+_STATS_NAME = "stats.json"
+#: Edge-buffer flush threshold (elements per array).
+_FLUSH_EDGES = 1 << 19
+#: Target in-memory edge count per transpose pass.
+_TRANSPOSE_PASS_EDGES = 1 << 20
+#: Elements per chunked read while scanning the emitted out-CSR.
+_SCAN_CHUNK = 1 << 21
+
+
+@dataclass
+class StreamStats:
+    """Counters accumulated *during* streaming emission.
+
+    This is what ``repro generate --stream`` prints — the written
+    graph is never re-loaded just to report its shape.
+    """
+
+    num_nodes: int = 0
+    num_edges: int = 0
+    reciprocal_edges: int = 0
+    dropped_reciprocal: int = 0
+    distinct_labels: int = 0
+    edges_per_topic: Dict[str, int] = field(default_factory=dict)
+    checkpoints: int = 0
+    resumed_from: Optional[int] = None
+    path: str = ""
+
+    def to_json(self) -> str:
+        """Serialise for ``<dir>/stats.json``."""
+        return json.dumps({
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "reciprocal_edges": self.reciprocal_edges,
+            "dropped_reciprocal": self.dropped_reciprocal,
+            "distinct_labels": self.distinct_labels,
+            "edges_per_topic": {t: self.edges_per_topic[t]
+                                for t in sorted(self.edges_per_topic)},
+            "checkpoints": self.checkpoints,
+            "resumed_from": self.resumed_from,
+            "path": self.path,
+        }, indent=1, sort_keys=True)
+
+
+class _GrowArray:
+    """Append-only int32 array with amortised doubling."""
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._data = np.empty(capacity, dtype=np.int32)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, value: int) -> None:
+        if self._size == self._data.shape[0]:
+            grown = np.empty(self._data.shape[0] * 2, dtype=np.int32)
+            grown[:self._size] = self._data[:self._size]
+            self._data = grown
+        self._data[self._size] = value
+        self._size += 1
+
+    def pick(self, rng) -> int:
+        """Uniform element (caller guarantees non-empty)."""
+        return int(self._data[rng.randrange(self._size)])
+
+
+def _encode_rng_state(state) -> list:
+    return [state[0], list(state[1]), state[2]]
+
+
+def _decode_rng_state(payload) -> tuple:
+    return (payload[0], tuple(payload[1]), payload[2])
+
+
+class _Emitter:
+    """All mutable state of one streaming generation run."""
+
+    def __init__(self, path: Path, num_nodes: int, seed: SeedLike,
+                 cfg: TwitterConfig, checkpoint_every: int,
+                 closure_window: int) -> None:
+        self.path = path
+        self.cfg = cfg
+        self.n = num_nodes
+        self.seed = seed
+        self.checkpoint_every = checkpoint_every
+        self.closure_window = closure_window
+        self.rng = rng_from_seed(seed)
+        self.topics: Tuple[str, ...] = tuple(cfg.topics)
+        self.topic_ids = {t: i for i, t in enumerate(self.topics)}
+        self.writer = SnapshotWriter(path)
+        self.stats = StreamStats(num_nodes=num_nodes, path=str(path))
+        # Interning table: label key (sorted topic-id tuple) -> id.
+        self.label_ids: Dict[Tuple[int, ...], int] = {}
+        self.labels: List[Tuple[int, ...]] = []
+        # Phase-A outputs.
+        self.publisher_mask = np.zeros(num_nodes, dtype=np.int64)
+        self.interest_mask = np.zeros(num_nodes, dtype=np.int64)
+        self.global_pool = _GrowArray()
+        self.topic_pool = [_GrowArray() for _ in self.topics]
+        self.publishers_of: List[np.ndarray] = []
+        # Phase-B state.
+        self.in_degree = np.zeros(num_nodes, dtype=np.int64)
+        self.pending: Dict[int, List[int]] = {}
+        self.ring: Dict[int, np.ndarray] = {}
+        self.edge_count = 0
+        self.topic_edge_counts = [0] * len(self.topics)
+        self._buf_indices: List[np.ndarray] = []
+        self._buf_labels: List[np.ndarray] = []
+        self._buf_indptr: List[int] = []
+        self._buf_edges = 0
+        # Mask-decoding memos (distinct masks are few).
+        self._mask_names: Dict[int, Tuple[str, ...]] = {}
+
+    # -- mask helpers --------------------------------------------------
+    def _names(self, mask: int) -> Tuple[str, ...]:
+        cached = self._mask_names.get(mask)
+        if cached is None:
+            cached = tuple(t for i, t in enumerate(self.topics)
+                           if mask >> i & 1)
+            self._mask_names[mask] = cached
+        return cached
+
+    def _intern(self, key: Tuple[int, ...]) -> int:
+        lid = self.label_ids.get(key)
+        if lid is None:
+            lid = len(self.labels)
+            self.label_ids[key] = lid
+            self.labels.append(key)
+        return lid
+
+    # -- phase A -------------------------------------------------------
+    def sample_profiles(self) -> None:
+        """Draw every account's profile/interests and seed the pools.
+
+        Deterministic for a given seed, so a resumed run simply
+        replays this phase before restoring the checkpointed RNG
+        state.
+        """
+        cfg, rng = self.cfg, self.rng
+        topics = list(self.topics)
+        weights = _zipf_weights(len(topics), cfg.topic_skew)
+        tid = self.topic_ids
+        publishers: List[List[int]] = [[] for _ in topics]
+        for node in range(self.n):
+            publisher = _sample_topics(
+                rng, topics, weights,
+                rng.randint(1, cfg.max_publisher_topics))
+            pmask = 0
+            for topic in publisher:
+                pmask |= 1 << tid[topic]
+            self.publisher_mask[node] = pmask
+            interest = set(t for t in publisher if rng.random() < 0.7)
+            extra = _sample_topics(rng, topics, weights,
+                                   rng.randint(1, cfg.max_interest_topics))
+            for topic in extra:
+                if len(interest) >= cfg.max_interest_topics:
+                    break
+                interest.add(topic)
+            imask = 0
+            for topic in interest:
+                imask |= 1 << tid[topic]
+            self.interest_mask[node] = imask
+            fitness = min(60, int(rng.paretovariate(1.3)))
+            for _ in range(fitness):
+                self.global_pool.append(node)
+                for topic in publisher:
+                    self.topic_pool[tid[topic]].append(node)
+            for topic in publisher:
+                publishers[tid[topic]].append(node)
+        self.publishers_of = [np.asarray(p, dtype=np.int32)
+                              for p in publishers]
+
+    # -- phase B -------------------------------------------------------
+    def _pick_target(self, follower: int, row: Dict[int, int]
+                     ) -> Optional[int]:
+        cfg, rng = self.cfg, self.rng
+        if rng.random() < cfg.closure:
+            followees = list(row)
+            if followees:
+                middleman = rng.choice(followees)
+                second_hop = self.ring.get(middleman)
+                if second_hop is not None and second_hop.shape[0]:
+                    return int(second_hop[rng.randrange(
+                        second_hop.shape[0])])
+        interest = self._names(int(self.interest_mask[follower]))
+        if interest and rng.random() < cfg.homophily:
+            topic_id = self.topic_ids[rng.choice(interest)]
+            pa_pool = self.topic_pool[topic_id]
+            uniform_pool = self.publishers_of[topic_id]
+            if len(pa_pool) and rng.random() < cfg.preferential:
+                return pa_pool.pick(rng)
+            if uniform_pool.shape[0]:
+                return int(uniform_pool[rng.randrange(
+                    uniform_pool.shape[0])])
+        if rng.random() < cfg.preferential and len(self.global_pool):
+            return self.global_pool.pick(rng)
+        return rng.randrange(self.n)
+
+    def _label_edge(self, follower: int, followee: int) -> int:
+        shared = (int(self.interest_mask[follower])
+                  & int(self.publisher_mask[followee]))
+        if shared:
+            key = tuple(i for i in range(len(self.topics))
+                        if shared >> i & 1)
+        else:
+            profile = self._names(int(self.publisher_mask[followee]))
+            key = (self.topic_ids[self.rng.choice(profile)],)
+        return self._intern(key)
+
+    def _add_edge(self, follower: int, followee: int,
+                  row: Dict[int, int]) -> bool:
+        if follower == followee or followee in row:
+            return False
+        lid = self._label_edge(follower, followee)
+        row[followee] = lid
+        return True
+
+    def emit_node(self, node: int) -> None:
+        """Draw, label, sort and buffer one node's out-row."""
+        cfg, rng = self.cfg, self.rng
+        row: Dict[int, int] = {}
+        for source in self.pending.pop(node, ()):  # reciprocal backlog
+            if self._add_edge(node, source, row):
+                self.stats.reciprocal_edges += 1
+        base = int(cfg.avg_out_degree)
+        degree = base + (1 if rng.random() < (cfg.avg_out_degree - base)
+                         else 0)
+        created = 0
+        for _ in range(max(degree, 1) * 20):  # bounded attempts
+            if created >= degree:
+                break
+            followee = self._pick_target(node, row)
+            if followee is None or not self._add_edge(node, followee, row):
+                continue
+            created += 1
+            if rng.random() < cfg.reciprocity:
+                if followee > node:
+                    self.pending.setdefault(followee, []).append(node)
+                else:
+                    self.stats.dropped_reciprocal += 1
+        targets = np.fromiter(sorted(row), dtype=np.int64, count=len(row))
+        label_row = np.fromiter((row[t] for t in targets.tolist()),
+                                dtype=np.int64, count=targets.shape[0])
+        # Attachment pools grow in *emitted* (sorted-row) order, not
+        # draw order — this is what lets a resumed run rebuild the
+        # pools exactly by replaying the emitted files.
+        for followee, lid in zip(targets.tolist(), label_row.tolist()):
+            self.global_pool.append(followee)
+            for topic_id in self.labels[lid]:
+                self.topic_pool[topic_id].append(followee)
+                self.topic_edge_counts[topic_id] += 1
+        self._buf_indices.append(targets)
+        self._buf_labels.append(label_row)
+        self.edge_count += targets.shape[0]
+        self._buf_edges += targets.shape[0]
+        self._buf_indptr.append(self.edge_count)
+        np.add.at(self.in_degree, targets, 1)
+        self.ring[node] = targets
+        evicted = node - self.closure_window
+        if evicted >= 0:
+            self.ring.pop(evicted, None)
+        if self._buf_edges >= _FLUSH_EDGES:
+            self.flush()
+
+    def flush(self) -> None:
+        """Append buffered rows to the writer."""
+        if self._buf_indices:
+            self.writer.append("out_indices",
+                               np.concatenate(self._buf_indices))
+            self.writer.append("out_label_ids",
+                               np.concatenate(self._buf_labels))
+            self._buf_indices.clear()
+            self._buf_labels.clear()
+            self._buf_edges = 0
+        if self._buf_indptr:
+            self.writer.append("out_indptr",
+                               np.asarray(self._buf_indptr, dtype=np.int64))
+            self._buf_indptr.clear()
+
+    # -- checkpoint / resume -------------------------------------------
+    def _config_fingerprint(self) -> Dict[str, object]:
+        return {
+            "num_nodes": self.n,
+            "seed": self.seed if isinstance(self.seed, int) else None,
+            "avg_out_degree": self.cfg.avg_out_degree,
+            "homophily": self.cfg.homophily,
+            "closure": self.cfg.closure,
+            "preferential": self.cfg.preferential,
+            "topic_skew": self.cfg.topic_skew,
+            "reciprocity": self.cfg.reciprocity,
+            "topics": list(self.topics),
+            "closure_window": self.closure_window,
+        }
+
+    def checkpoint(self, next_node: int) -> None:
+        """Durably record emission progress at *next_node*."""
+        self.flush()
+        payload = {
+            "version": 1,
+            "fingerprint": self._config_fingerprint(),
+            "next_node": next_node,
+            "rng_state": _encode_rng_state(self.rng.getstate()),
+            "writer_state": self.writer.state(),
+            "pending": {str(v): sources
+                        for v, sources in sorted(self.pending.items())},
+            "labels": [list(key) for key in self.labels],
+            "edge_count": self.edge_count,
+            "topic_edge_counts": list(self.topic_edge_counts),
+            "stats": {
+                "reciprocal_edges": self.stats.reciprocal_edges,
+                "dropped_reciprocal": self.stats.dropped_reciprocal,
+                "checkpoints": self.stats.checkpoints + 1,
+            },
+        }
+        tmp = self.path / (_CHECKPOINT_NAME + ".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(self.path / _CHECKPOINT_NAME)
+        self.stats.checkpoints += 1
+
+    def try_resume(self) -> int:
+        """Restore checkpointed state; returns the node to resume at.
+
+        Returns 0 (fresh start) when no checkpoint exists. A
+        checkpoint written under different knobs is a hard error —
+        silently mixing two configurations would corrupt the output.
+        """
+        checkpoint_path = self.path / _CHECKPOINT_NAME
+        if not checkpoint_path.exists():
+            return 0
+        payload = json.loads(checkpoint_path.read_text(encoding="utf-8"))
+        if payload.get("fingerprint") != self._config_fingerprint():
+            raise ConfigurationError(
+                f"checkpoint at {checkpoint_path} was written with "
+                f"different generator parameters; delete the directory "
+                f"to start over")
+        next_node = int(payload["next_node"])
+        writer_state = payload["writer_state"]
+        self.writer.restore(writer_state)
+        self.labels = [tuple(key) for key in payload["labels"]]
+        self.label_ids = {key: i for i, key in enumerate(self.labels)}
+        self.edge_count = int(payload["edge_count"])
+        self.topic_edge_counts = [int(c)
+                                  for c in payload["topic_edge_counts"]]
+        self.pending = {int(v): [int(s) for s in sources]
+                        for v, sources in payload["pending"].items()}
+        stats = payload["stats"]
+        self.stats.reciprocal_edges = int(stats["reciprocal_edges"])
+        self.stats.dropped_reciprocal = int(stats["dropped_reciprocal"])
+        self.stats.checkpoints = int(stats["checkpoints"])
+        self.stats.resumed_from = next_node
+        # Replay the emitted edges to rebuild the derived state the
+        # checkpoint deliberately omits: attachment-pool appends,
+        # in-degrees, and the closure ring's recent rows.
+        indices_count = int(writer_state.get(
+            "out_indices", {}).get("count", 0))
+        emitted_indices = self._read_emitted("out_indices", indices_count)
+        emitted_labels = self._read_emitted("out_label_ids", indices_count)
+        np.add.at(self.in_degree, emitted_indices, 1)
+        for target, lid in zip(emitted_indices.tolist(),
+                               emitted_labels.tolist()):
+            self.global_pool.append(target)
+            for topic_id in self.labels[lid]:
+                self.topic_pool[topic_id].append(target)
+        indptr_count = int(writer_state.get(
+            "out_indptr", {}).get("count", 0))
+        indptr = self._read_emitted("out_indptr", indptr_count)
+        ring_lo = max(0, next_node - self.closure_window)
+        for node in range(ring_lo, next_node):
+            self.ring[node] = emitted_indices[
+                int(indptr[node]):int(indptr[node + 1])].astype(np.int64)
+        return next_node
+
+    def _read_emitted(self, name: str, count: int) -> np.ndarray:
+        return np.fromfile(self.path / f"{name}.bin", dtype=ARRAY_DTYPE,
+                           count=count)
+
+    # -- phase C -------------------------------------------------------
+    def transpose_and_finalize(self) -> None:
+        """Build the in-CSR, profile and follower CSRs; write header."""
+        self.flush()
+        # The transpose re-reads the emitted files through independent
+        # handles; writer.state() flushes the append buffers to disk
+        # so those reads see every edge.
+        self.writer.state()
+        # Phase-B state is dead once emission is done; drop the big
+        # pools so the transpose's working set rides on a small floor.
+        self.ring.clear()
+        self.pending.clear()
+        self.global_pool = _GrowArray()
+        self.topic_pool = [_GrowArray() for _ in self.topics]
+        self.publishers_of = [np.empty(0, dtype=np.int32)
+                              for _ in self.topics]
+        writer = self.writer
+        # node_ids: contiguous by construction.
+        for start in range(0, self.n, _SCAN_CHUNK):
+            stop = min(self.n, start + _SCAN_CHUNK)
+            writer.append("node_ids",
+                          np.arange(start, stop, dtype=np.int64))
+        # Profile CSR straight from the phase-A masks.
+        writer.append("prof_indptr", np.zeros(1, dtype=np.int64))
+        tids = np.arange(len(self.topics), dtype=np.int64)
+        base = 0
+        for start in range(0, self.n, 65536):
+            stop = min(self.n, start + 65536)
+            masks = self.publisher_mask[start:stop]
+            hits = (masks[:, None] >> tids[None, :]) & 1  # (chunk, T)
+            counts = hits.sum(axis=1)
+            writer.append("prof_topic_ids",
+                          np.broadcast_to(tids, hits.shape)[hits == 1])
+            writer.append("prof_indptr", np.cumsum(counts) + base)
+            base += int(counts.sum())
+        # in-CSR via bounded target-range passes: each pass scans the
+        # emitted out-CSR, keeps only edges landing in its target
+        # range, stable-sorts them by target (sources stay ascending
+        # within a target: emission order is ascending source) and
+        # appends — so the in-arrays are written strictly in order and
+        # the follower-count CSR falls out of the same grouping.
+        in_indptr = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(self.in_degree)])
+        writer.append("in_indptr", in_indptr)
+        writer.append("fol_indptr", np.zeros(1, dtype=np.int64))
+        label_table = self.labels
+        num_topics = len(self.topics)
+        max_followers = np.zeros(num_topics, dtype=np.int64)
+        # Expansion table: label id -> its topic ids (CSR).
+        label_indptr = np.concatenate(
+            [np.zeros(1, dtype=np.int64),
+             np.cumsum([len(key) for key in label_table])]
+        ).astype(np.int64)
+        label_topics = np.asarray(
+            [tid for key in label_table for tid in key], dtype=np.int64)
+        fol_base = 0
+        bounds = self._pass_bounds(in_indptr)
+        for t0, t1 in bounds:
+            picked_src: List[np.ndarray] = []
+            picked_tgt: List[np.ndarray] = []
+            picked_lab: List[np.ndarray] = []
+            for lo in range(0, self.edge_count, _SCAN_CHUNK):
+                hi = min(self.edge_count, lo + _SCAN_CHUNK)
+                targets = self._read_chunk("out_indices", lo, hi)
+                labels = self._read_chunk("out_label_ids", lo, hi)
+                sources_by_edge = self._chunk_sources(lo, hi)
+                keep = (targets >= t0) & (targets < t1)
+                picked_src.append(sources_by_edge[keep])
+                picked_tgt.append(targets[keep])
+                picked_lab.append(labels[keep])
+            src = np.concatenate(picked_src) if picked_src else \
+                np.empty(0, dtype=np.int64)
+            tgt = np.concatenate(picked_tgt) if picked_tgt else \
+                np.empty(0, dtype=np.int64)
+            lab = np.concatenate(picked_lab) if picked_lab else \
+                np.empty(0, dtype=np.int64)
+            # The per-chunk pieces are concatenated; free them before
+            # the sort doubles the pass's working set.
+            picked_src.clear()
+            picked_tgt.clear()
+            picked_lab.clear()
+            order = np.argsort(tgt, kind="stable")
+            src, tgt, lab = src[order], tgt[order], lab[order]
+            del order
+            writer.append("in_indices", src)
+            writer.append("in_label_ids", lab)
+            # Follower-topic counts for targets in [t0, t1): expand
+            # each in-edge's label to its topics, then count distinct
+            # (target, topic) pairs — rows come out sorted by target
+            # then topic id, matching the store's decode order.
+            sizes = (label_indptr[lab + 1] - label_indptr[lab])
+            expanded_tgt = np.repeat(tgt, sizes)
+            gather = _csr_gather(label_indptr, lab, sizes)
+            expanded_topic = label_topics[gather] if gather.shape[0] \
+                else np.empty(0, dtype=np.int64)
+            pair_keys = expanded_tgt * num_topics + expanded_topic
+            del expanded_tgt, expanded_topic, gather
+            unique_pairs, pair_counts = np.unique(pair_keys,
+                                                  return_counts=True)
+            del pair_keys
+            pair_targets = unique_pairs // num_topics
+            pair_topics = unique_pairs % num_topics
+            writer.append("fol_topic_ids", pair_topics)
+            writer.append("fol_counts", pair_counts)
+            np.maximum.at(max_followers, pair_topics, pair_counts)
+            rows = np.bincount((pair_targets - t0).astype(np.int64),
+                               minlength=t1 - t0)
+            writer.append("fol_indptr", np.cumsum(rows) + fol_base)
+            fol_base += int(rows.sum())
+        self.stats.num_edges = self.edge_count
+        self.stats.distinct_labels = len(label_table)
+        self.stats.edges_per_topic = {
+            self.topics[i]: int(count)
+            for i, count in enumerate(self.topic_edge_counts) if count}
+        writer.finalize(
+            epoch=0, num_nodes=self.n, num_edges=self.edge_count,
+            contiguous_ids=True, topics=self.topics,
+            labels=[list(key) for key in label_table],
+            max_followers={self.topics[i]: int(m)
+                           for i, m in enumerate(max_followers.tolist())
+                           if m})
+        (self.path / _STATS_NAME).write_text(self.stats.to_json() + "\n",
+                                             encoding="utf-8")
+        checkpoint_path = self.path / _CHECKPOINT_NAME
+        if checkpoint_path.exists():
+            checkpoint_path.unlink()
+
+    def _pass_bounds(self, in_indptr: np.ndarray
+                     ) -> List[Tuple[int, int]]:
+        """Contiguous target ranges of ~bounded in-edge volume."""
+        bounds: List[Tuple[int, int]] = []
+        t0 = 0
+        while t0 < self.n:  # advances by >= 1 node per iteration
+            limit = int(in_indptr[t0]) + _TRANSPOSE_PASS_EDGES
+            t1 = int(np.searchsorted(in_indptr, limit, side="right")) - 1
+            t1 = max(t1, t0 + 1)
+            t1 = min(t1, self.n)
+            bounds.append((t0, t1))
+            t0 = t1
+        if not bounds:
+            bounds.append((0, self.n))
+        return bounds
+
+    def _read_chunk(self, name: str, lo: int, hi: int) -> np.ndarray:
+        with (self.path / f"{name}.bin").open("rb") as handle:
+            handle.seek(lo * 8)
+            return np.fromfile(handle, dtype=ARRAY_DTYPE, count=hi - lo)
+
+    def _chunk_sources(self, lo: int, hi: int) -> np.ndarray:
+        """Source node of every out-edge in ``[lo, hi)``.
+
+        Derived from the (small, fully-written) out_indptr file kept
+        cached in memory.
+        """
+        indptr = getattr(self, "_indptr_cache", None)
+        if indptr is None:
+            indptr = self._read_emitted("out_indptr", self.n + 1)
+            self._indptr_cache = indptr
+        first = int(np.searchsorted(indptr, lo, side="right")) - 1
+        last_row = int(np.searchsorted(indptr, hi - 1, side="right")) - 1
+        counts = np.diff(np.clip(indptr[first:last_row + 2], lo, hi))
+        return np.repeat(np.arange(first, last_row + 1, dtype=np.int64),
+                         counts)
+
+
+def _csr_gather(indptr: np.ndarray, rows: np.ndarray,
+                sizes: np.ndarray) -> np.ndarray:
+    """Indices gathering each row's CSR slice, concatenated.
+
+    For rows ``r`` with extents ``[indptr[r], indptr[r+1])`` returns
+    the flat index array ``[indptr[r0], ..., indptr[r0+1]-1,
+    indptr[r1], ...]`` without a Python-level loop.
+    """
+    total = int(sizes.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = indptr[rows]
+    offsets = np.arange(total, dtype=np.int64)
+    row_starts = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(sizes)[:-1]])
+    return starts.repeat(sizes) + (offsets - row_starts.repeat(sizes))
+
+
+def generate_twitter_snapshot_stream(
+        path: PathLike, num_nodes: int, seed: SeedLike = 0,
+        config: Optional[TwitterConfig] = None,
+        checkpoint_every: int = 100_000, closure_window: int = 25_000,
+        resume: bool = True,
+        on_checkpoint: Optional[Callable[[int], None]] = None
+        ) -> StreamStats:
+    """Stream-generate a Twitter-shaped graph into a snapshot directory.
+
+    Args:
+        path: Target snapshot directory (created if missing). After a
+            successful run it opens via
+            :func:`repro.graph.io.open_snapshot`.
+        num_nodes: Number of accounts (ids ``0..num_nodes-1``).
+        seed: Generator seed — the run is fully deterministic.
+        config: Shape knobs (defaults to :class:`TwitterConfig` at
+            this ``num_nodes``).
+        checkpoint_every: Nodes between durable checkpoints.
+        closure_window: How many recently-emitted rows the triadic
+            closure step can target through (bounds ring memory).
+        resume: Continue from ``checkpoint.json`` when present;
+            ``False`` ignores (and overwrites) any partial run.
+        on_checkpoint: Test hook invoked after each checkpoint with
+            the next node id.
+
+    Returns:
+        :class:`StreamStats` with the counters accumulated during
+        emission (also persisted as ``<dir>/stats.json``).
+
+    Raises:
+        ConfigurationError: a checkpoint exists but was written with
+            different parameters.
+    """
+    cfg = config if config is not None \
+        else TwitterConfig(num_nodes=num_nodes)
+    if cfg.num_nodes != num_nodes:
+        cfg = TwitterConfig(**{**cfg.__dict__, "num_nodes": num_nodes})
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    emitter = _Emitter(directory, num_nodes, seed, cfg, checkpoint_every,
+                       closure_window)
+    try:
+        emitter.sample_profiles()
+        start_node = emitter.try_resume() if resume else 0
+        if start_node:
+            state = json.loads(
+                (directory / _CHECKPOINT_NAME).read_text(encoding="utf-8"))
+            emitter.rng.setstate(_decode_rng_state(state["rng_state"]))
+        else:
+            # Fresh start: the CSR needs its leading zero, and any
+            # checkpoint from an abandoned earlier run must not be
+            # picked up by a future resume of *this* run.
+            stale = directory / _CHECKPOINT_NAME
+            if stale.exists():
+                stale.unlink()
+            emitter.writer.append("out_indptr",
+                                  np.zeros(1, dtype=np.int64))
+        for node in range(start_node, num_nodes):
+            emitter.emit_node(node)
+            if (node + 1) % checkpoint_every == 0 and node + 1 < num_nodes:
+                emitter.checkpoint(node + 1)
+                if on_checkpoint is not None:
+                    on_checkpoint(node + 1)
+        emitter.transpose_and_finalize()
+    finally:
+        emitter.writer.close()
+    return emitter.stats
+
+
+def read_stream_stats(path: PathLike) -> StreamStats:
+    """Load the ``stats.json`` a finished streaming run wrote.
+
+    Validates that the directory holds a finished snapshot first (the
+    header is only written on success).
+    """
+    directory = Path(path)
+    read_header(directory)
+    payload = json.loads(
+        (directory / _STATS_NAME).read_text(encoding="utf-8"))
+    return StreamStats(
+        num_nodes=int(payload["num_nodes"]),
+        num_edges=int(payload["num_edges"]),
+        reciprocal_edges=int(payload["reciprocal_edges"]),
+        dropped_reciprocal=int(payload["dropped_reciprocal"]),
+        distinct_labels=int(payload["distinct_labels"]),
+        edges_per_topic={str(t): int(c) for t, c
+                         in payload["edges_per_topic"].items()},
+        checkpoints=int(payload["checkpoints"]),
+        resumed_from=payload.get("resumed_from"),
+        path=str(directory))

@@ -522,13 +522,18 @@ class ShardWorker:  # repro: ignore[W4] -- instantiated by ShardedPlatform.build
         self.ready = ready
         self._snapshot = snapshot
         lo, hi = spec.lo, spec.hi
+        #: This worker's slice of the node-id table. A slice, not a
+        #: copy: for store-loaded snapshots ``node_ids`` is a ``range``
+        #: and the slice stays a ``range`` — no per-node heap cost.
         self.node_ids: Tuple[int, ...] = snapshot.node_ids[lo:hi]
-        edge_lo = int(snapshot.out_indptr[lo])
-        edge_hi = int(snapshot.out_indptr[hi])
-        #: This shard's CSR rows, rebased so row ``i`` is local node ``i``.
-        self.out_indptr = snapshot.out_indptr[lo:hi + 1] - edge_lo
-        self.out_indices = snapshot.out_indices[edge_lo:edge_hi]
-        self.out_label_ids = snapshot.out_label_ids[edge_lo:edge_hi]
+        #: This shard's CSR rows, rebased so row ``i`` is local node
+        #: ``i``. ``out_slice`` returns *views* of the snapshot arrays
+        #: (only the small rebased indptr is copied), so replica
+        #: warm-up and rollover ``_Generation`` builds on an
+        #: mmap-backed snapshot open file-backed slices and page in
+        #: rows on first read instead of deep-copying the adjacency.
+        (self.out_indptr, self.out_indices,
+         self.out_label_ids) = snapshot.out_slice(lo, hi)
         #: Per-shard authority cache (scores are snapshot-global, the
         #: memo is shard-private unless a shared cache is passed in).
         self.authority = (authority if authority is not None

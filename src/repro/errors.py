@@ -137,11 +137,26 @@ class ConfigurationError(ReproError, ValueError):
 
 
 class StorageError(ReproError):
-    """Base class for the landmark inverted-list store errors."""
+    """Base class for on-disk store errors (landmark lists, snapshots)."""
 
 
 class CorruptRecordError(StorageError):
     """A stored posting list failed checksum or bounds validation."""
+
+
+class SnapshotFormatError(StorageError):
+    """An on-disk snapshot directory failed format validation.
+
+    Raised by :func:`repro.graph.io.open_snapshot` when the header is
+    missing or unparsable, declares an unknown format/version or dtype,
+    disagrees with the array files on disk (size or checksum mismatch),
+    or references an array file that does not exist.
+    """
+
+    def __init__(self, path: object, reason: str) -> None:
+        super().__init__(f"snapshot at {path}: {reason}")
+        self.path = path
+        self.reason = reason
 
 
 class EvaluationError(ReproError):

@@ -5,7 +5,11 @@ from .snapshot import GraphSnapshot, as_snapshot
 from .builders import graph_from_edges, graph_from_records
 from .traversal import bfs_levels, k_vicinity, reachable_set
 from .stats import GraphStats, compute_stats
-from .io import read_edge_list, read_jsonl, write_edge_list, write_jsonl
+from .io import (open_snapshot, read_edge_list, read_jsonl, save_snapshot,
+                 write_edge_list, write_jsonl)
+from .storage import (ArrayStore, MmapArrayStore, RamArrayStore,
+                      SnapshotHeader, SnapshotWriter, open_array_store,
+                      verify_snapshot)
 
 __all__ = [
     "LabeledSocialGraph",
@@ -22,4 +26,13 @@ __all__ = [
     "write_edge_list",
     "read_jsonl",
     "write_jsonl",
+    "save_snapshot",
+    "open_snapshot",
+    "ArrayStore",
+    "RamArrayStore",
+    "MmapArrayStore",
+    "SnapshotHeader",
+    "SnapshotWriter",
+    "open_array_store",
+    "verify_snapshot",
 ]

@@ -1,12 +1,17 @@
 """Serialisation of labeled graphs.
 
-Two formats:
+Three formats:
 
 - a labeled edge-list text format, one edge per line:
   ``source<TAB>target<TAB>topic1,topic2`` (topics optional), with node
   profiles in an optional companion header section ``#node id t1,t2``;
 - JSON-lines with explicit node and edge records, round-tripping every
-  detail (used by the CLI and the dataset cache).
+  detail (used by the CLI and the dataset cache);
+- the binary snapshot directory (:func:`save_snapshot` /
+  :func:`open_snapshot`): the :class:`~repro.graph.storage` layout —
+  ``header.json`` plus raw int64 array files — that a
+  :class:`~repro.graph.snapshot.GraphSnapshot` can serve straight from
+  disk via ``np.memmap`` without rebuilding anything.
 """
 
 from __future__ import annotations
@@ -15,10 +20,21 @@ import json
 from pathlib import Path
 from typing import Iterator, Union
 
+import numpy as np
+
+from ..obs import runtime as _obs
 from .builders import graph_from_records
 from .labeled_graph import LabeledSocialGraph
+from .snapshot import GraphLike, GraphSnapshot, as_snapshot
+from .storage import (SnapshotHeader, SnapshotWriter, encode_topic_csr,
+                      open_array_store, verify_snapshot)
 
 PathLike = Union[str, Path]
+
+#: Nodes per chunk when encoding the profile/follower CSRs for disk.
+_SAVE_CHUNK_NODES = 65536
+#: Elements per chunk when appending large adjacency arrays.
+_SAVE_CHUNK_ELEMS = 1 << 22
 
 
 def write_edge_list(graph: LabeledSocialGraph, path: PathLike) -> None:
@@ -96,3 +112,122 @@ def _iter_jsonl(path: Path) -> Iterator[dict]:
             line = line.strip()
             if line:
                 yield json.loads(line)
+
+
+def _append_chunked(writer: SnapshotWriter, name: str,
+                    array: np.ndarray) -> None:
+    """Append *array* in bounded chunks (tobytes copies per chunk)."""
+    arr = np.asarray(array, dtype=np.int64)
+    for start in range(0, arr.shape[0], _SAVE_CHUNK_ELEMS):
+        writer.append(name, arr[start:start + _SAVE_CHUNK_ELEMS])
+
+
+def _append_topic_csr(writer: SnapshotWriter, indptr_name: str,
+                      data_name: str, rows, topic_ids,
+                      counts_name: Union[str, None] = None) -> None:
+    """Encode per-node topic rows as CSR, appending chunk by chunk."""
+    writer.append(indptr_name, np.zeros(1, dtype=np.int64))
+    base = 0
+    for start in range(0, len(rows), _SAVE_CHUNK_NODES):
+        sub = rows[start:start + _SAVE_CHUNK_NODES]
+        indptr, data, values = encode_topic_csr(
+            sub, topic_ids, counts=counts_name is not None)
+        writer.append(indptr_name, indptr[1:] + base)
+        writer.append(data_name, data)
+        if counts_name is not None and values is not None:
+            writer.append(counts_name, values)
+        base += int(data.shape[0])
+
+
+def save_snapshot(source: GraphLike, path: PathLike,
+                  allow_stale: bool = False) -> SnapshotHeader:
+    """Persist a snapshot as an on-disk directory.
+
+    Writes the :mod:`repro.graph.storage` layout — adjacency CSRs,
+    node ids, profile and follower-count CSRs as raw int64 files plus
+    a checksummed ``header.json`` (written last, atomically). The
+    resulting directory round-trips bitwise through
+    :func:`open_snapshot` with either store backend.
+
+    Args:
+        source: A live graph (its current snapshot is saved) or an
+            existing :class:`GraphSnapshot`.
+        path: Target directory (created if missing).
+        allow_stale: Forwarded to the snapshot freshness check.
+
+    Returns:
+        The written :class:`~repro.graph.storage.SnapshotHeader`.
+    """
+    snapshot = as_snapshot(source, allow_stale)
+    directory = Path(path)
+    with _obs.span("graph.snapshot_save") as _sp:
+        writer = SnapshotWriter(directory)
+        try:
+            n = snapshot.num_nodes
+            ids = np.asarray(snapshot.node_ids, dtype=np.int64)
+            contiguous = bool(n == 0 or (ids == np.arange(n)).all())
+            _append_chunked(writer, "node_ids", ids)
+            _append_chunked(writer, "out_indptr", snapshot.out_indptr)
+            _append_chunked(writer, "out_indices", snapshot.out_indices)
+            _append_chunked(writer, "out_label_ids", snapshot.out_label_ids)
+            _append_chunked(writer, "in_indptr", snapshot.in_indptr)
+            _append_chunked(writer, "in_indices", snapshot.in_indices)
+            _append_chunked(writer, "in_label_ids", snapshot.in_label_ids)
+            topic_ids = snapshot.topic_ids
+            _append_topic_csr(writer, "prof_indptr", "prof_topic_ids",
+                              snapshot.profiles, topic_ids)
+            _append_topic_csr(writer, "fol_indptr", "fol_topic_ids",
+                              snapshot._follower_counts, topic_ids,
+                              counts_name="fol_counts")
+            header = writer.finalize(
+                epoch=snapshot.epoch, num_nodes=n,
+                num_edges=snapshot.num_edges, contiguous_ids=contiguous,
+                topics=snapshot.topic_list,
+                labels=[sorted(topic_ids[t] for t in label)
+                        for label in snapshot.labels],
+                max_followers={t: snapshot.max_followers_on(t)
+                               for t in sorted(snapshot.topics())
+                               if snapshot.max_followers_on(t)})
+        finally:
+            writer.close()
+        if _sp:
+            _sp.set(nodes=n, edges=snapshot.num_edges,
+                    epoch=snapshot.epoch, bytes=header.total_bytes())
+    return header
+
+
+def open_snapshot(path: PathLike, store: str = "mmap",
+                  verify: bool = False) -> GraphSnapshot:
+    """Open an on-disk snapshot directory as a :class:`GraphSnapshot`.
+
+    The returned snapshot is bitwise-equivalent to the one
+    :func:`save_snapshot` serialised: same arrays, label interning,
+    epoch — so every scorer (and the epoch-keyed landmark-vector
+    cache) treats it exactly like the original.
+
+    Emits the ``graph.snapshot_load`` span plus the
+    ``snapshot.bytes_resident`` / ``snapshot.store_backend`` gauge
+    pair (backend encoded as 0=ram, 1=mmap; see docs/OBSERVABILITY.md).
+
+    Args:
+        path: Snapshot directory.
+        store: ``"mmap"`` (default — arrays page in lazily) or
+            ``"ram"`` (arrays loaded eagerly onto the heap).
+        verify: Additionally checksum every array file against the
+            header (full read; off by default).
+
+    Raises:
+        SnapshotFormatError: corrupted or mismatched directory.
+    """
+    with _obs.span("graph.snapshot_load") as _sp:
+        if verify:
+            verify_snapshot(path)
+        array_store = open_array_store(path, backend=store)
+        snapshot = GraphSnapshot.from_store(array_store)
+        if _sp:
+            _sp.set(nodes=snapshot.num_nodes, edges=snapshot.num_edges,
+                    epoch=snapshot.epoch, store=array_store.backend)
+    _obs.gauge("snapshot.bytes_resident", float(snapshot.bytes_resident))
+    _obs.gauge("snapshot.store_backend",
+               1.0 if array_store.backend == "mmap" else 0.0)
+    return snapshot

@@ -38,6 +38,8 @@ import numpy as np
 from ..errors import EdgeNotFoundError, NodeNotFoundError, StaleSnapshotError
 from ..obs import runtime as _obs
 from .labeled_graph import LabeledSocialGraph, TopicSet
+from .storage import (ArrayStore, ContiguousPositions, CsrCountsSequence,
+                      CsrSetSequence)
 
 GraphLike = Union[LabeledSocialGraph, "GraphSnapshot"]
 
@@ -133,6 +135,9 @@ class GraphSnapshot:
 
         self._graph_ref: Optional["weakref.ref[LabeledSocialGraph]"] = (
             weakref.ref(graph))
+        #: Backing :class:`~repro.graph.storage.ArrayStore` for
+        #: store-loaded snapshots; ``None`` when built from a live graph.
+        self._store: Optional[ArrayStore] = None
         n = len(node_list)
         self._out_items_cache: List[Optional[list]] = [None] * n
         self._out_map_cache: List[Optional[Dict[int, TopicSet]]] = [None] * n
@@ -155,6 +160,103 @@ class GraphSnapshot:
         _obs.count("graph.snapshot_rebuilds_total")
         _obs.gauge("graph.snapshot_epoch", float(snapshot.epoch))
         return snapshot
+
+    @classmethod
+    def from_store(cls, store: ArrayStore) -> "GraphSnapshot":
+        """Materialise a snapshot over an opened :class:`ArrayStore`.
+
+        Adjacency arrays are exactly the store's arrays (heap-resident
+        for the RAM backend, lazily-paged ``np.memmap`` views for the
+        mmap backend); the per-node Python-side structures — position
+        table, publisher profiles, follower counts — are lazy views
+        that decode rows on access, so residency stays bounded by what
+        the scorers actually touch. The store's header supplies the
+        epoch, so the epoch-keyed caches downstream (landmark vectors,
+        shard generations) key store-loaded snapshots exactly like the
+        originals they were saved from.
+
+        Store-loaded snapshots have no source graph and are therefore
+        never stale. Most callers want
+        :func:`repro.graph.io.open_snapshot`, which opens, validates
+        and instruments in one step.
+        """
+        header = store.header
+        self = cls.__new__(cls)
+        n = header.num_nodes
+        self.out_indptr = store.get("out_indptr")
+        self.out_indices = store.get("out_indices")
+        self.out_label_ids = store.get("out_label_ids")
+        self.in_indptr = store.get("in_indptr")
+        self.in_indices = store.get("in_indices")
+        self.in_label_ids = store.get("in_label_ids")
+        topics = tuple(header.topics)
+        self.topic_list = topics
+        self.topic_ids = {topic: i for i, topic in enumerate(topics)}
+        self.labels = tuple(
+            frozenset(topics[t] for t in ids) for ids in header.labels)
+        if header.contiguous_ids:
+            # Generated graphs have ids 0..n-1: the id↔position maps
+            # collapse to identity views with no per-node heap cost.
+            self.node_ids = range(n)
+            self.position = ContiguousPositions(n)
+        else:
+            ids = [int(i) for i in store.get("node_ids").tolist()]
+            self.node_ids = tuple(ids)
+            self.position = {node: i for i, node in enumerate(ids)}
+        self.profiles = CsrSetSequence(
+            store.get("prof_indptr"), store.get("prof_topic_ids"), topics)
+        self._follower_counts = CsrCountsSequence(
+            store.get("fol_indptr"), store.get("fol_topic_ids"),
+            store.get("fol_counts"), topics)
+        self._max_followers = dict(header.max_followers)
+        self.epoch = header.epoch
+        self._graph_ref = None
+        self._store = store
+        self._out_items_cache = [None] * n
+        self._out_map_cache = [None] * n
+        self._in_map_cache = [None] * n
+        self._in_rows = None
+        self._authority = None
+        return self
+
+    @property
+    def store_backend(self) -> str:
+        """Which :class:`ArrayStore` backend holds the arrays.
+
+        ``"ram"`` for graph-built and RAM-store snapshots, ``"mmap"``
+        for memory-mapped ones.
+        """
+        return self._store.backend if self._store is not None else "ram"
+
+    @property
+    def bytes_resident(self) -> int:
+        """Array bytes pinned to process memory by this snapshot.
+
+        Graph-built snapshots own their CSR arrays on the heap; a
+        store-backed snapshot delegates to the store (0 for mmap —
+        mapped pages live in the reclaimable OS page cache).
+        """
+        if self._store is not None:
+            return self._store.bytes_resident()
+        return int(sum(a.nbytes for a in (
+            self.out_indptr, self.out_indices, self.out_label_ids,
+            self.in_indptr, self.in_indices, self.in_label_ids)))
+
+    def out_slice(self, lo: int, hi: int):
+        """Rebased out-CSR of dense positions ``[lo, hi)``.
+
+        Returns ``(indptr, indices, label_ids)`` where ``indptr`` is
+        rebased to start at 0 (a small per-shard copy) while
+        ``indices`` / ``label_ids`` are *views* of the snapshot's
+        arrays — for an mmap-backed snapshot they stay file-backed, so
+        a shard worker pages in only the rows it actually reads
+        instead of deep-copying its slice.
+        """
+        edge_lo = int(self.out_indptr[lo])
+        edge_hi = int(self.out_indptr[hi])
+        indptr = self.out_indptr[lo:hi + 1] - edge_lo
+        return (indptr, self.out_indices[edge_lo:edge_hi],
+                self.out_label_ids[edge_lo:edge_hi])
 
     @property
     def is_stale(self) -> bool:
@@ -364,6 +466,14 @@ class GraphSnapshot:
     # Pickling (the distributed layer ships snapshots across workers)
     # ------------------------------------------------------------------
     def __getstate__(self) -> Dict[str, object]:
+        store = getattr(self, "_store", None)
+        if store is not None and store.backend == "mmap":
+            # Ship only the (tiny) store descriptor: the receiving
+            # process re-opens and re-maps the same snapshot directory
+            # instead of funnelling every array through the pickle
+            # stream — this is what keeps cross-process shard workers
+            # cheap for mmap-backed snapshots.
+            return {"_mmap_store": store}
         state = dict(self.__dict__)
         state["_graph_ref"] = None
         state["_authority"] = None
@@ -374,7 +484,13 @@ class GraphSnapshot:
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:
+        mmap_store = state.pop("_mmap_store", None)
+        if mmap_store is not None:
+            restored = GraphSnapshot.from_store(mmap_store)
+            self.__dict__.update(restored.__dict__)
+            return
         self.__dict__.update(state)
+        self.__dict__.setdefault("_store", None)
         n = len(self.node_ids)
         self._out_items_cache = [None] * n
         self._out_map_cache = [None] * n

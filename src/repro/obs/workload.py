@@ -215,6 +215,55 @@ def run_smoke(nodes: int = 0, seed: int = 0, landmarks: int = 0,
                  (channel.hedges_won / channel.hedges_sent)
                  if channel.hedges_sent else 0.0)
 
+        # Stage 6 — storage backends. The frozen snapshot is persisted
+        # to the versioned on-disk format, reopened through both the
+        # in-RAM store and the memory-mapped store, and the same
+        # queries are re-run through each. The two latency entries
+        # (``workload.mmap.ram`` / ``workload.mmap.mmap``) measure what
+        # serving straight off the page cache costs relative to
+        # resident arrays; the answers themselves are bitwise-identical
+        # (pinned by the storage parity tests). A peak-RSS gauge rides
+        # along so scaling runs can see that the mmap path does not
+        # inherit the in-RAM footprint.
+        import shutil
+        import tempfile
+
+        from ..graph.io import open_snapshot, save_snapshot
+
+        snapshot_dir = tempfile.mkdtemp(prefix="repro-smoke-snapshot-")
+        try:
+            # Stage 5's churn advanced the live graph past the frozen
+            # epoch; the frozen epoch is exactly what we persist.
+            save_snapshot(snapshot, snapshot_dir, allow_stale=True)
+            for backend in ("ram", "mmap"):
+                loaded = open_snapshot(snapshot_dir, store=backend)
+                recommender = ApproximateRecommender(
+                    loaded, similarity, index, authority=loaded.authority(),
+                    query_engine="sparse")
+                for query in query_nodes:  # untimed cache warm-up
+                    recommender.recommend(query, topic, top_n=10)
+                samples = []
+                stage = f"workload.mmap.{backend}"
+                for _ in range(query_reps):
+                    for query in query_nodes:
+                        watch = rt.timed_span(stage)
+                        with watch:
+                            recommender.recommend(query, topic, top_n=10)
+                        samples.append(watch.elapsed)
+                latencies[stage] = samples
+                latency[stage] = _latency_summary(samples)
+        finally:
+            shutil.rmtree(snapshot_dir, ignore_errors=True)
+        try:
+            import resource
+        except ImportError:  # non-POSIX platform: gauge simply absent
+            pass
+        else:
+            # ru_maxrss is kilobytes on Linux.
+            rt.gauge("workload.mmap.peak_rss_bytes",
+                     float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+                     * 1024.0)
+
         report = build_report(rt.snapshot(), workload={
             "nodes": nodes, "seed": seed, "landmarks": landmarks,
             "top_n": top_n, "queries": len(query_nodes),

@@ -1,0 +1,106 @@
+"""Nested (dotted) layers: ``layer_of`` resolution and W1 enforcement.
+
+``graph.storage`` is the first nested layer — a dotted ``[layers]``
+entry that gives the on-disk storage engine a tighter contract than
+its enclosing package. These tests pin the resolution rule
+(longest-declared-prefix) and that W1 enforces the nested contract in
+both directions.
+"""
+
+import textwrap
+
+from repro.analysis import (
+    LayersConfig,
+    layer_of,
+    load_layers_config,
+    run_project_rules,
+    summarize_module,
+)
+
+#: alpha may import beta; the nested layer beta.inner may import
+#: nothing; beta itself may import beta.inner.
+NESTED_LAYERS = LayersConfig(
+    allowed={"alpha": ("beta",), "beta": ("beta.inner",),
+             "beta.inner": ()},
+    deferred={},
+)
+
+
+def summarize(path, source):
+    return summarize_module(textwrap.dedent(source), path)
+
+
+def run_w1(summaries, layers):
+    return run_project_rules(summaries, select=["W1"], layers=layers)
+
+
+class TestLayerOf:
+    def test_longest_declared_prefix_wins(self):
+        assert layer_of("repro.beta.inner.disk", NESTED_LAYERS) \
+            == "beta.inner"
+        assert layer_of("repro.beta.inner", NESTED_LAYERS) == "beta.inner"
+
+    def test_undeclared_sibling_keeps_package_layer(self):
+        assert layer_of("repro.beta.outer", NESTED_LAYERS) == "beta"
+        assert layer_of("repro.beta", NESTED_LAYERS) == "beta"
+
+    def test_top_level_and_root(self):
+        assert layer_of("repro.alpha.mod", NESTED_LAYERS) == "alpha"
+        assert layer_of("repro", NESTED_LAYERS) == "root"
+        assert layer_of("numpy", NESTED_LAYERS) is None
+
+    def test_checked_in_config_declares_graph_storage(self):
+        config = load_layers_config()
+        assert layer_of("repro.graph.storage", config) == "graph.storage"
+        assert layer_of("repro.graph.snapshot", config) == "graph"
+        # The storage engine sits at the bottom: errors only.
+        assert config.allowed["graph.storage"] == ("errors",)
+        assert "graph.storage" in config.allowed["graph"]
+        assert "graph.storage" in config.allowed["datasets"]
+
+
+class TestW1NestedEnforcement:
+    def test_nested_layer_cannot_reach_up(self):
+        summary = summarize("src/repro/beta/inner/disk.py", """
+            from repro.alpha import helper
+        """)
+        findings = run_w1([summary], NESTED_LAYERS)
+        assert len(findings) == 1
+        assert "'beta.inner' -> 'alpha'" in findings[0].message
+
+    def test_nested_layer_cannot_reach_enclosing_package(self):
+        summary = summarize("src/repro/beta/inner/disk.py", """
+            from repro.beta.outer import helper
+        """)
+        findings = run_w1([summary], NESTED_LAYERS)
+        assert len(findings) == 1
+        assert "'beta.inner' -> 'beta'" in findings[0].message
+
+    def test_enclosing_package_may_use_declared_nested_layer(self):
+        summary = summarize("src/repro/beta/outer.py", """
+            from repro.beta.inner import disk
+        """)
+        assert run_w1([summary], NESTED_LAYERS) == []
+
+    def test_sibling_modules_inside_nested_layer_are_free(self):
+        summary = summarize("src/repro/beta/inner/disk.py", """
+            from repro.beta.inner.header import parse
+        """)
+        assert run_w1([summary], NESTED_LAYERS) == []
+
+    def test_outsider_needs_explicit_grant_for_nested_layer(self):
+        summary = summarize("src/repro/alpha/mod.py", """
+            from repro.beta.inner import disk
+        """)
+        findings = run_w1([summary], NESTED_LAYERS)
+        assert len(findings) == 1
+        assert "'alpha' -> 'beta.inner'" in findings[0].message
+
+    def test_checked_in_tree_passes_w1(self):
+        # The real source tree satisfies the nested contract (the full
+        # analysis run in CI pins this too; here it documents intent).
+        config = load_layers_config()
+        summary = summarize("src/repro/graph/storage.py", """
+            from repro.errors import SnapshotFormatError
+        """)
+        assert run_w1([summary], config) == []

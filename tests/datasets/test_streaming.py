@@ -1,0 +1,201 @@
+"""The out-of-core streaming Twitter generator.
+
+Structural invariants of the written snapshot, seed determinism,
+resume-equals-fresh byte identity, and the accumulated-counter
+contract (`repro generate --stream` never re-loads what it wrote).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    StreamStats,
+    generate_twitter_snapshot_stream,
+    read_stream_stats,
+)
+from repro.datasets.twitter import TwitterConfig
+from repro.errors import ConfigurationError
+from repro.graph import open_snapshot
+from repro.graph.storage import read_header
+
+NODES = 500
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def streamed(tmp_path_factory):
+    path = tmp_path_factory.mktemp("stream") / "graph"
+    stats = generate_twitter_snapshot_stream(path, NODES, seed=SEED)
+    return path, stats
+
+
+class TestInvariants:
+    def test_counts_match_header(self, streamed):
+        path, stats = streamed
+        header = read_header(path)
+        assert stats.num_nodes == header.num_nodes == NODES
+        assert stats.num_edges == header.num_edges > 0
+
+    def test_snapshot_is_well_formed(self, streamed):
+        path, _ = streamed
+        snapshot = open_snapshot(path, store="mmap", verify=True)
+        assert snapshot.num_nodes == NODES
+        # CSR rows sorted, in both directions, no self loops.
+        indptr, indices = snapshot.out_indptr, snapshot.out_indices
+        for node in range(0, NODES, 53):
+            row = indices[indptr[node]:indptr[node + 1]]
+            assert (np.diff(row) > 0).all()
+            assert node not in row
+        assert (np.diff(snapshot.in_indptr) >= 0).all()
+        assert snapshot.out_indptr[-1] == snapshot.in_indptr[-1]
+
+    def test_transpose_agrees_with_out_adjacency(self, streamed):
+        path, _ = streamed
+        snapshot = open_snapshot(path, store="ram")
+        out_edges = {(u, int(v))
+                     for u in range(NODES)
+                     for v in snapshot.out_indices[
+                         snapshot.out_indptr[u]:snapshot.out_indptr[u + 1]]}
+        in_edges = {(int(u), v)
+                    for v in range(NODES)
+                    for u in snapshot.in_indices[
+                        snapshot.in_indptr[v]:snapshot.in_indptr[v + 1]]}
+        assert out_edges == in_edges
+
+    def test_labels_and_followers_consistent(self, streamed):
+        path, stats = streamed
+        snapshot = open_snapshot(path, store="ram")
+        assert len(snapshot.labels) == stats.distinct_labels
+        # Per-topic follower counts agree with labeled in-edges.
+        node = int(np.argmax(np.diff(snapshot.in_indptr)))
+        recount = {}
+        lo, hi = snapshot.in_indptr[node], snapshot.in_indptr[node + 1]
+        for label_id in snapshot.in_label_ids[lo:hi]:
+            for topic in snapshot.labels[label_id]:
+                recount[topic] = recount.get(topic, 0) + 1
+        assert recount == {t: c for t, c in
+                           snapshot.follower_topic_counts(node).items() if c}
+
+    def test_edges_per_topic_counts_emitted_labels(self, streamed):
+        _, stats = streamed
+        assert stats.edges_per_topic
+        assert all(count > 0 for count in stats.edges_per_topic.values())
+        assert sum(sorted(stats.edges_per_topic.values())) \
+            >= stats.num_edges  # multi-topic labels count once per topic
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self, streamed, tmp_path):
+        path, _ = streamed
+        again = tmp_path / "again"
+        generate_twitter_snapshot_stream(again, NODES, seed=SEED)
+        assert read_header(again).to_json() == read_header(path).to_json()
+
+    def test_different_seed_differs(self, streamed, tmp_path):
+        path, _ = streamed
+        other = tmp_path / "other"
+        generate_twitter_snapshot_stream(other, NODES, seed=SEED + 1)
+        assert read_header(other).to_json() != read_header(path).to_json()
+
+
+class TestResume:
+    def test_resume_equals_fresh_byte_for_byte(self, streamed, tmp_path):
+        path, _ = streamed
+
+        class Interrupt(RuntimeError):
+            pass
+
+        def bomb(next_node):
+            if next_node >= 240:
+                raise Interrupt
+
+        resumed_dir = tmp_path / "resumed"
+        with pytest.raises(Interrupt):
+            generate_twitter_snapshot_stream(
+                resumed_dir, NODES, seed=SEED, checkpoint_every=80,
+                on_checkpoint=bomb)
+        assert not (resumed_dir / "header.json").exists()  # incomplete
+        stats = generate_twitter_snapshot_stream(
+            resumed_dir, NODES, seed=SEED, checkpoint_every=80)
+        assert stats.resumed_from == 240
+        for array in ("out_indptr", "out_indices", "out_label_ids",
+                      "in_indptr", "in_indices", "in_label_ids"):
+            assert (resumed_dir / f"{array}.bin").read_bytes() \
+                == (path / f"{array}.bin").read_bytes(), array
+        assert read_header(resumed_dir).to_json() \
+            == read_header(path).to_json()
+
+    def test_resume_under_different_config_rejected(self, tmp_path):
+        target = tmp_path / "mismatch"
+
+        class Interrupt(RuntimeError):
+            pass
+
+        def bomb(next_node):
+            raise Interrupt
+
+        with pytest.raises(Interrupt):
+            generate_twitter_snapshot_stream(
+                target, NODES, seed=SEED, checkpoint_every=100,
+                on_checkpoint=bomb)
+        with pytest.raises(ConfigurationError, match="different generator parameters"):
+            generate_twitter_snapshot_stream(
+                target, NODES, seed=SEED + 1, checkpoint_every=100)
+
+    def test_resume_disabled_restarts_clean(self, tmp_path):
+        target = tmp_path / "restart"
+
+        class Interrupt(RuntimeError):
+            pass
+
+        def bomb(next_node):
+            raise Interrupt
+
+        with pytest.raises(Interrupt):
+            generate_twitter_snapshot_stream(
+                target, NODES, seed=SEED, checkpoint_every=100,
+                on_checkpoint=bomb)
+        stats = generate_twitter_snapshot_stream(
+            target, NODES, seed=SEED, resume=False)
+        assert stats.resumed_from is None
+        assert (target / "header.json").exists()
+
+
+class TestStats:
+    def test_stats_json_round_trips(self, streamed):
+        path, stats = streamed
+        loaded = read_stream_stats(path)
+        assert isinstance(loaded, StreamStats)
+        assert loaded.num_edges == stats.num_edges
+        assert loaded.edges_per_topic == stats.edges_per_topic
+        assert json.loads(loaded.to_json()) == json.loads(stats.to_json())
+
+    def test_stats_require_finished_snapshot(self, tmp_path):
+        from repro.errors import SnapshotFormatError
+        with pytest.raises(SnapshotFormatError):
+            read_stream_stats(tmp_path)
+
+    def test_reciprocity_counters(self, streamed):
+        _, stats = streamed
+        assert stats.reciprocal_edges > 0
+        assert stats.reciprocal_edges + stats.dropped_reciprocal \
+            <= stats.num_edges
+
+
+class TestConfigKnobs:
+    def test_degree_knob_scales_edges(self, tmp_path):
+        thin = generate_twitter_snapshot_stream(
+            tmp_path / "thin", 300, seed=2,
+            config=TwitterConfig(avg_out_degree=5.0))
+        thick = generate_twitter_snapshot_stream(
+            tmp_path / "thick", 300, seed=2,
+            config=TwitterConfig(avg_out_degree=12.0))
+        assert thick.num_edges > 1.5 * thin.num_edges
+
+    def test_closure_window_bounds_memory_not_reach(self, tmp_path):
+        stats = generate_twitter_snapshot_stream(
+            tmp_path / "window", 300, seed=3, closure_window=50)
+        assert stats.num_edges > 0
+        assert (tmp_path / "window" / "header.json").exists()

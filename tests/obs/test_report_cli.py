@@ -181,15 +181,19 @@ class TestSmokeWorkload:
         assert "exact.single_source" in stages
         assert "landmarks.build" in stages
         assert "approx.recommend" in stages
-        # both engines: one warmup pass + query_reps timed passes each
-        assert report["counters"]["approx.queries_total"] == 2 * (1 + 2) * 3
+        # dict + sparse engines, then the ram + mmap storage
+        # backends: each runs one warmup pass + query_reps timed passes
+        assert report["counters"]["approx.queries_total"] \
+            == (2 + 2) * (1 + 2) * 3
         assert report["workload"]["nodes"] == 120
 
     def test_smoke_reports_per_engine_query_latency(self):
         report = run_smoke(nodes=120, landmarks=8, queries=3, query_reps=2)
         latency = report["latency"]
         assert set(latency) == {"workload.query.dict",
-                                "workload.query.sparse"}
+                                "workload.query.sparse",
+                                "workload.mmap.ram",
+                                "workload.mmap.mmap"}
         for entry in latency.values():
             assert entry["count"] == 2 * 3
             assert 0.0 < entry["p50"] <= entry["p99"]

@@ -25,6 +25,28 @@ class TestGenerate:
         assert code == 0
         assert "nodes" in captured.out
 
+    def test_stream_generation_writes_snapshot_dir(self, tmp_path,
+                                                   capsys):
+        path = tmp_path / "snapshot_dir"
+        code = main(["generate", str(path), "--stream",
+                     "--nodes", "300", "--seed", "4"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert (path / "header.json").exists()
+        assert "300 nodes" in captured.out
+        # The printed counts come from emission-time counters, and
+        # they match what actually landed on disk.
+        from repro.graph.storage import read_header
+        header = read_header(path)
+        assert f"{header.num_edges} edges" in captured.out
+
+    def test_stream_requires_twitter_dataset(self, tmp_path, capsys):
+        code = main(["generate", str(tmp_path / "x"), "--stream",
+                     "--dataset", "dblp", "--nodes", "100"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "twitter" in captured.err
+
 
 class TestStats:
     def test_prints_table2_rows(self, graph_file, capsys):
