@@ -18,31 +18,47 @@ shapes, so this module defines the one contract they all now share:
 Legacy shapes did not disappear: a :class:`Recommendation` unpacks
 like the old ``(node, score)`` tuple and a
 :class:`RecommendationResponse` iterates, indexes, and measures like
-the old ranked list, so pre-redesign call sites keep working. The
-old *call* signatures (``query()``, keyword styles like
-``candidates=``/``aggregation=``, SALSA's topic-less form) survive as
-thin shims that emit :class:`DeprecationWarning` — see
-``docs/ARCHITECTURE.md`` for the old → new mapping. Lint rule R9
-(:mod:`repro.analysis`) keeps *new* tuple-returning ``recommend``
-functions from growing back outside these sanctioned shims.
+the old ranked list, so pre-redesign call sites keep working. The old
+*call* signatures (``query()``, keyword styles like
+``candidates=``/``aggregation=``, SALSA's topic-less form) went
+through a deprecation cycle as warning shims and have now been
+**removed** — see the API-surface table in ``docs/ARCHITECTURE.md``
+for the old → new mapping. Lint rule R9 (:mod:`repro.analysis`) keeps
+tuple-returning ``recommend`` functions from growing back.
+
+The module also hosts the two other cross-layer contracts:
+
+- :class:`Maintainer` / :class:`MaintenanceStats` — the shape shared
+  by every landmark maintenance strategy in :mod:`repro.dynamics`
+  (eager, batch, TTL, no-op, incremental);
+- :class:`IngestEvent` / :class:`IngestResponse` — the request/answer
+  pair of the live ingestion path (:mod:`repro.ingest`), mirroring the
+  :class:`RecommendationRequest`/:class:`RecommendationResponse`
+  pattern for graph *writes* instead of reads.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import (Dict, Iterator, List, Mapping, Optional, Protocol,
-                    Sequence, Tuple, Union, overload, runtime_checkable)
+from typing import (TYPE_CHECKING, Dict, Iterator, List, Mapping,
+                    Optional, Protocol, Sequence, Tuple, Union, overload,
+                    runtime_checkable)
 
 from .errors import ConfigurationError
+
+if TYPE_CHECKING:  # deferred: api sits below graph in the layering
+    from .graph.events import EdgeEvent
 
 __all__ = [
     "RecommendationRequest",
     "Recommendation",
     "RecommendationResponse",
     "Recommender",
+    "MaintenanceStats",
+    "Maintainer",
+    "IngestEvent",
+    "IngestResponse",
     "response_from_pairs",
-    "warn_legacy",
 ]
 
 
@@ -203,12 +219,133 @@ class Recommender(Protocol):
         ...  # pragma: no cover - protocol body
 
 
-def warn_legacy(old: str, new: str) -> None:
-    """Emit the one deprecation message format used by every shim."""
-    warnings.warn(
-        f"{old} is deprecated and will be removed; use {new} instead "
-        "(see the API-surface table in docs/ARCHITECTURE.md)",
-        DeprecationWarning, stacklevel=3)
+@dataclass(frozen=True)
+class MaintenanceStats:
+    """Immutable accounting snapshot shared by every maintainer.
+
+    Returned by :attr:`Maintainer.stats`; each read is a frozen copy of
+    the maintainer's private counters, so callers can diff snapshots
+    across a churn window without the maintainer mutating them
+    underneath.
+
+    Attributes:
+        events_seen: Graph mutations observed via ``on_event``.
+        landmarks_rebuilt: Landmark re-propagations performed (one per
+            landmark per refresh round).
+        rebuild_rounds: Refresh rounds triggered (eager: one per event;
+            batch/TTL: one per flush; incremental: one per dirty-frontier
+            refresh).
+        sources_propagated: Total propagation sources actually walked —
+            for full rebuilds this equals ``landmarks_rebuilt``; the
+            dirty-frontier maintainer re-propagates only dirty landmarks,
+            so this is the numerator of the ≥5x-savings acceptance gate.
+    """
+
+    events_seen: int = 0
+    landmarks_rebuilt: int = 0
+    rebuild_rounds: int = 0
+    sources_propagated: int = 0
+
+    @property
+    def rebuilds_per_event(self) -> float:
+        """Average landmarks rebuilt per observed event."""
+        if not self.events_seen:
+            return 0.0
+        return self.landmarks_rebuilt / self.events_seen
+
+
+@runtime_checkable
+class Maintainer(Protocol):
+    """Structural protocol every landmark maintenance strategy satisfies.
+
+    The five strategies in :mod:`repro.dynamics` (eager, batch, TTL,
+    no-op, incremental) all subscribe to a
+    :class:`~repro.dynamics.stream.GraphStream` through ``on_event``
+    and report the same frozen :class:`MaintenanceStats` shape, so a
+    serving tier can swap strategies without touching its wiring
+    (asserted by ``tests/api/test_protocol.py``).
+    """
+
+    def on_event(self, event: "EdgeEvent") -> None:
+        """Observe one applied graph mutation."""
+        ...  # pragma: no cover - protocol body
+
+    @property
+    def stats(self) -> MaintenanceStats:
+        """Frozen snapshot of the maintenance counters."""
+        ...  # pragma: no cover - protocol body
+
+
+_INGEST_KINDS = ("follow", "unfollow", "retopic")
+
+
+@dataclass(frozen=True)
+class IngestEvent:
+    """One follow-graph mutation submitted to the ingest path.
+
+    The write-side twin of :class:`RecommendationRequest`: the wire
+    shape clients hand to :class:`repro.ingest.IngestPipeline` (or the
+    ``repro ingest`` CLI), converted internally to the
+    :class:`~repro.graph.events.EdgeEvent` vocabulary.
+
+    Attributes:
+        kind: ``"follow"``, ``"unfollow"``, or ``"retopic"``.
+        source: The follower.
+        target: The followee.
+        topics: Edge label (ignored for unfollows; the replacement
+            label for retopics).
+        time: Logical timestamp; defaults to submission order.
+    """
+
+    kind: str
+    source: int
+    target: int
+    topics: Tuple[str, ...] = ()
+    time: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _INGEST_KINDS:
+            raise ConfigurationError(
+                f"kind must be one of {_INGEST_KINDS}, got {self.kind!r}")
+        if self.source == self.target:
+            raise ConfigurationError(
+                f"self-follow on node {self.source} is not allowed")
+
+    def to_edge_event(self) -> "EdgeEvent":
+        """The :class:`~repro.graph.events.EdgeEvent` equivalent."""
+        from .graph.events import EdgeEvent, EventKind
+        return EdgeEvent(kind=EventKind(self.kind), source=self.source,
+                         target=self.target, topics=tuple(self.topics),
+                         time=self.time)
+
+
+@dataclass(frozen=True)
+class IngestResponse:
+    """The answer to one :class:`IngestEvent` submission.
+
+    Equality compares the outcome (``applied``/``compacted``), not the
+    epoch provenance, mirroring :class:`RecommendationResponse`.
+
+    Attributes:
+        event: The event this answers.
+        applied: False when the event was a no-op (unfollow or retopic
+            of an edge that does not exist).
+        ingest_epoch: Overlay epoch after this event — what a reader of
+            the delta overlay sees.
+        servable_epoch: Epoch of the snapshot the serving tier answers
+            queries from; lags ``ingest_epoch`` until the next
+            compaction + rollover folds the overlay in.
+        compacted: True when this event triggered a compaction (the
+            returned ``servable_epoch`` is already the fresh base).
+        pending_events: Overlay events not yet folded into a base.
+    """
+
+    event: IngestEvent = field(compare=False)
+    applied: bool = True
+    ingest_epoch: int = field(default=0, compare=False)
+    servable_epoch: Optional[int] = field(default=None, compare=False)
+    compacted: bool = False
+    pending_events: int = field(default=0, compare=False)
 
 
 def response_from_pairs(

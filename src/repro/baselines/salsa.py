@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..api import (RecommendationRequest, RecommendationResponse,
-                   response_from_pairs, warn_legacy)
+                   response_from_pairs)
 from ..errors import ConfigurationError, NodeNotFoundError
 from ..graph.snapshot import GraphLike, as_snapshot
 
@@ -101,28 +101,17 @@ class SalsaRecommender:
         return [user] + circle
 
     # ------------------------------------------------------------------
-    def recommend(self, user: int, topic: Union[str, int, None] = None,  # repro: ignore[R9] -- sanctioned deprecation shim for the pre-repro.api tuple shape
+    def recommend(self, user: int, topic: str,
                   top_n: int = 10, *, allow_stale: bool = False,
                   exclude_followed: bool = True,
                   candidates: Optional[List[int]] = None,
-                  ) -> Union[RecommendationResponse, List[Tuple[int, float]]]:
+                  ) -> RecommendationResponse:
         """Top-n authorities of the user's egocentric SALSA.
 
         Implements the :class:`repro.api.Recommender` protocol. SALSA is
         purely structural, so *topic* is accepted for interface
         uniformity and ignored; it is still recorded on the request.
-
-        Legacy call shapes — no topic at all, or the pre-redesign
-        positional ``top_n`` in the topic slot — keep returning the old
-        ``(node, score)`` tuple list but emit a ``DeprecationWarning``.
         """
-        if topic is None or isinstance(topic, int):
-            warn_legacy("SalsaRecommender.recommend without a topic",
-                        "SalsaRecommender.recommend(user, topic, ...)")
-            legacy_top_n = topic if isinstance(topic, int) else top_n
-            return self._ranked_pairs(
-                user, legacy_top_n, allow_stale=allow_stale,
-                exclude_followed=exclude_followed, candidates=candidates)
         ranked = self._ranked_pairs(
             user, top_n, allow_stale=allow_stale,
             exclude_followed=exclude_followed, candidates=candidates)

@@ -26,7 +26,7 @@ import math
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..api import (RecommendationRequest, RecommendationResponse,
-                   response_from_pairs, warn_legacy)
+                   response_from_pairs)
 from ..errors import ConfigurationError
 from ..graph.snapshot import GraphLike, as_snapshot
 
@@ -222,8 +222,7 @@ class TwitterRank:
                   ) -> RecommendationResponse:
         """Top-n accounts by ``TR_t``, excluding the user's followees.
 
-        Implements the :class:`repro.api.Recommender` protocol; the old
-        tuple-list shape survives on :meth:`recommend_pairs` (deprecated).
+        Implements the :class:`repro.api.Recommender` protocol.
         """
         excluded = {user}
         if exclude_followed:
@@ -240,17 +239,6 @@ class TwitterRank:
         return response_from_pairs(
             request, ranking[:top_n], engine="twitterrank",
             snapshot_epoch=self._view.epoch)
-
-    def recommend_pairs(self, user: int, topic: str, top_n: int = 10,  # repro: ignore[R9] -- sanctioned deprecation shim for the pre-repro.api tuple shape
-                        exclude_followed: bool = True,
-                        candidates: Optional[Iterable[int]] = None,
-                        ) -> List[Tuple[int, float]]:
-        """Deprecated tuple-returning shim for the pre-``repro.api`` shape."""
-        warn_legacy("TwitterRank.recommend_pairs", "TwitterRank.recommend")
-        response = self.recommend(user, topic, top_n=top_n,
-                                  exclude_followed=exclude_followed,
-                                  candidates=candidates)
-        return response.pairs()
 
     def invalidate(self) -> None:
         """Re-pin the snapshot and drop cached rankings after a mutation."""

@@ -21,8 +21,13 @@ the tier's three invariants:
 
 The matrix CI runs (``.github/workflows/ci.yml`` · chaos-matrix) is
 ``{replicas: 1,2,3} x {failure: none, down-replica, slow-replica,
-rollover-mid-stream}``; each cell writes a JSON verdict artifact and a
-non-passing cell fails the job. Run one cell locally with::
+rollover-mid-stream, ingest-under-rollover}``; each cell writes a JSON
+verdict artifact and a non-passing cell fails the job. The
+``ingest-under-rollover`` cell drives live event ingestion
+(:mod:`repro.ingest`) through overlay compactions whose rollovers are
+deliberately left pending across request waves — proving a client can
+never observe ``StaleSnapshotError`` no matter how writes interleave
+with epoch flips. Run one cell locally with::
 
     PYTHONPATH=src python -m repro.chaos --replicas 2 \\
         --failure down-replica --json verdict.json
@@ -39,11 +44,13 @@ import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from .api import IngestEvent
 from .config import LandmarkParams, ScoreParams
 from .datasets import generate_twitter_graph
 from .distributed.sharded import ShardChannel, ShardedPlatform
 from .dynamics import GraphStream, simulate_churn
 from .errors import ConfigurationError, StaleSnapshotError
+from .ingest import CompactionPolicy, IngestPipeline
 from .landmarks import ApproximateRecommender, LandmarkIndex, select_landmarks
 from .semantics import SimilarityMatrix, web_taxonomy
 
@@ -58,7 +65,8 @@ __all__ = [
 ]
 
 #: The injectable failure modes, in matrix order.
-FAILURES = ("none", "down-replica", "slow-replica", "rollover-mid-stream")
+FAILURES = ("none", "down-replica", "slow-replica", "rollover-mid-stream",
+            "ingest-under-rollover")
 
 _TOPIC = "technology"
 _PARAMS = ScoreParams(beta=0.004)
@@ -175,6 +183,10 @@ def _run_stream(spec: CellSpec, engine: str) -> _StreamResult:
     stale_errors = 0
     degraded = 0
     final_pairs: List[List[tuple]] = []
+    # What the closing wave's answers are checked against: the live
+    # graph, unless the ingest cell replaces it with the final
+    # compacted base (the live graph is never mutated there).
+    final_graph: object = graph
 
     def wave(tag: str, record_final: bool = False) -> None:
         nonlocal stale_errors, degraded
@@ -208,7 +220,7 @@ def _run_stream(spec: CellSpec, engine: str) -> _StreamResult:
         wave("primary-slow")
         platform.channel.clear_replica_latency(_TARGET_SHARD, 0)
         wave("recovered", record_final=True)
-    else:  # rollover-mid-stream
+    elif spec.failure == "rollover-mid-stream":
         stream = GraphStream(graph)
         stream.apply_all(simulate_churn(graph, 15, seed=spec.seed))
         rollover = platform.begin_rollover()
@@ -220,6 +232,34 @@ def _run_stream(spec: CellSpec, engine: str) -> _StreamResult:
                          replica=0 if spec.replicas > 1 else None)
         rollover.flip()
         wave("rolled-over", record_final=True)
+    else:  # ingest-under-rollover
+        # Live writes stream through the ingest pipeline while every
+        # compaction's rollover is deliberately left pending across a
+        # request wave (auto_flip=False stretches the window a real
+        # deployment keeps short). Reads must keep draining the old
+        # epoch with zero stale errors while the overlay keeps
+        # absorbing writes — even with a replica down mid-window.
+        events = [
+            IngestEvent(kind=event.kind.value, source=event.source,
+                        target=event.target,
+                        topics=tuple(event.topics or ()), time=event.time)
+            for event in simulate_churn(graph, 15, seed=spec.seed)]
+        pipeline = IngestPipeline(
+            platform, similarity, [_TOPIC],
+            policy=CompactionPolicy(max_events=4), auto_flip=False)
+        pipeline.submit_all(events[:8])
+        if platform.pending_rollover is None:  # all 8 skipped: force one
+            pipeline.compact(trigger="chaos")
+        wave("ingest-pending")  # rollover pending, writes still landing
+        platform.mark_down(_TARGET_SHARD,
+                           replica=0 if spec.replicas > 1 else None)
+        wave("ingest-pending-replica-down")
+        platform.mark_up(_TARGET_SHARD,
+                         replica=0 if spec.replicas > 1 else None)
+        pipeline.submit_all(events[8:])  # next compaction flips the old
+        final_graph = pipeline.compact(trigger="drain")
+        platform.pending_rollover.flip()  # serve the drained base
+        wave("rolled-over", record_final=True)
 
     return _StreamResult(
         transcript=transcript,
@@ -229,7 +269,7 @@ def _run_stream(spec: CellSpec, engine: str) -> _StreamResult:
         hedges_won=platform.channel.hedges_won,
         final_pairs=final_pairs,
         final_index=platform.index,
-        final_graph=graph,
+        final_graph=final_graph,
     )
 
 

@@ -11,6 +11,7 @@ Subcommands::
     repro partition graph.jsonl --parts 4 --strategy greedy
     repro shard graph.jsonl --user 42 --topic technology --shards 4
     repro churn graph.jsonl --events 500 --seed 3 --out churned.jsonl
+    repro ingest graph.jsonl --events 500 --seed 3 --shards 4 --compact-every 64
 """
 
 from __future__ import annotations
@@ -221,6 +222,42 @@ def _cmd_churn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from .api import IngestEvent
+    from .distributed.sharded import ShardedPlatform
+    from .dynamics import simulate_churn
+    from .ingest import CompactionPolicy, IngestPipeline
+
+    graph = read_jsonl(args.graph)
+    similarity = _similarity_for(args.taxonomy)
+    landmarks = select_landmarks(graph, args.strategy, args.count,
+                                 rng=args.seed)
+    topics = sorted(graph.topics())
+    index = LandmarkIndex.build(
+        graph, landmarks, topics, similarity,
+        landmark_params=LandmarkParams(num_landmarks=args.count,
+                                       top_n=args.top))
+    platform = ShardedPlatform.build(graph, similarity, index, args.shards)
+    pipeline = IngestPipeline(
+        platform, similarity, topics,
+        policy=CompactionPolicy(max_events=args.compact_every))
+    # Materialize churn up front: simulate_churn mutates nothing, but
+    # the stream must not observe its own deltas mid-generation.
+    events = [
+        IngestEvent(kind=event.kind.value, source=event.source,
+                    target=event.target, topics=tuple(event.topics or ()),
+                    time=event.time)
+        for event in simulate_churn(graph, args.events, seed=args.seed)]
+    responses = pipeline.submit_all(events)
+    applied = sum(1 for response in responses if response.applied)
+    print(f"ingested {applied}/{len(events)} events "
+          f"(skipped {pipeline.events_skipped}) through "
+          f"{pipeline.compactions_total} compactions; "
+          f"servable epoch {pipeline.servable_epoch}, "
+          f"pending {pipeline.pending_events}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for every subcommand."""
     parser = argparse.ArgumentParser(
@@ -329,6 +366,28 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--seed", type=int, default=0)
     churn.add_argument("--out", default="churned.jsonl")
     churn.set_defaults(handler=_cmd_churn)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream churn events through the ingest pipeline into a "
+             "sharded serving tier (overlay + budgeted compaction)")
+    ingest.add_argument("graph")
+    ingest.add_argument("--events", type=int, default=500)
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--shards", type=int, default=4)
+    ingest.add_argument("--compact-every", dest="compact_every", type=int,
+                        default=64,
+                        help="fold the overlay into a fresh servable base "
+                             "after this many applied events")
+    ingest.add_argument("--strategy", default="In-Deg",
+                        help="landmark selection strategy")
+    ingest.add_argument("--count", type=int, default=20,
+                        help="number of landmarks")
+    ingest.add_argument("--top", type=int, default=100,
+                        help="entries kept per landmark list")
+    ingest.add_argument("--taxonomy", choices=("web", "dblp"),
+                        default="web")
+    ingest.set_defaults(handler=_cmd_ingest)
 
     return parser
 

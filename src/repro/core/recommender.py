@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..api import (Recommendation, RecommendationRequest,
-                   RecommendationResponse, warn_legacy)
+                   RecommendationResponse)
 from ..config import ScoreParams, normalize_weights
 from ..errors import ConfigurationError
 from ..graph.labeled_graph import LabeledSocialGraph
@@ -176,62 +176,41 @@ class Recommender:
     def recommend(
         self,
         user: int,
-        query: Query,
+        topic: str,
         top_n: int = 10,
         max_depth: Optional[int] = None,
         exclude_followed: bool = True,
-        candidates: Optional[Iterable[int]] = None,
-        aggregation: str = "weighted",
         *,
         allow_stale: bool = False,
     ) -> RecommendationResponse:
-        """Top-n accounts for *user* on *query* (Section 3.2).
+        """Top-n accounts for *user* on *topic* (Section 3.2).
 
         This is the :class:`repro.api.Recommender` protocol entry point
         and returns a :class:`~repro.api.RecommendationResponse`. The
         full-featured ranking surface (multi-topic queries, candidate
-        pools, metasearch aggregation) lives on :meth:`rank`; calling
-        ``recommend`` with those legacy shapes still works but emits a
-        :class:`DeprecationWarning` pointing at ``rank``.
+        pools, metasearch aggregation) lives on :meth:`rank` — the
+        pre-``repro.api`` shims that accepted those shapes here were
+        removed after their deprecation cycle.
 
         Args:
             user: The account to recommend to.
-            query: The query topic. (Legacy: a sequence of topics or a
-                topic → weight mapping is still accepted — use
-                :meth:`rank` for multi-topic queries instead.)
+            topic: The query topic.
             top_n: Number of recommendations.
             max_depth: Walk-length cap (``None`` = run to convergence).
             exclude_followed: Drop the user and accounts already
                 followed — a recommender should not suggest existing
                 followees.
-            candidates: Legacy candidate-pool restriction — use
-                :meth:`rank` instead.
-            aggregation: Legacy aggregation-rule selector — use
-                :meth:`rank` instead.
             allow_stale: Serve from the pinned snapshot even if the
                 graph has since mutated, instead of raising
                 :class:`~repro.errors.StaleSnapshotError`.
 
         Raises:
             NodeNotFoundError: if *user* is not in the graph.
-            UnknownTopicError: if a query topic is not in the matrix.
-            ConfigurationError: on an unknown aggregation rule.
+            UnknownTopicError: if *topic* is not in the matrix.
         """
-        if not isinstance(query, str):
-            warn_legacy("Recommender.recommend with a multi-topic query",
-                        "Recommender.rank")
-        if candidates is not None:
-            warn_legacy("Recommender.recommend(candidates=...)",
-                        "Recommender.rank")
-        if aggregation != "weighted":
-            warn_legacy("Recommender.recommend(aggregation=...)",
-                        "Recommender.rank")
         ranked = self.rank(
-            user, query, top_n=top_n, max_depth=max_depth,
-            exclude_followed=exclude_followed, candidates=candidates,
-            aggregation=aggregation, allow_stale=allow_stale)
-        topic = (query if isinstance(query, str)
-                 else "+".join(sorted(self._query_weights(query))))
+            user, topic, top_n=top_n, max_depth=max_depth,
+            exclude_followed=exclude_followed, allow_stale=allow_stale)
         request = RecommendationRequest(
             user=user, topic=topic, top_n=top_n, allow_stale=allow_stale,
             depth=max_depth)

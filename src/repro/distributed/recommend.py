@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..api import (RecommendationRequest, RecommendationResponse,
-                   response_from_pairs, warn_legacy)
+                   response_from_pairs)
 from ..config import LandmarkParams, ScoreParams
 from ..core.scores import AuthorityIndex
 from ..graph.labeled_graph import LabeledSocialGraph
@@ -107,18 +107,6 @@ class DistributedLandmarkService:
         return self._vector_cache.get_or_build(
             view.epoch, landmark, topic, version, build)
 
-    def query(self, user: int, topic: str,
-              depth: Optional[int] = None,
-              ) -> Tuple[Dict[int, float], QueryCost]:
-        """Deprecated: use :meth:`recommend` (or :meth:`scores_with_cost`).
-
-        Returns the old ``(scores, cost)`` tuple for pre-``repro.api``
-        call sites.
-        """
-        warn_legacy("DistributedLandmarkService.query",
-                    "DistributedLandmarkService.recommend")
-        return self.scores_with_cost(user, topic, depth=depth)
-
     def scores_with_cost(self, user: int, topic: str,
                          depth: Optional[int] = None,
                          ) -> Tuple[Dict[int, float], QueryCost]:
@@ -193,10 +181,9 @@ class DistributedLandmarkService:
                   depth: Optional[int] = None) -> RecommendationResponse:
         """Top-n recommendations with network cost on ``response.cost``.
 
-        Implements the :class:`repro.api.Recommender` protocol; the old
-        ``(ranking, cost)`` tuple shape survives on the deprecated
-        :meth:`query` shim (which returns raw scores) — migrated call
-        sites read ``response.pairs()`` and ``response.cost``.
+        Implements the :class:`repro.api.Recommender` protocol —
+        callers read ``response.pairs()`` and ``response.cost``; raw
+        scores remain available on :meth:`scores_with_cost`.
         """
         view = as_snapshot(self.graph, allow_stale)
         scores, cost = self.scores_with_cost(user, topic, depth=depth)

@@ -1008,6 +1008,15 @@ class ShardedPlatform:
         return self._generation.snapshot.epoch
 
     @property
+    def snapshot(self) -> GraphSnapshot:
+        """The pinned snapshot the serving generation answers from.
+
+        The ingest pipeline seeds its first delta overlay from this —
+        writes accumulate against the served base, never behind it.
+        """
+        return self._generation.snapshot
+
+    @property
     def router(self) -> ShardRouter:
         """The serving generation's router."""
         return self._generation.router

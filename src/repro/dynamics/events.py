@@ -12,7 +12,10 @@ stream over an existing graph in which
   lifespans) and low-engagement edges (no shared topics);
 - *follows* are created with the same homophily + popularity biases as
   the Twitter generator, so the graph's statistical shape is stationary
-  under churn.
+  under churn;
+- *retopics* (optional, off by default so pinned seeded streams stay
+  byte-identical) relabel an existing edge with a fresh topic drawn
+  from the target's profile — interest drift without structural churn.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ def simulate_churn(
     num_events: int,
     unfollow_fraction: float = 0.5,
     recency_bias: float = 0.7,
+    retopic_fraction: float = 0.0,
     seed: SeedLike = None,
 ) -> Iterator[EdgeEvent]:
     """Yield a churn stream over (a private view of) *graph*.
@@ -46,6 +50,10 @@ def simulate_churn(
         recency_bias: Probability an unfollow targets one of the edges
             created earlier *in this stream* (short-lifespan links)
             rather than an arbitrary existing edge.
+        retopic_fraction: Share of events that relabel an existing
+            edge instead. The default ``0.0`` consumes no extra
+            randomness, so streams pinned before this knob existed
+            replay unchanged.
         seed: RNG seed.
 
     Raises:
@@ -55,6 +63,10 @@ def simulate_churn(
     if not 0.0 <= unfollow_fraction <= 1.0:
         raise ConfigurationError(
             f"unfollow_fraction must be in [0, 1], got {unfollow_fraction}")
+    if not 0.0 <= retopic_fraction <= 1.0 - unfollow_fraction:
+        raise ConfigurationError(
+            f"retopic_fraction must be in [0, 1 - unfollow_fraction], "
+            f"got {retopic_fraction}")
     if graph.num_edges == 0 or graph.num_nodes < 2:
         raise ConfigurationError("churn needs a non-trivial graph")
     rng = rng_from_seed(seed)
@@ -82,6 +94,17 @@ def simulate_churn(
             return source, target, tuple(topics)
         return None
 
+    def pick_retopic() -> Optional[Tuple[int, int, Tuple[str, ...]]]:
+        for _ in range(20):
+            source, target = rng.choice(edge_list)
+            if (source, target) in removed:
+                continue
+            profile = sorted(graph.node_topics(target))
+            if not profile:
+                continue
+            return source, target, (rng.choice(profile),)
+        return None
+
     def pick_unfollow() -> Optional[Tuple[int, int]]:
         if fresh and rng.random() < recency_bias:
             index = rng.randrange(len(fresh))
@@ -94,13 +117,20 @@ def simulate_churn(
         return None
 
     for time in range(num_events):
-        if rng.random() < unfollow_fraction:
+        draw = rng.random()
+        if draw < unfollow_fraction:
             choice = pick_unfollow()
             if choice is None:
                 continue
             source, target = choice
             removed.add((source, target))
             yield EdgeEvent(EventKind.UNFOLLOW, source, target, (), time)
+        elif draw < unfollow_fraction + retopic_fraction:
+            relabel = pick_retopic()
+            if relabel is None:
+                continue
+            source, target, topics = relabel
+            yield EdgeEvent(EventKind.RETOPIC, source, target, topics, time)
         else:
             created = pick_new_edge()
             if created is None:

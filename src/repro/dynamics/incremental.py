@@ -1,174 +1,181 @@
-"""Incremental landmark updates via first-order score deltas.
+"""Dirty-frontier incremental landmark maintenance.
 
 The rebuild-based policies of :mod:`repro.dynamics.maintenance` re-run
-Algorithm 1 from scratch. This module implements the cheaper strategy
-the paper's future-work paragraph gestures at: *update* the stored
-vectors using the composition property (Prop. 2) instead.
+Algorithm 1 for every landmark whose *stored lists* an event touches —
+a heuristic that both over-fires (a listed node far outside the
+propagation cone) and under-fires (an unlisted node inside it). This
+module replaces the earlier first-order delta approximation with an
+**exact** incremental strategy built on
+:mod:`repro.landmarks.frontier`:
 
-When an edge ``e = (a → b)`` with label ``L`` appears, the new walks it
-creates from a landmark ``λ`` decompose as ``p1 . e . p2`` with
-``p1 ∈ P(λ, a)`` and ``p2 ∈ P(b, x)``. Summing Prop. 2 over both
-families (the same algebra as Prop. 4):
+1. every applied event contributes its frontier
+   ``{source} ∪ Γ_now(target)`` to a pending dirty set;
+2. at flush time, one backward BFS from the pending frontier (depth ≤
+   ``precompute_depth``, along in-edges) finds exactly the landmarks
+   whose propagation cone intersects the churn;
+3. only those landmarks are re-propagated, with the *same* engine and
+   depth cap as :meth:`LandmarkIndex.build` — so the refreshed index is
+   bitwise-identical to a from-scratch rebuild, at a fraction of the
+   propagation sources (the ``sources_propagated`` stat; the ≥5x
+   acceptance gate of ``tests/dynamics/test_incremental.py``).
 
-- new score mass arriving at ``b``:
-  ``Δσ(λ, b, t) = β·σ(λ, a, t) + topo_{αβ}(λ, a) · ω_e(t)``
-  with ``ω_e(t) = β·α·maxsim(L, t)·auth(b, t)``;
-- new topological mass: ``Δtopo_β(λ, b) = β·topo_β(λ, a)`` and
-  ``Δtopo_{αβ}(λ, b) = αβ·topo_{αβ}(λ, a)``;
-- propagation beyond ``b``: compose the deltas with a short
-  exploration from ``b`` (the ``p2`` family, truncated at a
-  configurable depth).
+One global hazard: the authority normaliser ``log1p(max |Γv(t)|)`` is
+graph-wide. If churn moves that maximum for a maintained topic, every
+landmark's scores shift and the maintainer falls back to a full
+refresh for that flush (checked against per-topic marks recorded at
+the previous flush).
 
-The result is **first order**: walks crossing the new edge twice or
-more are ignored, and the ``p2`` tail is depth-limited. With the
-paper's β = 0.0005 both truncations are far below ranking resolution —
-the accuracy test pits the incremental index against a full rebuild.
-Edge *removals* apply the same delta negatively, using the stored
-pre-removal vectors.
+With the default ``flush_every=1`` the index is fresh after every
+event — same observable freshness as :class:`EagerMaintainer`, far
+fewer propagations. The ingest pipeline (:mod:`repro.ingest`) instead
+constructs it with ``flush_every=0`` and calls :meth:`flush` once per
+compaction, passing the compacted snapshot as the propagation view.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..config import ScoreParams
-from ..core.exact import _MaxSimCache, single_source_scores
 from ..core.scores import AuthorityIndex
-from ..graph.labeled_graph import LabeledSocialGraph
-from ..landmarks.index import LandmarkEntry, LandmarkIndex
+from ..landmarks.frontier import dirty_landmarks, refresh_landmarks
+from ..landmarks.index import LandmarkIndex
+from ..obs import runtime as _obs
 from ..semantics.matrix import SimilarityMatrix
 from .events import EdgeEvent
 from .maintenance import _BaseMaintainer
 
 
 class IncrementalMaintainer(_BaseMaintainer):
-    """Apply first-order deltas instead of rebuilding landmarks.
+    """Re-propagate only landmarks whose cone intersects the churn.
 
     Args:
-        graph: The live graph (events are applied *before* this
-            maintainer sees them — GraphStream's contract).
+        graph: The post-event view events are applied to before this
+            maintainer sees them (GraphStream's contract) — a live
+            graph or a :class:`~repro.graph.overlay.DeltaSnapshot`.
         index: The landmark index to keep fresh.
         topics: Topics maintained (usually the index's vocabulary).
         similarity: Topic-similarity matrix.
         params: Decay parameters.
-        tail_depth: How far the ``p2`` family is explored beyond the
-            new edge's head (2 covers everything the paper's β can
-            distinguish).
+        flush_every: Auto-flush after this many applied events; ``0``
+            disables auto-flush (callers drive :meth:`flush`, e.g. the
+            ingest pipeline at compaction boundaries).
+        engine: Refresh engine override; defaults to the engine that
+            built the index, keeping refreshed lists bitwise-consistent
+            with the unrefreshed ones.
 
     Attributes:
-        deltas_applied: Number of edge events absorbed incrementally.
+        full_refreshes: Flushes that fell back to refreshing every
+            landmark because a per-topic follower maximum moved.
     """
 
-    def __init__(self, graph: LabeledSocialGraph, index: LandmarkIndex,
+    def __init__(self, graph, index: LandmarkIndex,
                  topics: Sequence[str], similarity: SimilarityMatrix,
                  params: Optional[ScoreParams] = None,
-                 tail_depth: int = 2) -> None:
+                 flush_every: int = 1,
+                 engine: Optional[str] = None) -> None:
         super().__init__(graph, index, topics, similarity, params)
-        self.tail_depth = tail_depth
-        self.deltas_applied = 0
-        self._sim_cache = _MaxSimCache(similarity)
+        self.flush_every = flush_every
+        self.engine = engine
+        self.full_refreshes = 0
+        self._frontier: Set[int] = set()
+        self._pending = 0
+        self._max_marks: Dict[str, int] = {
+            topic: graph.max_followers_on(topic) for topic in self.topics}
 
     # ------------------------------------------------------------------
+    def rebind(self, graph) -> None:
+        """Point the maintainer at a new post-event view.
+
+        Used by the ingest pipeline after a compaction swaps the
+        overlay for a fresh one over the compacted base. The per-topic
+        maximum marks carry over — they describe the graph *content*,
+        which the swap preserves.
+        """
+        self.graph = graph
+
     def on_event(self, event: EdgeEvent) -> None:  # noqa: D102
-        self.stats.events_seen += 1
-        sign = 1.0 if event.is_follow else -1.0
-        # GraphStream enriches unfollow events with the removed edge's
-        # label, so both directions carry the semantics of the delta.
-        label = frozenset(event.topics)
-        touched = self._watched.get(event.source, set())
-        if not touched:
-            return
-        # authority values shift with follower counts; refresh lazily
-        fresh_authority = AuthorityIndex(self.graph)
-        tail = self._tail_state(event.target)
-        for landmark in sorted(touched):
-            self._apply_delta(landmark, event, sign, label,
-                              fresh_authority, tail)
-        self.deltas_applied += 1
-        self.stats.rebuild_rounds += 0  # deltas are not rebuilds
+        self._events_seen += 1
+        self._pending += 1
+        self._frontier.add(event.source)
+        self._frontier.update(self.graph.in_neighbors(event.target))
+        if self.flush_every and self._pending >= self.flush_every:
+            self.flush()
 
-    def _tail_state(self, head: int):
-        """Short exploration from the new edge's head (the p2 family)."""
-        return single_source_scores(
-            self.graph, head, self.topics, self.similarity,
-            params=self.params, max_depth=self.tail_depth,
-            sim_cache=self._sim_cache)
+    @property
+    def pending_events(self) -> int:
+        """Applied events observed since the last flush."""
+        return self._pending
 
-    def _apply_delta(self, landmark: int, event: EdgeEvent, sign: float,
-                     label: frozenset, authority: AuthorityIndex,
-                     tail) -> None:
-        beta = self.params.beta
-        alpha = self.params.alpha
+    @property
+    def frontier_size(self) -> int:
+        """Distinct churn-touched nodes awaiting the next flush."""
+        return len(self._frontier)
+
+    def flush(self, view=None) -> int:
+        """Refresh every landmark the pending churn can have affected.
+
+        Args:
+            view: Propagation view override — the ingest pipeline
+                passes the freshly compacted
+                :class:`~repro.graph.snapshot.GraphSnapshot` so the
+                sparse engine binds to real CSR arrays; defaults to
+                the maintainer's bound graph.
+
+        Returns:
+            The number of landmarks re-propagated.
+        """
+        graph = view if view is not None else self.graph
+        if not self._pending:
+            return 0
+        landmarks = list(self.index.landmarks)
+        horizon = self.index.landmark_params.precompute_depth
+        if horizon is None:
+            horizon = self.params.max_iter
+
+        full = False
         for topic in self.topics:
-            entries = self.index.recommendations(landmark, topic)
-            by_node: Dict[int, LandmarkEntry] = {
-                entry.node: entry for entry in entries}
-            source_entry = by_node.get(event.source)
-            if source_entry is None and event.source != landmark:
-                continue
-            if event.source == landmark:
-                sigma_to_source = 0.0
-                topo_b_source = 1.0
-                topo_ab_source = 1.0
-            else:
-                sigma_to_source = source_entry.score
-                topo_b_source = source_entry.topo
-                topo_ab_source = source_entry.topo_ab
-            best = self._sim_cache.max_similarity(label, topic) if label else 0.0
-            omega_e = (beta * alpha * best
-                       * authority.auth(event.target, topic))
-            # deltas landing on the edge head b
-            delta_sigma_b = sign * (beta * sigma_to_source
-                                    + topo_ab_source * omega_e)
-            delta_topo_b = sign * beta * topo_b_source
-            delta_topo_ab_b = sign * beta * alpha * topo_ab_source
+            current = graph.max_followers_on(topic)
+            if current != self._max_marks[topic]:
+                self._max_marks[topic] = current
+                full = True
+        if full:
+            dirty = landmarks
+            self.full_refreshes += 1
+        else:
+            dirty = dirty_landmarks(graph, landmarks, self._frontier,
+                                    horizon)
 
-            updates: Dict[int, List[float]] = {}
-            updates[event.target] = [delta_sigma_b, delta_topo_b,
-                                     delta_topo_ab_b]
-            # compose with the p2 tails from b (x != b)
-            tail_scores = tail.scores.get(topic, {})
-            tail_nodes = set(tail.topo_beta) | set(tail_scores)
-            for node in tail_nodes:
-                if node == event.target:
-                    continue
-                tail_topo_b = tail.topo_beta.get(node, 0.0)
-                tail_topo_ab = tail.topo_alphabeta.get(node, 0.0)
-                tail_sigma = tail_scores.get(node, 0.0)
-                delta_sigma = (delta_sigma_b * tail_topo_b
-                               + delta_topo_ab_b * tail_sigma)
-                delta_topo = delta_topo_b * tail_topo_b
-                delta_topo_ab = delta_topo_ab_b * tail_topo_ab
-                if delta_sigma or delta_topo:
-                    updates[node] = [delta_sigma, delta_topo,
-                                     delta_topo_ab]
+        with _obs.span("dynamics.incremental_flush") as _sp:
+            if _sp:
+                _sp.set(pending=self._pending, frontier=len(self._frontier),
+                        dirty=len(dirty), total=len(landmarks), full=full)
+            refreshed = refresh_landmarks(
+                self.index, graph, dirty, self.topics, self.similarity,
+                authority=AuthorityIndex(graph), engine=self.engine)
+        if refreshed:
+            self._landmarks_rebuilt += refreshed
+            self._sources_propagated += refreshed
+            self._rebuild_rounds += 1
+            self.rebuilt_ever.update(dirty)
+        self._frontier.clear()
+        self._pending = 0
+        return refreshed
 
-            changed = False
-            for node, (d_sigma, d_topo, d_topo_ab) in updates.items():
-                if node == landmark:
-                    continue
-                entry = by_node.get(node)
-                if entry is not None:
-                    by_node[node] = LandmarkEntry(
-                        node=node,
-                        score=max(0.0, entry.score + d_sigma),
-                        topo=max(0.0, entry.topo + d_topo),
-                        topo_ab=max(0.0, entry.topo_ab + d_topo_ab),
-                    )
-                    changed = True
-                elif d_sigma > 0.0:
-                    by_node[node] = LandmarkEntry(
-                        node=node, score=d_sigma,
-                        topo=max(0.0, d_topo),
-                        topo_ab=max(0.0, d_topo_ab))
-                    changed = True
-            if changed:
-                ranked = sorted(by_node.values(),
-                                key=lambda e: (-e.score, e.node))
-                top_n = self.index.landmark_params.top_n
-                self.index.set_recommendations(landmark, topic,
-                                               ranked[:top_n])
-        self._watch_insert(event.target, landmark)
+    def rebuild(self, landmarks: Sequence[int]) -> None:
+        """Re-propagate *landmarks* via the engine-exact refresh path.
 
-    def _watch_insert(self, node: int, landmark: int) -> None:
-        self._watched.setdefault(node, set()).add(landmark)
+        Overrides the dict-engine base implementation so that explicit
+        rebuilds stay bitwise-consistent with this maintainer's
+        flushes (same engine, same depth cap).
+        """
+        todo: List[int] = list(landmarks)
+        if not todo:
+            return
+        refreshed = refresh_landmarks(
+            self.index, self.graph, todo, self.topics, self.similarity,
+            authority=AuthorityIndex(self.graph), engine=self.engine)
+        self._landmarks_rebuilt += refreshed
+        self._sources_propagated += refreshed
+        self._rebuild_rounds += 1
+        self.rebuilt_ever.update(todo)

@@ -1,6 +1,12 @@
 """Landmark-index maintenance under graph churn.
 
-Three policies trade freshness against rebuild cost, the dimension the
+Every maintainer satisfies the runtime-checkable
+:class:`repro.api.Maintainer` protocol — subscribe ``on_event`` to a
+:class:`~repro.dynamics.stream.GraphStream`, read the frozen
+:class:`repro.api.MaintenanceStats` snapshot from ``stats`` — so a
+serving tier can swap policies without rewiring.
+
+The policies trade freshness against rebuild cost, the dimension the
 paper's future-work section opens:
 
 - :class:`EagerMaintainer` — rebuild a landmark the moment an event
@@ -22,9 +28,9 @@ whether a policy is good enough.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
+from ..api import MaintenanceStats
 from ..config import ScoreParams
 from ..core.exact import single_source_scores
 from ..core.scores import AuthorityIndex
@@ -34,28 +40,14 @@ from ..graph.labeled_graph import LabeledSocialGraph
 from ..landmarks.index import LandmarkEntry, LandmarkIndex
 from .events import EdgeEvent
 
-
-@dataclass
-class MaintenanceStats:
-    """Counters every maintainer keeps.
-
-    Attributes:
-        events_seen: Events observed.
-        landmarks_rebuilt: Total landmark rebuilds (Algorithm-1 runs).
-        rebuild_rounds: Distinct maintenance rounds that rebuilt
-            something.
-    """
-
-    events_seen: int = 0
-    landmarks_rebuilt: int = 0
-    rebuild_rounds: int = 0
-
-    @property
-    def rebuilds_per_event(self) -> float:
-        """Amortised rebuild cost per observed event."""
-        if self.events_seen == 0:
-            return 0.0
-        return self.landmarks_rebuilt / self.events_seen
+__all__ = [
+    "MaintenanceStats",
+    "NoOpMaintainer",
+    "EagerMaintainer",
+    "BatchMaintainer",
+    "TTLMaintainer",
+    "measure_staleness",
+]
 
 
 class _BaseMaintainer:
@@ -69,11 +61,24 @@ class _BaseMaintainer:
         self.topics = list(topics)
         self.similarity = similarity
         self.params = params if params is not None else index.params
-        self.stats = MaintenanceStats()
+        self._events_seen = 0
+        self._landmarks_rebuilt = 0
+        self._rebuild_rounds = 0
+        self._sources_propagated = 0
         #: Landmarks rebuilt at least once over this maintainer's life.
         self.rebuilt_ever: Set[int] = set()
         self._watched: Dict[int, Set[int]] = {}
         self._rebuild_watch_index()
+
+    @property
+    def stats(self) -> MaintenanceStats:
+        """Frozen snapshot of the maintenance counters."""
+        return MaintenanceStats(
+            events_seen=self._events_seen,
+            landmarks_rebuilt=self._landmarks_rebuilt,
+            rebuild_rounds=self._rebuild_rounds,
+            sources_propagated=self._sources_propagated,
+        )
 
     def _rebuild_watch_index(self) -> None:
         """node → landmarks whose stored lists mention it."""
@@ -110,9 +115,10 @@ class _BaseMaintainer:
                                   topo_ab=state.topo_alphabeta.get(node, 0.0))
                     for node, score in ranked
                 ])
-            self.stats.landmarks_rebuilt += 1
+            self._landmarks_rebuilt += 1
+            self._sources_propagated += 1
             self.rebuilt_ever.add(landmark)
-        self.stats.rebuild_rounds += 1
+        self._rebuild_rounds += 1
         self._rebuild_watch_index()
 
     def on_event(self, event: EdgeEvent) -> None:
@@ -123,14 +129,14 @@ class NoOpMaintainer(_BaseMaintainer):
     """Never rebuilds — the staleness baseline."""
 
     def on_event(self, event: EdgeEvent) -> None:  # noqa: D102
-        self.stats.events_seen += 1
+        self._events_seen += 1
 
 
 class EagerMaintainer(_BaseMaintainer):
     """Rebuild immediately whenever an event touches a stored list."""
 
     def on_event(self, event: EdgeEvent) -> None:  # noqa: D102
-        self.stats.events_seen += 1
+        self._events_seen += 1
         touched = self._touched_landmarks(event)
         if touched:
             self.rebuild(sorted(touched))
@@ -160,7 +166,7 @@ class BatchMaintainer(_BaseMaintainer):
         self._pending = 0
 
     def on_event(self, event: EdgeEvent) -> None:  # noqa: D102
-        self.stats.events_seen += 1
+        self._events_seen += 1
         self._pending += 1
         self._dirty |= self._touched_landmarks(event)
         landmark_count = max(1, len(self.index))
@@ -209,10 +215,10 @@ class TTLMaintainer(_BaseMaintainer):
         self._scheduled_done = 0
 
     def on_event(self, event: EdgeEvent) -> None:  # noqa: D102
-        self.stats.events_seen += 1
+        self._events_seen += 1
         if not self._order:
             return
-        due = (len(self._order) * self.stats.events_seen) // self.ttl_events
+        due = (len(self._order) * self._events_seen) // self.ttl_events
         todo = due - self._scheduled_done
         if todo <= 0:
             return

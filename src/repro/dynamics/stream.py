@@ -7,7 +7,7 @@ from typing import Callable, Iterable, List
 
 from ..errors import EdgeNotFoundError
 from ..graph.labeled_graph import LabeledSocialGraph
-from .events import EdgeEvent
+from .events import EdgeEvent, EventKind
 
 Listener = Callable[[EdgeEvent], None]
 
@@ -38,15 +38,22 @@ class GraphStream:
     def apply(self, event: EdgeEvent) -> bool:
         """Apply one event; returns ``False`` for no-op events.
 
-        A follow of an existing edge relabels it; an unfollow of a
-        missing edge is skipped (streams may race with each other in
-        callers' tests) — both without notifying listeners on a skip.
-        Unfollow events are enriched with the removed edge's label
-        before listeners see them, so incremental maintainers can undo
-        the semantic contribution exactly.
+        A follow of an existing edge relabels it; an unfollow or
+        retopic of a missing edge is skipped (streams may race with
+        each other in callers' tests) — both without notifying
+        listeners on a skip. Unfollow events are enriched with the
+        removed edge's label before listeners see them, so incremental
+        maintainers can undo the semantic contribution exactly.
         """
         if event.is_follow:
             self.graph.add_edge(event.source, event.target, event.topics)
+        elif event.kind is EventKind.RETOPIC:
+            try:
+                self.graph.set_edge_topics(event.source, event.target,
+                                           event.topics)
+            except EdgeNotFoundError:
+                self.skipped += 1
+                return False
         else:
             try:
                 removed = self.graph.remove_edge(event.source, event.target)

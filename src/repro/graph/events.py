@@ -21,6 +21,9 @@ class EventKind(enum.Enum):
 
     FOLLOW = "follow"
     UNFOLLOW = "unfollow"
+    #: Relabel an existing edge (the interest topics changed without
+    #: the follow relationship itself changing).
+    RETOPIC = "retopic"
 
 
 @dataclass(frozen=True)
@@ -28,10 +31,11 @@ class EdgeEvent:
     """One timestamped follow-graph mutation.
 
     Attributes:
-        kind: Follow or unfollow.
+        kind: Follow, unfollow, or retopic.
         source: The follower.
         target: The followee.
-        topics: Edge label (empty for unfollows).
+        topics: Edge label (empty for unfollows; the replacement label
+            for retopics).
         time: Logical timestamp (event index).
     """
 
@@ -45,3 +49,8 @@ class EdgeEvent:
     def is_follow(self) -> bool:
         """Whether this event creates an edge."""
         return self.kind is EventKind.FOLLOW
+
+    @property
+    def is_retopic(self) -> bool:
+        """Whether this event relabels an existing edge."""
+        return self.kind is EventKind.RETOPIC

@@ -24,7 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..api import (RecommendationRequest, RecommendationResponse,
-                   response_from_pairs, warn_legacy)
+                   response_from_pairs)
 from ..config import LandmarkParams, ScoreParams
 from ..core.exact import ScoreState, _MaxSimCache, single_source_scores
 from ..core.scores import AuthorityIndex
@@ -387,8 +387,7 @@ class ApproximateRecommender:
                   exclude_followed: bool = True) -> RecommendationResponse:
         """Top-n approximate recommendations for *user* on *topic*.
 
-        Implements the :class:`repro.api.Recommender` protocol; the old
-        tuple-list shape survives on :meth:`recommend_pairs` (deprecated).
+        Implements the :class:`repro.api.Recommender` protocol.
         ``allow_stale=None`` defers to the constructor flag, matching
         :meth:`query`.
         """
@@ -433,13 +432,3 @@ class ApproximateRecommender:
             request, ranked, engine="approximate",
             snapshot_epoch=self._view.epoch)
 
-    def recommend_pairs(self, user: int, topic: str, top_n: int = 10,  # repro: ignore[R9] -- sanctioned deprecation shim for the pre-repro.api tuple shape
-                        depth: Optional[int] = None,
-                        exclude_followed: bool = True
-                        ) -> List[Tuple[int, float]]:
-        """Deprecated tuple-returning shim for the pre-``repro.api`` shape."""
-        warn_legacy("ApproximateRecommender.recommend_pairs",
-                    "ApproximateRecommender.recommend")
-        response = self.recommend(user, topic, top_n=top_n, depth=depth,
-                                  exclude_followed=exclude_followed)
-        return response.pairs()

@@ -185,6 +185,18 @@ def render_markdown(report: Dict[str, Any],
             lines.append(f"- `{name}` = {value:g}")
         lines.append("")
 
+    counters = report.get("counters") or {}
+    ingestion = {name: value for name, value in sorted(gauges.items())
+                 if name.startswith("workload.ingest.")}
+    ingestion.update(
+        (name, value) for name, value in sorted(counters.items())
+        if name.startswith("ingest."))
+    if ingestion:
+        lines += ["### Ingestion", ""]
+        for name, value in sorted(ingestion.items()):
+            lines.append(f"- `{name}` = {value:g}")
+        lines.append("")
+
     if chaos is not None:
         lines += [
             "### Chaos verdicts",

@@ -3,8 +3,9 @@
 A small, fully-seeded end-to-end run that exercises every instrumented
 stage — snapshot construction, exact power iteration, landmark
 preprocessing (Algorithm 1), the landmark-accelerated query path
-(Algorithm 2), sharded serving, and a replicated zero-downtime epoch
-rollover under churn — with the
+(Algorithm 2), sharded serving, a replicated zero-downtime epoch
+rollover under churn, the storage backends, and the event-stream
+ingest path (overlay + budgeted compaction) — with the
 observability layer enabled, and returns the bench report that
 ``python -m repro.obs run --json BENCH_ci.json`` writes for CI.
 
@@ -32,6 +33,8 @@ SMOKE_DEFAULTS: Dict[str, Any] = {
     "queries": 8,
     "query_reps": 25,
     "engine": "auto",
+    "ingest_events": 30,
+    "compact_every": 10,
 }
 
 
@@ -264,11 +267,58 @@ def run_smoke(nodes: int = 0, seed: int = 0, landmarks: int = 0,
                      float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
                      * 1024.0)
 
+        # Stage 7 — the event-stream ingest path. Churn events stream
+        # through the delta overlay with a budgeted compaction every
+        # ``compact_every`` applied events; each compaction folds the
+        # overlay into a fresh base, refreshes only the dirty-frontier
+        # landmarks, and rolls the serving tier over to the new epoch.
+        # Per-event latency p50/p99 lands under ``workload.ingest``
+        # (compaction submits are the tail), and the
+        # ``workload.ingest.events_per_sec`` gauge measures
+        # events/sec-to-fresh-servable-epoch: the whole stream is
+        # drained to a flipped, servable epoch inside the timed window.
+        from ..api import IngestEvent
+        from ..ingest import CompactionPolicy, IngestPipeline
+
+        ingest_events = int(SMOKE_DEFAULTS["ingest_events"])
+        compact_every = int(SMOKE_DEFAULTS["compact_every"])
+        ingest_platform = ShardedPlatform.build(
+            graph, similarity, index, num_shards=4, params=params)
+        pipeline = IngestPipeline(
+            ingest_platform, similarity, [topic],
+            policy=CompactionPolicy(max_events=compact_every))
+        stream_events = [
+            IngestEvent(kind=event.kind.value, source=event.source,
+                        target=event.target,
+                        topics=tuple(event.topics or ()), time=event.time)
+            for event in simulate_churn(graph, ingest_events,
+                                        seed=seed + 1)]
+        samples = []
+        stage = "workload.ingest"
+        stream_watch = rt.timed_span("workload.ingest_stream")
+        with stream_watch:
+            for event in stream_events:
+                watch = rt.timed_span(stage)
+                with watch:
+                    pipeline.submit(event)
+                samples.append(watch.elapsed)
+            if pipeline.pending_events:
+                pipeline.compact(trigger="drain")
+        latencies[stage] = samples
+        latency[stage] = _latency_summary(samples)
+        rt.gauge("workload.ingest.events_per_sec",
+                 (pipeline.events_total / stream_watch.elapsed)
+                 if stream_watch.elapsed > 0 else 0.0)
+        rt.gauge("workload.ingest.compactions",
+                 float(pipeline.compactions_total))
+
         report = build_report(rt.snapshot(), workload={
             "nodes": nodes, "seed": seed, "landmarks": landmarks,
             "top_n": top_n, "queries": len(query_nodes),
             "query_reps": query_reps,
             "engine": index.engine_used, "topic": topic,
+            "ingest_events": ingest_events,
+            "compact_every": compact_every,
         }, latency=latency)
     finally:
         if not was_enabled:

@@ -11,8 +11,9 @@ the distributed landmark service, and the sharded serving tier — must:
   snapshot whose graph has since mutated, and recover under
   ``allow_stale=True``;
 
-and every sanctioned legacy entry point must emit a
-``DeprecationWarning``.
+and the legacy tuple-returning entry points (``recommend_pairs``,
+``DistributedLandmarkService.query``) must stay deleted — their
+deprecation cycle is over.
 """
 
 import pytest
@@ -138,47 +139,36 @@ class TestResponseShape:
             assert response.engine == name
 
 
-class TestDeprecatedShims:
-    def test_approximate_recommend_pairs_warns(self, world, web_sim,
-                                               query_user):
-        graph, index = world
-        scorer = ApproximateRecommender(graph, web_sim, index,
-                                        params=PARAMS)
-        with pytest.warns(DeprecationWarning):
-            pairs = scorer.recommend_pairs(query_user, TOPIC, top_n=5)
-        assert pairs == scorer.recommend(query_user, TOPIC,
-                                         top_n=5).pairs()
+class TestShimsRemoved:
+    """The deprecated tuple-returning surface completed its cycle.
 
-    def test_twitterrank_recommend_pairs_warns(self, world, web_sim,
-                                               query_user):
-        graph, _ = world
-        scorer = TwitterRank(graph)
-        with pytest.warns(DeprecationWarning):
-            pairs = scorer.recommend_pairs(query_user, TOPIC, top_n=5)
-        assert pairs == scorer.recommend(query_user, TOPIC,
-                                         top_n=5).pairs()
+    ``recommend_pairs`` / legacy ``recommend`` keywords / the
+    distributed ``query`` shim all warned for one release and are now
+    gone; these tests pin the *absence* so a shim cannot quietly
+    reappear without re-entering deprecation review.
+    """
 
-    def test_salsa_topicless_call_warns(self, world, query_user):
-        graph, _ = world
-        scorer = SalsaRecommender(graph)
-        with pytest.warns(DeprecationWarning):
-            legacy = scorer.recommend(query_user)
-        assert legacy == scorer.recommend(query_user, TOPIC,
-                                          top_n=10).pairs()
+    def test_recommend_pairs_is_gone(self):
+        assert not hasattr(ApproximateRecommender, "recommend_pairs")
+        assert not hasattr(TwitterRank, "recommend_pairs")
 
-    def test_distributed_query_warns(self, world, web_sim, query_user):
-        graph, index = world
-        service = DistributedLandmarkService(
-            graph, hash_partition(graph, 3), web_sim, index)
-        with pytest.warns(DeprecationWarning):
-            scores, cost = service.query(query_user, TOPIC)
-        response = service.recommend(query_user, TOPIC)
-        assert isinstance(scores, dict)
-        assert cost.entries_transferred == response.cost.entries_transferred
+    def test_distributed_query_is_gone(self):
+        assert not hasattr(DistributedLandmarkService, "query")
 
-    def test_exact_legacy_keywords_warn(self, world, web_sim, query_user):
+    def test_exact_legacy_keywords_rejected(self, world, web_sim,
+                                            query_user):
         graph, _ = world
         scorer = Recommender(graph, web_sim, PARAMS)
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError):
             scorer.recommend(query_user, TOPIC, top_n=5,
                              aggregation="combsum")
+
+    def test_salsa_requires_topic(self, world, query_user):
+        graph, _ = world
+        scorer = SalsaRecommender(graph)
+        with pytest.raises(TypeError):
+            scorer.recommend(query_user)
+
+    def test_warn_legacy_helper_is_gone(self):
+        import repro.api
+        assert not hasattr(repro.api, "warn_legacy")

@@ -1,155 +1,242 @@
-"""Tests for the first-order incremental landmark updater."""
+"""Tests for the dirty-frontier incremental maintainer.
+
+The contract under test (ISSUE 10 acceptance): after any seeded churn
+stream, a flushed :class:`IncrementalMaintainer` leaves the index
+**bitwise-identical** to a from-scratch :meth:`LandmarkIndex.build` on
+the post-churn graph — while re-propagating far fewer sources than a
+full rebuild would (≥5x at ≤1% churn).
+"""
+
+import dataclasses
 
 import pytest
 
 from repro import ScoreParams
+from repro.api import Maintainer, MaintenanceStats
 from repro.config import LandmarkParams
+from repro.core.fast import scipy_available
 from repro.datasets import generate_twitter_graph
-from repro.dynamics import GraphStream, IncrementalMaintainer, simulate_churn
+from repro.dynamics import (BatchMaintainer, EagerMaintainer, GraphStream,
+                            IncrementalMaintainer, NoOpMaintainer,
+                            TTLMaintainer, simulate_churn)
 from repro.dynamics.events import EdgeEvent, EventKind
-from repro.dynamics.maintenance import measure_staleness
-from repro.graph.builders import path_graph
 from repro.landmarks import LandmarkIndex
 
 TOPIC = "technology"
 
+ENGINES = ["dict"] + (["sparse"] if scipy_available() else [])
 
-def _build_index(graph, web_sim, landmarks, params, top_n=100):
+
+def _build_index(graph, web_sim, landmarks, params, top_n=100,
+                 engine="dict", precompute_depth=20):
     return LandmarkIndex.build(
-        graph, landmarks, [TOPIC], web_sim, params=params,
-        landmark_params=LandmarkParams(num_landmarks=len(landmarks),
-                                       top_n=top_n))
+        graph, landmarks, [TOPIC], web_sim, params=params, engine=engine,
+        landmark_params=LandmarkParams(
+            num_landmarks=len(landmarks), top_n=top_n,
+            query_depth=min(precompute_depth, 2),
+            precompute_depth=precompute_depth))
 
 
-def _rebuild_reference(graph, web_sim, landmarks, params, top_n=100):
-    return _build_index(graph, web_sim, landmarks, params, top_n=top_n)
+def _entries_identical(index, reference, landmarks):
+    """Bitwise comparison of every stored entry (no tolerance)."""
+    for landmark in landmarks:
+        ours = index.recommendations(landmark, TOPIC)
+        theirs = reference.recommendations(landmark, TOPIC)
+        assert [(e.node, e.score, e.topo, e.topo_ab) for e in ours] == \
+               [(e.node, e.score, e.topo, e.topo_ab) for e in theirs], \
+               f"landmark {landmark} diverged"
 
 
-class TestExactCasesOnDags:
-    """On DAGs with fresh sink targets the first-order delta is exact:
-    no walk can cross the new edge twice, and the authority of the new
-    target was zero before the event."""
-
-    def test_appending_an_edge_to_a_chain(self, web_sim):
-        params = ScoreParams(beta=0.2, alpha=0.85)
-        graph = path_graph(3, topics=[TOPIC])
-        for i in range(2):
-            graph.set_edge_topics(i, i + 1, [TOPIC])
-        graph.add_node(3, topics=[TOPIC])
-        index = _build_index(graph, web_sim, [0], params)
+class TestBitwiseParity:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_churn_stream_matches_full_rebuild(self, web_sim, engine):
+        params = ScoreParams(beta=0.004)
+        graph = generate_twitter_graph(180, seed=301)
+        landmarks = sorted(graph.nodes(),
+                           key=lambda n: -graph.in_degree(n))[:6]
+        index = _build_index(graph, web_sim, landmarks, params,
+                             engine=engine)
         maintainer = IncrementalMaintainer(graph, index, [TOPIC], web_sim,
                                            params)
         stream = GraphStream(graph)
         stream.subscribe(maintainer.on_event)
-        stream.apply(EdgeEvent(EventKind.FOLLOW, 2, 3, (TOPIC,), 0))
+        stream.apply_all(simulate_churn(graph, 40, seed=301))
 
-        reference = _rebuild_reference(graph, web_sim, [0], params)
-        ours = {e.node: e for e in index.recommendations(0, TOPIC)}
-        theirs = {e.node: e for e in reference.recommendations(0, TOPIC)}
-        assert set(ours) == set(theirs)
-        for node, entry in theirs.items():
-            assert ours[node].score == pytest.approx(entry.score, abs=1e-12)
-            assert ours[node].topo == pytest.approx(entry.topo, abs=1e-12)
-            assert ours[node].topo_ab == pytest.approx(entry.topo_ab,
-                                                       abs=1e-12)
+        reference = _build_index(graph, web_sim, landmarks, params,
+                                 engine=engine)
+        _entries_identical(index, reference, landmarks)
+        assert maintainer.stats.events_seen == stream.applied
 
-    def test_edge_with_downstream_tail(self, web_sim):
-        """New edge lands mid-graph: the p2 tail must be composed."""
-        params = ScoreParams(beta=0.2, alpha=0.85)
-        graph = path_graph(3, topics=[TOPIC])        # 0 -> 1 -> 2
-        for i in range(2):
-            graph.set_edge_topics(i, i + 1, [TOPIC])
-        # a separate chain 5 -> 6 that the new edge will connect to
-        graph.add_node(5, topics=[TOPIC])
-        graph.add_node(6, topics=[TOPIC])
-        graph.add_edge(5, 6, [TOPIC])
-        index = _build_index(graph, web_sim, [0], params)
-        maintainer = IncrementalMaintainer(graph, index, [TOPIC], web_sim,
-                                           params, tail_depth=3)
-        stream = GraphStream(graph)
-        stream.subscribe(maintainer.on_event)
-        stream.apply(EdgeEvent(EventKind.FOLLOW, 2, 5, (TOPIC,), 0))
-
-        reference = _rebuild_reference(graph, web_sim, [0], params)
-        ours = {e.node: e for e in index.recommendations(0, TOPIC)}
-        theirs = {e.node: e for e in reference.recommendations(0, TOPIC)}
-        # node 6 is only reachable through the new edge's tail
-        assert 6 in ours
-        for node in theirs:
-            assert ours[node].score == pytest.approx(theirs[node].score,
-                                                     abs=1e-12)
-
-    def test_follow_then_unfollow_roundtrips(self, web_sim):
-        params = ScoreParams(beta=0.2, alpha=0.85)
-        graph = path_graph(3, topics=[TOPIC])
-        for i in range(2):
-            graph.set_edge_topics(i, i + 1, [TOPIC])
-        graph.add_node(3, topics=[TOPIC])
-        index = _build_index(graph, web_sim, [0], params)
-        before = {e.node: e.score for e in index.recommendations(0, TOPIC)}
-        maintainer = IncrementalMaintainer(graph, index, [TOPIC], web_sim,
-                                           params)
-        stream = GraphStream(graph)
-        stream.subscribe(maintainer.on_event)
-        stream.apply(EdgeEvent(EventKind.FOLLOW, 2, 3, (TOPIC,), 0))
-        stream.apply(EdgeEvent(EventKind.UNFOLLOW, 2, 3, (), 1))
-        after = {e.node: e.score for e in index.recommendations(0, TOPIC)}
-        for node, score in before.items():
-            assert after.get(node, 0.0) == pytest.approx(score, abs=1e-12)
-
-
-class TestApproximationOnRealGraphs:
-    def test_beats_doing_nothing_under_churn(self, web_sim):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_batched_flush_matches(self, web_sim, engine):
+        """flush_every=0 defers all work to one explicit flush."""
         params = ScoreParams(beta=0.004)
-        base = generate_twitter_graph(200, seed=202)
-        landmarks = sorted(base.nodes(),
-                           key=lambda n: -base.in_degree(n))[:8]
-        incremental_graph = base.copy()
-        incremental_index = _build_index(incremental_graph, web_sim,
-                                         landmarks, params, top_n=1000)
-        maintainer = IncrementalMaintainer(
-            incremental_graph, incremental_index, [TOPIC], web_sim, params)
-        stream = GraphStream(incremental_graph)
-        stream.subscribe(maintainer.on_event)
-        events = list(simulate_churn(base, 150, seed=202))
-        stream.apply_all(events)
-
-        stale_graph = base.copy()
-        stale_index = _build_index(stale_graph, web_sim, landmarks, params,
-                                   top_n=1000)
-        GraphStream(stale_graph).apply_all(events)
-
-        incr = measure_staleness(incremental_graph, incremental_index,
-                                 TOPIC, web_sim, params,
-                                 sample=landmarks[:5])
-        noop = measure_staleness(stale_graph, stale_index, TOPIC, web_sim,
-                                 params, sample=landmarks[:5])
-        assert incr <= noop + 1e-12
-        assert maintainer.deltas_applied > 0
-
-    def test_never_rebuilds(self, web_sim):
-        params = ScoreParams(beta=0.004)
-        graph = generate_twitter_graph(150, seed=203)
+        graph = generate_twitter_graph(150, seed=302)
         landmarks = sorted(graph.nodes(),
                            key=lambda n: -graph.in_degree(n))[:5]
+        index = _build_index(graph, web_sim, landmarks, params,
+                             engine=engine)
+        maintainer = IncrementalMaintainer(graph, index, [TOPIC], web_sim,
+                                           params, flush_every=0)
+        stream = GraphStream(graph)
+        stream.subscribe(maintainer.on_event)
+        stream.apply_all(simulate_churn(graph, 30, seed=302))
+        assert maintainer.pending_events == stream.applied
+        assert maintainer.stats.rebuild_rounds == 0
+        maintainer.flush()
+        assert maintainer.pending_events == 0
+
+        reference = _build_index(graph, web_sim, landmarks, params,
+                                 engine=engine)
+        _entries_identical(index, reference, landmarks)
+
+    def test_retopic_events_tracked(self, web_sim):
+        params = ScoreParams(beta=0.004)
+        graph = generate_twitter_graph(120, seed=303)
+        landmarks = sorted(graph.nodes(),
+                           key=lambda n: -graph.in_degree(n))[:4]
         index = _build_index(graph, web_sim, landmarks, params)
         maintainer = IncrementalMaintainer(graph, index, [TOPIC], web_sim,
                                            params)
         stream = GraphStream(graph)
         stream.subscribe(maintainer.on_event)
-        stream.apply_all(simulate_churn(graph, 80, seed=203))
-        assert maintainer.stats.landmarks_rebuilt == 0
+        relabelled = 0
+        for source, target, _ in list(graph.edges()):
+            if relabelled >= 10:
+                break
+            stream.apply(EdgeEvent(EventKind.RETOPIC, source, target,
+                                   (TOPIC, "sports"), relabelled))
+            relabelled += 1
+        assert relabelled == 10
+        reference = _build_index(graph, web_sim, landmarks, params)
+        _entries_identical(index, reference, landmarks)
 
-    def test_top_n_cap_respected(self, web_sim):
+
+class TestFrontierSavings:
+    def test_5x_fewer_sources_at_low_churn(self, web_sim):
+        """≤1% churn with a local horizon re-propagates ≥5x fewer
+        sources than rebuilding every landmark on every flush — while
+        staying bitwise-identical to the full rebuild."""
         params = ScoreParams(beta=0.004)
-        graph = generate_twitter_graph(150, seed=204)
+        graph = generate_twitter_graph(400, seed=304)
         landmarks = sorted(graph.nodes(),
-                           key=lambda n: -graph.in_degree(n))[:5]
-        index = _build_index(graph, web_sim, landmarks, params, top_n=20)
+                           key=lambda n: -graph.in_degree(n))[:20]
+        depth = 1
+        index = _build_index(graph, web_sim, landmarks, params,
+                             precompute_depth=depth)
         maintainer = IncrementalMaintainer(graph, index, [TOPIC], web_sim,
                                            params)
         stream = GraphStream(graph)
         stream.subscribe(maintainer.on_event)
-        stream.apply_all(simulate_churn(graph, 100, seed=204))
-        for landmark in landmarks:
-            assert len(index.recommendations(landmark, TOPIC)) <= 20
+
+        # ≤1% churn: relabel peripheral edges (unpopular targets, so
+        # the frontier Γ(target) stays small) onto an off-index topic,
+        # so per-topic maxima for the maintained topic cannot move.
+        num_events = max(1, graph.num_edges // 100)
+        landmark_set = set(landmarks)
+        quiet_edges = sorted(
+            ((source, target) for source, target, _ in graph.edges()
+             if source not in landmark_set and target not in landmark_set),
+            key=lambda edge: graph.in_degree(edge[1]))
+        applied = 0
+        for source, target in quiet_edges[:num_events]:
+            stream.apply(EdgeEvent(EventKind.RETOPIC, source, target,
+                                   ("sports",), applied))
+            applied += 1
+        assert applied == num_events
+        assert maintainer.full_refreshes == 0
+
+        full_sources = applied * len(landmarks)
+        incremental_sources = maintainer.stats.sources_propagated
+        assert incremental_sources * 5 <= full_sources, (
+            f"{incremental_sources} propagated vs {full_sources} full")
+
+        reference = _build_index(graph, web_sim, landmarks, params,
+                                 precompute_depth=depth)
+        _entries_identical(index, reference, landmarks)
+
+    def test_untouched_cone_skips_refresh(self, web_sim):
+        """An event entirely outside every cone refreshes nothing."""
+        from repro.graph.builders import path_graph
+
+        params = ScoreParams(beta=0.2)
+        graph = path_graph(4, topics=[TOPIC])
+        graph.add_node(10, topics=[TOPIC])
+        graph.add_node(11, topics=[TOPIC])
+        index = _build_index(graph, web_sim, [0], params)
+        before = list(index.recommendations(0, TOPIC))
+        maintainer = IncrementalMaintainer(graph, index, [TOPIC], web_sim,
+                                           params)
+        stream = GraphStream(graph)
+        stream.subscribe(maintainer.on_event)
+        stream.apply(EdgeEvent(EventKind.FOLLOW, 10, 11, (TOPIC,), 0))
+        assert list(index.recommendations(0, TOPIC)) == before
+        assert maintainer.stats.sources_propagated == 0
+
+
+class TestMaxFallback:
+    def test_moving_topic_maximum_forces_full_refresh(self, web_sim):
+        """When churn moves max |Γv(t)| the cone argument is void —
+        every landmark refreshes, and the result is still bitwise."""
+        params = ScoreParams(beta=0.004)
+        graph = generate_twitter_graph(120, seed=305)
+        landmarks = sorted(graph.nodes(),
+                           key=lambda n: -graph.in_degree(n))[:4]
+        index = _build_index(graph, web_sim, landmarks, params)
+        maintainer = IncrementalMaintainer(graph, index, [TOPIC], web_sim,
+                                           params)
+        stream = GraphStream(graph)
+        stream.subscribe(maintainer.on_event)
+
+        # Make one node the undisputed topic-count maximum.
+        view = graph.snapshot()
+        target = max(graph.nodes(), key=lambda n: (
+            view.follower_count_on(n, TOPIC), -n))
+        needed = view.max_followers_on(TOPIC) + 1
+        sources = [n for n in sorted(graph.nodes())
+                   if n != target and not graph.has_edge(n, target)]
+        time = 0
+        for source in sources[:needed]:
+            stream.apply(EdgeEvent(EventKind.FOLLOW, source, target,
+                                   (TOPIC,), time))
+            time += 1
+        assert maintainer.full_refreshes >= 1
+        reference = _build_index(graph, web_sim, landmarks, params)
+        _entries_identical(index, reference, landmarks)
+
+
+class TestMaintainerProtocol:
+    def test_all_five_satisfy_protocol(self, web_sim):
+        params = ScoreParams(beta=0.004)
+        graph = generate_twitter_graph(80, seed=306)
+        landmarks = sorted(graph.nodes(),
+                           key=lambda n: -graph.in_degree(n))[:3]
+        index = _build_index(graph, web_sim, landmarks, params)
+        maintainers = [
+            NoOpMaintainer(graph, index, [TOPIC], web_sim, params),
+            EagerMaintainer(graph, index, [TOPIC], web_sim, params),
+            BatchMaintainer(graph, index, [TOPIC], web_sim, params),
+            TTLMaintainer(graph, index, [TOPIC], web_sim, params),
+            IncrementalMaintainer(graph, index, [TOPIC], web_sim, params),
+        ]
+        for maintainer in maintainers:
+            assert isinstance(maintainer, Maintainer)
+            stats = maintainer.stats
+            assert isinstance(stats, MaintenanceStats)
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                stats.events_seen = 99
+
+    def test_stats_snapshots_do_not_alias(self, web_sim):
+        params = ScoreParams(beta=0.004)
+        graph = generate_twitter_graph(80, seed=307)
+        landmarks = sorted(graph.nodes(),
+                           key=lambda n: -graph.in_degree(n))[:3]
+        index = _build_index(graph, web_sim, landmarks, params)
+        maintainer = NoOpMaintainer(graph, index, [TOPIC], web_sim, params)
+        stream = GraphStream(graph)
+        stream.subscribe(maintainer.on_event)
+        before = maintainer.stats
+        stream.apply_all(simulate_churn(graph, 10, seed=307))
+        assert before.events_seen == 0
+        assert maintainer.stats.events_seen == stream.applied
+        assert maintainer.stats.rebuilds_per_event == 0.0

@@ -193,9 +193,13 @@ class TestSmokeWorkload:
         assert set(latency) == {"workload.query.dict",
                                 "workload.query.sparse",
                                 "workload.mmap.ram",
-                                "workload.mmap.mmap"}
-        for entry in latency.values():
-            assert entry["count"] == 2 * 3
+                                "workload.mmap.mmap",
+                                "workload.ingest"}
+        for name, entry in latency.items():
+            if name == "workload.ingest":
+                assert entry["count"] == report["workload"]["ingest_events"]
+            else:
+                assert entry["count"] == 2 * 3
             assert 0.0 < entry["p50"] <= entry["p99"]
             assert entry["qps"] > 0.0
 

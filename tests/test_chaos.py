@@ -29,7 +29,7 @@ class TestCellSpec:
 
     def test_matrix_axes(self):
         assert FAILURES == ("none", "down-replica", "slow-replica",
-                            "rollover-mid-stream")
+                            "rollover-mid-stream", "ingest-under-rollover")
 
 
 @pytest.mark.slow
@@ -59,6 +59,14 @@ class TestCellVerdicts:
     def test_rollover_mid_stream_surfaces_no_stale_errors(self):
         verdict = run_cell(
             CellSpec(replicas=2, failure="rollover-mid-stream"))
+        assert verdict.passed
+        assert verdict.stale_errors == 0
+        assert verdict.degraded_responses == 0
+        assert verdict.parity_ok
+
+    def test_ingest_under_rollover_surfaces_no_stale_errors(self):
+        verdict = run_cell(
+            CellSpec(replicas=2, failure="ingest-under-rollover"))
         assert verdict.passed
         assert verdict.stale_errors == 0
         assert verdict.degraded_responses == 0

@@ -128,6 +128,18 @@ class TestChurn:
         assert "applied" in captured.out
 
 
+class TestIngest:
+    def test_streams_events_through_compactions(self, graph_file, capsys):
+        code = main(["ingest", str(graph_file), "--events", "30",
+                     "--seed", "2", "--shards", "2",
+                     "--compact-every", "10", "--count", "4"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "ingested" in captured.out
+        assert "compactions" in captured.out
+        assert "servable epoch" in captured.out
+
+
 class TestLandmarks:
     def test_builds_and_saves_index(self, graph_file, tmp_path, capsys):
         out = tmp_path / "index.rplm"
